@@ -1,0 +1,154 @@
+// Package repro's top-level benchmarks regenerate every table and figure of
+// the paper (one benchmark per artifact — run `go test -bench=. -benchmem`)
+// plus ablations of the design choices called out in DESIGN.md §5.
+// Benchmarks use the quick configuration so a full -bench=. pass stays
+// tractable; `cmd/ipubench` runs the paper-scale versions.
+package main
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/bench"
+	"repro/internal/butterfly"
+	"repro/internal/ipu"
+	"repro/internal/tensor"
+)
+
+func benchOpts() bench.Options { return bench.Options{Quick: true, Seed: 42} }
+
+func runExperiment(b *testing.B, id string) {
+	b.Helper()
+	e, ok := bench.Get(id)
+	if !ok {
+		b.Fatalf("experiment %q missing", id)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, err := e.Run(benchOpts())
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(res.Rows) == 0 {
+			b.Fatal("empty result")
+		}
+	}
+}
+
+// BenchmarkTable1Specs regenerates Table 1 (device spec comparison).
+func BenchmarkTable1Specs(b *testing.B) { runExperiment(b, "table1") }
+
+// BenchmarkTable2MatMul regenerates Table 2 (dense/sparse MM GFLOP/s).
+func BenchmarkTable2MatMul(b *testing.B) { runExperiment(b, "table2") }
+
+// BenchmarkTable3Hyperparams regenerates Table 3.
+func BenchmarkTable3Hyperparams(b *testing.B) { runExperiment(b, "table3") }
+
+// BenchmarkTable4SHL regenerates Table 4 (SHL training benchmark).
+func BenchmarkTable4SHL(b *testing.B) { runExperiment(b, "table4") }
+
+// BenchmarkTable5Sweep regenerates Table 5 (pixelfly parameter sweep).
+func BenchmarkTable5Sweep(b *testing.B) { runExperiment(b, "table5") }
+
+// BenchmarkFig3Exchange regenerates Fig. 3 (tile-to-tile latency/bandwidth).
+func BenchmarkFig3Exchange(b *testing.B) { runExperiment(b, "fig3") }
+
+// BenchmarkFig4Skewed regenerates Fig. 4 (skewed MM sweep).
+func BenchmarkFig4Skewed(b *testing.B) { runExperiment(b, "fig4") }
+
+// BenchmarkFig5Memory regenerates Fig. 5 (IPU memory anatomy vs N).
+func BenchmarkFig5Memory(b *testing.B) { runExperiment(b, "fig5") }
+
+// BenchmarkFig6LayerSweep regenerates Fig. 6 (linear vs butterfly vs
+// pixelfly across N on three device modes).
+func BenchmarkFig6LayerSweep(b *testing.B) { runExperiment(b, "fig6") }
+
+// BenchmarkFig7ComputeSets regenerates Fig. 7 (compute-set counts).
+func BenchmarkFig7ComputeSets(b *testing.B) { runExperiment(b, "fig7") }
+
+// --- Ablations (DESIGN.md §5) ---
+
+// BenchmarkAblationParameterizationDense2x2 vs ...Rotation compares the two
+// butterfly parameterizations' forward cost; the rotation form carries 4×
+// fewer parameters (the Table 4 compression) at similar compute.
+func BenchmarkAblationParameterizationDense2x2(b *testing.B) {
+	benchButterflyForward(b, butterfly.Dense2x2)
+}
+
+// BenchmarkAblationParameterizationRotation is the rotation counterpart.
+func BenchmarkAblationParameterizationRotation(b *testing.B) {
+	benchButterflyForward(b, butterfly.Rotation)
+}
+
+func benchButterflyForward(b *testing.B, p butterfly.Parameterization) {
+	rng := rand.New(rand.NewSource(1))
+	bf := butterfly.New(1024, p, rng)
+	x := tensor.New(50, 1024)
+	x.FillRandom(rng, 1)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		bf.Apply(x)
+	}
+}
+
+// BenchmarkAblationComputeSetOverhead quantifies Observation 3: compiling
+// the same matmul and reading total memory with and without the
+// compiler-overhead categories (the delta is the "unexpected additional
+// demand" of Fig. 5).
+func BenchmarkAblationComputeSetOverhead(b *testing.B) {
+	cfg := ipu.GC200()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		w := ipu.BuildDenseMatMul(cfg, 512, 512, 512, ipu.MMPoplin)
+		c, err := ipu.Compile(w.Graph)
+		if err != nil {
+			b.Fatal(err)
+		}
+		overhead := c.Device.Total() - c.Device.Variables
+		if overhead <= 0 {
+			b.Fatal("overhead model inactive")
+		}
+		b.ReportMetric(float64(overhead)/float64(c.Device.Variables), "overhead/vars")
+	}
+}
+
+// BenchmarkAblationExchangeLocality asserts Observation 1 inside a
+// benchmark: near and distant tile pairs cost the same, so the metric
+// reported is their (constant) ratio.
+func BenchmarkAblationExchangeLocality(b *testing.B) {
+	cfg := ipu.GC200()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		near, err := ipu.ExchangeMicrobench(cfg, 0, 1, 64*1024)
+		if err != nil {
+			b.Fatal(err)
+		}
+		far, err := ipu.ExchangeMicrobench(cfg, 0, 644, 64*1024)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(far.LatencySeconds/near.LatencySeconds, "far/near")
+	}
+}
+
+// BenchmarkAblationAMPvsSIMD measures the modeled gap between the AMP
+// (dense matmul) path and the SIMD path the butterfly codelets use — the
+// hardware asymmetry that caps butterfly's IPU speedup at ~1.6×.
+func BenchmarkAblationAMPvsSIMD(b *testing.B) {
+	cfg := ipu.GC200()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		dense, err := ipu.Run(ipu.BuildDenseMatMul(cfg, 1024, 1024, 1024, ipu.MMPoplin), ipu.RunOptions{})
+		if err != nil {
+			b.Fatal(err)
+		}
+		bf, err := ipu.Run(ipu.BuildButterflyMM(cfg, 1024, 1024), ipu.RunOptions{})
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(dense.GFlops()/bf.GFlops(), "amp/simd-rate")
+	}
+}

@@ -1,0 +1,63 @@
+// Command ipubench regenerates the tables and figures of "Reducing Memory
+// Requirements for the IPU using Butterfly Factorizations" (SC 2023) from
+// this repository's machine models and training stack.
+//
+// Usage:
+//
+//	ipubench -exp table2          # one experiment
+//	ipubench -exp all             # everything (table4/table5 train models)
+//	ipubench -exp fig6 -quick     # reduced problem sizes
+//	ipubench -list                # list experiment ids
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"repro/internal/bench"
+)
+
+func main() {
+	exp := flag.String("exp", "all", "experiment id (table1..table5, fig3..fig7) or 'all'")
+	quick := flag.Bool("quick", false, "shrink problem sizes and epochs")
+	seed := flag.Int64("seed", 42, "seed for all randomized components")
+	list := flag.Bool("list", false, "list available experiments")
+	flag.Parse()
+
+	if *list {
+		for _, e := range bench.All() {
+			fmt.Printf("%-8s %s\n", e.ID, e.Title)
+		}
+		return
+	}
+
+	opt := bench.Options{Quick: *quick, Seed: *seed}
+	ids := strings.Split(*exp, ",")
+	if *exp == "all" {
+		ids = bench.IDs()
+	}
+	failed := false
+	for _, id := range ids {
+		e, ok := bench.Get(strings.TrimSpace(id))
+		if !ok {
+			fmt.Fprintf(os.Stderr, "unknown experiment %q (use -list)\n", id)
+			failed = true
+			continue
+		}
+		start := time.Now()
+		res, err := e.Run(opt)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "%s failed: %v\n", e.ID, err)
+			failed = true
+			continue
+		}
+		fmt.Println(res.Render())
+		fmt.Printf("(%s completed in %v)\n\n", e.ID, time.Since(start).Round(time.Millisecond))
+	}
+	if failed {
+		os.Exit(1)
+	}
+}

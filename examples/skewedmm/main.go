@@ -1,0 +1,60 @@
+// skewedmm reproduces the Fig. 4 experiment interactively: it sweeps the
+// skewness ratio of a constant-FLOP matrix multiply across the GPU model
+// (FP32 and TF32) and the IPU model, printing GFLOP/s per point — the
+// demonstration that the IPU tolerates skew where GPU tile quantization
+// does not.
+package main
+
+import (
+	"flag"
+	"fmt"
+
+	"repro/internal/gpu"
+	"repro/internal/ipu"
+)
+
+func main() {
+	base := flag.Int("base", 1024, "square baseline dimension (power of two)")
+	flag.Parse()
+
+	gcfg := gpu.A30()
+	icfg := ipu.GC200()
+	fmt.Printf("A(m×k)·B(k×n) with k=%d, m·n=%d² — skew s = m/n\n\n", *base, *base)
+	fmt.Printf("%7s %8s %8s   %14s %14s %12s\n", "skew", "m", "n", "GPU FP32 [GF]", "GPU TF32 [GF]", "IPU [GF]")
+	for _, j := range []int{-6, -5, -4, -3, -2, -1, 0, 1, 2, 3, 4, 5, 6} {
+		m, n := *base, *base
+		if j >= 0 {
+			m <<= uint(j)
+			n >>= uint(j)
+		} else {
+			m >>= uint(-j)
+			n <<= uint(-j)
+		}
+		if m < 1 || n < 1 {
+			continue
+		}
+		fp32, err := gpu.Run(gcfg, gpu.MatMul(gcfg, m, *base, n, gpu.AlgoCublas), gpu.RunOptions{})
+		if err != nil {
+			fmt.Printf("%7s gpu error: %v\n", skewLabel(j), err)
+			continue
+		}
+		tf32, err := gpu.Run(gcfg, gpu.MatMul(gcfg, m, *base, n, gpu.AlgoCublasTC), gpu.RunOptions{})
+		if err != nil {
+			fmt.Printf("%7s gpu error: %v\n", skewLabel(j), err)
+			continue
+		}
+		ires, err := ipu.Run(ipu.BuildDenseMatMul(icfg, m, *base, n, ipu.MMPoplin), ipu.RunOptions{})
+		ipuCell := "OOM"
+		if err == nil {
+			ipuCell = fmt.Sprintf("%.0f", ires.GFlops())
+		}
+		fmt.Printf("%7s %8d %8d   %14.0f %14.0f %12s\n",
+			skewLabel(j), m, n, fp32.GFlops(), tf32.GFlops(), ipuCell)
+	}
+	fmt.Println("\nObservation 2 (paper): the IPU stays stable under skew; the GPU loses an order")
+	fmt.Println("of magnitude once a dimension falls below its matmul tile size, TF32 sooner than FP32.")
+}
+
+func skewLabel(j int) string {
+	return fmt.Sprintf("2^%+d", 2*j)
+}

@@ -1,0 +1,106 @@
+package baselines
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"repro/internal/fft"
+	"repro/internal/tensor"
+)
+
+// Circulant parameterizes the n×n weight as a circulant matrix
+// W[k][t] = c[(k−t) mod n]; multiplication is circular convolution
+// computed in O(N log N) via FFT. With n=1024 the SHL totals 12,298
+// parameters, matching Table 4.
+type Circulant struct {
+	N     int
+	C     []float32 // the defining vector
+	GradC []float32
+
+	xSaved *tensor.Matrix
+}
+
+// NewCirculant builds a random circulant layer (n must be a power of two
+// for the FFT path — the same restriction the paper hit on the IPU).
+func NewCirculant(n int, rng *rand.Rand) *Circulant {
+	if !fft.IsPowerOfTwo(n) {
+		panic(fmt.Sprintf("baselines: circulant size %d must be a power of two", n))
+	}
+	c := &Circulant{N: n, C: make([]float32, n), GradC: make([]float32, n)}
+	scale := float32(1 / math.Sqrt(float64(n)))
+	for i := range c.C {
+		c.C[i] = (rng.Float32()*2 - 1) * scale
+	}
+	return c
+}
+
+// ParamCount returns n.
+func (c *Circulant) ParamCount() int { return c.N }
+
+// Flops counts the FFT-based convolution: ~3 FFTs of 5·N·log2 N each per row.
+func (c *Circulant) Flops(batch int) float64 {
+	n := float64(c.N)
+	return 3 * 5 * n * float64(fft.Log2(c.N)) * float64(batch)
+}
+
+// Forward convolves every row of x with the circulant vector.
+func (c *Circulant) Forward(x *tensor.Matrix) *tensor.Matrix {
+	if x.Cols != c.N {
+		panic(fmt.Sprintf("baselines: Circulant input width %d != %d", x.Cols, c.N))
+	}
+	c.xSaved = x
+	out := tensor.New(x.Rows, x.Cols)
+	for r := 0; r < x.Rows; r++ {
+		copy(out.Row(r), fft.CircularConvolve(c.C, x.Row(r)))
+	}
+	return out
+}
+
+// Apply is Forward without retaining state.
+func (c *Circulant) Apply(x *tensor.Matrix) *tensor.Matrix {
+	s := c.xSaved
+	out := c.Forward(x)
+	c.xSaved = s
+	return out
+}
+
+// Backward: with y = C·x (C circulant), dX = Cᵀ·dY is circular correlation
+// with c, and dc[m] = Σ_rows corr(x_row, dy_row)[m].
+func (c *Circulant) Backward(dY *tensor.Matrix) *tensor.Matrix {
+	if c.xSaved == nil {
+		panic("baselines: Circulant Backward before Forward")
+	}
+	dX := tensor.New(dY.Rows, dY.Cols)
+	for r := 0; r < dY.Rows; r++ {
+		copy(dX.Row(r), fft.CircularCorrelate(c.C, dY.Row(r)))
+		dc := fft.CircularCorrelate(c.xSaved.Row(r), dY.Row(r))
+		for m := range dc {
+			c.GradC[m] += dc[m]
+		}
+	}
+	return dX
+}
+
+// ZeroGrad clears gradients.
+func (c *Circulant) ZeroGrad() {
+	for i := range c.GradC {
+		c.GradC[i] = 0
+	}
+}
+
+// Params returns (parameter, gradient) slice pairs.
+func (c *Circulant) Params() (params, grads [][]float32) {
+	return [][]float32{c.C}, [][]float32{c.GradC}
+}
+
+// Dense materializes the circulant matrix.
+func (c *Circulant) Dense() *tensor.Matrix {
+	out := tensor.New(c.N, c.N)
+	for k := 0; k < c.N; k++ {
+		for t := 0; t < c.N; t++ {
+			out.Set(k, t, c.C[(k-t+c.N)%c.N])
+		}
+	}
+	return out
+}

@@ -1,0 +1,93 @@
+// Package baselines implements the structured-matrix methods Table 4
+// compares butterfly against: LowRank (U·Vᵀ), Circulant (FFT circular
+// convolution) and Fastfood (S·H·G·Π·H·B). Each exposes the same
+// Forward/Backward/Params protocol as the butterfly and pixelfly layers so
+// the SHL benchmark treats all methods uniformly.
+package baselines
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"repro/internal/tensor"
+)
+
+// LowRank is the rank-r factorization W = U·Vᵀ of an n×n weight.
+// With r=1 and n=1024 the SHL totals 13,322 parameters, matching Table 4.
+type LowRank struct {
+	N, Rank      int
+	U, V         *tensor.Matrix // n×r
+	GradU, GradV *tensor.Matrix
+
+	xSaved  *tensor.Matrix
+	xvSaved *tensor.Matrix
+}
+
+// NewLowRank builds a random low-rank layer.
+func NewLowRank(n, rank int, rng *rand.Rand) *LowRank {
+	if rank <= 0 || rank > n {
+		panic(fmt.Sprintf("baselines: rank %d out of range (0,%d]", rank, n))
+	}
+	l := &LowRank{N: n, Rank: rank,
+		U: tensor.New(n, rank), V: tensor.New(n, rank),
+		GradU: tensor.New(n, rank), GradV: tensor.New(n, rank)}
+	// n^(-1/4) per factor so the product U·Vᵀ has dense-equivalent
+	// n^(-1/2) entries; a 1/√n per-factor init would shrink the product
+	// (and its gradients) by another 1/√n and stall training.
+	scale := float32(1 / math.Pow(float64(n), 0.25))
+	l.U.FillRandom(rng, scale)
+	l.V.FillRandom(rng, scale)
+	return l
+}
+
+// ParamCount returns 2·n·rank.
+func (l *LowRank) ParamCount() int { return 2 * l.N * l.Rank }
+
+// Flops returns forward flops over a batch: 2·batch·n·r per factor.
+func (l *LowRank) Flops(batch int) float64 {
+	return 4 * float64(l.N) * float64(l.Rank) * float64(batch)
+}
+
+// Forward computes Y = (X·V)·Uᵀ so that y_row = U·Vᵀ·x_row.
+func (l *LowRank) Forward(x *tensor.Matrix) *tensor.Matrix {
+	if x.Cols != l.N {
+		panic(fmt.Sprintf("baselines: LowRank input width %d != %d", x.Cols, l.N))
+	}
+	l.xSaved = x
+	l.xvSaved = tensor.MatMul(x, l.V)
+	return tensor.MatMul(l.xvSaved, l.U.Transpose())
+}
+
+// Apply is Forward without retaining state.
+func (l *LowRank) Apply(x *tensor.Matrix) *tensor.Matrix {
+	s1, s2 := l.xSaved, l.xvSaved
+	out := l.Forward(x)
+	l.xSaved, l.xvSaved = s1, s2
+	return out
+}
+
+// Backward accumulates dU, dV and returns dX.
+func (l *LowRank) Backward(dY *tensor.Matrix) *tensor.Matrix {
+	if l.xSaved == nil {
+		panic("baselines: LowRank Backward before Forward")
+	}
+	dyU := tensor.MatMul(dY, l.U)
+	tensor.AddInPlace(l.GradU, tensor.MatMul(dY.Transpose(), l.xvSaved))
+	tensor.AddInPlace(l.GradV, tensor.MatMul(l.xSaved.Transpose(), dyU))
+	return tensor.MatMul(dyU, l.V.Transpose())
+}
+
+// ZeroGrad clears gradients.
+func (l *LowRank) ZeroGrad() {
+	l.GradU.Zero()
+	l.GradV.Zero()
+}
+
+// Params returns (parameter, gradient) slice pairs.
+func (l *LowRank) Params() (params, grads [][]float32) {
+	return [][]float32{l.U.Data, l.V.Data}, [][]float32{l.GradU.Data, l.GradV.Data}
+}
+
+// Dense materializes U·Vᵀ.
+func (l *LowRank) Dense() *tensor.Matrix { return tensor.MatMul(l.U, l.V.Transpose()) }

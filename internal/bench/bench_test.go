@@ -1,0 +1,319 @@
+package bench
+
+import (
+	"strconv"
+	"strings"
+	"testing"
+
+	"repro/internal/nn"
+)
+
+func quickOpts() Options { return Options{Quick: true, Seed: 7} }
+
+func mustRunExp(t *testing.T, id string) *Result {
+	t.Helper()
+	e, ok := Get(id)
+	if !ok {
+		t.Fatalf("experiment %q not registered", id)
+	}
+	res, err := e.Run(quickOpts())
+	if err != nil {
+		t.Fatalf("%s: %v", id, err)
+	}
+	return res
+}
+
+func TestRegistryComplete(t *testing.T) {
+	want := []string{"fig3", "fig4", "fig5", "fig6", "fig7",
+		"table1", "table2", "table3", "table4", "table5"}
+	got := IDs()
+	if len(got) != len(want) {
+		t.Fatalf("registry = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("registry = %v, want %v", got, want)
+		}
+	}
+}
+
+func TestGetUnknown(t *testing.T) {
+	if _, ok := Get("table99"); ok {
+		t.Fatal("unknown id resolved")
+	}
+}
+
+func TestRenderContainsHeadersAndRows(t *testing.T) {
+	res := mustRunExp(t, "table1")
+	out := res.Render()
+	if !strings.Contains(out, "GC200") || !strings.Contains(out, "A30") {
+		t.Fatalf("render missing device names:\n%s", out)
+	}
+	if !strings.Contains(out, "table1") {
+		t.Fatal("render missing experiment id")
+	}
+}
+
+func TestTable1HasSpecRows(t *testing.T) {
+	res := mustRunExp(t, "table1")
+	if len(res.Rows) < 8 {
+		t.Fatalf("table1 rows = %d, want >= 8", len(res.Rows))
+	}
+}
+
+func cell(t *testing.T, res *Result, rowLabel, colHeader string) float64 {
+	t.Helper()
+	col := -1
+	for i, h := range res.Headers {
+		if h == colHeader {
+			col = i
+		}
+	}
+	if col < 0 {
+		t.Fatalf("no column %q in %v", colHeader, res.Headers)
+	}
+	for _, row := range res.Rows {
+		if row[0] == rowLabel {
+			v, err := strconv.ParseFloat(row[col], 64)
+			if err != nil {
+				t.Fatalf("cell %s/%s = %q not numeric", rowLabel, colHeader, row[col])
+			}
+			return v
+		}
+	}
+	t.Fatalf("no row %q", rowLabel)
+	return 0
+}
+
+func TestTable2Shape(t *testing.T) {
+	res := mustRunExp(t, "table2")
+	if len(res.Rows) != 14 {
+		t.Fatalf("table2 rows = %d, want 14", len(res.Rows))
+	}
+	// Orderings the paper's Table 2 establishes.
+	naive := cell(t, res, "GPU naive", "measured")
+	cublas := cell(t, res, "GPU cublas (FP32)", "measured")
+	tf32 := cell(t, res, "GPU cublas (TF32)", "measured")
+	if !(tf32 > cublas && cublas > naive) {
+		t.Fatalf("GPU ordering broken: %v / %v / %v", naive, cublas, tf32)
+	}
+	ipuNaive := cell(t, res, "IPU naive", "measured")
+	ipuBlocked := cell(t, res, "IPU blocked", "measured")
+	poplin := cell(t, res, "IPU poplin", "measured")
+	popTorch := cell(t, res, "PopTorch", "measured")
+	if !(poplin > ipuNaive && ipuNaive > ipuBlocked) {
+		t.Fatalf("IPU ordering broken: %v / %v / %v", ipuNaive, ipuBlocked, poplin)
+	}
+	if popTorch >= poplin {
+		t.Fatal("PopTorch should be far below raw poplin")
+	}
+	// IPU poplin beats GPU cublas FP32 (the paper's headline dense result).
+	if poplin <= cublas {
+		t.Fatalf("IPU poplin (%v) should beat GPU cublas FP32 (%v)", poplin, cublas)
+	}
+}
+
+func TestFig3DistanceIndependence(t *testing.T) {
+	res := mustRunExp(t, "fig3")
+	for _, row := range res.Rows {
+		if row[1] != row[2] {
+			t.Fatalf("near/far latency differ: %v", row)
+		}
+		if row[3] != row[4] {
+			t.Fatalf("near/far bandwidth differ: %v", row)
+		}
+	}
+}
+
+func TestFig4IPUMoreStableThanGPU(t *testing.T) {
+	res := mustRunExp(t, "fig4")
+	// Compare the most-skewed row to the square row for GPU FP32 and IPU.
+	parse := func(s string) float64 {
+		v, err := strconv.ParseFloat(s, 64)
+		if err != nil {
+			t.Fatalf("bad cell %q", s)
+		}
+		return v
+	}
+	first := res.Rows[0]
+	var square []string
+	for _, row := range res.Rows {
+		if row[0] == "2^0" {
+			square = row
+		}
+	}
+	if square == nil {
+		t.Fatal("no square row")
+	}
+	gpuRel := parse(first[3]) / parse(square[3])
+	ipuRel := parse(first[5]) / parse(square[5])
+	if !(ipuRel > gpuRel) {
+		t.Fatalf("IPU should be more skew-stable: IPU rel %v vs GPU rel %v", ipuRel, gpuRel)
+	}
+	if ipuRel < 0.5 {
+		t.Fatalf("IPU lost too much under skew: %v", ipuRel)
+	}
+}
+
+func TestFig5MemoryGrows(t *testing.T) {
+	res := mustRunExp(t, "fig5")
+	var prevTotal, prevFree float64
+	for i, row := range res.Rows {
+		total, err1 := strconv.ParseFloat(row[6], 64)
+		free, err2 := strconv.ParseFloat(row[7], 64)
+		if err1 != nil || err2 != nil {
+			t.Fatalf("bad row %v", row)
+		}
+		if i > 0 {
+			if total <= prevTotal {
+				t.Fatal("total memory must grow with N")
+			}
+			if free >= prevFree {
+				t.Fatal("free memory must shrink with N")
+			}
+		}
+		prevTotal, prevFree = total, free
+	}
+}
+
+func TestFig6SpeedupShape(t *testing.T) {
+	res := mustRunExp(t, "fig6")
+	// For the GPU w/o TC device, butterfly speedup must increase with N.
+	var speedups []float64
+	for _, row := range res.Rows {
+		if row[0] != "A30" {
+			continue
+		}
+		v, err := strconv.ParseFloat(row[5], 64)
+		if err != nil {
+			t.Fatalf("bad speedup cell %v", row)
+		}
+		speedups = append(speedups, v)
+	}
+	if len(speedups) < 3 {
+		t.Fatalf("too few A30 rows: %v", speedups)
+	}
+	if speedups[0] >= 0.3 {
+		t.Fatalf("small-N butterfly should lose heavily on GPU: %v", speedups[0])
+	}
+	if speedups[len(speedups)-1] <= speedups[0] {
+		t.Fatal("butterfly speedup must grow with N on the GPU")
+	}
+}
+
+func TestFig7PixelflyHeavierThanButterfly(t *testing.T) {
+	res := mustRunExp(t, "fig7")
+	// At the same N, pixelfly must report at least as many compute sets
+	// and more variables than butterfly.
+	perN := map[string]map[string][]string{}
+	for _, row := range res.Rows {
+		if perN[row[1]] == nil {
+			perN[row[1]] = map[string][]string{}
+		}
+		perN[row[1]][row[0]] = row
+	}
+	for n, methods := range perN {
+		bf, okB := methods["butterfly"]
+		pf, okP := methods["pixelfly"]
+		if !okB || !okP {
+			t.Fatalf("missing rows for N=%s", n)
+		}
+		bfMem, err1 := strconv.ParseFloat(bf[6], 64)
+		pfMem, err2 := strconv.ParseFloat(pf[6], 64)
+		if err1 != nil || err2 != nil {
+			t.Fatalf("bad memory cells %v / %v", bf, pf)
+		}
+		if pfMem <= bfMem {
+			t.Fatalf("N=%s: pixelfly memory (%v MB) should exceed butterfly (%v MB)", n, pfMem, bfMem)
+		}
+	}
+}
+
+func TestTable3MatchesPaper(t *testing.T) {
+	res := mustRunExp(t, "table3")
+	want := map[string]string{
+		"Learning rate": "0.001",
+		"Optimizer":     "SGD",
+		"Batch size":    "50",
+		"Momentum":      "0.9",
+	}
+	for _, row := range res.Rows {
+		if w, ok := want[row[0]]; ok && row[1] != w {
+			t.Fatalf("%s = %s, want %s", row[0], row[1], w)
+		}
+	}
+}
+
+func TestTable4QuickShape(t *testing.T) {
+	rows, err := RunTable4(QuickTable4Config(), 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 6 {
+		t.Fatalf("rows = %d, want 6", len(rows))
+	}
+	byMethod := map[nn.Method]Table4Row{}
+	for _, r := range rows {
+		byMethod[r.Method] = r
+	}
+	base := byMethod[nn.Baseline]
+	bf := byMethod[nn.Butterfly]
+	// Compression: butterfly removes > 95% of the baseline parameters even
+	// at the miniature size.
+	if float64(bf.NParams) > 0.05*float64(base.NParams) {
+		t.Fatalf("butterfly %d params vs baseline %d: compression too weak", bf.NParams, base.NParams)
+	}
+	// The paper's timing signs: butterfly trains faster on the IPU than on
+	// the GPU; pixelfly and fastfood are slower on the IPU.
+	if !(bf.SecIPU < bf.SecGPU) {
+		t.Fatalf("butterfly should be faster on IPU: %v vs %v", bf.SecIPU, bf.SecGPU)
+	}
+	pf := byMethod[nn.Pixelfly]
+	if !(pf.SecIPU > pf.SecGPU) {
+		t.Fatalf("pixelfly should be slower on IPU: %v vs %v", pf.SecIPU, pf.SecGPU)
+	}
+	ff := byMethod[nn.Fastfood]
+	if !(ff.SecIPU > ff.SecGPU) {
+		t.Fatalf("fastfood should be slower on IPU: %v vs %v", ff.SecIPU, ff.SecGPU)
+	}
+	// The dense baseline trains faster on the IPU (paper: 24.7s vs 49.5s).
+	if !(base.SecIPU < base.SecGPU) {
+		t.Fatalf("baseline should be faster on IPU: %v vs %v", base.SecIPU, base.SecGPU)
+	}
+	// Tensor cores help the baseline but not butterfly (no dense GEMM).
+	if !(base.SecGPUTC < base.SecGPU) {
+		t.Fatal("TC should accelerate the dense baseline")
+	}
+}
+
+func TestTable5QuickShape(t *testing.T) {
+	res := mustRunExp(t, "table5")
+	if len(res.Rows) != 9 {
+		t.Fatalf("rows = %d, want 9 (3 groups × 3 metrics)", len(res.Rows))
+	}
+	std := map[string]map[string]float64{}
+	for _, row := range res.Rows {
+		if std[row[1]] == nil {
+			std[row[1]] = map[string]float64{}
+		}
+		v, err := strconv.ParseFloat(row[3], 64)
+		if err != nil {
+			t.Fatalf("bad std cell %v", row)
+		}
+		std[row[1]][row[0]] = v
+	}
+	// Paper Table 5: block size dominates the time std; low-rank size
+	// barely moves time.
+	if !(std["Time [s]"]["block size"] > std["Time [s]"]["low-rank size"]) {
+		t.Fatalf("time std: block (%v) should exceed low-rank (%v)",
+			std["Time [s]"]["block size"], std["Time [s]"]["low-rank size"])
+	}
+}
+
+func TestFig6PixelflyConfigValid(t *testing.T) {
+	for _, n := range []int{64, 128, 1024, 8192} {
+		if err := Fig6PixelflyConfig(n).Validate(); err != nil {
+			t.Fatalf("n=%d: %v", n, err)
+		}
+	}
+}

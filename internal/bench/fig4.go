@@ -1,0 +1,70 @@
+package bench
+
+import (
+	"fmt"
+
+	"repro/internal/gpu"
+	"repro/internal/ipu"
+)
+
+func init() {
+	register(Experiment{
+		ID:    "fig4",
+		Title: "Skewed matrix multiply on GPU vs IPU",
+		Run:   runFig4,
+	})
+}
+
+// runFig4 sweeps the skewness ratio s = m/n of A(m×k)·B(k×n) at constant
+// FLOP count (m·n held fixed) and reports GFLOP/s for GPU FP32, GPU TF32
+// and the IPU.
+func runFig4(opt Options) (*Result, error) {
+	base := 1024
+	if opt.Quick {
+		base = 256
+	}
+	gcfg := gpu.A30()
+	icfg := ipu.GC200()
+	res := &Result{
+		ID:      "fig4",
+		Title:   "Skewed MM at constant FLOPs: A(m×k)·B(k×n), skew = m/n",
+		Headers: []string{"skew", "m", "n", "GPU FP32 [GF]", "GPU TF32 [GF]", "IPU [GF]"},
+	}
+	exps := []int{-12, -8, -4, 0, 4, 8, 12} // skew exponents; m = base·2^(e/2)
+	if opt.Quick {
+		exps = []int{-8, 0, 8}
+	}
+	for _, e := range exps {
+		j := e / 2
+		m, n := base, base
+		if j >= 0 {
+			m <<= uint(j)
+			n >>= uint(j)
+		} else {
+			m >>= uint(-j)
+			n <<= uint(-j)
+		}
+		if m < 1 || n < 1 {
+			continue
+		}
+		fp32, err := gpu.Run(gcfg, gpu.MatMul(gcfg, m, base, n, gpu.AlgoCublas), gpu.RunOptions{})
+		if err != nil {
+			return nil, err
+		}
+		tf32, err := gpu.Run(gcfg, gpu.MatMul(gcfg, m, base, n, gpu.AlgoCublasTC), gpu.RunOptions{})
+		if err != nil {
+			return nil, err
+		}
+		ipuRes, err := ipu.Run(ipu.BuildDenseMatMul(icfg, m, base, n, ipu.MMPoplin), ipu.RunOptions{})
+		if err != nil {
+			return nil, err
+		}
+		res.Rows = append(res.Rows, []string{
+			fmt.Sprintf("2^%d", e), fmt.Sprint(m), fmt.Sprint(n),
+			f0(fp32.GFlops()), f0(tf32.GFlops()), f0(ipuRes.GFlops()),
+		})
+	}
+	res.Notes = append(res.Notes,
+		"paper Fig. 4: GPU loses at high aspect ratios (TC faster still), IPU stays stable")
+	return res, nil
+}

@@ -1,0 +1,52 @@
+package bench
+
+import (
+	"fmt"
+
+	"repro/internal/ipu"
+)
+
+func init() {
+	register(Experiment{
+		ID:    "fig5",
+		Title: "IPU memory usage vs matrix-multiply problem size",
+		Run:   runFig5,
+	})
+}
+
+func runFig5(opt Options) (*Result, error) {
+	cfg := ipu.GC200()
+	res := &Result{
+		ID:    "fig5",
+		Title: "How MM problem size affects edges, variables, vertices and free memory",
+		Headers: []string{"N", "compute sets", "vertices", "edges",
+			"variables [MB]", "overhead [MB]", "total [MB]", "free [MB]"},
+	}
+	sizes := []int{128, 256, 512, 1024, 2048, 4096}
+	if opt.Quick {
+		sizes = []int{128, 256, 512}
+	}
+	for _, n := range sizes {
+		w := ipu.BuildDenseMatMul(cfg, n, n, n, ipu.MMPoplin)
+		c, err := ipu.Compile(w.Graph)
+		if err != nil {
+			res.Rows = append(res.Rows, []string{fmt.Sprint(n), "OOM", "", "", "", "", "", ""})
+			continue
+		}
+		total := float64(c.Device.Total()) / 1e6
+		vars := float64(c.Device.Variables) / 1e6
+		res.Rows = append(res.Rows, []string{
+			fmt.Sprint(n),
+			fmt.Sprint(c.NumComputeSets),
+			fmt.Sprint(c.NumVertices),
+			fmt.Sprint(c.NumEdges),
+			f2(vars),
+			f2(total - vars),
+			f2(total),
+			f2(float64(c.FreeBytes()) / 1e6),
+		})
+	}
+	res.Notes = append(res.Notes,
+		"Observation 3: overhead (vertex/edge/exchange/control code) grows beyond the data footprint")
+	return res, nil
+}

@@ -1,0 +1,82 @@
+package bench
+
+import (
+	"fmt"
+
+	"repro/internal/device"
+	"repro/internal/gpu"
+	"repro/internal/ipu"
+	"repro/internal/pixelfly"
+)
+
+func init() {
+	register(Experiment{
+		ID:    "fig6",
+		Title: "torch.nn.Linear vs butterfly vs pixelfly across matrix dimension N",
+		Run:   runFig6,
+	})
+}
+
+// Fig6PixelflyConfig scales the pixelfly knobs with N the way the layer
+// benchmark does: blocks of N/32 over a 32-node butterfly network with a
+// modest low-rank term.
+func Fig6PixelflyConfig(n int) pixelfly.Config {
+	bs := n / 32
+	if bs < 2 {
+		bs = 2
+	}
+	bfs := 32
+	if bfs > n/bs {
+		bfs = n / bs
+	}
+	r := n / 128
+	if r < 1 {
+		r = 1
+	}
+	return pixelfly.Config{N: n, BlockSize: bs, ButterflySize: bfs, LowRank: r}
+}
+
+func runFig6(opt Options) (*Result, error) {
+	devs := []device.Device{
+		device.GPU{Cfg: gpu.A30()},
+		device.GPU{Cfg: gpu.A30(), TensorCores: true},
+		device.IPU{Cfg: ipu.GC200(), DeviceLoop: true},
+	}
+	res := &Result{
+		ID:    "fig6",
+		Title: "Layer execution time [ms] (batch = N, as in the paper)",
+		Headers: []string{"device", "N", "linear", "butterfly", "pixelfly",
+			"bf speedup", "pf speedup"},
+	}
+	lo, hi := 7, 13
+	if opt.Quick {
+		lo, hi = 7, 10
+	}
+	for _, dev := range devs {
+		for e := lo; e <= hi; e++ {
+			n := 1 << e
+			lin, errLin := dev.LayerForward(device.LayerSpec{Kind: device.Linear, N: n, Batch: n})
+			bf, errBf := dev.LayerForward(device.LayerSpec{Kind: device.Butterfly, N: n, Batch: n})
+			pf, errPf := dev.LayerForward(device.LayerSpec{
+				Kind: device.Pixelfly, N: n, Batch: n, Pix: Fig6PixelflyConfig(n)})
+			if errLin != nil {
+				res.Rows = append(res.Rows, []string{dev.Name(), fmt.Sprintf("2^%d", e),
+					"OOM", "", "", "", ""})
+				continue
+			}
+			if errBf != nil || errPf != nil {
+				return nil, fmt.Errorf("fig6: %v / %v", errBf, errPf)
+			}
+			res.Rows = append(res.Rows, []string{
+				dev.Name(), fmt.Sprintf("2^%d", e),
+				ms(lin.Seconds), ms(bf.Seconds), ms(pf.Seconds),
+				f2(lin.Seconds / bf.Seconds), f2(lin.Seconds / pf.Seconds),
+			})
+		}
+	}
+	res.Notes = append(res.Notes,
+		"paper: GPU worst-case degradation 14.45x (butterfly) / 8.8x (pixelfly), break-even N=2^11",
+		"paper: IPU worst-case 1.4x / 1.03x, break-even N=2^10, max speedup 1.6x / 1.3x",
+		"speedup = t(linear)/t(method); >1 means the factorization wins")
+	return res, nil
+}

@@ -1,0 +1,41 @@
+package bench
+
+import (
+	"fmt"
+
+	"repro/internal/gpu"
+	"repro/internal/ipu"
+)
+
+func init() {
+	register(Experiment{
+		ID:    "table1",
+		Title: "Comparison of Graphcore GC200 and NVIDIA A30",
+		Run:   runTable1,
+	})
+}
+
+func runTable1(Options) (*Result, error) {
+	g := gpu.A30()
+	i := ipu.GC200()
+	res := &Result{
+		ID:      "table1",
+		Title:   "Comparison of Graphcore GC200 and NVIDIA A30",
+		Headers: []string{"", "A30", "GC200"},
+	}
+	add := func(k, a, b string) { res.Rows = append(res.Rows, []string{k, a, b}) }
+	add("Number of cores", fmt.Sprint(g.CUDACores), fmt.Sprint(i.Tiles))
+	add("On-chip memory", "10.75 MB", fmt.Sprintf("%.0f MB", float64(i.TotalMemBytes())/1e6))
+	add("On-chip memory bandwidth", "5.5 TB/s",
+		fmt.Sprintf("%.1f TB/s", float64(i.Tiles)*32*i.ClockHz/1e12)) // tile-local loads
+	add("Off-chip memory", fmt.Sprintf("%d GB", g.DeviceMemBytes>>30), "64 GB (streaming)")
+	add("Off-chip memory bandwidth", fmt.Sprintf("%.0f GB/s", g.MemBandwidth/1e9), "20 GB/s")
+	add("FP32 peak compute", fmt.Sprintf("%.1f TFLOPS", g.FP32PeakFlops/1e12),
+		fmt.Sprintf("%.1f TFLOPS", i.PeakFlops()/1e12))
+	add("TF32 peak compute", fmt.Sprintf("%.0f TFLOPS", g.TF32PeakFlops/1e12), "-")
+	add("Clock frequency", fmt.Sprintf("%.2f GHz", g.ClockHz/1e9), fmt.Sprintf("%.3f GHz", i.ClockHz/1e9))
+	add("Exchange (all-to-all)", "-", fmt.Sprintf("%.1f TB/s", i.ExchangeAggregateBytesPerSec()/1e12))
+	res.Notes = append(res.Notes,
+		"paper Table 1 values; derived model figures shown where the model computes them")
+	return res, nil
+}

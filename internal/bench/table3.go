@@ -1,0 +1,34 @@
+package bench
+
+import (
+	"fmt"
+
+	"repro/internal/nn"
+)
+
+func init() {
+	register(Experiment{
+		ID:    "table3",
+		Title: "Hyperparameters for the SHL benchmark",
+		Run:   runTable3,
+	})
+}
+
+func runTable3(Options) (*Result, error) {
+	h := nn.PaperHyperparams()
+	res := &Result{
+		ID:      "table3",
+		Title:   "Hyperparameters for the SHL benchmark (as trained by this repo)",
+		Headers: []string{"hyperparameter", "value"},
+		Rows: [][]string{
+			{"Learning rate", fmt.Sprint(h.LearningRate)},
+			{"Optimizer", h.Optimizer},
+			{"Batch size", fmt.Sprint(h.BatchSize)},
+			{"Momentum", fmt.Sprint(h.Momentum)},
+			{"Activation function", h.Activation},
+			{"Loss function", h.Loss},
+			{"Validation set", fmt.Sprintf("%.0f%% of training set", h.ValFraction*100)},
+		},
+	}
+	return res, nil
+}

@@ -1,0 +1,88 @@
+// Package core is the front door to the paper's primary contribution: it
+// re-exports the structured-matrix layers (butterfly, pixelated butterfly,
+// and the Table 4 baselines) behind one constructor, so downstream code
+// can pick a compression method by name and treat all of them uniformly
+// via the nn.Transform protocol.
+package core
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/baselines"
+	"repro/internal/butterfly"
+	"repro/internal/nn"
+	"repro/internal/pixelfly"
+)
+
+// Transform is the common protocol of every structured weight matrix
+// (alias of nn.Transform): Forward/Backward over row-major batches,
+// optimizer-ready parameter access, and flop accounting.
+type Transform = nn.Transform
+
+// Method names a structured-matrix family (alias of nn.Method; values
+// Baseline, Butterfly, Fastfood, Circulant, LowRank, Pixelfly).
+type Method = nn.Method
+
+// Re-exported method constants, in Table 4 order.
+const (
+	Baseline  = nn.Baseline
+	Butterfly = nn.Butterfly
+	Fastfood  = nn.Fastfood
+	Circulant = nn.Circulant
+	LowRank   = nn.LowRank
+	Pixelfly  = nn.Pixelfly
+)
+
+// Options tune method-specific knobs of NewTransform.
+type Options struct {
+	// Rank of the LowRank method (default 1, the Table 4 setting).
+	Rank int
+	// Pixelfly configuration; zero value selects the paper's Table 4
+	// configuration (block 64, butterfly network 16, low-rank 32).
+	Pixelfly pixelfly.Config
+	// RotationButterfly selects the (N/2)·log2 N-parameter butterfly
+	// (the 98.5%-compression variant); false selects the 2·N·log2 N
+	// dense-2×2 parameterization.
+	RotationButterfly bool
+}
+
+// NewTransform builds an n×n structured weight of the requested method.
+// Baseline is not a Transform (it is a dense layer); requesting it
+// returns an error.
+func NewTransform(m Method, n int, opt Options, rng *rand.Rand) (Transform, error) {
+	switch m {
+	case Butterfly:
+		p := butterfly.Dense2x2
+		if opt.RotationButterfly {
+			p = butterfly.Rotation
+		}
+		return butterfly.New(n, p, rng), nil
+	case Fastfood:
+		return baselines.NewFastfood(n, rng), nil
+	case Circulant:
+		return baselines.NewCirculant(n, rng), nil
+	case LowRank:
+		rank := opt.Rank
+		if rank == 0 {
+			rank = 1
+		}
+		return baselines.NewLowRank(n, rank, rng), nil
+	case Pixelfly:
+		cfg := opt.Pixelfly
+		if cfg.N == 0 {
+			cfg = nn.PaperPixelflyConfig(n)
+		}
+		return pixelfly.New(cfg, rng)
+	case Baseline:
+		return nil, fmt.Errorf("core: Baseline is a dense layer, not a Transform; use nn.NewDense")
+	default:
+		return nil, fmt.Errorf("core: unknown method %v", m)
+	}
+}
+
+// CompressionRatio returns the fraction of parameters a method removes
+// relative to the n×n dense weight it replaces.
+func CompressionRatio(t Transform, n int) float64 {
+	return 1 - float64(t.ParamCount())/float64(n*n)
+}

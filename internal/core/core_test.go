@@ -1,0 +1,63 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/tensor"
+)
+
+func TestNewTransformAllMethods(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for _, m := range []Method{Butterfly, Fastfood, Circulant, LowRank, Pixelfly} {
+		tr, err := NewTransform(m, 1024, Options{RotationButterfly: true}, rng)
+		if err != nil {
+			t.Fatalf("%v: %v", m, err)
+		}
+		x := tensor.New(2, 1024)
+		x.FillRandom(rng, 1)
+		y := tr.Forward(x)
+		if y.Rows != 2 || y.Cols != 1024 {
+			t.Fatalf("%v: bad output shape %dx%d", m, y.Rows, y.Cols)
+		}
+		dx := tr.Backward(y)
+		if dx.Rows != 2 || dx.Cols != 1024 {
+			t.Fatalf("%v: bad gradient shape", m)
+		}
+		// Every compressed method removes the vast majority of the dense
+		// layer's parameters (the paper's premise).
+		if CompressionRatio(tr, 1024) < 0.6 {
+			t.Fatalf("%v: compression %v too weak", m, CompressionRatio(tr, 1024))
+		}
+	}
+}
+
+func TestNewTransformTable4Counts(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	bf, err := NewTransform(Butterfly, 1024, Options{RotationButterfly: true}, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bf.ParamCount() != 5120 {
+		t.Fatalf("rotation butterfly params = %d, want 5120", bf.ParamCount())
+	}
+	pf, err := NewTransform(Pixelfly, 1024, Options{}, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pf.ParamCount() != 393216 {
+		t.Fatalf("paper pixelfly params = %d, want 393216", pf.ParamCount())
+	}
+}
+
+func TestBaselineIsNotATransform(t *testing.T) {
+	if _, err := NewTransform(Baseline, 64, Options{}, rand.New(rand.NewSource(3))); err == nil {
+		t.Fatal("Baseline should be rejected")
+	}
+}
+
+func TestUnknownMethod(t *testing.T) {
+	if _, err := NewTransform(Method(42), 64, Options{}, rand.New(rand.NewSource(4))); err == nil {
+		t.Fatal("unknown method should be rejected")
+	}
+}

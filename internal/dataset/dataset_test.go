@@ -1,0 +1,182 @@
+package dataset
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/tensor"
+)
+
+func smallConfig() Config {
+	return Config{
+		Name: "test", Classes: 4, Side: 8,
+		Train: 120, Test: 40, ValFraction: 0.15,
+		AtomsPerClass: 3, BlobsPerClass: 1,
+		NoiseStd: 0.3, GainStd: 0.3, Seed: 1,
+	}
+}
+
+func TestGenerateShapes(t *testing.T) {
+	s := Generate(smallConfig())
+	if s.Dim != 64 {
+		t.Fatalf("Dim = %d, want 64", s.Dim)
+	}
+	nVal := int(120 * 0.15)
+	if s.XTrain.Rows != 120-nVal || s.XVal.Rows != nVal || s.XTest.Rows != 40 {
+		t.Fatalf("split sizes %d/%d/%d", s.XTrain.Rows, s.XVal.Rows, s.XTest.Rows)
+	}
+	if len(s.YTrain) != s.XTrain.Rows || len(s.YVal) != s.XVal.Rows || len(s.YTest) != s.XTest.Rows {
+		t.Fatal("label length mismatch")
+	}
+}
+
+func TestGenerateDeterministic(t *testing.T) {
+	a := Generate(smallConfig())
+	b := Generate(smallConfig())
+	if !tensor.AlmostEqual(a.XTrain, b.XTrain, 0) {
+		t.Fatal("same seed must give identical data")
+	}
+	for i := range a.YTrain {
+		if a.YTrain[i] != b.YTrain[i] {
+			t.Fatal("same seed must give identical labels")
+		}
+	}
+}
+
+func TestGenerateSeedChangesData(t *testing.T) {
+	cfg := smallConfig()
+	a := Generate(cfg)
+	cfg.Seed = 2
+	b := Generate(cfg)
+	if tensor.AlmostEqual(a.XTrain, b.XTrain, 1e-9) {
+		t.Fatal("different seeds produced identical data")
+	}
+}
+
+func TestLabelsInRange(t *testing.T) {
+	s := Generate(smallConfig())
+	for _, y := range append(append(append([]int{}, s.YTrain...), s.YVal...), s.YTest...) {
+		if y < 0 || y >= 4 {
+			t.Fatalf("label %d out of range", y)
+		}
+	}
+}
+
+func TestClassBalanceRoughly(t *testing.T) {
+	s := Generate(smallConfig())
+	counts := make([]int, 4)
+	for _, y := range s.YTrain {
+		counts[y]++
+	}
+	for c, n := range counts {
+		if n < 10 {
+			t.Fatalf("class %d badly underrepresented: %d", c, n)
+		}
+	}
+}
+
+func TestSamplesNormalized(t *testing.T) {
+	s := Generate(smallConfig())
+	want := math.Sqrt(float64(s.Dim)) / 2
+	for r := 0; r < s.XTrain.Rows; r++ {
+		var ss float64
+		for _, v := range s.XTrain.Row(r) {
+			ss += float64(v) * float64(v)
+		}
+		if math.Abs(math.Sqrt(ss)-want) > 1e-2 {
+			t.Fatalf("row %d norm %v, want %v (=√dim/2)", r, math.Sqrt(ss), want)
+		}
+	}
+}
+
+func TestClassesAreLinearlySeparableEnough(t *testing.T) {
+	// A nearest-class-mean classifier on the raw pixels should beat chance
+	// by a wide margin — the signal must be learnable for Table 4 to mean
+	// anything.
+	s := Generate(smallConfig())
+	dim := s.Dim
+	means := make([][]float64, 4)
+	counts := make([]int, 4)
+	for c := range means {
+		means[c] = make([]float64, dim)
+	}
+	for r := 0; r < s.XTrain.Rows; r++ {
+		c := s.YTrain[r]
+		counts[c]++
+		for j, v := range s.XTrain.Row(r) {
+			means[c][j] += float64(v)
+		}
+	}
+	for c := range means {
+		for j := range means[c] {
+			means[c][j] /= float64(counts[c])
+		}
+	}
+	correct := 0
+	for r := 0; r < s.XTest.Rows; r++ {
+		best, bestD := -1, math.Inf(1)
+		for c := range means {
+			var d float64
+			for j, v := range s.XTest.Row(r) {
+				diff := float64(v) - means[c][j]
+				d += diff * diff
+			}
+			if d < bestD {
+				bestD, best = d, c
+			}
+		}
+		if best == s.YTest[r] {
+			correct++
+		}
+	}
+	acc := float64(correct) / float64(s.XTest.Rows)
+	if acc < 0.5 {
+		t.Fatalf("nearest-mean accuracy %v too low; dataset not learnable", acc)
+	}
+}
+
+func TestCIFAR10ConfigDims(t *testing.T) {
+	cfg := CIFAR10Config()
+	if cfg.Side*cfg.Side != 1024 || cfg.Classes != 10 {
+		t.Fatalf("CIFAR10 config wrong: %+v", cfg)
+	}
+	if cfg.ValFraction != 0.15 {
+		t.Fatalf("validation fraction %v, want 0.15 (Table 3)", cfg.ValFraction)
+	}
+}
+
+func TestBatchesCoverEverything(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	bs := Batches(103, 25, rng)
+	seen := make(map[int]bool)
+	for _, b := range bs {
+		for _, i := range b {
+			if seen[i] {
+				t.Fatalf("index %d appears twice", i)
+			}
+			seen[i] = true
+		}
+	}
+	if len(seen) != 103 {
+		t.Fatalf("covered %d indices, want 103", len(seen))
+	}
+	if len(bs) != 5 {
+		t.Fatalf("batch count %d, want 5", len(bs))
+	}
+	if len(bs[4]) != 3 {
+		t.Fatalf("last batch %d, want 3", len(bs[4]))
+	}
+}
+
+func TestGather(t *testing.T) {
+	x := tensor.FromSlice(3, 2, []float32{1, 2, 3, 4, 5, 6})
+	y := []int{7, 8, 9}
+	gx, gy := Gather(x, y, []int{2, 0})
+	if gx.At(0, 0) != 5 || gx.At(1, 1) != 2 {
+		t.Fatalf("gathered rows wrong: %v", gx.Data)
+	}
+	if gy[0] != 9 || gy[1] != 7 {
+		t.Fatalf("gathered labels wrong: %v", gy)
+	}
+}

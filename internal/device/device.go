@@ -1,0 +1,152 @@
+// Package device presents the two machine models behind one interface so
+// the benchmark harness can time the same layer on "the GPU" and "the
+// IPU" exactly the way the paper does: GPU measurements go through
+// PyTorch dispatch, IPU measurements through PopTorch (host transfers
+// included).
+package device
+
+import (
+	"fmt"
+
+	"repro/internal/gpu"
+	"repro/internal/ipu"
+	"repro/internal/pixelfly"
+)
+
+// LayerKind enumerates the Table 4 / Fig 6 layer families.
+type LayerKind int
+
+const (
+	// Linear is torch.nn.Linear (the dense baseline).
+	Linear LayerKind = iota
+	// Butterfly is the butterfly factorization layer.
+	Butterfly
+	// Pixelfly is the flat-block-butterfly + low-rank layer.
+	Pixelfly
+	// Fastfood is S·H·G·Π·H·B.
+	Fastfood
+	// Circulant is the FFT convolution layer.
+	Circulant
+	// LowRank is the rank-r factorization.
+	LowRank
+)
+
+func (k LayerKind) String() string {
+	switch k {
+	case Linear:
+		return "linear"
+	case Butterfly:
+		return "butterfly"
+	case Pixelfly:
+		return "pixelfly"
+	case Fastfood:
+		return "fastfood"
+	case Circulant:
+		return "circulant"
+	case LowRank:
+		return "lowrank"
+	default:
+		return fmt.Sprintf("LayerKind(%d)", int(k))
+	}
+}
+
+// LayerSpec describes one layer-forward workload.
+type LayerSpec struct {
+	Kind  LayerKind
+	N     int // layer width (square)
+	Batch int
+	Rank  int             // LowRank only
+	Pix   pixelfly.Config // Pixelfly only
+}
+
+// Metrics is the simulated timing of one layer forward.
+type Metrics struct {
+	Seconds          float64
+	GFlops           float64
+	DenseEquivGFlops float64
+}
+
+// Device times layer workloads.
+type Device interface {
+	Name() string
+	LayerForward(spec LayerSpec) (Metrics, error)
+}
+
+// IPU wraps the IPU model in PopTorch mode. DeviceLoop selects the
+// Fig. 6 measurement style (the benchmark loop compiled onto the device,
+// amortizing per-op dispatch).
+type IPU struct {
+	Cfg        ipu.Config
+	DeviceLoop bool
+}
+
+// Name implements Device.
+func (d IPU) Name() string { return d.Cfg.Name }
+
+// LayerForward implements Device.
+func (d IPU) LayerForward(spec LayerSpec) (Metrics, error) {
+	var w *ipu.Workload
+	switch spec.Kind {
+	case Linear:
+		w = ipu.BuildLinear(d.Cfg, spec.N, spec.Batch)
+	case Butterfly:
+		w = ipu.BuildButterflyMM(d.Cfg, spec.N, spec.Batch)
+	case Pixelfly:
+		w = ipu.BuildPixelflyMM(d.Cfg, spec.Pix, spec.Batch)
+	case Fastfood:
+		w = ipu.BuildFastfood(d.Cfg, spec.N, spec.Batch)
+	case Circulant:
+		w = ipu.BuildCirculant(d.Cfg, spec.N, spec.Batch)
+	case LowRank:
+		w = ipu.BuildLowRank(d.Cfg, spec.N, spec.Rank, spec.Batch)
+	default:
+		return Metrics{}, fmt.Errorf("device: unknown layer kind %v", spec.Kind)
+	}
+	res, err := ipu.Run(w, ipu.RunOptions{PopTorch: true, DeviceLoop: d.DeviceLoop})
+	if err != nil {
+		return Metrics{}, err
+	}
+	return Metrics{Seconds: res.Seconds, GFlops: res.GFlops(),
+		DenseEquivGFlops: res.DenseEquivGFlops()}, nil
+}
+
+// GPU wraps the GPU model in PyTorch mode.
+type GPU struct {
+	Cfg         gpu.Config
+	TensorCores bool
+}
+
+// Name implements Device.
+func (d GPU) Name() string {
+	if d.TensorCores {
+		return d.Cfg.Name + "+TC"
+	}
+	return d.Cfg.Name
+}
+
+// LayerForward implements Device.
+func (d GPU) LayerForward(spec LayerSpec) (Metrics, error) {
+	var s gpu.Seq
+	switch spec.Kind {
+	case Linear:
+		s = gpu.Linear(d.Cfg, spec.N, spec.Batch, d.TensorCores)
+	case Butterfly:
+		s = gpu.Butterfly(d.Cfg, spec.N, spec.Batch)
+	case Pixelfly:
+		s = gpu.Pixelfly(d.Cfg, spec.Pix, spec.Batch, d.TensorCores)
+	case Fastfood:
+		s = gpu.FastfoodSeq(d.Cfg, spec.N, spec.Batch)
+	case Circulant:
+		s = gpu.CirculantSeq(d.Cfg, spec.N, spec.Batch)
+	case LowRank:
+		s = gpu.LowRankSeq(d.Cfg, spec.N, spec.Rank, spec.Batch, d.TensorCores)
+	default:
+		return Metrics{}, fmt.Errorf("device: unknown layer kind %v", spec.Kind)
+	}
+	res, err := gpu.Run(d.Cfg, s, gpu.RunOptions{PyTorch: true})
+	if err != nil {
+		return Metrics{}, err
+	}
+	return Metrics{Seconds: res.Seconds, GFlops: res.GFlops(),
+		DenseEquivGFlops: res.DenseEquivGFlops()}, nil
+}

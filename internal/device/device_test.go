@@ -1,0 +1,92 @@
+package device
+
+import (
+	"testing"
+
+	"repro/internal/gpu"
+	"repro/internal/ipu"
+	"repro/internal/pixelfly"
+)
+
+func specs() []LayerSpec {
+	return []LayerSpec{
+		{Kind: Linear, N: 512, Batch: 64},
+		{Kind: Butterfly, N: 512, Batch: 64},
+		{Kind: Fastfood, N: 512, Batch: 64},
+		{Kind: Circulant, N: 512, Batch: 64},
+		{Kind: LowRank, N: 512, Rank: 4, Batch: 64},
+		{Kind: Pixelfly, N: 512, Batch: 64,
+			Pix: pixelfly.Config{N: 512, BlockSize: 32, ButterflySize: 16, LowRank: 8}},
+	}
+}
+
+func TestEveryKindRunsOnEveryDevice(t *testing.T) {
+	devices := []Device{
+		IPU{Cfg: ipu.GC200()},
+		IPU{Cfg: ipu.GC200(), DeviceLoop: true},
+		GPU{Cfg: gpu.A30()},
+		GPU{Cfg: gpu.A30(), TensorCores: true},
+	}
+	for _, dev := range devices {
+		for _, spec := range specs() {
+			m, err := dev.LayerForward(spec)
+			if err != nil {
+				t.Fatalf("%s/%v: %v", dev.Name(), spec.Kind, err)
+			}
+			if m.Seconds <= 0 {
+				t.Fatalf("%s/%v: non-positive time %v", dev.Name(), spec.Kind, m.Seconds)
+			}
+			if m.DenseEquivGFlops <= 0 {
+				t.Fatalf("%s/%v: missing dense-equivalent rate", dev.Name(), spec.Kind)
+			}
+		}
+	}
+}
+
+func TestDeviceNames(t *testing.T) {
+	if (IPU{Cfg: ipu.GC200()}).Name() != "GC200" {
+		t.Fatal("IPU name wrong")
+	}
+	if (GPU{Cfg: gpu.A30()}).Name() != "A30" {
+		t.Fatal("GPU name wrong")
+	}
+	if (GPU{Cfg: gpu.A30(), TensorCores: true}).Name() != "A30+TC" {
+		t.Fatal("GPU+TC name wrong")
+	}
+}
+
+func TestDeviceLoopAmortizesDispatch(t *testing.T) {
+	spec := LayerSpec{Kind: Butterfly, N: 1024, Batch: 64}
+	plain, err := (IPU{Cfg: ipu.GC200()}).LayerForward(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	looped, err := (IPU{Cfg: ipu.GC200(), DeviceLoop: true}).LayerForward(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if looped.Seconds >= plain.Seconds {
+		t.Fatalf("device loop should amortize dispatch: %v vs %v", looped.Seconds, plain.Seconds)
+	}
+}
+
+func TestUnknownKindErrors(t *testing.T) {
+	if _, err := (IPU{Cfg: ipu.GC200()}).LayerForward(LayerSpec{Kind: LayerKind(99), N: 64, Batch: 8}); err == nil {
+		t.Fatal("unknown kind accepted on IPU")
+	}
+	if _, err := (GPU{Cfg: gpu.A30()}).LayerForward(LayerSpec{Kind: LayerKind(99), N: 64, Batch: 8}); err == nil {
+		t.Fatal("unknown kind accepted on GPU")
+	}
+}
+
+func TestKindStrings(t *testing.T) {
+	want := map[LayerKind]string{
+		Linear: "linear", Butterfly: "butterfly", Pixelfly: "pixelfly",
+		Fastfood: "fastfood", Circulant: "circulant", LowRank: "lowrank",
+	}
+	for k, s := range want {
+		if k.String() != s {
+			t.Fatalf("%d.String() = %q, want %q", int(k), k.String(), s)
+		}
+	}
+}

@@ -1,0 +1,240 @@
+// Package fft implements a radix-2 complex FFT, circular convolution of
+// real vectors, and the explicit Cooley–Tukey butterfly-factor matrices of
+// the paper's Equation (1). The circulant baseline layer and the
+// FFT-equivalence tests of the butterfly package are built on it.
+package fft
+
+import (
+	"fmt"
+	"math"
+	"math/cmplx"
+
+	"repro/internal/sparse"
+)
+
+// IsPowerOfTwo reports whether n is a positive power of two.
+func IsPowerOfTwo(n int) bool { return n > 0 && n&(n-1) == 0 }
+
+// Log2 returns log2(n) for a power of two n; panics otherwise.
+func Log2(n int) int {
+	if !IsPowerOfTwo(n) {
+		panic(fmt.Sprintf("fft: %d is not a power of two", n))
+	}
+	l := 0
+	for m := n; m > 1; m >>= 1 {
+		l++
+	}
+	return l
+}
+
+// BitReverse returns the bit-reversal permutation of {0..n-1} for a
+// power-of-two n: perm[i] = reverse of the log2(n)-bit representation of i.
+func BitReverse(n int) []int {
+	bits := Log2(n)
+	perm := make([]int, n)
+	for i := range perm {
+		r := 0
+		for b := 0; b < bits; b++ {
+			r = (r << 1) | ((i >> b) & 1)
+		}
+		perm[i] = r
+	}
+	return perm
+}
+
+// FFT computes the in-order forward DFT of x (length must be a power of
+// two) using iterative radix-2 Cooley–Tukey. The input is not modified.
+func FFT(x []complex128) []complex128 {
+	n := len(x)
+	if !IsPowerOfTwo(n) {
+		panic(fmt.Sprintf("fft: length %d is not a power of two", n))
+	}
+	out := make([]complex128, n)
+	perm := BitReverse(n)
+	for i, p := range perm {
+		out[i] = x[p]
+	}
+	for size := 2; size <= n; size <<= 1 {
+		half := size / 2
+		w := cmplx.Exp(complex(0, -2*math.Pi/float64(size)))
+		for start := 0; start < n; start += size {
+			tw := complex(1, 0)
+			for k := 0; k < half; k++ {
+				a := out[start+k]
+				b := out[start+k+half] * tw
+				out[start+k] = a + b
+				out[start+k+half] = a - b
+				tw *= w
+			}
+		}
+	}
+	return out
+}
+
+// IFFT computes the inverse DFT (normalized by 1/n).
+func IFFT(x []complex128) []complex128 {
+	n := len(x)
+	conj := make([]complex128, n)
+	for i, v := range x {
+		conj[i] = cmplx.Conj(v)
+	}
+	y := FFT(conj)
+	inv := 1 / float64(n)
+	for i, v := range y {
+		y[i] = complex(real(v)*inv, -imag(v)*inv)
+	}
+	return y
+}
+
+// NaiveDFT computes the DFT by direct O(N²) summation; it is the oracle
+// for FFT correctness tests.
+func NaiveDFT(x []complex128) []complex128 {
+	n := len(x)
+	out := make([]complex128, n)
+	for k := 0; k < n; k++ {
+		var s complex128
+		for t := 0; t < n; t++ {
+			angle := -2 * math.Pi * float64(k) * float64(t) / float64(n)
+			s += x[t] * cmplx.Exp(complex(0, angle))
+		}
+		out[k] = s
+	}
+	return out
+}
+
+// CircularConvolve returns the circular convolution of real vectors a and b
+// (equal power-of-two length) computed via FFT: ifft(fft(a)·fft(b)).
+// This is the O(N log N) kernel of the circulant layer.
+func CircularConvolve(a, b []float32) []float32 {
+	if len(a) != len(b) {
+		panic(fmt.Sprintf("fft: CircularConvolve length mismatch %d vs %d", len(a), len(b)))
+	}
+	n := len(a)
+	ca := make([]complex128, n)
+	cb := make([]complex128, n)
+	for i := range a {
+		ca[i] = complex(float64(a[i]), 0)
+		cb[i] = complex(float64(b[i]), 0)
+	}
+	fa := FFT(ca)
+	fb := FFT(cb)
+	for i := range fa {
+		fa[i] *= fb[i]
+	}
+	res := IFFT(fa)
+	out := make([]float32, n)
+	for i := range res {
+		out[i] = float32(real(res[i]))
+	}
+	return out
+}
+
+// CircularCorrelate returns the circular cross-correlation c[k] =
+// Σ_t a[t]·b[t+k mod n]; it is the adjoint of CircularConvolve and is used
+// by the circulant layer's backward pass.
+func CircularCorrelate(a, b []float32) []float32 {
+	if len(a) != len(b) {
+		panic(fmt.Sprintf("fft: CircularCorrelate length mismatch %d vs %d", len(a), len(b)))
+	}
+	n := len(a)
+	ca := make([]complex128, n)
+	cb := make([]complex128, n)
+	for i := range a {
+		ca[i] = complex(float64(a[i]), 0)
+		cb[i] = complex(float64(b[i]), 0)
+	}
+	fa := FFT(ca)
+	fb := FFT(cb)
+	for i := range fa {
+		fa[i] = cmplx.Conj(fa[i]) * fb[i]
+	}
+	res := IFFT(fa)
+	out := make([]float32, n)
+	for i := range res {
+		out[i] = float32(real(res[i]))
+	}
+	return out
+}
+
+// DFTMatrix returns the dense N×N DFT matrix F with
+// F[k][t] = exp(-2πi·k·t/N).
+func DFTMatrix(n int) [][]complex128 {
+	out := make([][]complex128, n)
+	for k := 0; k < n; k++ {
+		out[k] = make([]complex128, n)
+		for t := 0; t < n; t++ {
+			angle := -2 * math.Pi * float64(k) * float64(t) / float64(n)
+			out[k][t] = cmplx.Exp(complex(0, angle))
+		}
+	}
+	return out
+}
+
+// CooleyTukeyFactor returns the s-th butterfly factor of the radix-2 DIT
+// FFT of size n as an explicit complex sparse matrix (COO of real and
+// imaginary parts). Stage s ∈ [1, log2 n] combines blocks of size 2^s:
+//
+//	F_stage = diag over blocks of [ I  Ω ; I  -Ω ]
+//
+// matching Equation (1) of the paper. The returned matrices hold the real
+// and imaginary parts separately so they can be consumed by the float32
+// sparse kernels.
+func CooleyTukeyFactor(n, s int) (re, im *sparse.COO) {
+	if !IsPowerOfTwo(n) {
+		panic(fmt.Sprintf("fft: size %d not a power of two", n))
+	}
+	stages := Log2(n)
+	if s < 1 || s > stages {
+		panic(fmt.Sprintf("fft: stage %d out of range [1,%d]", s, stages))
+	}
+	size := 1 << s
+	half := size / 2
+	re = sparse.NewCOO(n, n)
+	im = sparse.NewCOO(n, n)
+	for start := 0; start < n; start += size {
+		for k := 0; k < half; k++ {
+			angle := -2 * math.Pi * float64(k) / float64(size)
+			wr := math.Cos(angle)
+			wi := math.Sin(angle)
+			top := start + k
+			bot := start + k + half
+			// out[top] = in[top] + w·in[bot]
+			re.Append(top, top, 1)
+			re.Append(top, bot, float32(wr))
+			im.Append(top, bot, float32(wi))
+			// out[bot] = in[top] - w·in[bot]
+			re.Append(bot, top, 1)
+			re.Append(bot, bot, float32(-wr))
+			im.Append(bot, bot, float32(-wi))
+		}
+	}
+	return re, im
+}
+
+// ApplyFactors runs x through the full Cooley–Tukey pipeline: bit-reversal
+// permutation followed by all log2(n) butterfly factor stages. It must
+// reproduce FFT(x) exactly (up to rounding) and is used to validate that a
+// product of explicit butterfly factors is the DFT — the structural claim
+// behind butterfly factorizations.
+func ApplyFactors(x []complex128) []complex128 {
+	n := len(x)
+	perm := BitReverse(n)
+	cur := make([]complex128, n)
+	for i, p := range perm {
+		cur[i] = x[p]
+	}
+	for s := 1; s <= Log2(n); s++ {
+		re, im := CooleyTukeyFactor(n, s)
+		next := make([]complex128, n)
+		for e := range re.Val {
+			i, j := int(re.RowIdx[e]), int(re.ColIdx[e])
+			next[i] += complex(float64(re.Val[e]), 0) * cur[j]
+		}
+		for e := range im.Val {
+			i, j := int(im.RowIdx[e]), int(im.ColIdx[e])
+			next[i] += complex(0, float64(im.Val[e])) * cur[j]
+		}
+		cur = next
+	}
+	return cur
+}

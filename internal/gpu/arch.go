@@ -1,0 +1,89 @@
+// Package gpu implements a behavioural model of the NVIDIA A30 GPU used as
+// the paper's comparison point: a SIMT roofline machine with per-kernel
+// launch overhead, cuBLAS-class efficiency factors, Tensor Core (TF32)
+// mode with shape-alignment penalties, and tile/wave quantization that
+// penalizes skewed matrices (Fig. 4).
+//
+// The model's structure captures the four mechanisms the paper's GPU
+// results hinge on:
+//
+//  1. kernel launch + framework dispatch overhead dominates small
+//     problems (Fig. 6's 14.45×/8.8× worst-case factorization slowdowns);
+//  2. a roofline — time = max(flops/rate, bytes/bandwidth) — governs each
+//     kernel;
+//  3. Tensor Cores multiply the dense rate by ~8 but degrade faster for
+//     skewed shapes (Section 3.4);
+//  4. unstructured sparsity runs memory-bound far below peak (Table 2's
+//     cusparse columns), while *block* sparsity (pixelfly) keeps most of
+//     the dense rate — the structural contrast with the IPU.
+package gpu
+
+// Config describes a GPU for the machine model. Peak numbers come from
+// Table 1; efficiency factors are calibrated against Table 2's measured
+// GFLOP/s and documented below.
+type Config struct {
+	Name           string
+	SMs            int
+	CUDACores      int
+	ClockHz        float64
+	FP32PeakFlops  float64 // CUDA-core FP32 peak
+	TF32PeakFlops  float64 // Tensor Core TF32 peak
+	MemBandwidth   float64 // HBM bytes/s
+	DeviceMemBytes int64
+
+	// KernelLaunchSec is the fixed cost of putting one kernel on the
+	// device; PyTorchDispatchSec is the additional per-op framework cost
+	// when measurements go through PyTorch (as all of the paper's do).
+	KernelLaunchSec    float64
+	PyTorchDispatchSec float64
+
+	// Efficiency factors (fraction of the relevant peak a kernel class
+	// sustains on large square problems). Calibrated against Table 2:
+	//   cublas FP32  9722/10300 = 0.944
+	//   cublas TF32 59312/82000 = 0.723
+	//   shmem        2076/10300 = 0.20
+	CublasEfficiency float64
+	TCEfficiency     float64
+	ShmemEfficiency  float64
+	// NaiveL2Hit is the L2 hit rate of the naive kernel (it is memory
+	// bound; 0.79 reproduces Table 2's 1091 GFLOP/s at N=2048).
+	NaiveL2Hit float64
+	// Irregular kernels (butterfly stages) sustain this fraction of FP32
+	// peak when they are not memory-bound.
+	IrregularEfficiency float64
+	// Block-sparse kernels (pixelfly) keep this fraction of the dense
+	// rate — block alignment is what the GPU rewards.
+	BlockSparseEfficiency float64
+
+	// Matmul tile shapes for quantization effects; Tensor Cores use larger
+	// tiles and therefore degrade faster on skewed shapes.
+	FP32TileM, FP32TileN, FP32TileK int
+	TCTileM, TCTileN, TCTileK       int
+}
+
+// A30 returns the model of the NVIDIA A30 (Table 1's GPU column).
+func A30() Config {
+	return Config{
+		Name:           "A30",
+		SMs:            56,
+		CUDACores:      3584,
+		ClockHz:        1.44e9,
+		FP32PeakFlops:  10.3e12,
+		TF32PeakFlops:  82e12,
+		MemBandwidth:   933e9,
+		DeviceMemBytes: 24 << 30,
+
+		KernelLaunchSec:    5e-6,
+		PyTorchDispatchSec: 10e-6,
+
+		CublasEfficiency:      0.944,
+		TCEfficiency:          0.723,
+		ShmemEfficiency:       0.20,
+		NaiveL2Hit:            0.79,
+		IrregularEfficiency:   0.15,
+		BlockSparseEfficiency: 0.45,
+
+		FP32TileM: 128, FP32TileN: 64, FP32TileK: 32,
+		TCTileM: 256, TCTileN: 128, TCTileK: 32,
+	}
+}

@@ -1,0 +1,204 @@
+package gpu
+
+import (
+	"errors"
+	"testing"
+
+	"repro/internal/pixelfly"
+)
+
+func mustRun(t *testing.T, cfg Config, s Seq, o RunOptions) RunResult {
+	t.Helper()
+	r, err := Run(cfg, s, o)
+	if err != nil {
+		t.Fatalf("%s: %v", s.Name, err)
+	}
+	return r
+}
+
+func TestA30SpecMatchesTable1(t *testing.T) {
+	cfg := A30()
+	if cfg.CUDACores != 3584 {
+		t.Errorf("cores = %d, want 3584", cfg.CUDACores)
+	}
+	if cfg.FP32PeakFlops != 10.3e12 || cfg.TF32PeakFlops != 82e12 {
+		t.Errorf("peaks = %v/%v, want 10.3T/82T", cfg.FP32PeakFlops, cfg.TF32PeakFlops)
+	}
+	if cfg.MemBandwidth != 933e9 {
+		t.Errorf("bandwidth = %v, want 933 GB/s", cfg.MemBandwidth)
+	}
+	if cfg.DeviceMemBytes != 24<<30 {
+		t.Errorf("memory = %d, want 24 GiB", cfg.DeviceMemBytes)
+	}
+}
+
+// Table 2's GPU dense columns, within 15% of the measured GFLOP/s.
+func TestTable2GPUDenseCalibration(t *testing.T) {
+	cfg := A30()
+	cases := []struct {
+		algo MMAlgo
+		want float64
+	}{
+		{AlgoNaive, 1091},
+		{AlgoShmem, 2076},
+		{AlgoCublas, 9722},
+		{AlgoCublasTC, 59312},
+	}
+	for _, tc := range cases {
+		r := mustRun(t, cfg, MatMul(cfg, 2048, 2048, 2048, tc.algo), RunOptions{})
+		gf := r.GFlops()
+		if gf < 0.85*tc.want || gf > 1.15*tc.want {
+			t.Errorf("%v: %0.f GF, want %0.f ±15%%", tc.algo, gf, tc.want)
+		}
+	}
+}
+
+// Table 2's cusparse columns: dense-equivalent rate at 99% sparsity beats
+// the FP32 peak; at 90% it lands near 10.8 TF.
+func TestTable2GPUSparseCalibration(t *testing.T) {
+	cfg := A30()
+	r99 := mustRun(t, cfg, SparseMM(cfg, 2048, 0.01), RunOptions{})
+	if r99.DenseEquivGFlops() < cfg.FP32PeakFlops/1e9 {
+		t.Errorf("99%% sparse dense-equiv %0.f GF should beat FP32 peak", r99.DenseEquivGFlops())
+	}
+	r90 := mustRun(t, cfg, SparseMM(cfg, 2048, 0.10), RunOptions{})
+	if g := r90.DenseEquivGFlops(); g < 9000 || g > 13000 {
+		t.Errorf("90%% sparse dense-equiv %0.f GF, want ~10817", g)
+	}
+	// Real flop rate far below dense peak either way (memory bound).
+	if r99.GFlops() > 2000 || r90.GFlops() > 2000 {
+		t.Error("unstructured SpMM should run far below dense peak")
+	}
+}
+
+// PyTorch dispatch makes every sequence slower but only slightly for big
+// kernels (Table 2 PyTorch vs cuBLAS columns).
+func TestPyTorchOverheadSmallForLargeKernels(t *testing.T) {
+	cfg := A30()
+	base := mustRun(t, cfg, MatMul(cfg, 2048, 2048, 2048, AlgoCublas), RunOptions{})
+	pt := mustRun(t, cfg, MatMul(cfg, 2048, 2048, 2048, AlgoCublas), RunOptions{PyTorch: true})
+	if pt.Seconds <= base.Seconds {
+		t.Fatal("PyTorch dispatch must add time")
+	}
+	if pt.Seconds > 1.05*base.Seconds {
+		t.Fatalf("PyTorch overhead too large on a big GEMM: %v vs %v", pt.Seconds, base.Seconds)
+	}
+}
+
+// Fig 4: skewed matmul loses performance on the GPU, and Tensor Cores
+// degrade faster than plain FP32 (Section 3.4's discussion).
+func TestFig4SkewDegradation(t *testing.T) {
+	cfg := A30()
+	gf := func(m, n int, algo MMAlgo) float64 {
+		return mustRun(t, cfg, MatMul(cfg, m, 2048, n, algo), RunOptions{}).GFlops()
+	}
+	sqFP32 := gf(2048, 2048, AlgoCublas)
+	skFP32 := gf(32, 131072, AlgoCublas)
+	if skFP32 >= 0.5*sqFP32 {
+		t.Errorf("FP32 skew 2^-6 should lose >2x: %0.f vs %0.f", skFP32, sqFP32)
+	}
+	sqTC := gf(2048, 2048, AlgoCublasTC)
+	skTC := gf(128, 32768, AlgoCublasTC)
+	skFP32mid := gf(128, 32768, AlgoCublas)
+	relTC := skTC / sqTC
+	relFP32 := skFP32mid / sqFP32
+	if relTC >= relFP32 {
+		t.Errorf("TC should degrade faster under skew: TC %.2f vs FP32 %.2f", relTC, relFP32)
+	}
+}
+
+// Fig 6 (GPU w/o TC): butterfly loses ~an order of magnitude at small N
+// (paper: 14.45×), pixelfly less (8.8×); break-even by N=2^11; large-N
+// butterfly wins clearly.
+func TestFig6GPUButterflyShape(t *testing.T) {
+	cfg := A30()
+	speedup := func(n int) float64 {
+		lin := mustRun(t, cfg, Linear(cfg, n, n, false), RunOptions{PyTorch: true})
+		bf := mustRun(t, cfg, Butterfly(cfg, n, n), RunOptions{PyTorch: true})
+		return lin.Seconds / bf.Seconds
+	}
+	if s := speedup(128); s > 0.15 {
+		t.Errorf("N=128 butterfly speedup %v, want < 0.15 (paper: 1/14.45)", s)
+	}
+	if s := speedup(2048); s < 1 {
+		t.Errorf("N=2048 butterfly should have broken even: %v", s)
+	}
+	if s := speedup(8192); s < 3 {
+		t.Errorf("N=8192 butterfly speedup %v, want large", s)
+	}
+}
+
+func TestFig6GPUPixelflyMilder(t *testing.T) {
+	cfg := A30()
+	n := 128
+	pcfg := pixelfly.Config{N: n, BlockSize: 8, ButterflySize: 16, LowRank: 1}
+	lin := mustRun(t, cfg, Linear(cfg, n, n, false), RunOptions{PyTorch: true})
+	bf := mustRun(t, cfg, Butterfly(cfg, n, n), RunOptions{PyTorch: true})
+	pf := mustRun(t, cfg, Pixelfly(cfg, pcfg, n, false), RunOptions{PyTorch: true})
+	if !(pf.Seconds < bf.Seconds && pf.Seconds > lin.Seconds) {
+		t.Errorf("at small N want linear < pixelfly < butterfly, got %v / %v / %v",
+			lin.Seconds, pf.Seconds, bf.Seconds)
+	}
+}
+
+// Tensor Cores shift the break-even far to the right: at N=2048 butterfly
+// must NOT beat a TC linear, even though it beats the FP32 one.
+func TestTensorCoresProtectLinear(t *testing.T) {
+	cfg := A30()
+	n := 2048
+	linTC := mustRun(t, cfg, Linear(cfg, n, n, true), RunOptions{PyTorch: true})
+	bf := mustRun(t, cfg, Butterfly(cfg, n, n), RunOptions{PyTorch: true})
+	if bf.Seconds < linTC.Seconds {
+		t.Errorf("butterfly (%v) should not beat TC linear (%v) at N=2048", bf.Seconds, linTC.Seconds)
+	}
+}
+
+// Pixelfly's block alignment benefits from Tensor Cores (the paper's
+// structural point: structured sparsity pays off on a dense processor).
+func TestPixelflyGainsFromTensorCores(t *testing.T) {
+	cfg := A30()
+	pcfg := pixelfly.Config{N: 4096, BlockSize: 128, ButterflySize: 32, LowRank: 32}
+	noTC := mustRun(t, cfg, Pixelfly(cfg, pcfg, 4096, false), RunOptions{PyTorch: true})
+	tc := mustRun(t, cfg, Pixelfly(cfg, pcfg, 4096, true), RunOptions{PyTorch: true})
+	if tc.Seconds >= noTC.Seconds {
+		t.Errorf("TC should accelerate pixelfly: %v vs %v", tc.Seconds, noTC.Seconds)
+	}
+}
+
+func TestDeviceOOM(t *testing.T) {
+	cfg := A30()
+	// A 64k×64k linear layer needs 16 GiB of weights + activations ×2 — beyond 24 GiB.
+	_, err := Run(cfg, Linear(cfg, 65536, 65536, false), RunOptions{})
+	var oom *OOMError
+	if !errors.As(err, &oom) {
+		t.Fatalf("expected OOM, got %v", err)
+	}
+}
+
+func TestKernelBoundClassification(t *testing.T) {
+	cfg := A30()
+	big := mustRun(t, cfg, MatMul(cfg, 4096, 4096, 4096, AlgoCublas), RunOptions{})
+	if big.Kernels[0].Bound != "compute" {
+		t.Errorf("large GEMM should be compute bound, got %s", big.Kernels[0].Bound)
+	}
+	tiny := mustRun(t, cfg, MatMul(cfg, 32, 32, 32, AlgoCublas), RunOptions{})
+	if tiny.Kernels[0].Bound != "launch" {
+		t.Errorf("tiny GEMM should be launch bound, got %s", tiny.Kernels[0].Bound)
+	}
+}
+
+func TestButterflyKernelCount(t *testing.T) {
+	s := Butterfly(A30(), 1024, 64)
+	if len(s.Kernels) != 20 {
+		t.Fatalf("butterfly kernels = %d, want 2·log2(1024) = 20", len(s.Kernels))
+	}
+}
+
+func TestTileQuantization(t *testing.T) {
+	if q := tileQuantization(128, 128, 32, 128, 128, 32); q != 1 {
+		t.Errorf("aligned shape quantization = %v, want 1", q)
+	}
+	if q := tileQuantization(64, 128, 32, 128, 128, 32); q != 0.5 {
+		t.Errorf("half-tile m quantization = %v, want 0.5", q)
+	}
+}

@@ -1,0 +1,221 @@
+package gpu
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/pixelfly"
+)
+
+// Kernel is one device launch with a roofline cost: its duration is
+// launch + max(Flops/Rate, Bytes/MemBandwidth).
+type Kernel struct {
+	Name  string
+	Flops float64 // arithmetic executed
+	Bytes float64 // DRAM traffic
+	Rate  float64 // sustained compute rate (already includes efficiency)
+}
+
+// Seq is a kernel sequence — the unit the paper times (one layer forward).
+type Seq struct {
+	Name    string
+	Kernels []Kernel
+	// Flops is the useful arithmetic of the whole sequence;
+	// DenseEquivFlops the dense-equivalent (for sparse workloads).
+	Flops           float64
+	DenseEquivFlops float64
+	// TensorBytes is the resident-tensor footprint, checked against device
+	// memory.
+	TensorBytes float64
+}
+
+// MMAlgo selects among the paper's GPU matmul implementations (Table 2).
+type MMAlgo int
+
+const (
+	// AlgoNaive is the unblocked CUDA kernel (one thread per output).
+	AlgoNaive MMAlgo = iota
+	// AlgoShmem is the shared-memory tiled kernel.
+	AlgoShmem
+	// AlgoCublas is cuBLAS with Tensor Cores off (FP32).
+	AlgoCublas
+	// AlgoCublasTC is cuBLAS with Tensor Cores on (TF32).
+	AlgoCublasTC
+)
+
+func (a MMAlgo) String() string {
+	switch a {
+	case AlgoNaive:
+		return "naive"
+	case AlgoShmem:
+		return "shmem"
+	case AlgoCublas:
+		return "cublas-fp32"
+	case AlgoCublasTC:
+		return "cublas-tf32"
+	default:
+		return fmt.Sprintf("MMAlgo(%d)", int(a))
+	}
+}
+
+// tileQuantization returns the fraction of issued work that is useful when
+// an (m×n×k) matmul is decomposed into tm×tn×tk tiles — the mechanism that
+// makes skewed matrices slow on GPUs (Fig. 4) and Tensor Cores degrade
+// faster (their tiles are larger).
+func tileQuantization(m, n, k, tm, tn, tk int) float64 {
+	ceil := func(x, t int) float64 { return float64(((x + t - 1) / t) * t) }
+	useful := float64(m) * float64(n) * float64(k)
+	issued := ceil(m, tm) * ceil(n, tn) * ceil(k, tk)
+	return useful / issued
+}
+
+// waveQuantization models partially filled SM waves: few large tiles leave
+// SMs idle. Once the grid fills the device the library balances tile
+// shapes, so no penalty applies; tiny grids are floored at 0.3 (smaller
+// kernels still use some parallelism inside a tile).
+func waveQuantization(cfg Config, m, n, tm, tn int) float64 {
+	tiles := ((m + tm - 1) / tm) * ((n + tn - 1) / tn)
+	if tiles >= cfg.SMs {
+		return 1
+	}
+	eff := float64(tiles) / float64(cfg.SMs)
+	if eff < 0.3 {
+		return 0.3
+	}
+	return eff
+}
+
+// MatMul builds the kernel for C(m×n) = A(m×k)·B(k×n).
+func MatMul(cfg Config, m, k, n int, algo MMAlgo) Seq {
+	flops := 2 * float64(m) * float64(n) * float64(k)
+	io := float64((m*k + k*n + m*n) * 4)
+	var ker Kernel
+	switch algo {
+	case AlgoNaive:
+		// Memory bound: every MAC touches A and B with only L2 reuse.
+		traffic := 2 * float64(m) * float64(n) * float64(k) * 4 * (1 - cfg.NaiveL2Hit)
+		ker = Kernel{Name: "naiveMM", Flops: flops,
+			Bytes: traffic + float64(m*n*4),
+			Rate:  0.5 * cfg.FP32PeakFlops}
+	case AlgoShmem:
+		// Shared-memory tiling (32×32): DRAM traffic shrinks 16×; the
+		// unpipelined inner loop caps the compute rate.
+		ker = Kernel{Name: "shmemMM", Flops: flops,
+			Bytes: flops / 16 * 4 / 2,
+			Rate:  cfg.ShmemEfficiency * cfg.FP32PeakFlops}
+	case AlgoCublas:
+		q := tileQuantization(m, n, k, cfg.FP32TileM, cfg.FP32TileN, cfg.FP32TileK) *
+			waveQuantization(cfg, m, n, cfg.FP32TileM, cfg.FP32TileN)
+		ker = Kernel{Name: "cublasSgemm", Flops: flops, Bytes: io,
+			Rate: cfg.CublasEfficiency * cfg.FP32PeakFlops * q}
+	case AlgoCublasTC:
+		q := tileQuantization(m, n, k, cfg.TCTileM, cfg.TCTileN, cfg.TCTileK) *
+			waveQuantization(cfg, m, n, cfg.TCTileM, cfg.TCTileN)
+		ker = Kernel{Name: "cublasTF32", Flops: flops, Bytes: io,
+			Rate: cfg.TCEfficiency * cfg.TF32PeakFlops * q}
+	}
+	return Seq{Name: fmt.Sprintf("matmul-%s-%dx%dx%d", algo, m, k, n),
+		Kernels: []Kernel{ker}, Flops: flops, DenseEquivFlops: flops,
+		TensorBytes: io}
+}
+
+// SparseMM builds the cusparse-style CSR×dense kernel: S(n×n)·B(n×n) at
+// the given density. Unstructured SpMM on a GPU is memory-bound: the
+// sustained rate is a small, nearly density-independent fraction of peak
+// (Table 2: 932 GF at 99% sparsity, 1082 GF at 90%).
+func SparseMM(cfg Config, n int, density float64) Seq {
+	nnz := density * float64(n) * float64(n)
+	real := 2 * nnz * float64(n)
+	dense := 2 * math.Pow(float64(n), 3)
+	rate := (0.085 + 0.2*density) * cfg.FP32PeakFlops
+	bytes := nnz*8 + float64(2*n*n*4)
+	return Seq{Name: fmt.Sprintf("cusparse-%d-d%.2f", n, density),
+		Kernels: []Kernel{{Name: "csrmm", Flops: real, Bytes: bytes, Rate: rate}},
+		Flops:   real, DenseEquivFlops: dense,
+		TensorBytes: nnz*8 + float64(2*n*n*4)}
+}
+
+// Butterfly builds the PyTorch butterfly layer on an N-wide input with the
+// given batch: log2(N) stages, each a permutation/gather kernel plus a
+// paired-MAC kernel — both memory-bound passes over the activations. This
+// kernel-per-stage structure is what costs the GPU its 14.45× worst case
+// at small N (Fig. 6).
+func Butterfly(cfg Config, n, batch int) Seq {
+	stages := int(math.Log2(float64(n)))
+	act := float64(n*batch) * 4
+	var ks []Kernel
+	flopsPerStage := 6 * float64(n/2) * float64(batch)
+	for s := 1; s <= stages; s++ {
+		ks = append(ks,
+			Kernel{Name: fmt.Sprintf("bfPermute.%d", s), Flops: 0,
+				Bytes: 2 * act, Rate: cfg.FP32PeakFlops},
+			Kernel{Name: fmt.Sprintf("bfPairMAC.%d", s), Flops: flopsPerStage,
+				Bytes: 2*act + float64(2*n*4),
+				Rate:  cfg.IrregularEfficiency * cfg.FP32PeakFlops})
+	}
+	total := flopsPerStage * float64(stages)
+	return Seq{Name: fmt.Sprintf("butterfly-%d-b%d", n, batch), Kernels: ks,
+		Flops: total, DenseEquivFlops: 2 * float64(n) * float64(n) * float64(batch),
+		TensorBytes: 2*act + float64(2*n*4*stages)}
+}
+
+// Pixelfly builds the pixelated-butterfly layer: a fixed, short kernel
+// sequence (gather, block-sparse MAC, scatter, two low-rank GEMMs, adds).
+// The block-sparse MAC is block-aligned, so with Tensor Cores on it runs
+// at TC rates — the GPU-specific advantage pixelfly was designed for.
+func Pixelfly(cfg Config, pcfg pixelfly.Config, batch int, tensorCores bool) Seq {
+	if err := pcfg.Validate(); err != nil {
+		panic(err)
+	}
+	n := pcfg.N
+	bs := pcfg.BlockSize
+	blocks := len(pcfg.SupportBlocks())
+	act := float64(n*batch) * 4
+
+	bsrFlops := 2 * float64(blocks) * float64(bs*bs) * float64(batch)
+	denseRate := cfg.CublasEfficiency * cfg.FP32PeakFlops
+	bsrRate := cfg.BlockSparseEfficiency * cfg.FP32PeakFlops
+	if tensorCores {
+		qt := tileQuantization(bs, bs, bs, 16, 16, 8) // blocks must align to TC fragments
+		denseRate = cfg.TCEfficiency * cfg.TF32PeakFlops
+		bsrRate = cfg.BlockSparseEfficiency * cfg.TF32PeakFlops * qt
+	}
+	wBytes := float64(blocks*bs*bs) * 4
+
+	ks := []Kernel{
+		{Name: "pfReshapeIn", Bytes: 2 * act, Rate: cfg.FP32PeakFlops},
+		{Name: "pfGather", Bytes: 2 * act, Rate: cfg.FP32PeakFlops},
+		{Name: "pfBsrMM", Flops: bsrFlops, Bytes: act + wBytes + act, Rate: bsrRate},
+		{Name: "pfScatter", Bytes: 2 * act, Rate: cfg.FP32PeakFlops},
+		{Name: "pfReshapeOut", Bytes: 2 * act, Rate: cfg.FP32PeakFlops},
+	}
+	lrFlops := 0.0
+	if pcfg.LowRank > 0 {
+		r := pcfg.LowRank
+		lr1 := 2 * float64(n) * float64(r) * float64(batch)
+		ks = append(ks,
+			Kernel{Name: "pfLowRank.vx", Flops: lr1,
+				Bytes: act + float64(n*r*4) + float64(r*batch*4), Rate: denseRate},
+			Kernel{Name: "pfLowRank.ut", Flops: lr1,
+				Bytes: float64(r*batch*4) + float64(n*r*4) + act, Rate: denseRate},
+			Kernel{Name: "pfResidualAdd", Bytes: 3 * act, Rate: cfg.FP32PeakFlops})
+		lrFlops = 2 * lr1
+	}
+	return Seq{Name: fmt.Sprintf("pixelfly-%d-b%d", n, batch), Kernels: ks,
+		Flops: bsrFlops + lrFlops, DenseEquivFlops: 2 * float64(n) * float64(n) * float64(batch),
+		TensorBytes: 2*act + wBytes + float64(2*n*pcfg.LowRank*4)}
+}
+
+// Linear builds the torch.nn.Linear layer: one cuBLAS GEMM with the bias
+// epilogue fused.
+func Linear(cfg Config, n, batch int, tensorCores bool) Seq {
+	algo := AlgoCublas
+	if tensorCores {
+		algo = AlgoCublasTC
+	}
+	s := MatMul(cfg, batch, n, n, algo)
+	s.Name = fmt.Sprintf("linear-%d-b%d-tc=%v", n, batch, tensorCores)
+	// Weights + activations resident (weights n², activations 2·n·batch).
+	s.TensorBytes = float64(n*n*4) + 2*float64(n*batch)*4
+	return s
+}

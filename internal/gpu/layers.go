@@ -1,0 +1,69 @@
+package gpu
+
+import (
+	"fmt"
+	"math"
+)
+
+// LowRankSeq builds the rank-r layer: two small GEMMs.
+func LowRankSeq(cfg Config, n, rank, batch int, tensorCores bool) Seq {
+	algo := AlgoCublas
+	if tensorCores {
+		algo = AlgoCublasTC
+	}
+	a := MatMul(cfg, rank, n, batch, algo).Kernels[0]
+	a.Name = "lrGemm.vx"
+	b := MatMul(cfg, n, rank, batch, algo).Kernels[0]
+	b.Name = "lrGemm.ut"
+	flops := 4 * float64(n) * float64(rank) * float64(batch)
+	return Seq{Name: fmt.Sprintf("lowrank-%d-r%d-b%d", n, rank, batch),
+		Kernels: []Kernel{a, b}, Flops: flops,
+		DenseEquivFlops: 2 * float64(n) * float64(n) * float64(batch),
+		TensorBytes:     float64((2*n*rank + 2*n*batch) * 4)}
+}
+
+// CirculantSeq builds the cuFFT-based circulant layer: three batched
+// transform kernels plus a pointwise multiply — cuFFT keeps each
+// transform a single kernel, so the GPU pays only four launches.
+func CirculantSeq(cfg Config, n, batch int) Seq {
+	logN := math.Log2(float64(n))
+	act := float64(n*batch) * 4
+	fftFlops := 5 * float64(n) * logN * float64(batch)
+	rate := 0.35 * cfg.FP32PeakFlops // cuFFT sustained rate on fp32 batches
+	ks := []Kernel{
+		{Name: "cufftFwd", Flops: fftFlops, Bytes: 3 * act, Rate: rate},
+		{Name: "pointwise", Flops: 6 * float64(n) * float64(batch), Bytes: 4 * act, Rate: cfg.FP32PeakFlops},
+		{Name: "cufftInv", Flops: fftFlops, Bytes: 3 * act, Rate: rate},
+	}
+	return Seq{Name: fmt.Sprintf("circulant-%d-b%d", n, batch), Kernels: ks,
+		Flops:           2*fftFlops + 6*float64(n)*float64(batch),
+		DenseEquivFlops: 2 * float64(n) * float64(n) * float64(batch),
+		TensorBytes:     4 * act}
+}
+
+// FastfoodSeq builds S·H·G·Π·H·B: PyTorch executes the two Walsh–Hadamard
+// transforms as log2(N) elementwise passes each, plus three diagonal
+// multiplies and one permutation — a long launch sequence, like butterfly.
+func FastfoodSeq(cfg Config, n, batch int) Seq {
+	logN := int(math.Log2(float64(n)))
+	act := float64(n*batch) * 4
+	var ks []Kernel
+	stageFlops := float64(n) * float64(batch) // adds per FWHT stage
+	diag := Kernel{Name: "ffDiag", Flops: stageFlops, Bytes: 2 * act, Rate: cfg.FP32PeakFlops}
+	ks = append(ks, diag)
+	for s := 0; s < logN; s++ {
+		ks = append(ks, Kernel{Name: fmt.Sprintf("fwht1.%d", s), Flops: stageFlops,
+			Bytes: 2 * act, Rate: cfg.IrregularEfficiency * cfg.FP32PeakFlops})
+	}
+	ks = append(ks, Kernel{Name: "ffPermute", Bytes: 2 * act, Rate: cfg.FP32PeakFlops}, diag)
+	for s := 0; s < logN; s++ {
+		ks = append(ks, Kernel{Name: fmt.Sprintf("fwht2.%d", s), Flops: stageFlops,
+			Bytes: 2 * act, Rate: cfg.IrregularEfficiency * cfg.FP32PeakFlops})
+	}
+	ks = append(ks, diag)
+	total := (2*float64(logN) + 3) * stageFlops
+	return Seq{Name: fmt.Sprintf("fastfood-%d-b%d", n, batch), Kernels: ks,
+		Flops:           total,
+		DenseEquivFlops: 2 * float64(n) * float64(n) * float64(batch),
+		TensorBytes:     2*act + float64(3*n*4)}
+}

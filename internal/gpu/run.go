@@ -1,0 +1,79 @@
+package gpu
+
+import "fmt"
+
+// RunOptions control kernel-sequence simulation.
+type RunOptions struct {
+	// PyTorch adds the per-op framework dispatch overhead — every
+	// measurement in the paper goes through PyTorch.
+	PyTorch bool
+}
+
+// KernelCost is the simulated cost of one kernel.
+type KernelCost struct {
+	Name    string
+	Seconds float64
+	// Bound says which roofline side dominated: "compute", "memory" or
+	// "launch".
+	Bound string
+}
+
+// RunResult is the simulated execution of a kernel sequence.
+type RunResult struct {
+	Seq     *Seq
+	Kernels []KernelCost
+	Seconds float64
+}
+
+// GFlops returns executed GFLOP/s.
+func (r RunResult) GFlops() float64 { return r.Seq.Flops / r.Seconds / 1e9 }
+
+// DenseEquivGFlops returns dense-equivalent GFLOP/s.
+func (r RunResult) DenseEquivGFlops() float64 { return r.Seq.DenseEquivFlops / r.Seconds / 1e9 }
+
+// OOMError reports a working set exceeding device memory.
+type OOMError struct {
+	Need      float64
+	Available int64
+}
+
+func (e *OOMError) Error() string {
+	return fmt.Sprintf("gpu: working set %.0f bytes exceeds %d bytes of device memory", e.Need, e.Available)
+}
+
+// Run simulates a kernel sequence under the roofline model.
+func Run(cfg Config, seq Seq, opts RunOptions) (RunResult, error) {
+	// PyTorch training keeps ~2.5× the forward tensors alive (activations
+	// for backward, gradients, workspace).
+	if seq.TensorBytes > float64(cfg.DeviceMemBytes) {
+		return RunResult{}, &OOMError{Need: seq.TensorBytes, Available: cfg.DeviceMemBytes}
+	}
+	res := RunResult{Seq: &seq}
+	for _, k := range seq.Kernels {
+		compute := 0.0
+		if k.Flops > 0 {
+			compute = k.Flops / k.Rate
+		}
+		memory := 0.0
+		if k.Bytes > 0 {
+			memory = k.Bytes / cfg.MemBandwidth
+		}
+		body := compute
+		bound := "compute"
+		if memory > body {
+			body = memory
+			bound = "memory"
+		}
+		overhead := cfg.KernelLaunchSec
+		if opts.PyTorch {
+			overhead += cfg.PyTorchDispatchSec
+		}
+		if overhead > body {
+			bound = "launch"
+		}
+		sec := overhead + body
+		res.Kernels = append(res.Kernels, KernelCost{Name: k.Name, Seconds: sec, Bound: bound})
+		res.Seconds += sec
+	}
+	return res, nil
+}

@@ -1,0 +1,79 @@
+// Package hadamard implements the fast Walsh–Hadamard transform (FWHT),
+// the H factor of the Fastfood baseline (S·H·G·Π·H·B). The transform is
+// its own inverse up to a 1/N factor, which makes the Fastfood backward
+// pass a second application of the same kernel.
+package hadamard
+
+import "fmt"
+
+// Transform applies the (unnormalized) Walsh–Hadamard transform to x in
+// place. len(x) must be a power of two. The unnormalized transform obeys
+// H·H = N·I.
+func Transform(x []float32) {
+	n := len(x)
+	if n == 0 || n&(n-1) != 0 {
+		panic(fmt.Sprintf("hadamard: length %d is not a power of two", n))
+	}
+	for h := 1; h < n; h <<= 1 {
+		for i := 0; i < n; i += h << 1 {
+			for j := i; j < i+h; j++ {
+				a, b := x[j], x[j+h]
+				x[j], x[j+h] = a+b, a-b
+			}
+		}
+	}
+}
+
+// TransformScaled applies the orthonormal transform H/sqrt(N), which is an
+// involution: TransformScaled(TransformScaled(x)) == x.
+func TransformScaled(x []float32) {
+	Transform(x)
+	n := len(x)
+	inv := 1 / sqrt32(float32(n))
+	for i := range x {
+		x[i] *= inv
+	}
+}
+
+// Matrix returns the dense N×N unnormalized Hadamard matrix (entries ±1),
+// used as the verification oracle.
+func Matrix(n int) [][]float32 {
+	if n == 0 || n&(n-1) != 0 {
+		panic(fmt.Sprintf("hadamard: size %d is not a power of two", n))
+	}
+	out := make([][]float32, n)
+	for i := range out {
+		out[i] = make([]float32, n)
+		for j := range out[i] {
+			// H[i][j] = (-1)^{popcount(i & j)}
+			if popcount(i&j)%2 == 0 {
+				out[i][j] = 1
+			} else {
+				out[i][j] = -1
+			}
+		}
+	}
+	return out
+}
+
+func popcount(x int) int {
+	c := 0
+	for x != 0 {
+		c++
+		x &= x - 1
+	}
+	return c
+}
+
+func sqrt32(x float32) float32 {
+	// Newton iterations on float64 then truncate: adequate for scaling.
+	if x <= 0 {
+		return 0
+	}
+	f := float64(x)
+	g := f
+	for i := 0; i < 32; i++ {
+		g = 0.5 * (g + f/g)
+	}
+	return float32(g)
+}

@@ -1,0 +1,135 @@
+package ipu
+
+import "fmt"
+
+// StepCost breaks down the model time of one program step.
+type StepCost struct {
+	Label          string
+	SyncCycles     float64
+	ExchangeCycles float64
+	ComputeCycles  float64
+	HostSeconds    float64
+}
+
+// Cycles returns the on-device cycles of the step.
+func (s StepCost) Cycles() float64 { return s.SyncCycles + s.ExchangeCycles + s.ComputeCycles }
+
+// ExecReport summarizes a simulated program run.
+type ExecReport struct {
+	Steps         []StepCost
+	TotalCycles   float64
+	HostSeconds   float64
+	DeviceSeconds float64
+}
+
+// Seconds returns end-to-end model time (device + host).
+func (r ExecReport) Seconds() float64 { return r.DeviceSeconds + r.HostSeconds }
+
+// Simulate charges cycles for every program step under the BSP model:
+// each executed compute set costs sync + exchange (bytes/bandwidth on the
+// busiest tile) + compute (busiest tile, vertices shared across hardware
+// threads). Host steps cost bytes/HostBandwidth.
+func Simulate(c *Compiled) ExecReport {
+	cfg := c.Graph.Config
+	rep := ExecReport{}
+	for i, st := range c.Graph.Program {
+		switch st.Kind {
+		case StepHostCopy:
+			sc := StepCost{Label: st.Label, HostSeconds: st.HostBytes / cfg.HostBandwidth}
+			rep.Steps = append(rep.Steps, sc)
+			rep.HostSeconds += sc.HostSeconds
+		case StepExecute:
+			cs := c.Graph.CSs[st.CS]
+			sc := StepCost{Label: st.Label, SyncCycles: cfg.SyncCycles}
+			// Exchange: busiest tile's traffic over its per-tile bandwidth.
+			if ex := c.exchanges[i]; ex != nil && ex.total > 0 {
+				var worst float64
+				for t, b := range ex.inBytes {
+					if tot := b + ex.outBytes[t]; tot > worst {
+						worst = tot
+					}
+				}
+				for t, b := range ex.outBytes {
+					if _, dup := ex.inBytes[t]; !dup && b > worst {
+						worst = b
+					}
+				}
+				sc.ExchangeCycles = cfg.ExchangeSetupCycles + worst/cfg.ExchangeBytesPerTileCycle
+			}
+			// Compute: per tile, vertices share ThreadsPerTile workers.
+			perTile := map[int]*tileWork{}
+			for _, vx := range cs.Vertices {
+				w := perTile[vx.Tile]
+				if w == nil {
+					w = &tileWork{}
+					perTile[vx.Tile] = w
+				}
+				cyc := vx.Flops/cfg.ClassRate(vx.Class) + cfg.VertexOverheadCycles
+				w.sum += cyc
+				w.count++
+				if cyc > w.longest {
+					w.longest = cyc
+				}
+			}
+			var worstCompute float64
+			for _, w := range perTile {
+				threads := cfg.ThreadsPerTile
+				if w.count < threads {
+					threads = w.count
+				}
+				t := w.sum / float64(threads)
+				if t < w.longest {
+					t = w.longest
+				}
+				if t > worstCompute {
+					worstCompute = t
+				}
+			}
+			sc.ComputeCycles = worstCompute
+			rep.Steps = append(rep.Steps, sc)
+			rep.TotalCycles += sc.Cycles()
+		default:
+			panic(fmt.Sprintf("ipu: unknown step kind %d", st.Kind))
+		}
+	}
+	rep.DeviceSeconds = rep.TotalCycles / cfg.ClockHz
+	return rep
+}
+
+type tileWork struct {
+	sum     float64
+	longest float64
+	count   int
+}
+
+// ExchangeResult is one point of the Fig. 3 microbenchmark.
+type ExchangeResult struct {
+	SrcTile, DstTile     int
+	Bytes                int
+	LatencySeconds       float64
+	BandwidthBytesPerSec float64
+}
+
+// ExchangeMicrobench models a tile-to-tile copy of the given size,
+// reproducing Fig. 3: the cost is sync + setup + size/bandwidth and is
+// independent of the distance between the tiles (Observation 1). It
+// errors when the payload cannot fit in the destination tile's memory —
+// the regime where Fig. 3's premise breaks.
+func ExchangeMicrobench(cfg Config, src, dst, bytes int) (ExchangeResult, error) {
+	if src == dst || src < 0 || dst < 0 || src >= cfg.Tiles || dst >= cfg.Tiles {
+		return ExchangeResult{}, fmt.Errorf("ipu: invalid tile pair (%d,%d)", src, dst)
+	}
+	if bytes <= 0 {
+		return ExchangeResult{}, fmt.Errorf("ipu: invalid size %d", bytes)
+	}
+	if bytes > cfg.TileMemBytes {
+		return ExchangeResult{}, fmt.Errorf("ipu: %d bytes exceed the %d-byte tile memory", bytes, cfg.TileMemBytes)
+	}
+	cycles := cfg.SyncCycles + cfg.ExchangeSetupCycles + float64(bytes)/cfg.ExchangeBytesPerTileCycle
+	lat := cycles / cfg.ClockHz
+	return ExchangeResult{
+		SrcTile: src, DstTile: dst, Bytes: bytes,
+		LatencySeconds:       lat,
+		BandwidthBytesPerSec: float64(bytes) / lat,
+	}, nil
+}

@@ -1,0 +1,193 @@
+package ipu
+
+import "fmt"
+
+// VarID identifies a variable (tensor) in a Graph.
+type VarID int
+
+// ComputeSetID identifies a compute set.
+type ComputeSetID int
+
+// Interval maps a contiguous element range [Start, End) of a variable to a
+// tile.
+type Interval struct {
+	Tile       int
+	Start, End int
+}
+
+// Variable is a graph tensor with an element count, element width, and a
+// tile mapping.
+type Variable struct {
+	ID        VarID
+	Name      string
+	Elems     int
+	ElemBytes int
+	Mapping   []Interval // sorted by Start, disjoint, covering [0, Elems)
+}
+
+// Bytes returns the payload footprint.
+func (v *Variable) Bytes() int { return v.Elems * v.ElemBytes }
+
+// VarRegion references elements [Start, End) of a variable.
+type VarRegion struct {
+	Var        VarID
+	Start, End int
+}
+
+// Len returns the element count of the region.
+func (r VarRegion) Len() int { return r.End - r.Start }
+
+// Vertex is a unit of computation mapped to one tile.
+type Vertex struct {
+	Codelet string
+	Class   ComputeClass
+	Tile    int
+	Inputs  []VarRegion
+	Outputs []VarRegion
+	// Flops is the arithmetic work (bytes moved for ClassCopy).
+	Flops float64
+}
+
+// ComputeSet groups vertices that execute in one BSP superstep.
+type ComputeSet struct {
+	ID       ComputeSetID
+	Name     string
+	Vertices []*Vertex
+}
+
+// StepKind discriminates program steps.
+type StepKind int
+
+const (
+	// StepExecute runs a compute set (sync + exchange + compute).
+	StepExecute StepKind = iota
+	// StepHostCopy moves bytes between host and IPU (PopTorch-style runs).
+	StepHostCopy
+)
+
+// Step is one element of the program sequence.
+type Step struct {
+	Kind StepKind
+	CS   ComputeSetID // for StepExecute
+	// HostBytes is the payload of a StepHostCopy.
+	HostBytes float64
+	Label     string
+}
+
+// Graph is a Poplar-style dataflow graph plus a program (step sequence).
+type Graph struct {
+	Config  Config
+	Vars    []*Variable
+	CSs     []*ComputeSet
+	Program []Step
+}
+
+// NewGraph creates an empty graph for a machine config.
+func NewGraph(cfg Config) *Graph {
+	return &Graph{Config: cfg}
+}
+
+// AddVariable declares a tensor with elems elements of elemBytes each. The
+// mapping defaults to a linear spread over all tiles (set later by the
+// compiler); use SetTileMapping for explicit placement.
+func (g *Graph) AddVariable(name string, elems, elemBytes int) VarID {
+	if elems < 0 || elemBytes <= 0 {
+		panic(fmt.Sprintf("ipu: invalid variable %q: %d elems × %d bytes", name, elems, elemBytes))
+	}
+	id := VarID(len(g.Vars))
+	g.Vars = append(g.Vars, &Variable{ID: id, Name: name, Elems: elems, ElemBytes: elemBytes})
+	return id
+}
+
+// SetTileMapping assigns explicit intervals. Intervals must be disjoint,
+// sorted, and cover [0, Elems).
+func (g *Graph) SetTileMapping(id VarID, mapping []Interval) error {
+	v := g.Vars[id]
+	covered := 0
+	for i, iv := range mapping {
+		if iv.Tile < 0 || iv.Tile >= g.Config.Tiles {
+			return fmt.Errorf("ipu: %q interval %d targets tile %d outside 0..%d", v.Name, i, iv.Tile, g.Config.Tiles-1)
+		}
+		if iv.Start != covered || iv.End < iv.Start {
+			return fmt.Errorf("ipu: %q mapping not contiguous at interval %d", v.Name, i)
+		}
+		covered = iv.End
+	}
+	if covered != v.Elems {
+		return fmt.Errorf("ipu: %q mapping covers %d of %d elements", v.Name, covered, v.Elems)
+	}
+	v.Mapping = mapping
+	return nil
+}
+
+// LinearMapping spreads elems contiguously across tiles with equal-sized
+// grains (the Poplar default mapping).
+func LinearMapping(cfg Config, elems int) []Interval {
+	if elems == 0 {
+		return nil
+	}
+	grain := (elems + cfg.Tiles - 1) / cfg.Tiles
+	var out []Interval
+	for t, start := 0, 0; start < elems; t, start = t+1, start+grain {
+		end := start + grain
+		if end > elems {
+			end = elems
+		}
+		out = append(out, Interval{Tile: t, Start: start, End: end})
+	}
+	return out
+}
+
+// AddComputeSet creates a named compute set.
+func (g *Graph) AddComputeSet(name string) ComputeSetID {
+	id := ComputeSetID(len(g.CSs))
+	g.CSs = append(g.CSs, &ComputeSet{ID: id, Name: name})
+	return id
+}
+
+// AddVertex places a vertex in a compute set on a tile.
+func (g *Graph) AddVertex(cs ComputeSetID, codelet string, class ComputeClass, tile int,
+	inputs, outputs []VarRegion, flops float64) {
+	if tile < 0 || tile >= g.Config.Tiles {
+		panic(fmt.Sprintf("ipu: vertex %q on tile %d outside 0..%d", codelet, tile, g.Config.Tiles-1))
+	}
+	for _, r := range append(append([]VarRegion{}, inputs...), outputs...) {
+		if int(r.Var) >= len(g.Vars) || r.Start < 0 || r.End > g.Vars[r.Var].Elems || r.Start > r.End {
+			panic(fmt.Sprintf("ipu: vertex %q has bad region %+v", codelet, r))
+		}
+	}
+	g.CSs[cs].Vertices = append(g.CSs[cs].Vertices, &Vertex{
+		Codelet: codelet, Class: class, Tile: tile,
+		Inputs: inputs, Outputs: outputs, Flops: flops,
+	})
+}
+
+// Execute appends a compute-set execution to the program.
+func (g *Graph) Execute(cs ComputeSetID) {
+	g.Program = append(g.Program, Step{Kind: StepExecute, CS: cs, Label: g.CSs[cs].Name})
+}
+
+// HostCopy appends a host transfer step.
+func (g *Graph) HostCopy(label string, bytes float64) {
+	g.Program = append(g.Program, Step{Kind: StepHostCopy, HostBytes: bytes, Label: label})
+}
+
+// NumEdges counts vertex<->variable connections across the whole graph.
+func (g *Graph) NumEdges() int {
+	n := 0
+	for _, cs := range g.CSs {
+		for _, v := range cs.Vertices {
+			n += len(v.Inputs) + len(v.Outputs)
+		}
+	}
+	return n
+}
+
+// NumVertices counts vertices across all compute sets.
+func (g *Graph) NumVertices() int {
+	n := 0
+	for _, cs := range g.CSs {
+		n += len(cs.Vertices)
+	}
+	return n
+}

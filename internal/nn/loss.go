@@ -1,0 +1,70 @@
+package nn
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/tensor"
+)
+
+// SoftmaxCrossEntropy computes the mean cross-entropy loss of logits
+// (batch×C) against integer labels, and the gradient w.r.t. the logits
+// ((softmax − onehot)/batch). The log-sum-exp is computed stably.
+func SoftmaxCrossEntropy(logits *tensor.Matrix, labels []int) (float64, *tensor.Matrix) {
+	if len(labels) != logits.Rows {
+		panic(fmt.Sprintf("nn: %d labels for %d rows", len(labels), logits.Rows))
+	}
+	batch := logits.Rows
+	grad := tensor.New(logits.Rows, logits.Cols)
+	var loss float64
+	for r := 0; r < batch; r++ {
+		row := logits.Row(r)
+		y := labels[r]
+		if y < 0 || y >= logits.Cols {
+			panic(fmt.Sprintf("nn: label %d out of range [0,%d)", y, logits.Cols))
+		}
+		maxv := row[0]
+		for _, v := range row[1:] {
+			if v > maxv {
+				maxv = v
+			}
+		}
+		var sum float64
+		for _, v := range row {
+			sum += math.Exp(float64(v - maxv))
+		}
+		logZ := math.Log(sum) + float64(maxv)
+		loss += logZ - float64(row[y])
+		g := grad.Row(r)
+		inv := 1 / (sum * float64(batch))
+		for j, v := range row {
+			g[j] = float32(math.Exp(float64(v-maxv)) * inv)
+		}
+		g[y] -= float32(1) / float32(batch)
+	}
+	return loss / float64(batch), grad
+}
+
+// Accuracy returns the fraction of rows whose argmax matches the label.
+func Accuracy(logits *tensor.Matrix, labels []int) float64 {
+	if len(labels) != logits.Rows {
+		panic(fmt.Sprintf("nn: %d labels for %d rows", len(labels), logits.Rows))
+	}
+	if logits.Rows == 0 {
+		return 0
+	}
+	correct := 0
+	for r := 0; r < logits.Rows; r++ {
+		row := logits.Row(r)
+		best := 0
+		for j, v := range row {
+			if v > row[best] {
+				best = j
+			}
+		}
+		if best == labels[r] {
+			correct++
+		}
+	}
+	return float64(correct) / float64(logits.Rows)
+}

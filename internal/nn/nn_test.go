@@ -1,0 +1,335 @@
+package nn
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/dataset"
+	"repro/internal/tensor"
+)
+
+func TestDenseForwardKnown(t *testing.T) {
+	d := &Dense{In: 2, Out: 2,
+		W:     tensor.FromSlice(2, 2, []float32{1, 2, 3, 4}),
+		GradW: tensor.New(2, 2),
+		Bias:  []float32{10, 20}, GradB: make([]float32, 2)}
+	x := tensor.FromSlice(1, 2, []float32{1, 1})
+	y := d.Forward(x)
+	if y.At(0, 0) != 14 || y.At(0, 1) != 26 {
+		t.Fatalf("dense forward = %v, want [14 26]", y.Data)
+	}
+}
+
+func TestDenseGradientsNumerically(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	d := NewDense(6, 4, rng)
+	x := tensor.New(3, 6)
+	x.FillRandom(rng, 1)
+	r := tensor.New(3, 4)
+	r.FillRandom(rng, 1)
+	loss := func() float64 {
+		y := d.Forward(x)
+		var s float64
+		for i := range y.Data {
+			s += float64(y.Data[i]) * float64(r.Data[i])
+		}
+		return s
+	}
+	d.ZeroGrad()
+	d.Forward(x)
+	dx := d.Backward(r)
+	const h = 1e-3
+	// input grads
+	for i := 0; i < len(x.Data); i += 4 {
+		orig := x.Data[i]
+		x.Data[i] = orig + h
+		up := loss()
+		x.Data[i] = orig - h
+		dn := loss()
+		x.Data[i] = orig
+		num := (up - dn) / (2 * h)
+		if math.Abs(num-float64(dx.Data[i])) > 1e-2*(1+math.Abs(num)) {
+			t.Fatalf("dense input grad[%d]: %v vs %v", i, dx.Data[i], num)
+		}
+	}
+	// weight grads
+	params, grads := d.Params()
+	for pi, ps := range params {
+		for j := 0; j < len(ps); j += 7 {
+			orig := ps[j]
+			ps[j] = orig + h
+			up := loss()
+			ps[j] = orig - h
+			dn := loss()
+			ps[j] = orig
+			num := (up - dn) / (2 * h)
+			if math.Abs(num-float64(grads[pi][j])) > 1e-2*(1+math.Abs(num)) {
+				t.Fatalf("dense weight grad[%d][%d]: %v vs %v", pi, j, grads[pi][j], num)
+			}
+		}
+	}
+}
+
+func TestReLU(t *testing.T) {
+	r := NewReLU()
+	x := tensor.FromSlice(1, 4, []float32{-1, 2, 0, 3})
+	y := r.Forward(x)
+	want := []float32{0, 2, 0, 3}
+	for i := range want {
+		if y.Data[i] != want[i] {
+			t.Fatalf("relu forward = %v", y.Data)
+		}
+	}
+	dy := tensor.FromSlice(1, 4, []float32{5, 5, 5, 5})
+	dx := r.Backward(dy)
+	wantG := []float32{0, 5, 0, 5}
+	for i := range wantG {
+		if dx.Data[i] != wantG[i] {
+			t.Fatalf("relu backward = %v", dx.Data)
+		}
+	}
+}
+
+func TestSoftmaxCrossEntropyKnown(t *testing.T) {
+	// uniform logits over 4 classes: loss = ln(4)
+	logits := tensor.New(2, 4)
+	loss, grad := SoftmaxCrossEntropy(logits, []int{0, 3})
+	if math.Abs(loss-math.Log(4)) > 1e-6 {
+		t.Fatalf("loss = %v, want ln4 = %v", loss, math.Log(4))
+	}
+	// gradient rows sum to zero
+	for r := 0; r < 2; r++ {
+		var s float64
+		for _, v := range grad.Row(r) {
+			s += float64(v)
+		}
+		if math.Abs(s) > 1e-6 {
+			t.Fatalf("grad row %d sums to %v", r, s)
+		}
+	}
+}
+
+func TestSoftmaxCrossEntropyGradNumerically(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	logits := tensor.New(3, 5)
+	logits.FillRandom(rng, 2)
+	labels := []int{1, 4, 0}
+	_, grad := SoftmaxCrossEntropy(logits, labels)
+	const h = 1e-3
+	for i := 0; i < len(logits.Data); i += 2 {
+		orig := logits.Data[i]
+		logits.Data[i] = orig + h
+		up, _ := SoftmaxCrossEntropy(logits, labels)
+		logits.Data[i] = orig - h
+		dn, _ := SoftmaxCrossEntropy(logits, labels)
+		logits.Data[i] = orig
+		num := (up - dn) / (2 * h)
+		if math.Abs(num-float64(grad.Data[i])) > 1e-3*(1+math.Abs(num)) {
+			t.Fatalf("CE grad[%d]: %v vs %v", i, grad.Data[i], num)
+		}
+	}
+}
+
+func TestSoftmaxLabelOutOfRangePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("bad label did not panic")
+		}
+	}()
+	SoftmaxCrossEntropy(tensor.New(1, 3), []int{3})
+}
+
+func TestAccuracy(t *testing.T) {
+	logits := tensor.FromSlice(3, 2, []float32{1, 0, 0, 1, 2, 1})
+	got := Accuracy(logits, []int{0, 1, 1})
+	if math.Abs(got-2.0/3) > 1e-9 {
+		t.Fatalf("accuracy = %v, want 2/3", got)
+	}
+}
+
+func TestSGDConvergesOnQuadratic(t *testing.T) {
+	// Minimize ||W||² via a model with one dense layer fed zeros and
+	// L2-style gradient injected manually; simpler: check the update rule.
+	rng := rand.New(rand.NewSource(3))
+	d := NewDense(2, 2, rng)
+	model := NewSequential(d)
+	opt := NewSGD(model, 0.1, 0.9)
+	// With grad = p (gradient of ½||p||²), iterates must decay.
+	norm0 := d.W.FrobeniusNorm()
+	for it := 0; it < 200; it++ {
+		model.ZeroGrad()
+		copy(d.GradW.Data, d.W.Data)
+		copy(d.GradB, d.Bias)
+		opt.Step()
+	}
+	if d.W.FrobeniusNorm() > norm0*1e-3 {
+		t.Fatalf("SGD failed to shrink weights: %v -> %v", norm0, d.W.FrobeniusNorm())
+	}
+}
+
+func TestSGDMomentumUpdateRule(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	d := NewDense(1, 1, rng)
+	model := NewSequential(d)
+	opt := NewSGD(model, 0.5, 0.9)
+	d.W.Data[0] = 1
+	// constant gradient 1: v1 = -0.5, p = 0.5; v2 = -0.95, p = -0.45
+	d.GradW.Data[0] = 1
+	opt.Step()
+	if math.Abs(float64(d.W.Data[0])-0.5) > 1e-6 {
+		t.Fatalf("after step1 p = %v, want 0.5", d.W.Data[0])
+	}
+	d.GradW.Data[0] = 1
+	opt.Step()
+	if math.Abs(float64(d.W.Data[0])+0.45) > 1e-6 {
+		t.Fatalf("after step2 p = %v, want -0.45", d.W.Data[0])
+	}
+}
+
+// Table 4's NParams column, reproduced exactly (butterfly off by 4 — the
+// paper counts 16,390; our rotation parameterization yields 16,394, see
+// EXPERIMENTS.md).
+func TestSHLParamCountsMatchTable4(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	cases := []struct {
+		m    Method
+		want int
+	}{
+		{Baseline, 1059850},
+		{Butterfly, 16394},
+		{Fastfood, 14346},
+		{Circulant, 12298},
+		{LowRank, 13322},
+		{Pixelfly, 404490},
+	}
+	for _, tc := range cases {
+		model := BuildSHL(tc.m, 1024, 10, rng)
+		if got := model.ParamCount(); got != tc.want {
+			t.Errorf("%v: NParams = %d, want %d", tc.m, got, tc.want)
+		}
+	}
+}
+
+func TestButterflyCompressionRatio(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	base := BuildSHL(Baseline, 1024, 10, rng).ParamCount()
+	bf := BuildSHL(Butterfly, 1024, 10, rng).ParamCount()
+	ratio := 1 - float64(bf)/float64(base)
+	if ratio < 0.984 || ratio > 0.986 {
+		t.Fatalf("compression ratio %v, want ~0.985 (paper's 98.5%%)", ratio)
+	}
+}
+
+func TestEndToEndGradientSHL(t *testing.T) {
+	// Full-model numerical gradient check on a miniature SHL.
+	rng := rand.New(rand.NewSource(7))
+	model := BuildSHL(Butterfly, 16, 3, rng)
+	x := tensor.New(4, 16)
+	x.FillRandom(rng, 1)
+	labels := []int{0, 1, 2, 1}
+	loss := func() float64 {
+		l, _ := SoftmaxCrossEntropy(model.Forward(x), labels)
+		return l
+	}
+	model.ZeroGrad()
+	logits := model.Forward(x)
+	_, dL := SoftmaxCrossEntropy(logits, labels)
+	model.Backward(dL)
+	params, grads := model.Params()
+	const h = 1e-2
+	checked := 0
+	for pi, ps := range params {
+		step := len(ps)/5 + 1
+		for j := 0; j < len(ps); j += step {
+			orig := ps[j]
+			ps[j] = orig + h
+			model.Refresh()
+			up := loss()
+			ps[j] = orig - h
+			model.Refresh()
+			dn := loss()
+			ps[j] = orig
+			model.Refresh()
+			num := (up - dn) / (2 * h)
+			got := float64(grads[pi][j])
+			if math.Abs(num-got) > 5e-2*(1+math.Abs(num)) {
+				t.Fatalf("model grad[%d][%d]: analytic %v numeric %v", pi, j, got, num)
+			}
+			checked++
+		}
+	}
+	if checked < 10 {
+		t.Fatalf("only %d parameters checked", checked)
+	}
+}
+
+func TestTrainingImprovesAccuracy(t *testing.T) {
+	cfg := dataset.Config{
+		Name: "tiny", Classes: 4, Side: 8,
+		Train: 240, Test: 80, ValFraction: 0.15,
+		AtomsPerClass: 3, BlobsPerClass: 1,
+		NoiseStd: 0.3, GainStd: 0.3, Seed: 11,
+	}
+	ds := dataset.Generate(cfg)
+	rng := rand.New(rand.NewSource(8))
+	model := BuildSHL(Baseline, 64, 4, rng)
+	before := Evaluate(model, ds.XTest, ds.YTest)
+	res := Train(model, ds, TrainConfig{Epochs: 12, BatchSize: 25, LR: 0.05, Momentum: 0.9, Seed: 9})
+	if res.TestAccuracy < 0.5 {
+		t.Fatalf("trained accuracy %v too low (before: %v)", res.TestAccuracy, before)
+	}
+	if res.TrainLoss[len(res.TrainLoss)-1] >= res.TrainLoss[0] {
+		t.Fatalf("loss did not decrease: %v", res.TrainLoss)
+	}
+	// 240 − 15% validation = 204 train rows → ceil(204/25) = 9 batches/epoch.
+	if res.Steps != 12*9 {
+		t.Fatalf("steps = %d, want 108", res.Steps)
+	}
+}
+
+func TestStructuredMethodsTrainAboveChance(t *testing.T) {
+	if testing.Short() {
+		t.Skip("training sweep")
+	}
+	cfg := dataset.Config{
+		Name: "tiny", Classes: 4, Side: 8,
+		Train: 240, Test: 80, ValFraction: 0.15,
+		AtomsPerClass: 3, BlobsPerClass: 1,
+		NoiseStd: 0.3, GainStd: 0.3, Seed: 12,
+	}
+	ds := dataset.Generate(cfg)
+	for _, m := range []Method{Butterfly, Fastfood, Circulant} {
+		rng := rand.New(rand.NewSource(10))
+		var model *Sequential
+		if m == Pixelfly {
+			continue // paper config needs n=1024
+		}
+		model = BuildSHL(m, 64, 4, rng)
+		res := Train(model, ds, TrainConfig{Epochs: 10, BatchSize: 25, LR: 0.05, Momentum: 0.9, Seed: 13})
+		if res.TestAccuracy < 0.3 {
+			t.Errorf("%v: accuracy %v barely above chance", m, res.TestAccuracy)
+		}
+	}
+}
+
+func TestPaperHyperparamsTable3(t *testing.T) {
+	h := PaperHyperparams()
+	if h.LearningRate != 0.001 || h.Momentum != 0.9 || h.BatchSize != 50 ||
+		h.ValFraction != 0.15 || h.Activation != "ReLU" ||
+		h.Loss != "Cross-Entropy" || h.Optimizer != "SGD" {
+		t.Fatalf("hyperparameters diverge from Table 3: %+v", h)
+	}
+}
+
+func TestEvaluateChunking(t *testing.T) {
+	rng := rand.New(rand.NewSource(14))
+	model := BuildSHL(Baseline, 16, 2, rng)
+	x := tensor.New(403, 16) // not a multiple of the chunk size
+	x.FillRandom(rng, 1)
+	y := make([]int, 403)
+	acc := Evaluate(model, x, y)
+	if acc < 0 || acc > 1 {
+		t.Fatalf("accuracy %v out of range", acc)
+	}
+}

@@ -1,0 +1,43 @@
+package nn
+
+import "fmt"
+
+// SGD is stochastic gradient descent with classical momentum
+// (v ← μ·v − lr·g; p ← p + v), Table 3's optimizer.
+type SGD struct {
+	LR       float32
+	Momentum float32
+
+	model    *Sequential
+	params   [][]float32
+	grads    [][]float32
+	velocity [][]float32
+}
+
+// NewSGD binds an optimizer to the model's current parameter set.
+func NewSGD(model *Sequential, lr, momentum float32) *SGD {
+	p, g := model.Params()
+	if len(p) != len(g) {
+		panic(fmt.Sprintf("nn: %d param groups but %d grad groups", len(p), len(g)))
+	}
+	v := make([][]float32, len(p))
+	for i := range p {
+		if len(p[i]) != len(g[i]) {
+			panic(fmt.Sprintf("nn: group %d param len %d != grad len %d", i, len(p[i]), len(g[i])))
+		}
+		v[i] = make([]float32, len(p[i]))
+	}
+	return &SGD{LR: lr, Momentum: momentum, model: model, params: p, grads: g, velocity: v}
+}
+
+// Step applies one update and refreshes derived layer state.
+func (o *SGD) Step() {
+	for i := range o.params {
+		p, g, v := o.params[i], o.grads[i], o.velocity[i]
+		for j := range p {
+			v[j] = o.Momentum*v[j] - o.LR*g[j]
+			p[j] += v[j]
+		}
+	}
+	o.model.Refresh()
+}

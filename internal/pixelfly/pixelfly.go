@@ -1,0 +1,253 @@
+// Package pixelfly implements the Pixelated Butterfly layer (Chen et al.,
+// 2021) as the paper uses it: a *flat block butterfly* — the butterfly
+// product approximated by a sum with a residual connection, block-aligned
+// to a b×b block grid — plus an additive low-rank term U·Vᵀ.
+//
+// The layer has the paper's three tunable knobs (Section 5's sweep):
+//
+//   - ButterflySize: size of the virtual butterfly network whose
+//     connectivity decides which blocks exist,
+//   - BlockSize: edge length of the dense blocks (GPU-alignment knob),
+//   - LowRank: width of the additive low-rank term.
+//
+// The block support is the union of the butterfly graph's stage
+// connections (i ↔ i XOR 2^(s-1)) plus the diagonal, stretched or squeezed
+// onto the (N/BlockSize)² block grid.
+package pixelfly
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/fft"
+	"repro/internal/sparse"
+	"repro/internal/tensor"
+)
+
+// Config selects the pixelfly hyperparameters for an N×N layer.
+type Config struct {
+	N             int // layer dimension (power of two)
+	BlockSize     int // dense block edge (power of two dividing N)
+	ButterflySize int // virtual butterfly network size (power of two)
+	LowRank       int // width of the low-rank term (0 disables it)
+}
+
+// Validate returns an error when the configuration is inconsistent.
+func (c Config) Validate() error {
+	if !fft.IsPowerOfTwo(c.N) {
+		return fmt.Errorf("pixelfly: N=%d not a power of two", c.N)
+	}
+	if !fft.IsPowerOfTwo(c.BlockSize) || c.N%c.BlockSize != 0 {
+		return fmt.Errorf("pixelfly: block size %d must be a power of two dividing N=%d", c.BlockSize, c.N)
+	}
+	if !fft.IsPowerOfTwo(c.ButterflySize) {
+		return fmt.Errorf("pixelfly: butterfly size %d not a power of two", c.ButterflySize)
+	}
+	if c.LowRank < 0 || c.LowRank > c.N {
+		return fmt.Errorf("pixelfly: low rank %d out of range [0,%d]", c.LowRank, c.N)
+	}
+	return nil
+}
+
+// SupportBlocks returns the block-grid support of the flat block
+// butterfly: diagonal blocks plus, for every butterfly stage s, the blocks
+// covering the (i, i XOR 2^(s-1)) connections, mapped from the
+// ButterflySize-node graph onto the (N/BlockSize)-wide block grid.
+func (c Config) SupportBlocks() [][2]int {
+	nb := c.N / c.BlockSize
+	bfs := c.ButterflySize
+	type edge struct{ i, j int }
+	var edges []edge
+	for i := 0; i < bfs; i++ {
+		edges = append(edges, edge{i, i})
+	}
+	for h := 1; h < bfs; h <<= 1 {
+		for i := 0; i < bfs; i++ {
+			edges = append(edges, edge{i, i ^ h})
+		}
+	}
+	seen := make(map[[2]int]bool)
+	var out [][2]int
+	for _, e := range edges {
+		// node i covers block rows [i·nb/bfs, (i+1)·nb/bfs)
+		r0, r1 := e.i*nb/bfs, (e.i+1)*nb/bfs
+		c0, c1 := e.j*nb/bfs, (e.j+1)*nb/bfs
+		if r1 == r0 { // squeeze: several nodes share one block
+			r1 = r0 + 1
+		}
+		if c1 == c0 {
+			c1 = c0 + 1
+		}
+		for r := r0; r < r1 && r < nb; r++ {
+			for cc := c0; cc < c1 && cc < nb; cc++ {
+				key := [2]int{r, cc}
+				if !seen[key] {
+					seen[key] = true
+					out = append(out, key)
+				}
+			}
+		}
+	}
+	return out
+}
+
+// Pixelfly is a learnable N×N pixelated-butterfly weight: a block-sparse
+// matrix W on the flat-block-butterfly support plus a low-rank term U·Vᵀ.
+// Effective transform of a row vector x: y = W·x + U·(Vᵀ·x).
+type Pixelfly struct {
+	Cfg   Config
+	W     *sparse.BSR
+	GradW *sparse.BSR // same pattern, holds dL/dW
+	U, V  *tensor.Matrix
+	GradU *tensor.Matrix
+	GradV *tensor.Matrix
+
+	// saved forward state
+	xSaved  *tensor.Matrix
+	xvSaved *tensor.Matrix
+}
+
+// New constructs a pixelfly layer with random initialization (blocks and
+// low-rank factors scaled like 1/sqrt(fan-in)).
+func New(cfg Config, rng *rand.Rand) (*Pixelfly, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	pattern := cfg.SupportBlocks()
+	w, err := sparse.NewBSR(cfg.N, cfg.N, cfg.BlockSize, pattern)
+	if err != nil {
+		return nil, err
+	}
+	gw, err := sparse.NewBSR(cfg.N, cfg.N, cfg.BlockSize, pattern)
+	if err != nil {
+		return nil, err
+	}
+	p := &Pixelfly{Cfg: cfg, W: w, GradW: gw}
+	// Fan-in-aware init: each output row sees ~numBlocks·bs²/N nonzero
+	// inputs (not N), so scale by the effective fan-in to keep activation
+	// variance at the dense layer's level.
+	fanIn := float64(len(pattern)*cfg.BlockSize*cfg.BlockSize) / float64(cfg.N)
+	if fanIn < 1 {
+		fanIn = 1
+	}
+	scale := float32(1.0 / sqrtf(fanIn))
+	for i := range w.Blocks {
+		w.Blocks[i] = (rng.Float32()*2 - 1) * scale
+	}
+	r := cfg.LowRank
+	p.U = tensor.New(cfg.N, r)
+	p.V = tensor.New(cfg.N, r)
+	p.GradU = tensor.New(cfg.N, r)
+	p.GradV = tensor.New(cfg.N, r)
+	if r > 0 {
+		p.U.FillRandom(rng, scale)
+		p.V.FillRandom(rng, scale)
+	}
+	return p, nil
+}
+
+func sqrtf(x float64) float64 {
+	if x <= 0 {
+		return 0
+	}
+	g := x
+	for i := 0; i < 40; i++ {
+		g = 0.5 * (g + x/g)
+	}
+	return g
+}
+
+// ParamCount returns the learnable parameter count:
+// storedBlocks·BlockSize² + 2·N·LowRank.
+func (p *Pixelfly) ParamCount() int {
+	return len(p.W.Blocks) + 2*p.Cfg.N*p.Cfg.LowRank
+}
+
+// NumBlocks returns the number of stored blocks in the support.
+func (p *Pixelfly) NumBlocks() int { return p.W.NumBlocks() }
+
+// Flops returns the forward flop count for a batch: block-sparse matmul
+// plus two low-rank matmuls.
+func (p *Pixelfly) Flops(batch int) float64 {
+	lr := 4 * float64(p.Cfg.N) * float64(p.Cfg.LowRank) * float64(batch)
+	return p.W.Flops(batch) + lr
+}
+
+// Forward computes Y (batch×N) from X (batch×N): y_row = W·x_row + U·Vᵀ·x_row.
+// State is retained for Backward.
+func (p *Pixelfly) Forward(x *tensor.Matrix) *tensor.Matrix {
+	if x.Cols != p.Cfg.N {
+		panic(fmt.Sprintf("pixelfly: input width %d != N %d", x.Cols, p.Cfg.N))
+	}
+	p.xSaved = x
+	xt := x.Transpose()   // N×batch
+	y := p.W.MulDense(xt) // N×batch
+	out := y.Transpose()  // batch×N
+	if p.Cfg.LowRank > 0 {
+		xv := tensor.MatMul(x, p.V) // batch×r
+		p.xvSaved = xv
+		lr := tensor.MatMul(xv, p.U.Transpose()) // batch×N
+		tensor.AddInPlace(out, lr)
+	}
+	return out
+}
+
+// Apply is Forward without retaining state.
+func (p *Pixelfly) Apply(x *tensor.Matrix) *tensor.Matrix {
+	saved1, saved2 := p.xSaved, p.xvSaved
+	out := p.Forward(x)
+	p.xSaved, p.xvSaved = saved1, saved2
+	return out
+}
+
+// Backward propagates dY (batch×N), accumulating gradients, and returns dX.
+func (p *Pixelfly) Backward(dY *tensor.Matrix) *tensor.Matrix {
+	if p.xSaved == nil {
+		panic("pixelfly: Backward called before Forward")
+	}
+	x := p.xSaved
+	// dX from the block-sparse term: dX_row = Wᵀ·dY_row.
+	dyt := dY.Transpose()            // N×batch
+	dx := p.W.TransposeMulDense(dyt) // N×batch
+	dX := dx.Transpose()             // batch×N
+	// dW = dYᵀ·X masked to the support.
+	p.GradW.AccumulateOuter(dyt, x.Transpose(), 1)
+	if p.Cfg.LowRank > 0 {
+		// y += (X·V)·Uᵀ, so:
+		// dU = dYᵀ·(X·V); dV = Xᵀ·(dY·U); dX += (dY·U)·Vᵀ
+		dyU := tensor.MatMul(dY, p.U) // batch×r
+		tensor.AddInPlace(p.GradU, tensor.MatMul(dY.Transpose(), p.xvSaved))
+		tensor.AddInPlace(p.GradV, tensor.MatMul(x.Transpose(), dyU))
+		tensor.AddInPlace(dX, tensor.MatMul(dyU, p.V.Transpose()))
+	}
+	return dX
+}
+
+// ZeroGrad clears accumulated gradients.
+func (p *Pixelfly) ZeroGrad() {
+	for i := range p.GradW.Blocks {
+		p.GradW.Blocks[i] = 0
+	}
+	p.GradU.Zero()
+	p.GradV.Zero()
+}
+
+// Params returns flat (parameter, gradient) slice pairs for the optimizer.
+func (p *Pixelfly) Params() (params, grads [][]float32) {
+	params = append(params, p.W.Blocks)
+	grads = append(grads, p.GradW.Blocks)
+	if p.Cfg.LowRank > 0 {
+		params = append(params, p.U.Data, p.V.Data)
+		grads = append(grads, p.GradU.Data, p.GradV.Data)
+	}
+	return params, grads
+}
+
+// Dense materializes the effective N×N matrix W + U·Vᵀ for verification.
+func (p *Pixelfly) Dense() *tensor.Matrix {
+	out := p.W.ToDense()
+	if p.Cfg.LowRank > 0 {
+		tensor.AddInPlace(out, tensor.MatMul(p.U, p.V.Transpose()))
+	}
+	return out
+}

@@ -1,0 +1,294 @@
+package pixelfly
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/tensor"
+)
+
+func mustNew(t *testing.T, cfg Config, seed int64) *Pixelfly {
+	t.Helper()
+	p, err := New(cfg, rand.New(rand.NewSource(seed)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+func TestConfigValidate(t *testing.T) {
+	bad := []Config{
+		{N: 12, BlockSize: 4, ButterflySize: 4},
+		{N: 16, BlockSize: 3, ButterflySize: 4},
+		{N: 16, BlockSize: 4, ButterflySize: 5},
+		{N: 16, BlockSize: 4, ButterflySize: 4, LowRank: -1},
+		{N: 16, BlockSize: 4, ButterflySize: 4, LowRank: 17},
+	}
+	for _, c := range bad {
+		if err := c.Validate(); err == nil {
+			t.Errorf("config %+v should be invalid", c)
+		}
+	}
+	good := Config{N: 16, BlockSize: 4, ButterflySize: 4, LowRank: 2}
+	if err := good.Validate(); err != nil {
+		t.Errorf("config %+v should be valid: %v", good, err)
+	}
+}
+
+func TestSupportIncludesDiagonal(t *testing.T) {
+	cfg := Config{N: 64, BlockSize: 8, ButterflySize: 8}
+	support := cfg.SupportBlocks()
+	onDiag := map[int]bool{}
+	for _, b := range support {
+		if b[0] == b[1] {
+			onDiag[b[0]] = true
+		}
+	}
+	for i := 0; i < 8; i++ {
+		if !onDiag[i] {
+			t.Fatalf("diagonal block %d missing from support", i)
+		}
+	}
+}
+
+func TestSupportMatchesButterflyGraphExactGrid(t *testing.T) {
+	// When butterfly size == block grid size, support must be exactly
+	// nb·(1 + log2 nb) blocks: diagonal + one off-diagonal per stage.
+	cfg := Config{N: 64, BlockSize: 8, ButterflySize: 8}
+	support := cfg.SupportBlocks()
+	want := 8 * (1 + 3)
+	if len(support) != want {
+		t.Fatalf("support size = %d, want %d", len(support), want)
+	}
+	// Every off-diagonal block must be at XOR-power-of-two distance.
+	for _, b := range support {
+		if b[0] == b[1] {
+			continue
+		}
+		d := b[0] ^ b[1]
+		if d&(d-1) != 0 {
+			t.Fatalf("block %v not a butterfly connection", b)
+		}
+	}
+}
+
+func TestSupportStretch(t *testing.T) {
+	// Block grid 16 wide, butterfly over 4 nodes -> each node covers 4
+	// block rows; support = 4·(1+2) node edges × 16 blocks each.
+	cfg := Config{N: 64, BlockSize: 4, ButterflySize: 4}
+	support := cfg.SupportBlocks()
+	want := 4 * (1 + 2) * 16
+	if len(support) != want {
+		t.Fatalf("stretched support = %d, want %d", len(support), want)
+	}
+}
+
+func TestSupportSqueeze(t *testing.T) {
+	// Butterfly over 16 nodes squeezed onto a 4-wide block grid: support
+	// collapses; must stay within grid bounds and remain deduplicated.
+	cfg := Config{N: 16, BlockSize: 4, ButterflySize: 16}
+	support := cfg.SupportBlocks()
+	seen := map[[2]int]bool{}
+	for _, b := range support {
+		if b[0] < 0 || b[0] >= 4 || b[1] < 0 || b[1] >= 4 {
+			t.Fatalf("block %v out of 4x4 grid", b)
+		}
+		if seen[b] {
+			t.Fatalf("duplicate block %v", b)
+		}
+		seen[b] = true
+	}
+}
+
+func TestParamCount(t *testing.T) {
+	cfg := Config{N: 64, BlockSize: 8, ButterflySize: 8, LowRank: 4}
+	p := mustNew(t, cfg, 1)
+	wantBlocks := 8 * (1 + 3) * 64 // 32 blocks × 8² values
+	want := wantBlocks + 2*64*4
+	if got := p.ParamCount(); got != want {
+		t.Fatalf("ParamCount = %d, want %d", got, want)
+	}
+}
+
+func TestForwardMatchesDense(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	cfg := Config{N: 32, BlockSize: 4, ButterflySize: 8, LowRank: 3}
+	p := mustNew(t, cfg, 3)
+	x := tensor.New(5, 32)
+	x.FillRandom(rng, 1)
+	// y_row = (W + U·Vᵀ)·x_row  =>  Y = X·(W+UVᵀ)ᵀ
+	D := p.Dense()
+	want := tensor.MatMul(x, D.Transpose())
+	got := p.Apply(x)
+	if !tensor.AlmostEqual(want, got, 1e-3) {
+		t.Fatalf("pixelfly forward != dense: %v", tensor.MaxAbsDiff(want, got))
+	}
+}
+
+func TestForwardNoLowRank(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	cfg := Config{N: 16, BlockSize: 4, ButterflySize: 4, LowRank: 0}
+	p := mustNew(t, cfg, 5)
+	x := tensor.New(2, 16)
+	x.FillRandom(rng, 1)
+	want := tensor.MatMul(x, p.Dense().Transpose())
+	got := p.Apply(x)
+	if !tensor.AlmostEqual(want, got, 1e-4) {
+		t.Fatalf("no-lowrank forward mismatch: %v", tensor.MaxAbsDiff(want, got))
+	}
+}
+
+func TestInputGradientNumerically(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	cfg := Config{N: 16, BlockSize: 4, ButterflySize: 4, LowRank: 2}
+	p := mustNew(t, cfg, 7)
+	x := tensor.New(2, 16)
+	x.FillRandom(rng, 1)
+	r := tensor.New(2, 16)
+	r.FillRandom(rng, 1)
+	loss := func() float64 {
+		y := p.Apply(x)
+		var s float64
+		for i := range y.Data {
+			s += float64(y.Data[i]) * float64(r.Data[i])
+		}
+		return s
+	}
+	p.ZeroGrad()
+	p.Forward(x)
+	dx := p.Backward(r)
+	const h = 1e-3
+	for i := 0; i < len(x.Data); i += 3 {
+		orig := x.Data[i]
+		x.Data[i] = orig + h
+		up := loss()
+		x.Data[i] = orig - h
+		dn := loss()
+		x.Data[i] = orig
+		num := (up - dn) / (2 * h)
+		if math.Abs(num-float64(dx.Data[i])) > 2e-2*(1+math.Abs(num)) {
+			t.Fatalf("input grad[%d]: analytic %v numeric %v", i, dx.Data[i], num)
+		}
+	}
+}
+
+func TestWeightGradientNumerically(t *testing.T) {
+	rng := rand.New(rand.NewSource(8))
+	cfg := Config{N: 16, BlockSize: 4, ButterflySize: 4, LowRank: 2}
+	p := mustNew(t, cfg, 9)
+	x := tensor.New(3, 16)
+	x.FillRandom(rng, 1)
+	r := tensor.New(3, 16)
+	r.FillRandom(rng, 1)
+	loss := func() float64 {
+		y := p.Apply(x)
+		var s float64
+		for i := range y.Data {
+			s += float64(y.Data[i]) * float64(r.Data[i])
+		}
+		return s
+	}
+	p.ZeroGrad()
+	p.Forward(x)
+	p.Backward(r)
+	params, grads := p.Params()
+	const h = 1e-3
+	for pi, pslice := range params {
+		step := len(pslice)/7 + 1
+		for j := 0; j < len(pslice); j += step {
+			orig := pslice[j]
+			pslice[j] = orig + h
+			up := loss()
+			pslice[j] = orig - h
+			dn := loss()
+			pslice[j] = orig
+			num := (up - dn) / (2 * h)
+			got := float64(grads[pi][j])
+			if math.Abs(num-got) > 2e-2*(1+math.Abs(num)) {
+				t.Fatalf("param group %d grad[%d]: analytic %v numeric %v", pi, j, got, num)
+			}
+		}
+	}
+}
+
+func TestZeroGrad(t *testing.T) {
+	rng := rand.New(rand.NewSource(10))
+	cfg := Config{N: 16, BlockSize: 4, ButterflySize: 4, LowRank: 1}
+	p := mustNew(t, cfg, 11)
+	x := tensor.New(2, 16)
+	x.FillRandom(rng, 1)
+	p.Forward(x)
+	p.Backward(x)
+	p.ZeroGrad()
+	_, grads := p.Params()
+	for _, g := range grads {
+		for _, v := range g {
+			if v != 0 {
+				t.Fatal("ZeroGrad left residue")
+			}
+		}
+	}
+}
+
+func TestParamCountGrowsWithKnobs(t *testing.T) {
+	// Section 5's qualitative claim: butterfly size and block size move the
+	// parameter count; low-rank adds 2·N·r.
+	base := Config{N: 256, BlockSize: 8, ButterflySize: 16, LowRank: 4}
+	pBase := mustNew(t, base, 12)
+	bigBf := base
+	bigBf.ButterflySize = 32
+	pBf := mustNew(t, bigBf, 12)
+	// A larger butterfly network is *sparser*: the support fraction is
+	// (1+log2 bfs)/bfs of the grid, so parameters drop as bfs grows. This
+	// strong dependence is what drives Table 5's NParams std.
+	if pBf.ParamCount() >= pBase.ParamCount() {
+		t.Fatalf("larger butterfly size should reduce parameters: %d vs %d",
+			pBf.ParamCount(), pBase.ParamCount())
+	}
+	bigLr := base
+	bigLr.LowRank = 8
+	pLr := mustNew(t, bigLr, 12)
+	if pLr.ParamCount()-pBase.ParamCount() != 2*256*4 {
+		t.Fatalf("low-rank delta = %d, want %d", pLr.ParamCount()-pBase.ParamCount(), 2*256*4)
+	}
+}
+
+// Property: forward is linear in the input.
+func TestForwardLinearityProperty(t *testing.T) {
+	cfg := Config{N: 32, BlockSize: 8, ButterflySize: 4, LowRank: 2}
+	p, err := New(cfg, rand.New(rand.NewSource(13)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		x := tensor.New(2, 32)
+		y := tensor.New(2, 32)
+		x.FillRandom(r, 1)
+		y.FillRandom(r, 1)
+		left := p.Apply(tensor.Add(x, y))
+		right := tensor.Add(p.Apply(x), p.Apply(y))
+		return tensor.AlmostEqual(left, right, 1e-3)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func BenchmarkPixelflyForward1024(b *testing.B) {
+	cfg := Config{N: 1024, BlockSize: 32, ButterflySize: 32, LowRank: 8}
+	p, err := New(cfg, rand.New(rand.NewSource(14)))
+	if err != nil {
+		b.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(15))
+	x := tensor.New(50, 1024)
+	x.FillRandom(rng, 1)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		p.Apply(x)
+	}
+}

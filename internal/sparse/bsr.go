@@ -1,0 +1,202 @@
+package sparse
+
+import (
+	"fmt"
+
+	"repro/internal/tensor"
+)
+
+// BSR is a block compressed sparse row matrix with square BlockSize×BlockSize
+// dense blocks. It is the storage format of the pixelated-butterfly weight
+// matrix: the butterfly connectivity decides *which* blocks exist, BSR holds
+// their values.
+type BSR struct {
+	Rows, Cols int // logical element dimensions
+	BlockSize  int
+	BlockRows  int       // Rows / BlockSize
+	BlockCols  int       // Cols / BlockSize
+	RowPtr     []int32   // length BlockRows+1, indexes into ColIdx/Blocks
+	ColIdx     []int32   // block-column index per stored block
+	Blocks     []float32 // len(ColIdx) * BlockSize * BlockSize, row-major per block
+}
+
+// NewBSR builds a BSR matrix from an explicit block pattern. pattern lists
+// (blockRow, blockCol) pairs; duplicates are rejected. Block values start
+// at zero.
+func NewBSR(rows, cols, blockSize int, pattern [][2]int) (*BSR, error) {
+	if blockSize <= 0 {
+		return nil, fmt.Errorf("sparse: block size %d must be positive", blockSize)
+	}
+	if rows%blockSize != 0 || cols%blockSize != 0 {
+		return nil, fmt.Errorf("sparse: shape %dx%d not divisible by block size %d", rows, cols, blockSize)
+	}
+	br, bc := rows/blockSize, cols/blockSize
+	seen := make(map[[2]int]bool, len(pattern))
+	perRow := make([][]int, br)
+	for _, p := range pattern {
+		if p[0] < 0 || p[0] >= br || p[1] < 0 || p[1] >= bc {
+			return nil, fmt.Errorf("sparse: block (%d,%d) out of %dx%d grid", p[0], p[1], br, bc)
+		}
+		if seen[p] {
+			return nil, fmt.Errorf("sparse: duplicate block (%d,%d)", p[0], p[1])
+		}
+		seen[p] = true
+		perRow[p[0]] = append(perRow[p[0]], p[1])
+	}
+	out := &BSR{Rows: rows, Cols: cols, BlockSize: blockSize, BlockRows: br, BlockCols: bc,
+		RowPtr: make([]int32, br+1)}
+	for i := 0; i < br; i++ {
+		cols := perRow[i]
+		sortInts(cols)
+		for _, j := range cols {
+			out.ColIdx = append(out.ColIdx, int32(j))
+		}
+		out.RowPtr[i+1] = int32(len(out.ColIdx))
+	}
+	out.Blocks = make([]float32, len(out.ColIdx)*blockSize*blockSize)
+	return out, nil
+}
+
+func sortInts(xs []int) {
+	for i := 1; i < len(xs); i++ {
+		for j := i; j > 0 && xs[j] < xs[j-1]; j-- {
+			xs[j], xs[j-1] = xs[j-1], xs[j]
+		}
+	}
+}
+
+// NumBlocks returns the number of stored blocks.
+func (b *BSR) NumBlocks() int { return len(b.ColIdx) }
+
+// NNZ returns the number of stored scalar values (all block entries count).
+func (b *BSR) NNZ() int { return len(b.Blocks) }
+
+// Block returns the storage slice of the n-th stored block (row-major
+// BlockSize×BlockSize view, mutable).
+func (b *BSR) Block(n int) []float32 {
+	sz := b.BlockSize * b.BlockSize
+	return b.Blocks[n*sz : (n+1)*sz]
+}
+
+// BlockAt returns (blockIndex, true) if block (bi, bj) is stored.
+func (b *BSR) BlockAt(bi, bj int) (int, bool) {
+	for p := b.RowPtr[bi]; p < b.RowPtr[bi+1]; p++ {
+		if int(b.ColIdx[p]) == bj {
+			return int(p), true
+		}
+	}
+	return 0, false
+}
+
+// ToDense materializes the matrix.
+func (b *BSR) ToDense() *tensor.Matrix {
+	out := tensor.New(b.Rows, b.Cols)
+	bs := b.BlockSize
+	for bi := 0; bi < b.BlockRows; bi++ {
+		for p := b.RowPtr[bi]; p < b.RowPtr[bi+1]; p++ {
+			bj := int(b.ColIdx[p])
+			blk := b.Block(int(p))
+			for r := 0; r < bs; r++ {
+				dst := out.Row(bi*bs + r)[bj*bs : bj*bs+bs]
+				src := blk[r*bs : (r+1)*bs]
+				for c := range src {
+					dst[c] += src[c]
+				}
+			}
+		}
+	}
+	return out
+}
+
+// MulDense computes b·x with x dense: (Rows×Cols)·(Cols×K). This is the
+// block-sparse matmul that pixelfly's GPU implementation maps onto tensor
+// cores; here it is the reference semantics for both machine models.
+func (b *BSR) MulDense(x *tensor.Matrix) *tensor.Matrix {
+	if b.Cols != x.Rows {
+		panic(fmt.Sprintf("sparse: BSR MulDense shape mismatch %dx%d x %dx%d", b.Rows, b.Cols, x.Rows, x.Cols))
+	}
+	out := tensor.New(b.Rows, x.Cols)
+	bs, k := b.BlockSize, x.Cols
+	for bi := 0; bi < b.BlockRows; bi++ {
+		for p := b.RowPtr[bi]; p < b.RowPtr[bi+1]; p++ {
+			bj := int(b.ColIdx[p])
+			blk := b.Block(int(p))
+			for r := 0; r < bs; r++ {
+				orow := out.Row(bi*bs + r)
+				for c := 0; c < bs; c++ {
+					v := blk[r*bs+c]
+					if v == 0 {
+						continue
+					}
+					xrow := x.Data[(bj*bs+c)*k : (bj*bs+c+1)*k]
+					for j := 0; j < k; j++ {
+						orow[j] += v * xrow[j]
+					}
+				}
+			}
+		}
+	}
+	return out
+}
+
+// TransposeMulDense computes bᵀ·x: (Cols×Rows)·(Rows×K); used in backward
+// passes of block-sparse layers.
+func (b *BSR) TransposeMulDense(x *tensor.Matrix) *tensor.Matrix {
+	if b.Rows != x.Rows {
+		panic(fmt.Sprintf("sparse: BSR TransposeMulDense shape mismatch %dx%d^T x %dx%d", b.Rows, b.Cols, x.Rows, x.Cols))
+	}
+	out := tensor.New(b.Cols, x.Cols)
+	bs, k := b.BlockSize, x.Cols
+	for bi := 0; bi < b.BlockRows; bi++ {
+		for p := b.RowPtr[bi]; p < b.RowPtr[bi+1]; p++ {
+			bj := int(b.ColIdx[p])
+			blk := b.Block(int(p))
+			for r := 0; r < bs; r++ {
+				xrow := x.Data[(bi*bs+r)*k : (bi*bs+r+1)*k]
+				for c := 0; c < bs; c++ {
+					v := blk[r*bs+c]
+					if v == 0 {
+						continue
+					}
+					orow := out.Row(bj*bs + c)
+					for j := 0; j < k; j++ {
+						orow[j] += v * xrow[j]
+					}
+				}
+			}
+		}
+	}
+	return out
+}
+
+// AccumulateOuter adds dY·Xᵀ contributions into the stored blocks only —
+// the weight-gradient of a block-sparse layer. dY is (Rows×K), x is (Cols×K).
+func (b *BSR) AccumulateOuter(dY, x *tensor.Matrix, lr float32) {
+	if dY.Rows != b.Rows || x.Rows != b.Cols || dY.Cols != x.Cols {
+		panic("sparse: AccumulateOuter shape mismatch")
+	}
+	bs, k := b.BlockSize, dY.Cols
+	for bi := 0; bi < b.BlockRows; bi++ {
+		for p := b.RowPtr[bi]; p < b.RowPtr[bi+1]; p++ {
+			bj := int(b.ColIdx[p])
+			blk := b.Block(int(p))
+			for r := 0; r < bs; r++ {
+				dyrow := dY.Data[(bi*bs+r)*k : (bi*bs+r+1)*k]
+				for c := 0; c < bs; c++ {
+					xrow := x.Data[(bj*bs+c)*k : (bj*bs+c+1)*k]
+					var s float32
+					for j := 0; j < k; j++ {
+						s += dyrow[j] * xrow[j]
+					}
+					blk[r*bs+c] += lr * s
+				}
+			}
+		}
+	}
+}
+
+// Flops returns the useful flops of MulDense with a width-k RHS:
+// 2 · numBlocks · blockSize² · k.
+func (b *BSR) Flops(k int) float64 {
+	return 2 * float64(b.NumBlocks()) * float64(b.BlockSize*b.BlockSize) * float64(k)
+}

@@ -1,0 +1,231 @@
+// Package sparse implements the sparse matrix formats the paper evaluates:
+// COO and CSR for unstructured sparsity (Table 2's cusparse/popsparse rows)
+// and BSR (block compressed sparse row) for the block-aligned patterns of
+// pixelated butterfly.
+package sparse
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+
+	"repro/internal/tensor"
+)
+
+// COO is a coordinate-format sparse matrix. Entries may be in any order
+// unless Sort has been called.
+type COO struct {
+	Rows, Cols int
+	RowIdx     []int32
+	ColIdx     []int32
+	Val        []float32
+}
+
+// CSR is a compressed-sparse-row matrix: RowPtr has Rows+1 entries and
+// column indices within a row are strictly increasing.
+type CSR struct {
+	Rows, Cols int
+	RowPtr     []int32
+	ColIdx     []int32
+	Val        []float32
+}
+
+// NNZ returns the number of stored entries.
+func (c *COO) NNZ() int { return len(c.Val) }
+
+// NNZ returns the number of stored entries.
+func (c *CSR) NNZ() int { return len(c.Val) }
+
+// Density returns NNZ / (Rows*Cols).
+func (c *CSR) Density() float64 {
+	if c.Rows*c.Cols == 0 {
+		return 0
+	}
+	return float64(c.NNZ()) / float64(c.Rows*c.Cols)
+}
+
+// NewCOO returns an empty COO matrix of the given shape.
+func NewCOO(rows, cols int) *COO {
+	return &COO{Rows: rows, Cols: cols}
+}
+
+// Append adds entry (i, j, v). Zero values are kept (callers may want
+// explicit zeros); use Prune to drop them.
+func (c *COO) Append(i, j int, v float32) {
+	if i < 0 || i >= c.Rows || j < 0 || j >= c.Cols {
+		panic(fmt.Sprintf("sparse: COO index (%d,%d) out of range %dx%d", i, j, c.Rows, c.Cols))
+	}
+	c.RowIdx = append(c.RowIdx, int32(i))
+	c.ColIdx = append(c.ColIdx, int32(j))
+	c.Val = append(c.Val, v)
+}
+
+// Sort orders entries by (row, col). Duplicate coordinates are left
+// adjacent; ToCSR sums them.
+func (c *COO) Sort() {
+	idx := make([]int, len(c.Val))
+	for i := range idx {
+		idx[i] = i
+	}
+	sort.SliceStable(idx, func(a, b int) bool {
+		ia, ib := idx[a], idx[b]
+		if c.RowIdx[ia] != c.RowIdx[ib] {
+			return c.RowIdx[ia] < c.RowIdx[ib]
+		}
+		return c.ColIdx[ia] < c.ColIdx[ib]
+	})
+	ri := make([]int32, len(idx))
+	ci := make([]int32, len(idx))
+	vv := make([]float32, len(idx))
+	for n, i := range idx {
+		ri[n], ci[n], vv[n] = c.RowIdx[i], c.ColIdx[i], c.Val[i]
+	}
+	c.RowIdx, c.ColIdx, c.Val = ri, ci, vv
+}
+
+// ToCSR converts to CSR, summing duplicate coordinates.
+func (c *COO) ToCSR() *CSR {
+	cp := &COO{Rows: c.Rows, Cols: c.Cols,
+		RowIdx: append([]int32(nil), c.RowIdx...),
+		ColIdx: append([]int32(nil), c.ColIdx...),
+		Val:    append([]float32(nil), c.Val...)}
+	cp.Sort()
+	out := &CSR{Rows: c.Rows, Cols: c.Cols, RowPtr: make([]int32, c.Rows+1)}
+	for n := 0; n < len(cp.Val); {
+		i, j := cp.RowIdx[n], cp.ColIdx[n]
+		v := cp.Val[n]
+		n++
+		for n < len(cp.Val) && cp.RowIdx[n] == i && cp.ColIdx[n] == j {
+			v += cp.Val[n]
+			n++
+		}
+		out.ColIdx = append(out.ColIdx, j)
+		out.Val = append(out.Val, v)
+		out.RowPtr[i+1]++
+	}
+	for i := 0; i < c.Rows; i++ {
+		out.RowPtr[i+1] += out.RowPtr[i]
+	}
+	return out
+}
+
+// FromDense extracts all entries with |v| > eps into a CSR matrix.
+func FromDense(m *tensor.Matrix, eps float32) *CSR {
+	out := &CSR{Rows: m.Rows, Cols: m.Cols, RowPtr: make([]int32, m.Rows+1)}
+	for i := 0; i < m.Rows; i++ {
+		row := m.Row(i)
+		for j, v := range row {
+			if v > eps || v < -eps {
+				out.ColIdx = append(out.ColIdx, int32(j))
+				out.Val = append(out.Val, v)
+			}
+		}
+		out.RowPtr[i+1] = int32(len(out.Val))
+	}
+	return out
+}
+
+// ToDense materializes the CSR matrix as dense.
+func (c *CSR) ToDense() *tensor.Matrix {
+	out := tensor.New(c.Rows, c.Cols)
+	for i := 0; i < c.Rows; i++ {
+		for p := c.RowPtr[i]; p < c.RowPtr[i+1]; p++ {
+			out.Data[i*c.Cols+int(c.ColIdx[p])] += c.Val[p]
+		}
+	}
+	return out
+}
+
+// ToDense materializes the COO matrix as dense, summing duplicates.
+func (c *COO) ToDense() *tensor.Matrix {
+	out := tensor.New(c.Rows, c.Cols)
+	for n := range c.Val {
+		out.Data[int(c.RowIdx[n])*c.Cols+int(c.ColIdx[n])] += c.Val[n]
+	}
+	return out
+}
+
+// RandomCSR generates a rows×cols matrix where each entry is nonzero with
+// probability density; nonzeros are uniform in [-1, 1]. Deterministic for a
+// given rng. This is the workload generator for Table 2's sparse columns
+// (densities 1% and 10% for sparsities 99% and 90%).
+func RandomCSR(rng *rand.Rand, rows, cols int, density float64) *CSR {
+	if density < 0 || density > 1 {
+		panic(fmt.Sprintf("sparse: invalid density %v", density))
+	}
+	out := &CSR{Rows: rows, Cols: cols, RowPtr: make([]int32, rows+1)}
+	for i := 0; i < rows; i++ {
+		for j := 0; j < cols; j++ {
+			if rng.Float64() < density {
+				out.ColIdx = append(out.ColIdx, int32(j))
+				out.Val = append(out.Val, rng.Float32()*2-1)
+			}
+		}
+		out.RowPtr[i+1] = int32(len(out.Val))
+	}
+	return out
+}
+
+// MulDense computes the SpMM c·b where b is dense: (Rows×Cols)·(Cols×K).
+func (c *CSR) MulDense(b *tensor.Matrix) *tensor.Matrix {
+	if c.Cols != b.Rows {
+		panic(fmt.Sprintf("sparse: SpMM shape mismatch %dx%d x %dx%d", c.Rows, c.Cols, b.Rows, b.Cols))
+	}
+	out := tensor.New(c.Rows, b.Cols)
+	k := b.Cols
+	for i := 0; i < c.Rows; i++ {
+		orow := out.Row(i)
+		for p := c.RowPtr[i]; p < c.RowPtr[i+1]; p++ {
+			v := c.Val[p]
+			brow := b.Data[int(c.ColIdx[p])*k : (int(c.ColIdx[p])+1)*k]
+			for j := 0; j < k; j++ {
+				orow[j] += v * brow[j]
+			}
+		}
+	}
+	return out
+}
+
+// MulDense computes the SpMM c·b for the COO layout (scatter style).
+func (c *COO) MulDense(b *tensor.Matrix) *tensor.Matrix {
+	if c.Cols != b.Rows {
+		panic(fmt.Sprintf("sparse: SpMM shape mismatch %dx%d x %dx%d", c.Rows, c.Cols, b.Rows, b.Cols))
+	}
+	out := tensor.New(c.Rows, b.Cols)
+	k := b.Cols
+	for n := range c.Val {
+		i := int(c.RowIdx[n])
+		v := c.Val[n]
+		brow := b.Data[int(c.ColIdx[n])*k : (int(c.ColIdx[n])+1)*k]
+		orow := out.Row(i)
+		for j := 0; j < k; j++ {
+			orow[j] += v * brow[j]
+		}
+	}
+	return out
+}
+
+// Flops returns the useful floating point operations of SpMM with a dense
+// right-hand side of width k: 2·nnz·k.
+func (c *CSR) Flops(k int) float64 { return 2 * float64(c.NNZ()) * float64(k) }
+
+// TransposeMulDense computes cᵀ·b, needed by backward passes of sparse
+// layers: (Cols×Rows)·(Rows×K).
+func (c *CSR) TransposeMulDense(b *tensor.Matrix) *tensor.Matrix {
+	if c.Rows != b.Rows {
+		panic(fmt.Sprintf("sparse: TransposeMulDense shape mismatch %dx%d^T x %dx%d", c.Rows, c.Cols, b.Rows, b.Cols))
+	}
+	out := tensor.New(c.Cols, b.Cols)
+	k := b.Cols
+	for i := 0; i < c.Rows; i++ {
+		brow := b.Data[i*k : (i+1)*k]
+		for p := c.RowPtr[i]; p < c.RowPtr[i+1]; p++ {
+			v := c.Val[p]
+			orow := out.Row(int(c.ColIdx[p]))
+			for j := 0; j < k; j++ {
+				orow[j] += v * brow[j]
+			}
+		}
+	}
+	return out
+}

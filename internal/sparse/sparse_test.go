@@ -1,0 +1,238 @@
+package sparse
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/tensor"
+)
+
+func TestFromDenseToDenseRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	m := tensor.New(13, 7)
+	m.FillRandom(rng, 1)
+	// zero out some entries
+	for i := 0; i < m.Rows; i++ {
+		for j := 0; j < m.Cols; j++ {
+			if (i+j)%3 == 0 {
+				m.Set(i, j, 0)
+			}
+		}
+	}
+	csr := FromDense(m, 0)
+	back := csr.ToDense()
+	if !tensor.AlmostEqual(m, back, 0) {
+		t.Fatalf("round trip mismatch: %v", tensor.MaxAbsDiff(m, back))
+	}
+}
+
+func TestCSRMulDenseMatchesDense(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	for _, d := range []float64{0.01, 0.1, 0.5, 1.0} {
+		a := RandomCSR(rng, 31, 17, d)
+		b := tensor.New(17, 23)
+		b.FillRandom(rng, 1)
+		want := tensor.MatMul(a.ToDense(), b)
+		got := a.MulDense(b)
+		if !tensor.AlmostEqual(want, got, 1e-4) {
+			t.Fatalf("density %v: SpMM mismatch %v", d, tensor.MaxAbsDiff(want, got))
+		}
+	}
+}
+
+func TestCOOMulDenseMatchesCSR(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	csr := RandomCSR(rng, 20, 20, 0.2)
+	coo := NewCOO(20, 20)
+	for i := 0; i < csr.Rows; i++ {
+		for p := csr.RowPtr[i]; p < csr.RowPtr[i+1]; p++ {
+			coo.Append(i, int(csr.ColIdx[p]), csr.Val[p])
+		}
+	}
+	b := tensor.New(20, 5)
+	b.FillRandom(rng, 1)
+	want := csr.MulDense(b)
+	got := coo.MulDense(b)
+	if !tensor.AlmostEqual(want, got, 1e-5) {
+		t.Fatalf("COO vs CSR SpMM mismatch: %v", tensor.MaxAbsDiff(want, got))
+	}
+}
+
+func TestCOOToCSRSumsDuplicates(t *testing.T) {
+	coo := NewCOO(2, 2)
+	coo.Append(0, 1, 1)
+	coo.Append(0, 1, 2)
+	coo.Append(1, 0, 5)
+	csr := coo.ToCSR()
+	if csr.NNZ() != 2 {
+		t.Fatalf("NNZ = %d, want 2 (duplicates summed)", csr.NNZ())
+	}
+	d := csr.ToDense()
+	if d.At(0, 1) != 3 || d.At(1, 0) != 5 {
+		t.Fatalf("duplicate sum wrong: %v", d.Data)
+	}
+}
+
+func TestCOOAppendBounds(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("out-of-range append did not panic")
+		}
+	}()
+	NewCOO(2, 2).Append(2, 0, 1)
+}
+
+func TestRandomCSRDensity(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	c := RandomCSR(rng, 200, 200, 0.1)
+	d := c.Density()
+	if d < 0.07 || d > 0.13 {
+		t.Fatalf("density %v too far from 0.1", d)
+	}
+}
+
+func TestTransposeMulDense(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	a := RandomCSR(rng, 14, 9, 0.3)
+	b := tensor.New(14, 6)
+	b.FillRandom(rng, 1)
+	want := tensor.MatMul(a.ToDense().Transpose(), b)
+	got := a.TransposeMulDense(b)
+	if !tensor.AlmostEqual(want, got, 1e-4) {
+		t.Fatalf("TransposeMulDense mismatch: %v", tensor.MaxAbsDiff(want, got))
+	}
+}
+
+func TestCSRFlops(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	c := RandomCSR(rng, 10, 10, 0.5)
+	if got := c.Flops(4); got != 8*float64(c.NNZ()) {
+		t.Fatalf("Flops = %v, want %v", got, 8*float64(c.NNZ()))
+	}
+}
+
+// Property: SpMM result equals dense matmul of the materialized matrix.
+func TestSpMMEquivalenceProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		rows := 1 + rng.Intn(16)
+		cols := 1 + rng.Intn(16)
+		k := 1 + rng.Intn(8)
+		a := RandomCSR(rng, rows, cols, 0.3)
+		b := tensor.New(cols, k)
+		b.FillRandom(rng, 1)
+		return tensor.AlmostEqual(tensor.MatMul(a.ToDense(), b), a.MulDense(b), 1e-4)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBSRBuildAndRoundTrip(t *testing.T) {
+	pattern := [][2]int{{0, 0}, {0, 1}, {1, 1}, {2, 0}}
+	b, err := NewBSR(12, 8, 4, pattern)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b.NumBlocks() != 4 || b.BlockRows != 3 || b.BlockCols != 2 {
+		t.Fatalf("unexpected BSR layout: %+v", b)
+	}
+	// Fill blocks with identifiable values.
+	for n := 0; n < b.NumBlocks(); n++ {
+		blk := b.Block(n)
+		for i := range blk {
+			blk[i] = float32(n + 1)
+		}
+	}
+	d := b.ToDense()
+	if d.At(0, 0) != 1 || d.At(0, 4) != 2 || d.At(4, 4) != 3 || d.At(8, 0) != 4 {
+		t.Fatalf("block placement wrong")
+	}
+	if d.At(4, 0) != 0 {
+		t.Fatal("absent block should be zero")
+	}
+}
+
+func TestBSRRejectsBadShapes(t *testing.T) {
+	if _, err := NewBSR(10, 8, 4, nil); err == nil {
+		t.Fatal("expected error: rows not divisible by block size")
+	}
+	if _, err := NewBSR(8, 8, 0, nil); err == nil {
+		t.Fatal("expected error: zero block size")
+	}
+	if _, err := NewBSR(8, 8, 4, [][2]int{{0, 0}, {0, 0}}); err == nil {
+		t.Fatal("expected error: duplicate block")
+	}
+	if _, err := NewBSR(8, 8, 4, [][2]int{{5, 0}}); err == nil {
+		t.Fatal("expected error: block out of grid")
+	}
+}
+
+func TestBSRMulDenseMatchesDense(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	pattern := [][2]int{{0, 0}, {1, 2}, {2, 1}, {3, 3}, {0, 3}}
+	b, err := NewBSR(16, 16, 4, pattern)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range b.Blocks {
+		b.Blocks[i] = rng.Float32()*2 - 1
+	}
+	x := tensor.New(16, 7)
+	x.FillRandom(rng, 1)
+	want := tensor.MatMul(b.ToDense(), x)
+	got := b.MulDense(x)
+	if !tensor.AlmostEqual(want, got, 1e-4) {
+		t.Fatalf("BSR MulDense mismatch: %v", tensor.MaxAbsDiff(want, got))
+	}
+	wantT := tensor.MatMul(b.ToDense().Transpose(), tensor.FromSlice(16, 7, x.Data))
+	gotT := b.TransposeMulDense(x)
+	if !tensor.AlmostEqual(wantT, gotT, 1e-4) {
+		t.Fatalf("BSR TransposeMulDense mismatch: %v", tensor.MaxAbsDiff(wantT, gotT))
+	}
+}
+
+func TestBSRAccumulateOuterMatchesDense(t *testing.T) {
+	rng := rand.New(rand.NewSource(8))
+	pattern := [][2]int{{0, 1}, {1, 0}}
+	b, err := NewBSR(8, 8, 4, pattern)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dY := tensor.New(8, 5)
+	dY.FillRandom(rng, 1)
+	x := tensor.New(8, 5)
+	x.FillRandom(rng, 1)
+	b.AccumulateOuter(dY, x, 1)
+	// Dense gradient masked to the stored blocks.
+	full := tensor.MatMul(dY, x.Transpose())
+	dense := b.ToDense()
+	for bi := 0; bi < 2; bi++ {
+		for bj := 0; bj < 2; bj++ {
+			_, stored := b.BlockAt(bi, bj)
+			for r := 0; r < 4; r++ {
+				for c := 0; c < 4; c++ {
+					want := float32(0)
+					if stored {
+						want = full.At(bi*4+r, bj*4+c)
+					}
+					got := dense.At(bi*4+r, bj*4+c)
+					if diff := float64(want - got); diff > 1e-4 || diff < -1e-4 {
+						t.Fatalf("block (%d,%d) entry (%d,%d): got %v want %v", bi, bj, r, c, got, want)
+					}
+				}
+			}
+		}
+	}
+}
+
+func TestBSRFlops(t *testing.T) {
+	b, err := NewBSR(8, 8, 4, [][2]int{{0, 0}, {1, 1}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := b.Flops(3); got != 2*2*16*3 {
+		t.Fatalf("Flops = %v, want %v", got, 2*2*16*3)
+	}
+}

@@ -1,0 +1,350 @@
+// Package tensor implements dense float32 matrices and the matrix-multiply
+// variants the paper benchmarks (naive, blocked, parallel). It is the
+// numeric substrate for every layer implementation and for the workloads
+// fed to the IPU and GPU machine models.
+//
+// Matrices are row-major and sized dynamically. float32 is used throughout
+// to match the FP32 arithmetic of the paper's experiments.
+package tensor
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"runtime"
+	"sync"
+)
+
+// Matrix is a dense row-major float32 matrix.
+type Matrix struct {
+	Rows, Cols int
+	Data       []float32
+}
+
+// New returns a zero-initialized rows×cols matrix.
+func New(rows, cols int) *Matrix {
+	if rows < 0 || cols < 0 {
+		panic(fmt.Sprintf("tensor: invalid shape %dx%d", rows, cols))
+	}
+	return &Matrix{Rows: rows, Cols: cols, Data: make([]float32, rows*cols)}
+}
+
+// FromSlice wraps data (row-major, length rows*cols) in a Matrix without
+// copying. The caller must not alias data in conflicting ways.
+func FromSlice(rows, cols int, data []float32) *Matrix {
+	if len(data) != rows*cols {
+		panic(fmt.Sprintf("tensor: FromSlice length %d != %d*%d", len(data), rows, cols))
+	}
+	return &Matrix{Rows: rows, Cols: cols, Data: data}
+}
+
+// At returns element (i, j).
+func (m *Matrix) At(i, j int) float32 { return m.Data[i*m.Cols+j] }
+
+// Set assigns element (i, j).
+func (m *Matrix) Set(i, j int, v float32) { m.Data[i*m.Cols+j] = v }
+
+// Row returns a view of row i (no copy).
+func (m *Matrix) Row(i int) []float32 { return m.Data[i*m.Cols : (i+1)*m.Cols] }
+
+// Clone returns a deep copy.
+func (m *Matrix) Clone() *Matrix {
+	out := New(m.Rows, m.Cols)
+	copy(out.Data, m.Data)
+	return out
+}
+
+// Shape returns (rows, cols).
+func (m *Matrix) Shape() (int, int) { return m.Rows, m.Cols }
+
+// NumElements returns rows*cols.
+func (m *Matrix) NumElements() int { return m.Rows * m.Cols }
+
+// SizeBytes returns the footprint of the payload in bytes (4 per element).
+func (m *Matrix) SizeBytes() int { return 4 * m.NumElements() }
+
+// Zero resets all elements to 0 in place.
+func (m *Matrix) Zero() {
+	for i := range m.Data {
+		m.Data[i] = 0
+	}
+}
+
+// FillRandom fills the matrix with uniform values in [-scale, scale] drawn
+// from rng. Deterministic given the rng seed.
+func (m *Matrix) FillRandom(rng *rand.Rand, scale float32) {
+	for i := range m.Data {
+		m.Data[i] = (rng.Float32()*2 - 1) * scale
+	}
+}
+
+// Identity returns the n×n identity matrix.
+func Identity(n int) *Matrix {
+	m := New(n, n)
+	for i := 0; i < n; i++ {
+		m.Set(i, i, 1)
+	}
+	return m
+}
+
+// Transpose returns a new matrix that is the transpose of m.
+func (m *Matrix) Transpose() *Matrix {
+	out := New(m.Cols, m.Rows)
+	for i := 0; i < m.Rows; i++ {
+		base := i * m.Cols
+		for j := 0; j < m.Cols; j++ {
+			out.Data[j*out.Cols+i] = m.Data[base+j]
+		}
+	}
+	return out
+}
+
+// Add returns a + b. Panics on shape mismatch.
+func Add(a, b *Matrix) *Matrix {
+	checkSameShape("Add", a, b)
+	out := New(a.Rows, a.Cols)
+	for i := range a.Data {
+		out.Data[i] = a.Data[i] + b.Data[i]
+	}
+	return out
+}
+
+// AddInPlace accumulates b into a. Panics on shape mismatch.
+func AddInPlace(a, b *Matrix) {
+	checkSameShape("AddInPlace", a, b)
+	for i := range a.Data {
+		a.Data[i] += b.Data[i]
+	}
+}
+
+// Sub returns a - b. Panics on shape mismatch.
+func Sub(a, b *Matrix) *Matrix {
+	checkSameShape("Sub", a, b)
+	out := New(a.Rows, a.Cols)
+	for i := range a.Data {
+		out.Data[i] = a.Data[i] - b.Data[i]
+	}
+	return out
+}
+
+// Scale returns s*m as a new matrix.
+func Scale(m *Matrix, s float32) *Matrix {
+	out := New(m.Rows, m.Cols)
+	for i := range m.Data {
+		out.Data[i] = m.Data[i] * s
+	}
+	return out
+}
+
+// ScaleInPlace multiplies every element of m by s.
+func ScaleInPlace(m *Matrix, s float32) {
+	for i := range m.Data {
+		m.Data[i] *= s
+	}
+}
+
+// AddRowVector adds vector v (len == Cols) to every row of m in place.
+// This is the bias-add of a linear layer.
+func AddRowVector(m *Matrix, v []float32) {
+	if len(v) != m.Cols {
+		panic(fmt.Sprintf("tensor: AddRowVector length %d != cols %d", len(v), m.Cols))
+	}
+	for i := 0; i < m.Rows; i++ {
+		row := m.Row(i)
+		for j := range row {
+			row[j] += v[j]
+		}
+	}
+}
+
+// ColSums returns the per-column sums of m (used for bias gradients).
+func ColSums(m *Matrix) []float32 {
+	out := make([]float32, m.Cols)
+	for i := 0; i < m.Rows; i++ {
+		row := m.Row(i)
+		for j, v := range row {
+			out[j] += v
+		}
+	}
+	return out
+}
+
+// MaxAbsDiff returns the largest absolute element-wise difference.
+func MaxAbsDiff(a, b *Matrix) float64 {
+	checkSameShape("MaxAbsDiff", a, b)
+	maxd := 0.0
+	for i := range a.Data {
+		d := math.Abs(float64(a.Data[i]) - float64(b.Data[i]))
+		if d > maxd {
+			maxd = d
+		}
+	}
+	return maxd
+}
+
+// FrobeniusNorm returns sqrt(sum of squared elements).
+func (m *Matrix) FrobeniusNorm() float64 {
+	s := 0.0
+	for _, v := range m.Data {
+		s += float64(v) * float64(v)
+	}
+	return math.Sqrt(s)
+}
+
+// AlmostEqual reports whether all elements differ by at most tol.
+func AlmostEqual(a, b *Matrix, tol float64) bool {
+	if a.Rows != b.Rows || a.Cols != b.Cols {
+		return false
+	}
+	return MaxAbsDiff(a, b) <= tol
+}
+
+func checkSameShape(op string, a, b *Matrix) {
+	if a.Rows != b.Rows || a.Cols != b.Cols {
+		panic(fmt.Sprintf("tensor: %s shape mismatch %dx%d vs %dx%d", op, a.Rows, a.Cols, b.Rows, b.Cols))
+	}
+}
+
+func checkMulShapes(a, b *Matrix) {
+	if a.Cols != b.Rows {
+		panic(fmt.Sprintf("tensor: matmul shape mismatch %dx%d x %dx%d", a.Rows, a.Cols, b.Rows, b.Cols))
+	}
+}
+
+// MatMulFlops returns the floating-point operation count of an
+// (m×n)·(n×k) multiply under the usual 2·m·n·k convention.
+func MatMulFlops(m, n, k int) float64 { return 2 * float64(m) * float64(n) * float64(k) }
+
+// MatMul computes a·b with the straightforward triple loop (ikj order for
+// cache-friendly row access). This is the reference implementation.
+func MatMul(a, b *Matrix) *Matrix {
+	checkMulShapes(a, b)
+	out := New(a.Rows, b.Cols)
+	n, k := a.Cols, b.Cols
+	for i := 0; i < a.Rows; i++ {
+		arow := a.Row(i)
+		orow := out.Row(i)
+		for p := 0; p < n; p++ {
+			av := arow[p]
+			if av == 0 {
+				continue
+			}
+			brow := b.Data[p*k : (p+1)*k]
+			for j := 0; j < k; j++ {
+				orow[j] += av * brow[j]
+			}
+		}
+	}
+	return out
+}
+
+// DefaultBlock is the cache-blocking tile edge used by MatMulBlocked.
+const DefaultBlock = 64
+
+// MatMulBlocked computes a·b with square cache blocking (tile edge bs; pass
+// 0 for DefaultBlock). Mirrors the "IPU blocked" / "GPU shmem" kernels.
+func MatMulBlocked(a, b *Matrix, bs int) *Matrix {
+	checkMulShapes(a, b)
+	if bs <= 0 {
+		bs = DefaultBlock
+	}
+	out := New(a.Rows, b.Cols)
+	m, n, k := a.Rows, a.Cols, b.Cols
+	for ii := 0; ii < m; ii += bs {
+		iMax := min(ii+bs, m)
+		for pp := 0; pp < n; pp += bs {
+			pMax := min(pp+bs, n)
+			for jj := 0; jj < k; jj += bs {
+				jMax := min(jj+bs, k)
+				for i := ii; i < iMax; i++ {
+					arow := a.Row(i)
+					orow := out.Row(i)
+					for p := pp; p < pMax; p++ {
+						av := arow[p]
+						if av == 0 {
+							continue
+						}
+						brow := b.Data[p*k : (p+1)*k]
+						for j := jj; j < jMax; j++ {
+							orow[j] += av * brow[j]
+						}
+					}
+				}
+			}
+		}
+	}
+	return out
+}
+
+// MatMulParallel computes a·b splitting rows of a across GOMAXPROCS
+// goroutines. Used by the training loop to keep host-side epochs fast.
+func MatMulParallel(a, b *Matrix) *Matrix {
+	checkMulShapes(a, b)
+	out := New(a.Rows, b.Cols)
+	workers := runtime.GOMAXPROCS(0)
+	if workers > a.Rows {
+		workers = a.Rows
+	}
+	if workers <= 1 || a.Rows*a.Cols*b.Cols < 1<<16 {
+		matMulRows(a, b, out, 0, a.Rows)
+		return out
+	}
+	var wg sync.WaitGroup
+	chunk := (a.Rows + workers - 1) / workers
+	for w := 0; w < workers; w++ {
+		lo := w * chunk
+		hi := min(lo+chunk, a.Rows)
+		if lo >= hi {
+			break
+		}
+		wg.Add(1)
+		go func(lo, hi int) {
+			defer wg.Done()
+			matMulRows(a, b, out, lo, hi)
+		}(lo, hi)
+	}
+	wg.Wait()
+	return out
+}
+
+func matMulRows(a, b, out *Matrix, lo, hi int) {
+	n, k := a.Cols, b.Cols
+	for i := lo; i < hi; i++ {
+		arow := a.Row(i)
+		orow := out.Row(i)
+		for p := 0; p < n; p++ {
+			av := arow[p]
+			if av == 0 {
+				continue
+			}
+			brow := b.Data[p*k : (p+1)*k]
+			for j := 0; j < k; j++ {
+				orow[j] += av * brow[j]
+			}
+		}
+	}
+}
+
+// MulVec computes m·x for a column vector x (len == Cols).
+func (m *Matrix) MulVec(x []float32) []float32 {
+	if len(x) != m.Cols {
+		panic(fmt.Sprintf("tensor: MulVec length %d != cols %d", len(x), m.Cols))
+	}
+	out := make([]float32, m.Rows)
+	for i := 0; i < m.Rows; i++ {
+		row := m.Row(i)
+		var s float32
+		for j, v := range row {
+			s += v * x[j]
+		}
+		out[i] = s
+	}
+	return out
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,254 @@
+package tensor
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func randomMatrix(rng *rand.Rand, rows, cols int) *Matrix {
+	m := New(rows, cols)
+	m.FillRandom(rng, 1)
+	return m
+}
+
+func TestNewShape(t *testing.T) {
+	m := New(3, 4)
+	if m.Rows != 3 || m.Cols != 4 || len(m.Data) != 12 {
+		t.Fatalf("unexpected shape: %+v", m)
+	}
+}
+
+func TestNewPanicsOnNegative(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("New(-1, 2) did not panic")
+		}
+	}()
+	New(-1, 2)
+}
+
+func TestFromSliceLengthCheck(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("FromSlice with wrong length did not panic")
+		}
+	}()
+	FromSlice(2, 2, []float32{1, 2, 3})
+}
+
+func TestAtSetRoundTrip(t *testing.T) {
+	m := New(2, 3)
+	m.Set(1, 2, 42)
+	if m.At(1, 2) != 42 {
+		t.Fatalf("At(1,2) = %v, want 42", m.At(1, 2))
+	}
+	if m.Data[5] != 42 {
+		t.Fatalf("row-major layout broken: %v", m.Data)
+	}
+}
+
+func TestIdentityMultiplication(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	a := randomMatrix(rng, 5, 5)
+	got := MatMul(a, Identity(5))
+	if !AlmostEqual(a, got, 1e-6) {
+		t.Fatalf("A*I != A (maxdiff %v)", MaxAbsDiff(a, got))
+	}
+	got = MatMul(Identity(5), a)
+	if !AlmostEqual(a, got, 1e-6) {
+		t.Fatalf("I*A != A (maxdiff %v)", MaxAbsDiff(a, got))
+	}
+}
+
+func TestMatMulKnownValues(t *testing.T) {
+	a := FromSlice(2, 3, []float32{1, 2, 3, 4, 5, 6})
+	b := FromSlice(3, 2, []float32{7, 8, 9, 10, 11, 12})
+	want := FromSlice(2, 2, []float32{58, 64, 139, 154})
+	got := MatMul(a, b)
+	if !AlmostEqual(want, got, 1e-6) {
+		t.Fatalf("MatMul = %v, want %v", got.Data, want.Data)
+	}
+}
+
+func TestMatMulShapePanic(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("mismatched matmul did not panic")
+		}
+	}()
+	MatMul(New(2, 3), New(2, 3))
+}
+
+func TestBlockedMatchesNaive(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	for _, shape := range [][3]int{{17, 31, 13}, {64, 64, 64}, {1, 5, 9}, {70, 3, 70}} {
+		a := randomMatrix(rng, shape[0], shape[1])
+		b := randomMatrix(rng, shape[1], shape[2])
+		want := MatMul(a, b)
+		for _, bs := range []int{0, 8, 16, 100} {
+			got := MatMulBlocked(a, b, bs)
+			if !AlmostEqual(want, got, 1e-4) {
+				t.Fatalf("blocked(bs=%d) mismatch for shape %v: %v", bs, shape, MaxAbsDiff(want, got))
+			}
+		}
+	}
+}
+
+func TestParallelMatchesNaive(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	for _, shape := range [][3]int{{129, 65, 77}, {4, 4, 4}, {200, 10, 1}} {
+		a := randomMatrix(rng, shape[0], shape[1])
+		b := randomMatrix(rng, shape[1], shape[2])
+		want := MatMul(a, b)
+		got := MatMulParallel(a, b)
+		if !AlmostEqual(want, got, 1e-4) {
+			t.Fatalf("parallel mismatch for shape %v: %v", shape, MaxAbsDiff(want, got))
+		}
+	}
+}
+
+func TestTransposeInvolution(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	a := randomMatrix(rng, 7, 3)
+	b := a.Transpose().Transpose()
+	if !AlmostEqual(a, b, 0) {
+		t.Fatal("transpose twice != original")
+	}
+}
+
+func TestTransposeShape(t *testing.T) {
+	a := New(2, 5)
+	at := a.Transpose()
+	if at.Rows != 5 || at.Cols != 2 {
+		t.Fatalf("transpose shape = %dx%d, want 5x2", at.Rows, at.Cols)
+	}
+}
+
+func TestAddSubScale(t *testing.T) {
+	a := FromSlice(1, 3, []float32{1, 2, 3})
+	b := FromSlice(1, 3, []float32{10, 20, 30})
+	if got := Add(a, b); got.Data[2] != 33 {
+		t.Fatalf("Add wrong: %v", got.Data)
+	}
+	if got := Sub(b, a); got.Data[0] != 9 {
+		t.Fatalf("Sub wrong: %v", got.Data)
+	}
+	if got := Scale(a, 2); got.Data[1] != 4 {
+		t.Fatalf("Scale wrong: %v", got.Data)
+	}
+	ScaleInPlace(a, -1)
+	if a.Data[0] != -1 {
+		t.Fatalf("ScaleInPlace wrong: %v", a.Data)
+	}
+}
+
+func TestAddRowVectorAndColSums(t *testing.T) {
+	m := FromSlice(2, 2, []float32{1, 2, 3, 4})
+	AddRowVector(m, []float32{10, 20})
+	want := []float32{11, 22, 13, 24}
+	for i := range want {
+		if m.Data[i] != want[i] {
+			t.Fatalf("AddRowVector got %v, want %v", m.Data, want)
+		}
+	}
+	sums := ColSums(m)
+	if sums[0] != 24 || sums[1] != 46 {
+		t.Fatalf("ColSums = %v, want [24 46]", sums)
+	}
+}
+
+func TestMulVec(t *testing.T) {
+	m := FromSlice(2, 3, []float32{1, 2, 3, 4, 5, 6})
+	got := m.MulVec([]float32{1, 1, 1})
+	if got[0] != 6 || got[1] != 15 {
+		t.Fatalf("MulVec = %v, want [6 15]", got)
+	}
+}
+
+func TestMatMulFlops(t *testing.T) {
+	if got := MatMulFlops(2, 3, 4); got != 48 {
+		t.Fatalf("MatMulFlops = %v, want 48", got)
+	}
+}
+
+func TestCloneIsDeep(t *testing.T) {
+	a := FromSlice(1, 2, []float32{1, 2})
+	b := a.Clone()
+	b.Data[0] = 99
+	if a.Data[0] != 1 {
+		t.Fatal("Clone aliases the original")
+	}
+}
+
+// Property: (A·B)ᵀ == Bᵀ·Aᵀ on random small shapes.
+func TestMatMulTransposeProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		m := 1 + r.Intn(12)
+		n := 1 + r.Intn(12)
+		k := 1 + r.Intn(12)
+		a := randomMatrix(rng, m, n)
+		b := randomMatrix(rng, n, k)
+		left := MatMul(a, b).Transpose()
+		right := MatMul(b.Transpose(), a.Transpose())
+		return AlmostEqual(left, right, 1e-4)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: matmul distributes over addition: A·(B+C) == A·B + A·C.
+func TestMatMulDistributiveProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		m := 1 + r.Intn(10)
+		n := 1 + r.Intn(10)
+		k := 1 + r.Intn(10)
+		a := randomMatrix(rng, m, n)
+		b := randomMatrix(rng, n, k)
+		c := randomMatrix(rng, n, k)
+		left := MatMul(a, Add(b, c))
+		right := Add(MatMul(a, b), MatMul(a, c))
+		return AlmostEqual(left, right, 1e-3)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func BenchmarkMatMulNaive256(b *testing.B) {
+	rng := rand.New(rand.NewSource(7))
+	x := randomMatrix(rng, 256, 256)
+	y := randomMatrix(rng, 256, 256)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		MatMul(x, y)
+	}
+}
+
+func BenchmarkMatMulBlocked256(b *testing.B) {
+	rng := rand.New(rand.NewSource(8))
+	x := randomMatrix(rng, 256, 256)
+	y := randomMatrix(rng, 256, 256)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		MatMulBlocked(x, y, 0)
+	}
+}
+
+func BenchmarkMatMulParallel256(b *testing.B) {
+	rng := rand.New(rand.NewSource(9))
+	x := randomMatrix(rng, 256, 256)
+	y := randomMatrix(rng, 256, 256)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		MatMulParallel(x, y)
+	}
+}
