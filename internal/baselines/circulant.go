@@ -46,22 +46,21 @@ func (c *Circulant) Flops(batch int) float64 {
 
 // Forward convolves every row of x with the circulant vector.
 func (c *Circulant) Forward(x *tensor.Matrix) *tensor.Matrix {
+	out := c.Apply(x)
+	c.xSaved = x
+	return out
+}
+
+// Apply is Forward without retaining state. It writes no receiver fields,
+// so any number of goroutines may share one Circulant for inference.
+func (c *Circulant) Apply(x *tensor.Matrix) *tensor.Matrix {
 	if x.Cols != c.N {
 		panic(fmt.Sprintf("baselines: Circulant input width %d != %d", x.Cols, c.N))
 	}
-	c.xSaved = x
 	out := tensor.New(x.Rows, x.Cols)
 	for r := 0; r < x.Rows; r++ {
 		copy(out.Row(r), fft.CircularConvolve(c.C, x.Row(r)))
 	}
-	return out
-}
-
-// Apply is Forward without retaining state.
-func (c *Circulant) Apply(x *tensor.Matrix) *tensor.Matrix {
-	s := c.xSaved
-	out := c.Forward(x)
-	c.xSaved = s
 	return out
 }
 

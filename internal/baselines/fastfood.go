@@ -123,12 +123,18 @@ func (f *Fastfood) Forward(x *tensor.Matrix) *tensor.Matrix {
 	return scaleRows(f.u5, f.S)
 }
 
-// Apply is Forward without retaining state.
+// Apply is Forward without retaining state. It writes no receiver fields,
+// so any number of goroutines may share one Fastfood for inference.
 func (f *Fastfood) Apply(x *tensor.Matrix) *tensor.Matrix {
-	s := []*tensor.Matrix{f.u1, f.u2, f.u3, f.u4, f.u5, f.xSaved}
-	out := f.Forward(x)
-	f.u1, f.u2, f.u3, f.u4, f.u5, f.xSaved = s[0], s[1], s[2], s[3], s[4], s[5]
-	return out
+	if x.Cols != f.N {
+		panic(fmt.Sprintf("baselines: Fastfood input width %d != %d", x.Cols, f.N))
+	}
+	u := scaleRows(x, f.B)
+	u = fwhtRows(u)
+	u = permuteRows(u, f.Perm)
+	u = scaleRows(u, f.G)
+	u = fwhtRows(u)
+	return scaleRows(u, f.S)
 }
 
 // Backward accumulates diagonal gradients and returns dX. Ĥ is symmetric,

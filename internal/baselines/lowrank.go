@@ -59,12 +59,13 @@ func (l *LowRank) Forward(x *tensor.Matrix) *tensor.Matrix {
 	return tensor.MatMul(l.xvSaved, l.U.Transpose())
 }
 
-// Apply is Forward without retaining state.
+// Apply is Forward without retaining state. It writes no receiver fields,
+// so any number of goroutines may share one LowRank for inference.
 func (l *LowRank) Apply(x *tensor.Matrix) *tensor.Matrix {
-	s1, s2 := l.xSaved, l.xvSaved
-	out := l.Forward(x)
-	l.xSaved, l.xvSaved = s1, s2
-	return out
+	if x.Cols != l.N {
+		panic(fmt.Sprintf("baselines: LowRank input width %d != %d", x.Cols, l.N))
+	}
+	return tensor.MatMul(tensor.MatMul(x, l.V), l.U.Transpose())
 }
 
 // Backward accumulates dU, dV and returns dX.

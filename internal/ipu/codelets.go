@@ -116,7 +116,7 @@ func BuildDenseMatMul(cfg Config, m, k, n int, variant MatMulVariant) *Workload 
 		slices := ceilDiv(k, poplinKSlice)
 		for s := 0; s < slices; s++ {
 			k0 := s * poplinKSlice
-			k1 := minInt(k0+poplinKSlice, k)
+			k1 := min(k0+poplinKSlice, k)
 			kc := k1 - k0
 			var tmpA, tmpB VarID
 			if variant == MMBlocked {
@@ -126,7 +126,7 @@ func BuildDenseMatMul(cfg Config, m, k, n int, variant MatMulVariant) *Workload 
 				copyCS := g.AddComputeSet(fmt.Sprintf("matmul.copy.%d", s))
 				for bi := 0; bi < p; bi++ {
 					tile := (bi * q) % cfg.Tiles
-					r0, r1 := bi*bm, minInt((bi+1)*bm, m)
+					r0, r1 := bi*bm, min((bi+1)*bm, m)
 					if r0 >= r1 {
 						continue
 					}
@@ -140,7 +140,7 @@ func BuildDenseMatMul(cfg Config, m, k, n int, variant MatMulVariant) *Workload 
 				}
 				for bj := 0; bj < q; bj++ {
 					tile := bj % cfg.Tiles
-					c0, c1 := bj*bn, minInt((bj+1)*bn, n)
+					c0, c1 := bj*bn, min((bj+1)*bn, n)
 					if c0 >= c1 {
 						continue
 					}
@@ -158,8 +158,8 @@ func BuildDenseMatMul(cfg Config, m, k, n int, variant MatMulVariant) *Workload 
 			for bi := 0; bi < p; bi++ {
 				for bj := 0; bj < q; bj++ {
 					tile := (bi*q + bj) % cfg.Tiles
-					r0, r1 := bi*bm, minInt((bi+1)*bm, m)
-					c0, c1 := bj*bn, minInt((bj+1)*bn, n)
+					r0, r1 := bi*bm, min((bi+1)*bm, m)
+					c0, c1 := bj*bn, min((bj+1)*bn, n)
 					if r0 >= r1 || c0 >= c1 {
 						continue
 					}
@@ -230,7 +230,7 @@ func BuildSparseMM(cfg Config, n int, density float64) *Workload {
 	if panels > n {
 		panels = n
 	}
-	rowGroups := minInt(cfg.Tiles/panels, n)
+	rowGroups := min(cfg.Tiles/panels, n)
 	if rowGroups < 1 {
 		rowGroups = 1
 	}
@@ -239,15 +239,15 @@ func BuildSparseMM(cfg Config, n int, density float64) *Workload {
 	nnzPer := ceilDiv(nnz, rowGroups)
 	for rg := 0; rg < rowGroups; rg++ {
 		r0 := rg * rowsPer
-		r1 := minInt(r0+rowsPer, n)
+		r1 := min(r0+rowsPer, n)
 		if r0 >= r1 {
 			break
 		}
-		v0 := minInt(rg*nnzPer, nnz)
-		v1 := minInt(v0+nnzPer, nnz)
+		v0 := min(rg*nnzPer, nnz)
+		v1 := min(v0+nnzPer, nnz)
 		for pn := 0; pn < panels; pn++ {
 			c0 := pn * colsPer
-			c1 := minInt(c0+colsPer, n)
+			c1 := min(c0+colsPer, n)
 			if c0 >= c1 {
 				continue
 			}
@@ -289,7 +289,7 @@ func BuildButterflyMM(cfg Config, n, batch int) *Workload {
 		DenseEquivFlops: 2 * float64(n) * float64(n) * float64(batch),
 		HostBytes:       float64(2 * n * batch * 4)}
 
-	tiles := minInt(cfg.Tiles, n/2)
+	tiles := min(cfg.Tiles, n/2)
 	pairsPer := ceilDiv(n/2, tiles)
 	src, dst := x0, x1
 	// The plain-PyTorch butterfly (the implementation the paper uses on
@@ -305,7 +305,7 @@ func BuildButterflyMM(cfg Config, n, batch int) *Workload {
 		block := half << 1
 		for t := 0; t < tiles; t++ {
 			p0 := t * pairsPer
-			p1 := minInt(p0+pairsPer, n/2)
+			p1 := min(p0+pairsPer, n/2)
 			if p0 >= p1 {
 				break
 			}
@@ -386,13 +386,13 @@ func BuildPixelflyMM(cfg Config, pcfg pixelfly.Config, batch int) *Workload {
 	// CS1: block MACs. Each stored block is split along the batch dimension
 	// so the work spreads over all tiles rather than one tile per block.
 	mac := g.AddComputeSet("pixelfly.blockmac")
-	batchSlices := clamp(cfg.Tiles/maxInt(1, len(support)), 1, batch)
+	batchSlices := clamp(cfg.Tiles/max(1, len(support)), 1, batch)
 	sliceLen := ceilDiv(batch, batchSlices)
 	for i, blk := range support {
 		bj := blk[1]
 		for sl := 0; sl < batchSlices; sl++ {
 			b0 := sl * sliceLen
-			b1 := minInt(b0+sliceLen, batch)
+			b1 := min(b0+sliceLen, batch)
 			if b0 >= b1 {
 				break
 			}
@@ -424,7 +424,7 @@ func BuildPixelflyMM(cfg Config, pcfg pixelfly.Config, batch int) *Workload {
 	for bi, list := range perRow {
 		for sl := 0; sl < batchSlices; sl++ {
 			b0 := sl * sliceLen
-			b1 := minInt(b0+sliceLen, batch)
+			b1 := min(b0+sliceLen, batch)
 			if b0 >= b1 {
 				break
 			}
@@ -454,10 +454,10 @@ func BuildPixelflyMM(cfg Config, pcfg pixelfly.Config, batch int) *Workload {
 		uvar := g.AddVariable("U", n*r, 4)
 		tvar := g.AddVariable("t", r*batch, 4)
 		lr1 := g.AddComputeSet("pixelfly.lowrank.vx")
-		tiles := minInt(cfg.Tiles, r)
+		tiles := min(cfg.Tiles, r)
 		for t := 0; t < tiles; t++ {
 			rr0 := t * ceilDiv(r, tiles)
-			rr1 := minInt(rr0+ceilDiv(r, tiles), r)
+			rr1 := min(rr0+ceilDiv(r, tiles), r)
 			if rr0 >= rr1 {
 				break
 			}
@@ -471,11 +471,11 @@ func BuildPixelflyMM(cfg Config, pcfg pixelfly.Config, batch int) *Workload {
 		}
 		g.Execute(lr1)
 		lr2 := g.AddComputeSet("pixelfly.lowrank.ut")
-		rowTiles := minInt(cfg.Tiles, n/ampGrain)
+		rowTiles := min(cfg.Tiles, n/ampGrain)
 		rowsPer := ceilDiv(n, rowTiles)
 		for t := 0; t < rowTiles; t++ {
 			n0 := t * rowsPer
-			n1 := minInt(n0+rowsPer, n)
+			n1 := min(n0+rowsPer, n)
 			if n0 >= n1 {
 				break
 			}
@@ -500,11 +500,11 @@ func BuildLinear(cfg Config, n, batch int) *Workload {
 	bias := g.AddVariable("bias", n, 4)
 	yv := VarID(2) // C of the matmul
 	cs := g.AddComputeSet("linear.biasadd")
-	tiles := minInt(cfg.Tiles, batch)
+	tiles := min(cfg.Tiles, batch)
 	rowsPer := ceilDiv(batch, tiles)
 	for t := 0; t < tiles; t++ {
 		r0 := t * rowsPer
-		r1 := minInt(r0+rowsPer, batch)
+		r1 := min(r0+rowsPer, batch)
 		if r0 >= r1 {
 			break
 		}

@@ -216,7 +216,7 @@ func addRemoteTraffic(g *Graph, ex *stepExchange, r VarRegion, vt int, input boo
 		if iv.Start >= r.End {
 			break
 		}
-		lo, hi := maxInt(iv.Start, r.Start), minInt(iv.End, r.End)
+		lo, hi := max(iv.Start, r.Start), min(iv.End, r.End)
 		if lo >= hi || iv.Tile == vt {
 			continue
 		}
@@ -238,18 +238,4 @@ func addRemoteTraffic(g *Graph, ex *stepExchange, r VarRegion, vt int, input boo
 // FreeBytes returns the unallocated on-chip memory after compilation.
 func (c *Compiled) FreeBytes() int {
 	return c.Graph.Config.TotalMemBytes() - c.Device.Total()
-}
-
-func maxInt(a, b int) int {
-	if a > b {
-		return a
-	}
-	return b
-}
-
-func minInt(a, b int) int {
-	if a < b {
-		return a
-	}
-	return b
 }

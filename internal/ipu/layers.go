@@ -22,11 +22,11 @@ func BuildLowRank(cfg Config, n, rank, batch int) *Workload {
 		HostBytes:       float64(2 * n * batch * 4)}
 
 	cs1 := g.AddComputeSet("lowrank.vx")
-	tiles := minInt(cfg.Tiles, maxInt(1, rank))
+	tiles := min(cfg.Tiles, max(1, rank))
 	per := ceilDiv(rank, tiles)
 	for t := 0; t < tiles; t++ {
 		r0 := t * per
-		r1 := minInt(r0+per, rank)
+		r1 := min(r0+per, rank)
 		if r0 >= r1 {
 			break
 		}
@@ -41,11 +41,11 @@ func BuildLowRank(cfg Config, n, rank, batch int) *Workload {
 	g.Execute(cs1)
 
 	cs2 := g.AddComputeSet("lowrank.ut")
-	rowTiles := minInt(cfg.Tiles, ceilDiv(n, ampGrain))
+	rowTiles := min(cfg.Tiles, ceilDiv(n, ampGrain))
 	rowsPer := ceilDiv(n, rowTiles)
 	for t := 0; t < rowTiles; t++ {
 		n0 := t * rowsPer
-		n1 := minInt(n0+rowsPer, n)
+		n1 := min(n0+rowsPer, n)
 		if n0 >= n1 {
 			break
 		}
@@ -79,13 +79,13 @@ func BuildCirculant(cfg Config, n, batch int) *Workload {
 		DenseEquivFlops: 2 * float64(n) * float64(n) * float64(batch),
 		HostBytes:       float64(2 * n * batch * 4)}
 
-	tiles := minInt(cfg.Tiles, batch)
+	tiles := min(cfg.Tiles, batch)
 	per := ceilDiv(batch, tiles)
 	addStage := func(name string, in, out VarID, inW, outW int, stageFlops float64) {
 		cs := g.AddComputeSet(name)
 		for t := 0; t < tiles; t++ {
 			b0 := t * per
-			b1 := minInt(b0+per, batch)
+			b1 := min(b0+per, batch)
 			if b0 >= b1 {
 				break
 			}
@@ -122,14 +122,14 @@ func BuildFastfood(cfg Config, n, batch int) *Workload {
 		DenseEquivFlops: 2 * float64(n) * float64(n) * float64(batch),
 		HostBytes:       float64(2 * n * batch * 4)}
 
-	tiles := minInt(cfg.Tiles, n/2)
+	tiles := min(cfg.Tiles, n/2)
 	src, dst := x0, x1
 	diagCS := func(name string, which int) {
 		cs := g.AddComputeSet(name)
 		per := ceilDiv(n, tiles)
 		for t := 0; t < tiles; t++ {
 			f0 := t * per
-			f1 := minInt(f0+per, n)
+			f1 := min(f0+per, n)
 			if f0 >= f1 {
 				break
 			}
@@ -151,7 +151,7 @@ func BuildFastfood(cfg Config, n, batch int) *Workload {
 		pairsPer := ceilDiv(n/2, tiles)
 		for t := 0; t < tiles; t++ {
 			p0 := t * pairsPer
-			p1 := minInt(p0+pairsPer, n/2)
+			p1 := min(p0+pairsPer, n/2)
 			if p0 >= p1 {
 				break
 			}
@@ -179,7 +179,7 @@ func BuildFastfood(cfg Config, n, batch int) *Workload {
 		per := ceilDiv(n, tiles)
 		for t := 0; t < tiles; t++ {
 			f0 := t * per
-			f1 := minInt(f0+per, n)
+			f1 := min(f0+per, n)
 			if f0 >= f1 {
 				break
 			}

@@ -1,0 +1,111 @@
+package nn
+
+import (
+	"math/rand"
+	"sync"
+	"testing"
+
+	"repro/internal/tensor"
+)
+
+// TestInferMatchesForward checks that the read-only inference path produces
+// bit-identical outputs to the training forward pass for every Table 4
+// method — the correctness contract the serving subsystem depends on.
+func TestInferMatchesForward(t *testing.T) {
+	const n, classes, batch = 64, 10, 7
+	for _, m := range AllMethods {
+		rng := rand.New(rand.NewSource(7))
+		model := BuildSHL(m, n, classes, rng)
+		x := tensor.New(batch, n)
+		x.FillRandom(rng, 1)
+
+		want := model.Forward(x)
+		got := model.Infer(x)
+		if want.Rows != got.Rows || want.Cols != got.Cols {
+			t.Fatalf("%v: Infer shape %dx%d != Forward %dx%d", m, got.Rows, got.Cols, want.Rows, want.Cols)
+		}
+		for i := range want.Data {
+			if want.Data[i] != got.Data[i] {
+				t.Fatalf("%v: Infer[%d]=%v != Forward[%d]=%v", m, i, got.Data[i], i, want.Data[i])
+			}
+		}
+	}
+}
+
+// TestInferLeavesBackwardStateIntact interleaves Infer calls into a
+// Forward/Backward pair and checks the gradients are unchanged: inference
+// must not clobber the activations cached for the backward pass.
+func TestInferLeavesBackwardStateIntact(t *testing.T) {
+	const n, classes, batch = 64, 10, 5
+	for _, m := range AllMethods {
+		rng := rand.New(rand.NewSource(3))
+		model := BuildSHL(m, n, classes, rng)
+		x := tensor.New(batch, n)
+		x.FillRandom(rng, 1)
+		dY := tensor.New(batch, classes)
+		dY.FillRandom(rng, 1)
+
+		// Reference gradients from a clean Forward/Backward.
+		model.ZeroGrad()
+		model.Forward(x)
+		model.Backward(dY)
+		_, grads := model.Params()
+		var want [][]float32
+		for _, g := range grads {
+			want = append(want, append([]float32(nil), g...))
+		}
+
+		// Same pass with Infer calls (other batch size, too) in between.
+		other := tensor.New(batch+3, n)
+		other.FillRandom(rng, 1)
+		model.ZeroGrad()
+		model.Forward(x)
+		model.Infer(other)
+		model.Infer(x)
+		model.Backward(dY)
+		_, grads = model.Params()
+		for gi, g := range grads {
+			for i := range g {
+				if g[i] != want[gi][i] {
+					t.Fatalf("%v: grad[%d][%d] = %v after Infer, want %v", m, gi, i, g[i], want[gi][i])
+				}
+			}
+		}
+	}
+}
+
+// TestInferConcurrent hammers one shared model from many goroutines; run
+// under -race this proves the inference path is read-only.
+func TestInferConcurrent(t *testing.T) {
+	const n, classes, workers, iters = 64, 10, 8, 25
+	for _, m := range AllMethods {
+		rng := rand.New(rand.NewSource(11))
+		model := BuildSHL(m, n, classes, rng)
+		x := tensor.New(4, n)
+		x.FillRandom(rng, 1)
+		want := model.Infer(x)
+
+		var wg sync.WaitGroup
+		errs := make(chan string, workers)
+		for w := 0; w < workers; w++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for i := 0; i < iters; i++ {
+					got := model.Infer(x)
+					for j := range want.Data {
+						if got.Data[j] != want.Data[j] {
+							errs <- m.String()
+							return
+						}
+					}
+				}
+			}()
+		}
+		wg.Wait()
+		close(errs)
+		if bad, ok := <-errs; ok {
+			t.Fatalf("%s: concurrent Infer returned differing outputs", bad)
+		}
+	}
+}

@@ -17,10 +17,13 @@ import (
 
 // Layer is a differentiable module. Forward retains whatever state
 // Backward needs; Backward returns the gradient w.r.t. the input and
-// accumulates parameter gradients.
+// accumulates parameter gradients. Infer is the read-only counterpart of
+// Forward: it mutates no layer state, so one layer can serve concurrent
+// goroutines as long as nothing trains it at the same time.
 type Layer interface {
 	Name() string
 	Forward(x *tensor.Matrix) *tensor.Matrix
+	Infer(x *tensor.Matrix) *tensor.Matrix
 	Backward(dY *tensor.Matrix) *tensor.Matrix
 	Params() (params, grads [][]float32)
 	ZeroGrad()
@@ -32,9 +35,12 @@ type Layer interface {
 type refresher interface{ Refresh() }
 
 // Transform is a learnable square linear operator; the butterfly, pixelfly
-// and baseline packages all satisfy it.
+// and baseline packages all satisfy it. Apply is Forward without retaining
+// state: it writes nothing through the receiver, making shared-weight
+// concurrent inference safe.
 type Transform interface {
 	Forward(x *tensor.Matrix) *tensor.Matrix
+	Apply(x *tensor.Matrix) *tensor.Matrix
 	Backward(dY *tensor.Matrix) *tensor.Matrix
 	ZeroGrad()
 	Params() (params, grads [][]float32)
@@ -72,10 +78,16 @@ func (d *Dense) ParamCount() int { return d.In*d.Out + d.Out }
 
 // Forward implements Layer.
 func (d *Dense) Forward(x *tensor.Matrix) *tensor.Matrix {
+	out := d.Infer(x)
+	d.xSaved = x
+	return out
+}
+
+// Infer implements Layer: Forward without saving the input for Backward.
+func (d *Dense) Infer(x *tensor.Matrix) *tensor.Matrix {
 	if x.Cols != d.In {
 		panic(fmt.Sprintf("nn: dense input width %d != %d", x.Cols, d.In))
 	}
-	d.xSaved = x
 	out := tensor.MatMulParallel(x, d.W)
 	tensor.AddRowVector(out, d.Bias)
 	return out
@@ -136,6 +148,14 @@ func (s *StructuredLinear) ParamCount() int { return s.T.ParamCount() + s.N }
 // Forward implements Layer.
 func (s *StructuredLinear) Forward(x *tensor.Matrix) *tensor.Matrix {
 	out := s.T.Forward(x)
+	tensor.AddRowVector(out, s.Bias)
+	return out
+}
+
+// Infer implements Layer: it routes through the transform's stateless
+// Apply instead of Forward.
+func (s *StructuredLinear) Infer(x *tensor.Matrix) *tensor.Matrix {
+	out := s.T.Apply(x)
 	tensor.AddRowVector(out, s.Bias)
 	return out
 }
@@ -201,6 +221,17 @@ func (r *ReLU) Forward(x *tensor.Matrix) *tensor.Matrix {
 			r.mask[i] = true
 		} else {
 			r.mask[i] = false
+		}
+	}
+	return out
+}
+
+// Infer implements Layer: Forward without recording the activation mask.
+func (r *ReLU) Infer(x *tensor.Matrix) *tensor.Matrix {
+	out := tensor.New(x.Rows, x.Cols)
+	for i, v := range x.Data {
+		if v > 0 {
+			out.Data[i] = v
 		}
 	}
 	return out

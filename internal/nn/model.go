@@ -26,6 +26,17 @@ func (s *Sequential) Forward(x *tensor.Matrix) *tensor.Matrix {
 	return x
 }
 
+// Infer runs all layers through their read-only inference path. Unlike
+// Forward it mutates no layer state, so concurrent goroutines can share
+// one model's weights — the contract the serving subsystem relies on.
+// It must not run concurrently with training on the same model.
+func (s *Sequential) Infer(x *tensor.Matrix) *tensor.Matrix {
+	for _, l := range s.Layers {
+		x = l.Infer(x)
+	}
+	return x
+}
+
 // Backward runs all layers in reverse.
 func (s *Sequential) Backward(dY *tensor.Matrix) *tensor.Matrix {
 	for i := len(s.Layers) - 1; i >= 0; i-- {

@@ -192,11 +192,17 @@ func (p *Pixelfly) Forward(x *tensor.Matrix) *tensor.Matrix {
 	return out
 }
 
-// Apply is Forward without retaining state.
+// Apply is Forward without retaining state. It writes no receiver fields,
+// so any number of goroutines may share one Pixelfly for inference.
 func (p *Pixelfly) Apply(x *tensor.Matrix) *tensor.Matrix {
-	saved1, saved2 := p.xSaved, p.xvSaved
-	out := p.Forward(x)
-	p.xSaved, p.xvSaved = saved1, saved2
+	if x.Cols != p.Cfg.N {
+		panic(fmt.Sprintf("pixelfly: input width %d != N %d", x.Cols, p.Cfg.N))
+	}
+	out := p.W.MulDense(x.Transpose()).Transpose()
+	if p.Cfg.LowRank > 0 {
+		xv := tensor.MatMul(x, p.V)
+		tensor.AddInPlace(out, tensor.MatMul(xv, p.U.Transpose()))
+	}
 	return out
 }
 

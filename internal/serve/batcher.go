@@ -1,0 +1,244 @@
+package serve
+
+import (
+	"context"
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/tensor"
+)
+
+// BatcherConfig tunes the dynamic micro-batcher.
+type BatcherConfig struct {
+	// MaxBatch is the largest number of requests coalesced into one
+	// inference batch. Default 32.
+	MaxBatch int
+	// MaxDelay bounds how long the first request of a batch waits for
+	// company before the batch is flushed anyway. Default 2ms.
+	MaxDelay time.Duration
+	// Workers is the number of goroutines executing batches; batches run
+	// concurrently because Infer is read-only. Default GOMAXPROCS.
+	Workers int
+	// QueueCap bounds the number of assembled batches waiting for a
+	// worker. Default Workers.
+	QueueCap int
+}
+
+func (c BatcherConfig) withDefaults() BatcherConfig {
+	if c.MaxBatch <= 0 {
+		c.MaxBatch = 32
+	}
+	if c.MaxDelay <= 0 {
+		c.MaxDelay = 2 * time.Millisecond
+	}
+	if c.Workers <= 0 {
+		c.Workers = runtime.GOMAXPROCS(0)
+	}
+	if c.QueueCap <= 0 {
+		c.QueueCap = c.Workers
+	}
+	return c
+}
+
+type request struct {
+	features []float32
+	resp     chan response
+}
+
+type response struct {
+	scores []float32
+	batch  int
+	err    error
+}
+
+// Batcher coalesces concurrent single-row requests into batched calls of
+// one inference function. One collector goroutine assembles batches
+// (flushing on MaxBatch or MaxDelay, whichever first); a pool of workers
+// executes them.
+type Batcher struct {
+	cfg BatcherConfig
+	dim int
+	run func(*tensor.Matrix) *tensor.Matrix
+
+	reqs    chan *request
+	batches chan []*request
+	stopped chan struct{}
+	stopOne sync.Once
+	wg      sync.WaitGroup
+
+	nreq    atomic.Int64
+	nbatch  atomic.Int64
+	maxSeen atomic.Int64
+}
+
+// NewBatcher starts a batcher over run, which must accept a (rows × dim)
+// matrix and return a (rows × anything) matrix; it is called from multiple
+// goroutines concurrently and must be read-only with respect to shared
+// state (nn.Sequential.Infer satisfies this).
+func NewBatcher(dim int, cfg BatcherConfig, run func(*tensor.Matrix) *tensor.Matrix) *Batcher {
+	cfg = cfg.withDefaults()
+	b := &Batcher{
+		cfg:     cfg,
+		dim:     dim,
+		run:     run,
+		reqs:    make(chan *request),
+		batches: make(chan []*request, cfg.QueueCap),
+		stopped: make(chan struct{}),
+	}
+	b.wg.Add(1)
+	go b.collect()
+	for i := 0; i < cfg.Workers; i++ {
+		b.wg.Add(1)
+		go b.work()
+	}
+	return b
+}
+
+// Do submits one feature row and blocks until its batch has executed. It
+// returns the row's scores and the size of the batch it rode in.
+func (b *Batcher) Do(ctx context.Context, features []float32) ([]float32, int, error) {
+	r := &request{features: features, resp: make(chan response, 1)}
+	select {
+	case b.reqs <- r:
+	case <-b.stopped:
+		return nil, 0, ErrStopped
+	case <-ctx.Done():
+		return nil, 0, ctx.Err()
+	}
+	select {
+	case resp := <-r.resp:
+		return resp.scores, resp.batch, resp.err
+	case <-b.stopped:
+		// A worker may have answered concurrently with the shutdown.
+		select {
+		case resp := <-r.resp:
+			return resp.scores, resp.batch, resp.err
+		default:
+			return nil, 0, ErrStopped
+		}
+	case <-ctx.Done():
+		return nil, 0, ctx.Err()
+	}
+}
+
+// Stop shuts the batcher down and waits for the workers to drain. Pending
+// and subsequent Do calls return ErrStopped.
+func (b *Batcher) Stop() {
+	b.stopOne.Do(func() { close(b.stopped) })
+	b.wg.Wait()
+}
+
+// BatcherStats counts the coalescing behaviour so far.
+type BatcherStats struct {
+	Requests int64   `json:"requests"`
+	Batches  int64   `json:"batches"`
+	AvgBatch float64 `json:"avg_batch"`
+	MaxBatch int64   `json:"max_batch"`
+}
+
+// Stats returns a snapshot of the coalescing counters.
+func (b *Batcher) Stats() BatcherStats {
+	s := BatcherStats{
+		Requests: b.nreq.Load(),
+		Batches:  b.nbatch.Load(),
+		MaxBatch: b.maxSeen.Load(),
+	}
+	if s.Batches > 0 {
+		s.AvgBatch = float64(s.Requests) / float64(s.Batches)
+	}
+	return s
+}
+
+// collect assembles batches: block for the first request, then fill until
+// MaxBatch requests have arrived or MaxDelay has elapsed.
+func (b *Batcher) collect() {
+	defer b.wg.Done()
+	defer close(b.batches)
+	for {
+		var first *request
+		select {
+		case <-b.stopped:
+			return
+		case first = <-b.reqs:
+		}
+		batch := append(make([]*request, 0, b.cfg.MaxBatch), first)
+		timer := time.NewTimer(b.cfg.MaxDelay)
+	fill:
+		for len(batch) < b.cfg.MaxBatch {
+			select {
+			case <-b.stopped:
+				timer.Stop()
+				fail(batch, ErrStopped)
+				return
+			case r := <-b.reqs:
+				batch = append(batch, r)
+			case <-timer.C:
+				break fill
+			}
+		}
+		timer.Stop()
+		select {
+		case b.batches <- batch:
+		case <-b.stopped:
+			fail(batch, ErrStopped)
+			return
+		}
+	}
+}
+
+func (b *Batcher) work() {
+	defer b.wg.Done()
+	for batch := range b.batches {
+		b.exec(batch)
+	}
+}
+
+func (b *Batcher) exec(batch []*request) {
+	rows := make([][]float32, len(batch))
+	for i, r := range batch {
+		rows[i] = r.features
+	}
+	y, err := b.safeRun(batchMatrix(rows, b.dim))
+	if err != nil {
+		fail(batch, err)
+		return
+	}
+	for i, r := range batch {
+		r.resp <- response{
+			scores: append([]float32(nil), y.Row(i)...),
+			batch:  len(batch),
+		}
+	}
+	b.nreq.Add(int64(len(batch)))
+	b.nbatch.Add(1)
+	for {
+		cur := b.maxSeen.Load()
+		if int64(len(batch)) <= cur || b.maxSeen.CompareAndSwap(cur, int64(len(batch))) {
+			break
+		}
+	}
+}
+
+// safeRun converts inference panics into per-request errors so one bad
+// batch cannot take the worker pool down.
+func (b *Batcher) safeRun(x *tensor.Matrix) (y *tensor.Matrix, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			err = fmt.Errorf("serve: inference panic: %v", r)
+		}
+	}()
+	y = b.run(x)
+	if y.Rows != x.Rows {
+		return nil, fmt.Errorf("serve: inference returned %d rows for a %d-row batch", y.Rows, x.Rows)
+	}
+	return y, nil
+}
+
+func fail(batch []*request, err error) {
+	for _, r := range batch {
+		r.resp <- response{err: err}
+	}
+}

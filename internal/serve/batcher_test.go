@@ -1,0 +1,139 @@
+package serve
+
+import (
+	"context"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/tensor"
+)
+
+// doubler is a trivially-checkable inference function that records the
+// batch sizes it was called with.
+type doubler struct {
+	mu    sync.Mutex
+	sizes []int
+	delay time.Duration
+}
+
+func (d *doubler) run(x *tensor.Matrix) *tensor.Matrix {
+	d.mu.Lock()
+	d.sizes = append(d.sizes, x.Rows)
+	d.mu.Unlock()
+	if d.delay > 0 {
+		time.Sleep(d.delay)
+	}
+	out := tensor.New(x.Rows, x.Cols)
+	for i, v := range x.Data {
+		out.Data[i] = 2 * v
+	}
+	return out
+}
+
+func (d *doubler) batchSizes() []int {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return append([]int(nil), d.sizes...)
+}
+
+func TestBatcherCoalescesConcurrentRequests(t *testing.T) {
+	d := &doubler{delay: time.Millisecond}
+	b := NewBatcher(4, BatcherConfig{MaxBatch: 16, MaxDelay: 20 * time.Millisecond, Workers: 1}, d.run)
+	defer b.Stop()
+
+	const requests = 64
+	var wg sync.WaitGroup
+	errs := make(chan error, requests)
+	for i := 0; i < requests; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			f := []float32{float32(i), 1, 2, 3}
+			scores, batch, err := b.Do(context.Background(), f)
+			if err != nil {
+				errs <- err
+				return
+			}
+			if batch < 1 || batch > 16 {
+				t.Errorf("batch size %d outside [1,16]", batch)
+			}
+			if len(scores) != 4 || scores[0] != 2*float32(i) || scores[3] != 6 {
+				t.Errorf("request %d: wrong scores %v", i, scores)
+			}
+		}(i)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+
+	s := b.Stats()
+	if s.Requests != requests {
+		t.Fatalf("stats.Requests = %d, want %d", s.Requests, requests)
+	}
+	if s.Batches >= requests {
+		t.Fatalf("no coalescing: %d batches for %d requests", s.Batches, requests)
+	}
+	if s.AvgBatch <= 1 {
+		t.Fatalf("avg batch %v, want > 1", s.AvgBatch)
+	}
+	for _, sz := range d.batchSizes() {
+		if sz > 16 {
+			t.Fatalf("batch of %d exceeds MaxBatch 16", sz)
+		}
+	}
+}
+
+func TestBatcherFlushesOnMaxDelay(t *testing.T) {
+	d := &doubler{}
+	b := NewBatcher(1, BatcherConfig{MaxBatch: 1024, MaxDelay: 5 * time.Millisecond}, d.run)
+	defer b.Stop()
+
+	start := time.Now()
+	scores, batch, err := b.Do(context.Background(), []float32{21})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if elapsed := time.Since(start); elapsed > time.Second {
+		t.Fatalf("lone request waited %v; MaxDelay flush is broken", elapsed)
+	}
+	if batch != 1 || scores[0] != 42 {
+		t.Fatalf("got batch=%d scores=%v, want batch=1 scores=[42]", batch, scores)
+	}
+}
+
+func TestBatcherStop(t *testing.T) {
+	d := &doubler{}
+	b := NewBatcher(1, BatcherConfig{}, d.run)
+	b.Stop()
+	if _, _, err := b.Do(context.Background(), []float32{1}); err != ErrStopped {
+		t.Fatalf("Do after Stop = %v, want ErrStopped", err)
+	}
+	b.Stop() // idempotent
+}
+
+func TestBatcherContextCancelled(t *testing.T) {
+	d := &doubler{}
+	b := NewBatcher(1, BatcherConfig{}, d.run)
+	defer b.Stop()
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, _, err := b.Do(ctx, []float32{1}); err != context.Canceled {
+		t.Fatalf("Do with cancelled ctx = %v, want context.Canceled", err)
+	}
+}
+
+func TestBatcherRecoversInferencePanic(t *testing.T) {
+	b := NewBatcher(1, BatcherConfig{MaxDelay: time.Millisecond},
+		func(*tensor.Matrix) *tensor.Matrix { panic("boom") })
+	defer b.Stop()
+	if _, _, err := b.Do(context.Background(), []float32{1}); err == nil {
+		t.Fatal("expected an error from a panicking inference function")
+	}
+	// The worker pool must survive for the next request.
+	if _, _, err := b.Do(context.Background(), []float32{1}); err == nil {
+		t.Fatal("expected an error on the second request too")
+	}
+}

@@ -1,0 +1,163 @@
+package serve
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/ipu"
+	"repro/internal/nn"
+)
+
+// ProgramCost is the modelled device cost of one compiled batch program —
+// what Poplar would report after compiling the layer for that batch size.
+type ProgramCost struct {
+	Workload string `json:"workload"`
+	Batch    int    `json:"batch"`
+
+	// Modelled time of one batch execution and its per-request share.
+	LatencySeconds    float64 `json:"latency_s"`
+	PerRequestSeconds float64 `json:"per_request_s"`
+	Cycles            float64 `json:"cycles"`
+
+	// Memory accounting of the compiled program.
+	PeakTileBytes int `json:"peak_tile_bytes"`
+	DeviceBytes   int `json:"device_bytes"`
+	ComputeSets   int `json:"compute_sets"`
+
+	// CompileSeconds is the wall time the cache miss paid; hits pay zero.
+	CompileSeconds float64 `json:"compile_s"`
+}
+
+// CacheStats exposes the hit/miss counters of the program cache.
+type CacheStats struct {
+	Hits    int64   `json:"hits"`
+	Misses  int64   `json:"misses"`
+	Entries int     `json:"entries"`
+	HitRate float64 `json:"hit_rate"`
+}
+
+type programKey struct {
+	model   string
+	version int
+	batch   int
+}
+
+type cacheEntry struct {
+	once sync.Once
+	cost *ProgramCost
+	err  error
+}
+
+// ProgramCache memoizes ipu.Compile + ipu.Simulate results per
+// (model, batch size), so the per-request cost model can annotate every
+// served request with modelled IPU latency and memory without recompiling.
+// Failed compilations (e.g. tile OOM) are cached too: a model that cannot
+// fit at a batch size will not fit on the retry either.
+type ProgramCache struct {
+	cfg ipu.Config
+
+	mu      sync.Mutex
+	entries map[programKey]*cacheEntry
+
+	hits   atomic.Int64
+	misses atomic.Int64
+}
+
+// NewProgramCache creates a cache compiling against the given device model.
+func NewProgramCache(cfg ipu.Config) *ProgramCache {
+	return &ProgramCache{cfg: cfg, entries: map[programKey]*cacheEntry{}}
+}
+
+// Cost returns the modelled cost of running spec's structured layer at the
+// given batch size, compiling at most once per (model, version, batch).
+// Concurrent callers of a cold key block on the single compilation.
+func (c *ProgramCache) Cost(spec ModelSpec, version, batch int) (*ProgramCost, error) {
+	if batch <= 0 {
+		return nil, fmt.Errorf("serve: cache batch %d must be positive", batch)
+	}
+	key := programKey{model: spec.Name, version: version, batch: batch}
+	c.mu.Lock()
+	e, ok := c.entries[key]
+	if !ok {
+		e = &cacheEntry{}
+		c.entries[key] = e
+		c.misses.Add(1)
+	} else {
+		c.hits.Add(1)
+	}
+	c.mu.Unlock()
+	e.once.Do(func() { e.cost, e.err = compileCost(c.cfg, spec, batch) })
+	return e.cost, e.err
+}
+
+// Stats snapshots the hit/miss counters.
+func (c *ProgramCache) Stats() CacheStats {
+	c.mu.Lock()
+	entries := len(c.entries)
+	c.mu.Unlock()
+	s := CacheStats{
+		Hits:    c.hits.Load(),
+		Misses:  c.misses.Load(),
+		Entries: entries,
+	}
+	if total := s.Hits + s.Misses; total > 0 {
+		s.HitRate = float64(s.Hits) / float64(total)
+	}
+	return s
+}
+
+// compileCost builds the method's structured-layer workload for the batch,
+// compiles it, and prices it with the BSP cost model. The workload covers
+// the N×N structured layer — the part that differs between methods and
+// dominates the SHL — not the small dense classifier head.
+func compileCost(cfg ipu.Config, spec ModelSpec, batch int) (*ProgramCost, error) {
+	w, err := buildWorkload(cfg, spec, batch)
+	if err != nil {
+		return nil, err
+	}
+	start := time.Now()
+	compiled, err := ipu.Compile(w.Graph)
+	if err != nil {
+		return nil, fmt.Errorf("serve: compiling %s: %w", w.Name, err)
+	}
+	rep := ipu.Simulate(compiled)
+	return &ProgramCost{
+		Workload:          w.Name,
+		Batch:             batch,
+		LatencySeconds:    rep.Seconds(),
+		PerRequestSeconds: rep.Seconds() / float64(batch),
+		Cycles:            rep.TotalCycles,
+		PeakTileBytes:     compiled.PeakBytes,
+		DeviceBytes:       compiled.Device.Total(),
+		ComputeSets:       compiled.NumComputeSets,
+		CompileSeconds:    time.Since(start).Seconds(),
+	}, nil
+}
+
+// buildWorkload maps a model spec to the matching ipu workload builder,
+// converting builder panics into errors.
+func buildWorkload(cfg ipu.Config, spec ModelSpec, batch int) (w *ipu.Workload, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			err = fmt.Errorf("serve: building workload for %q: %v", spec.Name, r)
+		}
+	}()
+	switch spec.Method {
+	case nn.Baseline:
+		return ipu.BuildLinear(cfg, spec.N, batch), nil
+	case nn.Butterfly:
+		return ipu.BuildButterflyMM(cfg, spec.N, batch), nil
+	case nn.Fastfood:
+		return ipu.BuildFastfood(cfg, spec.N, batch), nil
+	case nn.Circulant:
+		return ipu.BuildCirculant(cfg, spec.N, batch), nil
+	case nn.LowRank:
+		return ipu.BuildLowRank(cfg, spec.N, 1, batch), nil
+	case nn.Pixelfly:
+		return ipu.BuildPixelflyMM(cfg, spec.pixelflyConfig(), batch), nil
+	default:
+		return nil, fmt.Errorf("serve: no workload builder for method %v", spec.Method)
+	}
+}

@@ -1,0 +1,106 @@
+package serve
+
+import (
+	"sync"
+	"testing"
+
+	"repro/internal/ipu"
+	"repro/internal/nn"
+)
+
+func TestProgramCacheHitMissAccounting(t *testing.T) {
+	c := NewProgramCache(ipu.GC200())
+	sp := spec("m", nn.Butterfly)
+
+	cost1, err := c.Cost(sp, 1, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cost1.Batch != 8 || cost1.LatencySeconds <= 0 {
+		t.Fatalf("degenerate cost %+v", cost1)
+	}
+	if s := c.Stats(); s.Hits != 0 || s.Misses != 1 {
+		t.Fatalf("after first Cost: %+v, want 0 hits / 1 miss", s)
+	}
+
+	cost2, err := c.Cost(sp, 1, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cost2 != cost1 {
+		t.Fatal("second Cost did not return the cached entry")
+	}
+	if s := c.Stats(); s.Hits != 1 || s.Misses != 1 || s.HitRate != 0.5 {
+		t.Fatalf("after second Cost: %+v, want 1 hit / 1 miss", s)
+	}
+
+	// A different batch size is a different program.
+	if _, err := c.Cost(sp, 1, 16); err != nil {
+		t.Fatal(err)
+	}
+	// A different model version is a different program.
+	if _, err := c.Cost(sp, 2, 8); err != nil {
+		t.Fatal(err)
+	}
+	if s := c.Stats(); s.Misses != 3 || s.Entries != 3 {
+		t.Fatalf("after distinct keys: %+v, want 3 misses / 3 entries", s)
+	}
+}
+
+func TestProgramCacheConcurrentColdKeyCompilesOnce(t *testing.T) {
+	c := NewProgramCache(ipu.GC200())
+	sp := spec("m", nn.Pixelfly)
+
+	const callers = 12
+	var wg sync.WaitGroup
+	costs := make([]*ProgramCost, callers)
+	for i := 0; i < callers; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			cost, err := c.Cost(sp, 1, 4)
+			if err != nil {
+				t.Errorf("Cost: %v", err)
+				return
+			}
+			costs[i] = cost
+		}(i)
+	}
+	wg.Wait()
+	for i := 1; i < callers; i++ {
+		if costs[i] != costs[0] {
+			t.Fatal("concurrent callers saw different compiled programs")
+		}
+	}
+	s := c.Stats()
+	if s.Entries != 1 {
+		t.Fatalf("entries = %d, want 1", s.Entries)
+	}
+	if s.Hits+s.Misses != callers {
+		t.Fatalf("hits+misses = %d, want %d", s.Hits+s.Misses, callers)
+	}
+}
+
+func TestProgramCacheAllMethodsCompile(t *testing.T) {
+	c := NewProgramCache(ipu.GC200())
+	for _, m := range nn.AllMethods {
+		cost, err := c.Cost(spec("m-"+m.String(), m), 1, 8)
+		if err != nil {
+			t.Fatalf("%v: %v", m, err)
+		}
+		if cost.LatencySeconds <= 0 || cost.PeakTileBytes <= 0 || cost.DeviceBytes <= 0 {
+			t.Fatalf("%v: degenerate cost %+v", m, cost)
+		}
+		if cost.PerRequestSeconds >= cost.LatencySeconds {
+			t.Fatalf("%v: per-request %v not below batch latency %v",
+				m, cost.PerRequestSeconds, cost.LatencySeconds)
+		}
+	}
+}
+
+func TestProgramCacheRejectsBadBatch(t *testing.T) {
+	c := NewProgramCache(ipu.GC200())
+	if _, err := c.Cost(spec("m", nn.Baseline), 1, 0); err == nil {
+		t.Fatal("batch 0 accepted")
+	}
+}

@@ -1,0 +1,105 @@
+package serve
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"time"
+)
+
+// Server exposes a Registry over an HTTP JSON API:
+//
+//	POST /predict  {"model": "butterfly", "features": [ ... N floats ]}
+//	GET  /models   → registered models
+//	GET  /stats    → per-model serving stats + program-cache counters
+type Server struct {
+	reg     *Registry
+	mux     *http.ServeMux
+	started time.Time
+}
+
+// NewServer wraps a registry in the HTTP API.
+func NewServer(reg *Registry) *Server {
+	s := &Server{reg: reg, mux: http.NewServeMux(), started: time.Now()}
+	s.mux.HandleFunc("/predict", s.handlePredict)
+	s.mux.HandleFunc("/models", s.handleModels)
+	s.mux.HandleFunc("/stats", s.handleStats)
+	return s
+}
+
+// ServeHTTP implements http.Handler.
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.ServeHTTP(w, r) }
+
+// PredictRequest is the /predict request body.
+type PredictRequest struct {
+	Model    string    `json:"model"`
+	Features []float32 `json:"features"`
+}
+
+type errorBody struct {
+	Error string `json:"error"`
+}
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	enc := json.NewEncoder(w)
+	enc.SetEscapeHTML(false)
+	_ = enc.Encode(v)
+}
+
+func (s *Server) handlePredict(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		writeJSON(w, http.StatusMethodNotAllowed, errorBody{"POST required"})
+		return
+	}
+	var req PredictRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		writeJSON(w, http.StatusBadRequest, errorBody{fmt.Sprintf("bad request body: %v", err)})
+		return
+	}
+	m, ok := s.reg.Get(req.Model)
+	if !ok {
+		writeJSON(w, http.StatusNotFound, errorBody{fmt.Sprintf("unknown model %q", req.Model)})
+		return
+	}
+	pred, err := m.Predict(r.Context(), req.Features)
+	switch {
+	case err == nil:
+		writeJSON(w, http.StatusOK, pred)
+	case errors.Is(err, ErrStopped):
+		writeJSON(w, http.StatusServiceUnavailable, errorBody{err.Error()})
+	case errors.Is(err, ErrBadInput):
+		writeJSON(w, http.StatusBadRequest, errorBody{err.Error()})
+	default:
+		writeJSON(w, http.StatusInternalServerError, errorBody{err.Error()})
+	}
+}
+
+func (s *Server) handleModels(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		writeJSON(w, http.StatusMethodNotAllowed, errorBody{"GET required"})
+		return
+	}
+	writeJSON(w, http.StatusOK, s.reg.List())
+}
+
+// StatsResponse is the /stats response body.
+type StatsResponse struct {
+	UptimeSeconds float64      `json:"uptime_s"`
+	Cache         CacheStats   `json:"program_cache"`
+	Models        []ModelStats `json:"models"`
+}
+
+func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		writeJSON(w, http.StatusMethodNotAllowed, errorBody{"GET required"})
+		return
+	}
+	writeJSON(w, http.StatusOK, StatsResponse{
+		UptimeSeconds: time.Since(s.started).Seconds(),
+		Cache:         s.reg.CacheStats(),
+		Models:        s.reg.Stats(),
+	})
+}

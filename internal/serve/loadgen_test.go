@@ -1,0 +1,51 @@
+package serve
+
+import (
+	"context"
+	"testing"
+	"time"
+
+	"repro/internal/nn"
+)
+
+func TestRunLoadReportsThroughputAndTails(t *testing.T) {
+	reg := testRegistry(t)
+	if _, err := reg.Register(spec("lg", nn.Butterfly)); err != nil {
+		t.Fatal(err)
+	}
+	rep, err := RunLoad(context.Background(), reg, "lg", LoadConfig{
+		RPS:      400,
+		Duration: 300 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Offered == 0 || rep.Done == 0 {
+		t.Fatalf("no traffic generated: %+v", rep)
+	}
+	if rep.Errors != 0 {
+		t.Fatalf("%d errors during load", rep.Errors)
+	}
+	if rep.Throughput() <= 0 {
+		t.Fatalf("throughput = %v", rep.Throughput())
+	}
+	l := rep.Latency
+	if l.Count != rep.Done || l.P50 <= 0 || l.P95 < l.P50 || l.P99 < l.P95 {
+		t.Fatalf("latency summary inconsistent: %+v", l)
+	}
+	if rep.Batching.Requests != int64(rep.Done) {
+		t.Fatalf("batcher saw %d requests, loadgen completed %d", rep.Batching.Requests, rep.Done)
+	}
+	// Power-of-two bucketing keeps the number of compiled programs small,
+	// so sustained same-model load must produce cache hits.
+	if rep.Cache.Hits == 0 {
+		t.Fatalf("no program-cache hits under sustained load: %+v", rep.Cache)
+	}
+}
+
+func TestRunLoadUnknownModel(t *testing.T) {
+	reg := testRegistry(t)
+	if _, err := RunLoad(context.Background(), reg, "ghost", LoadConfig{}); err == nil {
+		t.Fatal("RunLoad on unknown model succeeded")
+	}
+}

@@ -1,0 +1,158 @@
+package serve
+
+import (
+	"context"
+	"fmt"
+	"math/rand"
+	"sort"
+	"sync"
+
+	"repro/internal/ipu"
+)
+
+// latencyWindow bounds how many recent request latencies each model keeps
+// for the percentile report.
+const latencyWindow = 8192
+
+func newRNG(seed int64) *rand.Rand { return rand.New(rand.NewSource(seed)) }
+
+// Options configure a Registry.
+type Options struct {
+	// IPU is the device model the program cache compiles against.
+	// The zero value selects the paper's GC200.
+	IPU ipu.Config
+	// Batcher is applied to every model's micro-batcher.
+	Batcher BatcherConfig
+}
+
+// Registry builds, versions and owns servable models. All methods are safe
+// for concurrent use; the Predictors it hands out are safe to share across
+// goroutines.
+type Registry struct {
+	opts  Options
+	cache *ProgramCache
+
+	mu       sync.RWMutex
+	models   map[string]*Model
+	versions map[string]int // last version issued per name, survives Remove
+}
+
+// NewRegistry creates an empty registry.
+func NewRegistry(opts Options) *Registry {
+	if opts.IPU.Tiles == 0 {
+		opts.IPU = ipu.GC200()
+	}
+	return &Registry{
+		opts:     opts,
+		cache:    NewProgramCache(opts.IPU),
+		models:   map[string]*Model{},
+		versions: map[string]int{},
+	}
+}
+
+// Register builds the spec's network and installs it under spec.Name. A
+// name already in use is replaced: the new model gets the next version
+// number and the old model's batcher is stopped (its in-flight requests
+// get ErrStopped; callers holding the old Predictor must re-resolve).
+func (r *Registry) Register(spec ModelSpec) (*Model, error) {
+	if err := spec.validate(); err != nil {
+		return nil, err
+	}
+	net, err := buildNet(spec)
+	if err != nil {
+		return nil, err
+	}
+	m := &Model{
+		spec:   spec,
+		net:    net,
+		params: net.ParamCount(),
+		cache:  r.cache,
+		lat:    newLatencyRing(latencyWindow),
+	}
+	m.batcher = NewBatcher(spec.N, r.opts.Batcher, m.net.Infer)
+
+	r.mu.Lock()
+	r.versions[spec.Name]++
+	m.version = r.versions[spec.Name]
+	old := r.models[spec.Name]
+	r.models[spec.Name] = m
+	r.mu.Unlock()
+
+	if old != nil {
+		old.stop()
+	}
+	return m, nil
+}
+
+// Get returns the current model registered under name.
+func (r *Registry) Get(name string) (*Model, bool) {
+	r.mu.RLock()
+	m, ok := r.models[name]
+	r.mu.RUnlock()
+	return m, ok
+}
+
+// Predict routes one request to the named model — the convenience entry
+// point the HTTP layer and load generator use.
+func (r *Registry) Predict(ctx context.Context, name string, features []float32) (Prediction, error) {
+	m, ok := r.Get(name)
+	if !ok {
+		return Prediction{}, fmt.Errorf("serve: unknown model %q", name)
+	}
+	return m.Predict(ctx, features)
+}
+
+// List returns the registered models sorted by name.
+func (r *Registry) List() []ModelInfo {
+	r.mu.RLock()
+	infos := make([]ModelInfo, 0, len(r.models))
+	for _, m := range r.models {
+		infos = append(infos, m.Info())
+	}
+	r.mu.RUnlock()
+	sort.Slice(infos, func(i, j int) bool { return infos[i].Name < infos[j].Name })
+	return infos
+}
+
+// Remove unregisters and stops the named model; it reports whether the
+// model existed. A later Register under the same name continues the
+// version sequence.
+func (r *Registry) Remove(name string) bool {
+	r.mu.Lock()
+	m, ok := r.models[name]
+	delete(r.models, name)
+	r.mu.Unlock()
+	if ok {
+		m.stop()
+	}
+	return ok
+}
+
+// CacheStats snapshots the shared compiled-program cache counters.
+func (r *Registry) CacheStats() CacheStats { return r.cache.Stats() }
+
+// Stats returns per-model serving statistics sorted by name.
+func (r *Registry) Stats() []ModelStats {
+	r.mu.RLock()
+	out := make([]ModelStats, 0, len(r.models))
+	for _, m := range r.models {
+		out = append(out, m.Stats())
+	}
+	r.mu.RUnlock()
+	sort.Slice(out, func(i, j int) bool { return out[i].Info.Name < out[j].Info.Name })
+	return out
+}
+
+// Close stops every model's batcher.
+func (r *Registry) Close() {
+	r.mu.Lock()
+	models := make([]*Model, 0, len(r.models))
+	for _, m := range r.models {
+		models = append(models, m)
+	}
+	r.models = map[string]*Model{}
+	r.mu.Unlock()
+	for _, m := range models {
+		m.stop()
+	}
+}

@@ -1,0 +1,295 @@
+// Package serve is the inference-serving subsystem: it turns the trainable
+// SHL models of internal/nn into concurrently-callable predictors.
+//
+// Four pieces compose the serving path:
+//
+//   - a Registry that builds and versions servable models from the existing
+//     constructors (nn.BuildSHL, nn.BuildSHLPixelfly) behind the
+//     thread-safe Predictor interface;
+//   - the read-only forward pass (nn.Sequential.Infer) that lets any number
+//     of goroutines share one model's weights;
+//   - a dynamic micro-batcher (Batcher) that coalesces concurrent requests
+//     into one tensor.Matrix batch, because a batched butterfly multiply
+//     amortizes the O(N log N) factor sweeps across the whole batch;
+//   - a compiled-program cache (ProgramCache) that memoizes ipu.Compile
+//     results per (model, batch size), so every response can carry the
+//     modelled IPU latency and memory of the batch it rode in without
+//     recompiling.
+//
+// Server exposes the whole thing over an HTTP JSON API; RunLoad is the
+// built-in load generator cmd/ipuserve uses to compare the serving
+// throughput of dense vs. structured methods head-to-head.
+package serve
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/fft"
+	"repro/internal/nn"
+	"repro/internal/pixelfly"
+	"repro/internal/stats"
+	"repro/internal/tensor"
+)
+
+// ErrStopped is returned by Predict once a model's batcher has been shut
+// down (the model was replaced or the registry closed).
+var ErrStopped = errors.New("serve: model stopped")
+
+// ErrBadInput marks client mistakes (wrong feature width); the HTTP layer
+// maps it to 400 instead of 500.
+var ErrBadInput = errors.New("serve: bad input")
+
+// ModelSpec describes a servable model to build.
+type ModelSpec struct {
+	Name    string    // registry key; non-empty
+	Method  nn.Method // Table 4 row to build
+	N       int       // layer width (power of two)
+	Classes int       // output classes
+	Seed    int64     // weight-init seed, so a spec rebuilds reproducibly
+
+	// Pixelfly optionally overrides the paper's pixelfly configuration
+	// (only consulted when Method == nn.Pixelfly; its N must equal N).
+	Pixelfly *pixelfly.Config
+}
+
+func (s ModelSpec) validate() error {
+	if s.Name == "" {
+		return errors.New("serve: model name must be non-empty")
+	}
+	if s.N <= 0 || !fft.IsPowerOfTwo(s.N) {
+		return fmt.Errorf("serve: model %q: N=%d must be a positive power of two", s.Name, s.N)
+	}
+	if s.Classes <= 0 {
+		return fmt.Errorf("serve: model %q: classes=%d must be positive", s.Name, s.Classes)
+	}
+	if s.Pixelfly != nil {
+		if s.Method != nn.Pixelfly {
+			return fmt.Errorf("serve: model %q: pixelfly config given for method %v", s.Name, s.Method)
+		}
+		if s.Pixelfly.N != s.N {
+			return fmt.Errorf("serve: model %q: pixelfly config N=%d != spec N=%d", s.Name, s.Pixelfly.N, s.N)
+		}
+		if err := s.Pixelfly.Validate(); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// pixelflyConfig returns the effective pixelfly configuration of the spec.
+func (s ModelSpec) pixelflyConfig() pixelfly.Config {
+	if s.Pixelfly != nil {
+		return *s.Pixelfly
+	}
+	return nn.PaperPixelflyConfig(s.N)
+}
+
+// buildNet constructs the spec's network, converting constructor panics
+// (e.g. an invalid pixelfly geometry) into errors.
+func buildNet(spec ModelSpec) (net *nn.Sequential, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			err = fmt.Errorf("serve: building %q: %v", spec.Name, r)
+		}
+	}()
+	rng := newRNG(spec.Seed)
+	if spec.Method == nn.Pixelfly && spec.Pixelfly != nil {
+		return nn.BuildSHLPixelfly(*spec.Pixelfly, spec.Classes, rng)
+	}
+	return nn.BuildSHL(spec.Method, spec.N, spec.Classes, rng), nil
+}
+
+// ModelInfo is the descriptive snapshot of a registered model.
+type ModelInfo struct {
+	Name    string `json:"name"`
+	Method  string `json:"method"`
+	N       int    `json:"n"`
+	Classes int    `json:"classes"`
+	Params  int    `json:"params"`
+	Version int    `json:"version"`
+}
+
+// Prediction is the result of one served request.
+type Prediction struct {
+	Model   string    `json:"model"`
+	Method  string    `json:"method"`
+	Version int       `json:"version"`
+	Scores  []float32 `json:"scores"`
+	ArgMax  int       `json:"argmax"`
+
+	// BatchSize is the number of requests coalesced into the batch this
+	// prediction rode in; LatencySeconds is the measured host-side time
+	// from enqueue to response.
+	BatchSize      int     `json:"batch_size"`
+	LatencySeconds float64 `json:"latency_s"`
+
+	// IPU is the modelled cost of executing this request's batch (rounded
+	// up to the cached power-of-two bucket) on the device model; nil when
+	// the program could not be compiled (e.g. tile OOM).
+	IPU *ProgramCost `json:"ipu,omitempty"`
+}
+
+// Predictor is a thread-safe inference handle: any number of goroutines
+// may call Predict concurrently.
+type Predictor interface {
+	Predict(ctx context.Context, features []float32) (Prediction, error)
+	Info() ModelInfo
+}
+
+// Model is a servable model: immutable weights plus the micro-batcher and
+// program cache wiring. It implements Predictor.
+type Model struct {
+	spec    ModelSpec
+	version int
+	net     *nn.Sequential
+	params  int
+
+	batcher *Batcher
+	cache   *ProgramCache
+
+	served atomic.Int64
+	lat    *latencyRing
+}
+
+var _ Predictor = (*Model)(nil)
+
+// Info implements Predictor.
+func (m *Model) Info() ModelInfo {
+	return ModelInfo{
+		Name:    m.spec.Name,
+		Method:  m.spec.Method.String(),
+		N:       m.spec.N,
+		Classes: m.spec.Classes,
+		Params:  m.params,
+		Version: m.version,
+	}
+}
+
+// Spec returns the spec the model was built from.
+func (m *Model) Spec() ModelSpec { return m.spec }
+
+// Predict implements Predictor: the request is coalesced with concurrent
+// ones into a micro-batch, executed on the shared read-only weights, and
+// annotated with the modelled IPU cost of its batch.
+func (m *Model) Predict(ctx context.Context, features []float32) (Prediction, error) {
+	if len(features) != m.spec.N {
+		return Prediction{}, fmt.Errorf("%w: model %q expects %d features, got %d",
+			ErrBadInput, m.spec.Name, m.spec.N, len(features))
+	}
+	start := time.Now()
+	scores, batch, err := m.batcher.Do(ctx, features)
+	if err != nil {
+		return Prediction{}, err
+	}
+	elapsed := time.Since(start).Seconds()
+	m.served.Add(1)
+	m.lat.add(elapsed)
+
+	p := Prediction{
+		Model:          m.spec.Name,
+		Method:         m.spec.Method.String(),
+		Version:        m.version,
+		Scores:         scores,
+		ArgMax:         argMax(scores),
+		BatchSize:      batch,
+		LatencySeconds: elapsed,
+	}
+	if cost, cerr := m.ModelledCost(batch); cerr == nil {
+		p.IPU = cost
+	}
+	return p, nil
+}
+
+// ModelledCost returns the cached modelled IPU cost of executing a batch
+// of the given size (rounded up to its power-of-two cache bucket).
+func (m *Model) ModelledCost(batch int) (*ProgramCost, error) {
+	return m.cache.Cost(m.spec, m.version, nextPow2(batch))
+}
+
+// Stats returns the model's serving counters.
+func (m *Model) Stats() ModelStats {
+	return ModelStats{
+		Info:    m.Info(),
+		Served:  m.served.Load(),
+		Batcher: m.batcher.Stats(),
+		Latency: stats.Summarize(m.lat.snapshot()),
+	}
+}
+
+// ModelStats is the per-model block of the /stats endpoint.
+type ModelStats struct {
+	Info    ModelInfo     `json:"info"`
+	Served  int64         `json:"served"`
+	Batcher BatcherStats  `json:"batcher"`
+	Latency stats.Summary `json:"latency_s"`
+}
+
+// stop shuts the model's batcher down; in-flight Predicts get ErrStopped.
+func (m *Model) stop() { m.batcher.Stop() }
+
+func argMax(xs []float32) int {
+	best := 0
+	for i, v := range xs {
+		if v > xs[best] {
+			best = i
+		}
+	}
+	return best
+}
+
+// nextPow2 rounds n up to the next power of two, bucketing cache keys so
+// the compiled-program cache holds O(log MaxBatch) programs per model
+// instead of one per distinct coalesced batch size.
+func nextPow2(n int) int {
+	p := 1
+	for p < n {
+		p <<= 1
+	}
+	return p
+}
+
+// latencyRing keeps the most recent request latencies (seconds) for the
+// percentile report, bounded so an arbitrarily long-lived server does not
+// grow without bound.
+type latencyRing struct {
+	mu   sync.Mutex
+	buf  []float64
+	next int
+	full bool
+}
+
+func newLatencyRing(n int) *latencyRing { return &latencyRing{buf: make([]float64, n)} }
+
+func (l *latencyRing) add(v float64) {
+	l.mu.Lock()
+	l.buf[l.next] = v
+	l.next++
+	if l.next == len(l.buf) {
+		l.next = 0
+		l.full = true
+	}
+	l.mu.Unlock()
+}
+
+func (l *latencyRing) snapshot() []float64 {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.full {
+		return append([]float64(nil), l.buf...)
+	}
+	return append([]float64(nil), l.buf[:l.next]...)
+}
+
+// batchMatrix assembles the rows of a batch into one matrix.
+func batchMatrix(rows [][]float32, dim int) *tensor.Matrix {
+	x := tensor.New(len(rows), dim)
+	for i, r := range rows {
+		copy(x.Row(i), r)
+	}
+	return x
+}

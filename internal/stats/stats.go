@@ -80,6 +80,62 @@ func Median(xs []float64) float64 {
 	return 0.5 * (cp[n/2-1] + cp[n/2])
 }
 
+// Percentile returns the p-th percentile of xs (p in [0,100]) using linear
+// interpolation between closest ranks, without modifying the input. It
+// panics on an empty slice or a p outside [0,100].
+func Percentile(xs []float64, p float64) float64 {
+	if len(xs) == 0 {
+		panic("stats: Percentile of empty slice")
+	}
+	if p < 0 || p > 100 {
+		panic(fmt.Sprintf("stats: Percentile %v outside [0,100]", p))
+	}
+	cp := append([]float64(nil), xs...)
+	sort.Float64s(cp)
+	return percentileSorted(cp, p)
+}
+
+// percentileSorted interpolates the p-th percentile of an already-sorted,
+// non-empty slice.
+func percentileSorted(sorted []float64, p float64) float64 {
+	rank := p / 100 * float64(len(sorted)-1)
+	lo := int(math.Floor(rank))
+	hi := int(math.Ceil(rank))
+	if lo == hi {
+		return sorted[lo]
+	}
+	frac := rank - float64(lo)
+	return sorted[lo]*(1-frac) + sorted[hi]*frac
+}
+
+// Summary bundles the order statistics a latency report needs: count, mean,
+// extrema and the p50/p95/p99 tail percentiles.
+type Summary struct {
+	Count         int
+	Mean          float64
+	Min, Max      float64
+	P50, P95, P99 float64
+}
+
+// Summarize computes a Summary of xs. The zero Summary is returned for an
+// empty slice, so callers can report "no traffic yet" without panicking.
+func Summarize(xs []float64) Summary {
+	if len(xs) == 0 {
+		return Summary{}
+	}
+	cp := append([]float64(nil), xs...)
+	sort.Float64s(cp)
+	return Summary{
+		Count: len(cp),
+		Mean:  Mean(cp),
+		Min:   cp[0],
+		Max:   cp[len(cp)-1],
+		P50:   percentileSorted(cp, 50),
+		P95:   percentileSorted(cp, 95),
+		P99:   percentileSorted(cp, 99),
+	}
+}
+
 // Speedup returns baseline/candidate, the conventional "×" factor: values
 // above 1 mean candidate is faster than baseline. It panics when candidate
 // is zero.
