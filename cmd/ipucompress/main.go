@@ -1,0 +1,229 @@
+// Command ipucompress takes a trained dense SHL model and compresses it
+// post hoc with internal/factorize, reporting the per-layer error,
+// parameter count and modelled IPU memory before vs. after — the
+// compress-then-serve workflow the paper's trained-from-scratch butterfly
+// layers do not cover.
+//
+// Usage:
+//
+//	ipucompress                          # train a 256-wide dense SHL, compress at eps 0.25/0.5/0.75
+//	ipucompress -n 1024 -train 4         # the paper's layer width
+//	ipucompress -eps 0.02 -methods lowrank
+//	ipucompress -train 0 -finetune 0     # skip training (random dense weights)
+package main
+
+import (
+	"flag"
+	"fmt"
+	"math"
+	"math/rand"
+	"os"
+	"strconv"
+	"strings"
+
+	"repro/internal/dataset"
+	"repro/internal/factorize"
+	"repro/internal/fft"
+	"repro/internal/ipu"
+	"repro/internal/nn"
+	"repro/internal/tensor"
+)
+
+func parseEps(s string) ([]float64, error) {
+	var out []float64
+	for _, tok := range strings.Split(s, ",") {
+		v, err := strconv.ParseFloat(strings.TrimSpace(tok), 64)
+		if err != nil || v < 0 {
+			return nil, fmt.Errorf("bad tolerance %q", tok)
+		}
+		out = append(out, v)
+	}
+	return out, nil
+}
+
+func parseKinds(s string) ([]factorize.Kind, error) {
+	if s == "" || s == "all" {
+		return nil, nil
+	}
+	var out []factorize.Kind
+	for _, tok := range strings.Split(s, ",") {
+		switch strings.ToLower(strings.TrimSpace(tok)) {
+		case "butterfly":
+			out = append(out, factorize.KindButterfly)
+		case "lowrank", "low-rank":
+			out = append(out, factorize.KindLowRank)
+		default:
+			return nil, fmt.Errorf("unknown method %q (want butterfly, lowrank or all)", tok)
+		}
+	}
+	return out, nil
+}
+
+// trainDense builds and optionally trains the dense SHL the compression
+// acts on. Training needs n to be a perfect square (the synthetic dataset
+// generates side×side images); otherwise the model stays at its random
+// initialization.
+func trainDense(n, classes, epochs int, seed int64) (*nn.Sequential, *dataset.Split) {
+	rng := rand.New(rand.NewSource(seed))
+	model := nn.BuildSHL(nn.Baseline, n, classes, rng)
+	side := int(math.Round(math.Sqrt(float64(n))))
+	if epochs <= 0 || side*side != n {
+		if epochs > 0 {
+			fmt.Printf("n=%d is not a perfect square; skipping training\n\n", n)
+		}
+		return model, nil
+	}
+	cfg := dataset.Config{
+		Name: "synthetic", Classes: classes, Side: side,
+		Train: 200 * classes, Test: 50 * classes, ValFraction: 0.15,
+		AtomsPerClass: 6, BlobsPerClass: 3,
+		NoiseStd: 0.4, GainStd: 0.4, Seed: seed,
+	}
+	ds := dataset.Generate(cfg)
+	tc := nn.PaperTrainConfig(epochs)
+	tc.Seed = seed
+	res := nn.Train(model, ds, tc)
+	fmt.Printf("trained dense SHL: %d epochs, test accuracy %.2f%%\n\n",
+		epochs, res.TestAccuracy*100)
+	return model, ds
+}
+
+// layerWorkload maps a compression decision for the n-wide layer to the
+// IPU workload that prices it (same mapping the serving registry uses).
+func layerWorkload(cfg ipu.Config, kind factorize.Kind, n, rank, batch int) *ipu.Workload {
+	switch kind {
+	case factorize.KindButterfly:
+		return ipu.BuildButterflyMM(cfg, n, batch)
+	case factorize.KindLowRank:
+		return ipu.BuildLowRank(cfg, n, rank, batch)
+	default:
+		return ipu.BuildLinear(cfg, n, batch)
+	}
+}
+
+func deviceBytes(w *ipu.Workload) (device, peakTile int, err error) {
+	c, err := ipu.Compile(w.Graph)
+	if err != nil {
+		return 0, 0, err
+	}
+	return c.Device.Total(), c.PeakBytes, nil
+}
+
+func kb(b int) string { return fmt.Sprintf("%.1f", float64(b)/1024) }
+
+func main() {
+	var (
+		n        = flag.Int("n", 256, "SHL layer width (power of two; 1024 is the paper's)")
+		classes  = flag.Int("classes", 10, "output classes")
+		train    = flag.Int("train", 4, "training epochs before compressing (0 = random weights)")
+		finetune = flag.Int("finetune", 2, "fine-tuning epochs after compressing (0 = none)")
+		epsList  = flag.String("eps", "0.25,0.5,0.75", "comma-separated relative Frobenius error targets")
+		methods  = flag.String("methods", "all", "candidate families: butterfly, lowrank or all")
+		seed     = flag.Int64("seed", 42, "seed for weights, dataset and sketching")
+		batch    = flag.Int("batch", 8, "batch size for the modelled IPU memory report")
+		device   = flag.String("device", "gc200", "device model: gc200 or gc2")
+	)
+	flag.Parse()
+
+	if *n < 2 || !fft.IsPowerOfTwo(*n) {
+		fmt.Fprintf(os.Stderr, "n=%d must be a power of two >= 2\n", *n)
+		os.Exit(1)
+	}
+	eps, err := parseEps(*epsList)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	kinds, err := parseKinds(*methods)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	var icfg ipu.Config
+	switch *device {
+	case "gc200":
+		icfg = ipu.GC200()
+	case "gc2":
+		icfg = ipu.GC2()
+	default:
+		fmt.Fprintf(os.Stderr, "unknown device %q (want gc200 or gc2)\n", *device)
+		os.Exit(1)
+	}
+
+	model, ds := trainDense(*n, *classes, *train, *seed)
+	denseDev, densePeak, err := deviceBytes(ipu.BuildLinear(icfg, *n, *batch))
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "dense layer does not fit the device model: %v\n", err)
+		os.Exit(1)
+	}
+
+	// Probe batch for end-to-end prediction error.
+	rng := rand.New(rand.NewSource(*seed + 1))
+	var probe *tensor.Matrix
+	if ds != nil {
+		probe = ds.XTest
+	} else {
+		probe = tensor.New(64, *n)
+		probe.FillRandom(rng, 1)
+	}
+	denseOut := model.Infer(probe)
+
+	failed := false
+	for _, e := range eps {
+		compressed, reports, err := model.Compress(nn.CompressOptions{
+			Tolerance: e, Methods: kinds, Seed: *seed})
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "eps=%g: %v\n", e, err)
+			failed = true
+			continue
+		}
+		fmt.Printf("== eps %g ==\n", e)
+		fmt.Printf("%-18s %-10s %5s %10s %12s %12s %10s\n",
+			"layer", "kind", "rank", "rel err", "params", "params'", "saving")
+		for _, r := range reports {
+			rank := "-"
+			if r.Rank > 0 {
+				rank = fmt.Sprint(r.Rank)
+			}
+			fmt.Printf("%-18s %-10s %5s %10.4f %12d %12d %9.1f%%\n",
+				r.Layer, r.Kind, rank, r.RelError, r.ParamsBefore, r.ParamsAfter,
+				100*(1-float64(r.ParamsAfter)/float64(r.ParamsBefore)))
+		}
+
+		// Modelled IPU memory of the N×N layer, before vs. after.
+		first := reports[0]
+		w := layerWorkload(icfg, first.Kind, *n, first.Rank, *batch)
+		dev, peak, err := deviceBytes(w)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "eps=%g: compiling compressed layer: %v\n", e, err)
+			failed = true
+			continue
+		}
+		fmt.Printf("model size: %d -> %d bytes (%.1f%% saved)\n",
+			model.SizeBytes(), compressed.SizeBytes(),
+			100*(1-float64(compressed.SizeBytes())/float64(model.SizeBytes())))
+		fmt.Printf("modelled IPU memory (N=%d layer, batch %d): device %s -> %s KiB, peak tile %s -> %s KiB\n",
+			*n, *batch, kb(denseDev), kb(dev), kb(densePeak), kb(peak))
+
+		outErr := tensor.Sub(denseOut, compressed.Infer(probe)).FrobeniusNorm() /
+			denseOut.FrobeniusNorm()
+		fmt.Printf("end-to-end prediction error on %d probe samples: %.4f\n", probe.Rows, outErr)
+		if ds != nil {
+			acc := nn.Evaluate(compressed, ds.XTest, ds.YTest)
+			fmt.Printf("test accuracy after compression: %.2f%%\n", acc*100)
+			if *finetune > 0 {
+				// Every compressed operator is differentiable, so a short
+				// fine-tune recovers most of the factorization loss.
+				tc := nn.PaperTrainConfig(*finetune)
+				tc.Seed = *seed + 2
+				ft := nn.Train(compressed, ds, tc)
+				fmt.Printf("test accuracy after %d fine-tune epochs: %.2f%%\n",
+					*finetune, ft.TestAccuracy*100)
+			}
+		}
+		fmt.Println()
+	}
+	if failed {
+		os.Exit(1)
+	}
+}

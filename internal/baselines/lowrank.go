@@ -24,6 +24,16 @@ type LowRank struct {
 	xvSaved *tensor.Matrix
 }
 
+// LowRankFlops is the one shared FLOP formula for a factorized rank-r
+// product of an in×out weight over a batch: the in×r and r×out factor
+// multiplies cost 2·batch·r·in + 2·batch·r·out. Both this package's
+// LowRank and the post-hoc factorized layers of internal/factorize /
+// internal/nn report their FLOPs through it so the benchmarks stay
+// consistent.
+func LowRankFlops(in, out, rank, batch int) float64 {
+	return 2 * float64(batch) * float64(rank) * (float64(in) + float64(out))
+}
+
 // NewLowRank builds a random low-rank layer.
 func NewLowRank(n, rank int, rng *rand.Rand) *LowRank {
 	if rank <= 0 || rank > n {
@@ -41,12 +51,31 @@ func NewLowRank(n, rank int, rng *rand.Rand) *LowRank {
 	return l
 }
 
+// NewLowRankFromFactors wraps explicit factors U, V (both n×r) so that the
+// layer applies W = V·Uᵀ to row vectors: Y = (X·V)·Uᵀ. This is the entry
+// point internal/factorize uses to turn a truncated SVD of a trained dense
+// weight into a servable layer.
+func NewLowRankFromFactors(u, v *tensor.Matrix) *LowRank {
+	if u.Rows != v.Rows || u.Cols != v.Cols {
+		panic(fmt.Sprintf("baselines: factor shapes %dx%d vs %dx%d differ",
+			u.Rows, u.Cols, v.Rows, v.Cols))
+	}
+	if u.Cols <= 0 || u.Cols > u.Rows {
+		panic(fmt.Sprintf("baselines: rank %d out of range (0,%d]", u.Cols, u.Rows))
+	}
+	n, rank := u.Rows, u.Cols
+	return &LowRank{N: n, Rank: rank,
+		U: u.Clone(), V: v.Clone(),
+		GradU: tensor.New(n, rank), GradV: tensor.New(n, rank)}
+}
+
 // ParamCount returns 2·n·rank.
 func (l *LowRank) ParamCount() int { return 2 * l.N * l.Rank }
 
-// Flops returns forward flops over a batch: 2·batch·n·r per factor.
+// Flops returns forward flops over a batch via the shared LowRankFlops
+// formula (2·batch·r·n per factor).
 func (l *LowRank) Flops(batch int) float64 {
-	return 4 * float64(l.N) * float64(l.Rank) * float64(batch)
+	return LowRankFlops(l.N, l.N, l.Rank, batch)
 }
 
 // Forward computes Y = (X·V)·Uᵀ so that y_row = U·Vᵀ·x_row.

@@ -1,6 +1,7 @@
 package bench
 
 import (
+	"math"
 	"strconv"
 	"strings"
 	"testing"
@@ -24,7 +25,7 @@ func mustRunExp(t *testing.T, id string) *Result {
 }
 
 func TestRegistryComplete(t *testing.T) {
-	want := []string{"fig3", "fig4", "fig5", "fig6", "fig7",
+	want := []string{"fig3", "fig4", "fig5", "fig6", "fig7", "frontier",
 		"table1", "table2", "table3", "table4", "table5"}
 	got := IDs()
 	if len(got) != len(want) {
@@ -307,6 +308,42 @@ func TestTable5QuickShape(t *testing.T) {
 	if !(std["Time [s]"]["block size"] > std["Time [s]"]["low-rank size"]) {
 		t.Fatalf("time std: block (%v) should exceed low-rank (%v)",
 			std["Time [s]"]["block size"], std["Time [s]"]["low-rank size"])
+	}
+}
+
+func TestFrontierQuickShape(t *testing.T) {
+	cfg := QuickFrontierConfig()
+	rows, err := RunFrontier(cfg, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 3+len(cfg.Ranks) {
+		t.Fatalf("rows = %d, want %d", len(rows), 3+len(cfg.Ranks))
+	}
+	dense := rows[0]
+	if dense.RelError != 0 {
+		t.Fatalf("dense rel err = %v, want 0", dense.RelError)
+	}
+	for _, r := range rows[1:] {
+		// Every factorized point must cost less modelled IPU memory and
+		// fewer parameters than the dense baseline.
+		if r.DeviceBytes >= dense.DeviceBytes {
+			t.Fatalf("%s: device bytes %d not below dense %d", r.Label, r.DeviceBytes, dense.DeviceBytes)
+		}
+		if r.Params >= dense.Params {
+			t.Fatalf("%s: params %d not below dense %d", r.Label, r.Params, dense.Params)
+		}
+	}
+	// The low-rank sweep's weight error must fall as rank grows.
+	var prev = math.Inf(1)
+	for _, r := range rows {
+		if !strings.HasPrefix(r.Label, "post-hoc low-rank") {
+			continue
+		}
+		if r.RelError >= prev {
+			t.Fatalf("low-rank error not decreasing with rank: %+v", rows)
+		}
+		prev = r.RelError
 	}
 }
 

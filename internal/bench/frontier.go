@@ -1,0 +1,191 @@
+package bench
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/baselines"
+	"repro/internal/dataset"
+	"repro/internal/factorize"
+	"repro/internal/ipu"
+	"repro/internal/nn"
+	"repro/internal/tensor"
+)
+
+func init() {
+	register(Experiment{
+		ID:    "frontier",
+		Title: "Error-vs-memory frontier: post-hoc factorization vs. trained-from-scratch",
+		Run:   runFrontier,
+	})
+}
+
+// frontierBatch is the batch size the modelled IPU memory is priced at.
+const frontierBatch = 8
+
+// FrontierConfig sizes the frontier experiment.
+type FrontierConfig struct {
+	N       int
+	Classes int
+	Epochs  int
+	Ranks   []int // low-rank sweep
+	Dataset dataset.Config
+}
+
+// FullFrontierConfig uses the paper's 1024-wide layer.
+func FullFrontierConfig() FrontierConfig {
+	return FrontierConfig{N: 1024, Classes: 10, Epochs: 8,
+		Ranks: []int{1, 16, 64, 256}, Dataset: dataset.CIFAR10Config()}
+}
+
+// QuickFrontierConfig is a miniature for tests.
+func QuickFrontierConfig() FrontierConfig {
+	return FrontierConfig{N: 64, Classes: 4, Epochs: 3,
+		Ranks: []int{1, 4, 16},
+		Dataset: dataset.Config{
+			Name: "quick", Classes: 4, Side: 8,
+			Train: 400, Test: 120, ValFraction: 0.15,
+			AtomsPerClass: 4, BlobsPerClass: 2,
+			NoiseStd: 0.4, GainStd: 0.4, Seed: 5,
+		}}
+}
+
+// FrontierRow is one operating point of the error/memory trade-off.
+type FrontierRow struct {
+	Label       string
+	Params      int     // whole-model parameter count
+	WeightBytes int     // 4·Params
+	DeviceBytes int     // modelled IPU memory of the N×N layer program
+	RelError    float64 // ‖W₁ᵀ − Ŵ‖_F/‖W₁ᵀ‖, <0 when not applicable
+	Accuracy    float64 // test accuracy of the full model
+}
+
+func frontierRelErr(target, approx *tensor.Matrix) float64 {
+	return tensor.Sub(target, approx).FrobeniusNorm() / target.FrobeniusNorm()
+}
+
+// RunFrontier trains the dense SHL, factorizes its first layer post hoc at
+// several budgets (butterfly + a low-rank sweep), trains the paper's
+// butterfly SHL from scratch at the same size, and reports each point's
+// parameters, modelled IPU memory, weight-approximation error and test
+// accuracy. Exported so tests can consume structured rows.
+func RunFrontier(cfg FrontierConfig, seed int64) ([]FrontierRow, error) {
+	ds := dataset.Generate(cfg.Dataset)
+	icfg := ipu.GC200()
+	tc := nn.PaperTrainConfig(cfg.Epochs)
+	tc.Seed = seed
+
+	rng := rand.New(rand.NewSource(seed))
+	dense := nn.BuildSHL(nn.Baseline, cfg.N, cfg.Classes, rng)
+	nn.Train(dense, ds, tc)
+	w1 := dense.Layers[0].(*nn.Dense).W
+	target := w1.Transpose() // the column-operator the factorizations fit
+	head := dense.Layers[2]  // shared dense classifier (inference only)
+
+	deviceOf := func(w *ipu.Workload) (int, error) {
+		c, err := ipu.Compile(w.Graph)
+		if err != nil {
+			return 0, err
+		}
+		return c.Device.Total(), nil
+	}
+
+	var rows []FrontierRow
+	addRow := func(label string, model *nn.Sequential, w *ipu.Workload, relErr float64) error {
+		dev, err := deviceOf(w)
+		if err != nil {
+			return fmt.Errorf("frontier %s: %w", label, err)
+		}
+		rows = append(rows, FrontierRow{
+			Label: label, Params: model.ParamCount(), WeightBytes: model.SizeBytes(),
+			DeviceBytes: dev, RelError: relErr,
+			Accuracy: nn.Evaluate(model, ds.XTest, ds.YTest),
+		})
+		return nil
+	}
+
+	if err := addRow("dense (baseline)", dense,
+		ipu.BuildLinear(icfg, cfg.N, frontierBatch), 0); err != nil {
+		return nil, err
+	}
+
+	// Post-hoc butterfly of the trained weight.
+	bf, err := factorize.ButterflyFactorize(target)
+	if err != nil {
+		return nil, err
+	}
+	bfLayer := nn.NewStructuredLinear("butterfly*", cfg.N, bf)
+	copy(bfLayer.Bias, dense.Layers[0].(*nn.Dense).Bias)
+	bfModel := nn.NewSequential(bfLayer, nn.NewReLU(), head)
+	if err := addRow("post-hoc butterfly", bfModel,
+		ipu.BuildButterflyMM(icfg, cfg.N, frontierBatch),
+		frontierRelErr(target, bf.Dense())); err != nil {
+		return nil, err
+	}
+
+	// Post-hoc low-rank sweep.
+	for _, r := range cfg.Ranks {
+		lrRng := rand.New(rand.NewSource(seed + int64(r)))
+		f := factorize.LowRank(target, r, lrRng)
+		lr := baselines.NewLowRankFromFactors(f.P, f.Q.Transpose())
+		layer := nn.NewStructuredLinear("lowrank*", cfg.N, lr)
+		copy(layer.Bias, dense.Layers[0].(*nn.Dense).Bias)
+		model := nn.NewSequential(layer, nn.NewReLU(), head)
+		if err := addRow(fmt.Sprintf("post-hoc low-rank r=%d", r), model,
+			ipu.BuildLowRank(icfg, cfg.N, r, frontierBatch),
+			f.RelError(target)); err != nil {
+			return nil, err
+		}
+	}
+
+	// The paper's trained-from-scratch butterfly SHL at the same size: it
+	// does not approximate W₁, so no weight error applies.
+	scratchRng := rand.New(rand.NewSource(seed))
+	scratch := nn.BuildSHL(nn.Butterfly, cfg.N, cfg.Classes, scratchRng)
+	stc := tc
+	stc.Seed = seed + 1
+	nn.Train(scratch, ds, stc)
+	if err := addRow("scratch butterfly (SHL)", scratch,
+		ipu.BuildButterflyMM(icfg, cfg.N, frontierBatch), -1); err != nil {
+		return nil, err
+	}
+
+	return rows, nil
+}
+
+func runFrontier(opt Options) (*Result, error) {
+	cfg := FullFrontierConfig()
+	if opt.Quick {
+		cfg = QuickFrontierConfig()
+	}
+	rows, err := RunFrontier(cfg, opt.Seed)
+	if err != nil {
+		return nil, err
+	}
+	res := &Result{
+		ID: "frontier",
+		Title: fmt.Sprintf("error-vs-memory frontier (%s, n=%d, batch %d)",
+			cfg.Dataset.Name, cfg.N, frontierBatch),
+		Headers: []string{"operator", "NParams", "weights [KiB]",
+			"IPU mem [KiB]", "rel err W1", "acc [%]"},
+	}
+	for _, r := range rows {
+		relErr := "-"
+		if r.RelError >= 0 {
+			relErr = fmt.Sprintf("%.4f", r.RelError)
+		}
+		res.Rows = append(res.Rows, []string{
+			r.Label,
+			fmt.Sprint(r.Params),
+			f2(float64(r.WeightBytes) / 1024),
+			f2(float64(r.DeviceBytes) / 1024),
+			relErr,
+			f2(r.Accuracy * 100),
+		})
+	}
+	res.Notes = append(res.Notes,
+		"post-hoc rows factorize the trained dense W1 (internal/factorize); no fine-tuning",
+		"scratch butterfly trains the paper's SHL directly — the accuracy post-hoc",
+		"  compression competes against at a comparable memory budget")
+	return res, nil
+}

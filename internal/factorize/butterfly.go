@@ -1,0 +1,111 @@
+package factorize
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/butterfly"
+	"repro/internal/fft"
+	"repro/internal/tensor"
+)
+
+// ButterflyFactorize approximates a square power-of-two matrix M by a
+// butterfly chain B_logN···B_1 (identity permutation) using hierarchical
+// rank-1 block identification: peeling the outermost factor reduces to
+// independent best rank-1 approximations of 2×(N/2) sub-blocks of M, and
+// the two diagonal residual blocks are size-N/2 butterflies factorized
+// recursively (Zheng, Riccietti & Gribonval, arXiv:2110.01230; the error
+// behaviour of the recursive scheme is analysed in Le et al.,
+// arXiv:2411.04506). The result reuses the existing butterfly.Factor
+// chain, so it runs on the IPU cost model and the serving stack unchanged.
+// Matrices that admit an exact identity-permutation butterfly
+// factorization (e.g. the Walsh–Hadamard transform) are recovered exactly
+// up to roundoff.
+func ButterflyFactorize(m *tensor.Matrix) (*butterfly.Butterfly, error) {
+	n := m.Rows
+	if m.Cols != n {
+		return nil, fmt.Errorf("factorize: butterfly needs a square matrix, got %dx%d", m.Rows, m.Cols)
+	}
+	if n < 2 || !fft.IsPowerOfTwo(n) {
+		return nil, fmt.Errorf("factorize: butterfly needs a power-of-two size >= 2, got %d", n)
+	}
+	b := butterfly.NewIdentity(n, butterfly.Dense2x2)
+	butterflyBlock(m, b, 0)
+	return b, nil
+}
+
+// butterflyBlock factorizes the q×q matrix w (a diagonal block of the full
+// target occupying rows/cols [rowOff, rowOff+q)) into stages 1..log2(q) of
+// b. Pair indices of stage s within the block are [rowOff/2, (rowOff+q)/2)
+// because the Factor enumerates pairs block-by-block.
+func butterflyBlock(w *tensor.Matrix, b *butterfly.Butterfly, rowOff int) {
+	q := w.Rows
+	stage := b.Factors[fft.Log2(q)-1]
+	pairBase := rowOff / 2
+	if q == 2 {
+		// A single 2×2 block is its own (exact) stage-1 factor.
+		stage.A[pairBase] = w.At(0, 0)
+		stage.B[pairBase] = w.At(0, 1)
+		stage.C[pairBase] = w.At(1, 0)
+		stage.D[pairBase] = w.At(1, 1)
+		return
+	}
+	half := q / 2
+	top := tensor.New(half, half) // residual Y block for rows [0,half)
+	bot := tensor.New(half, half) // residual Y block for rows [half,q)
+	for t := 0; t < half; t++ {
+		// Left sub-block: rows {t, t+half} × cols [0, half). Its best
+		// rank-1 fit u·vᵀ yields the (A,C) entries of the outer factor and
+		// row t of the top residual.
+		u0, u1, v := bestRank1Pair(w, t, t+half, 0, half)
+		p := pairBase + t
+		stage.A[p] = u0
+		stage.C[p] = u1
+		copy(top.Row(t), v)
+		// Right sub-block: rows {t, t+half} × cols [half, q) gives (B,D)
+		// and row t of the bottom residual.
+		u0, u1, v = bestRank1Pair(w, t, t+half, half, q)
+		stage.B[p] = u0
+		stage.D[p] = u1
+		copy(bot.Row(t), v)
+	}
+	butterflyBlock(top, b, rowOff)
+	butterflyBlock(bot, b, rowOff+half)
+}
+
+// bestRank1Pair computes the best rank-1 approximation u·vᵀ of the 2×w
+// sub-block rows {r0, r1} × cols [c0, c1) of m, returning u = (u0, u1)
+// with ‖u‖ = 1 and v = uᵀ·M (so the approximation is u·v). The leading
+// eigenvector of the 2×2 Gram matrix M·Mᵀ is available in closed form.
+func bestRank1Pair(m *tensor.Matrix, r0, r1, c0, c1 int) (u0, u1 float32, v []float32) {
+	row0 := m.Row(r0)[c0:c1]
+	row1 := m.Row(r1)[c0:c1]
+	var a, bb, c float64 // Gram matrix [a b; b c]
+	for i := range row0 {
+		x, y := float64(row0[i]), float64(row1[i])
+		a += x * x
+		bb += x * y
+		c += y * y
+	}
+	var e0, e1 float64 // leading eigenvector of the Gram matrix
+	if bb == 0 {
+		if a >= c {
+			e0, e1 = 1, 0
+		} else {
+			e0, e1 = 0, 1
+		}
+	} else {
+		// λ = (a+c)/2 + sqrt(((a−c)/2)² + b²); eigenvector (b, λ−a).
+		diff := (a - c) / 2
+		lambda := (a+c)/2 + math.Hypot(diff, bb)
+		e0, e1 = bb, lambda-a
+		norm := math.Hypot(e0, e1)
+		e0 /= norm
+		e1 /= norm
+	}
+	v = make([]float32, c1-c0)
+	for i := range v {
+		v[i] = float32(e0*float64(row0[i]) + e1*float64(row1[i]))
+	}
+	return float32(e0), float32(e1), v
+}

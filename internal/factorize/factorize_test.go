@@ -1,0 +1,168 @@
+package factorize
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/butterfly"
+	"repro/internal/tensor"
+)
+
+// randomOrthogonal returns a random n×n orthogonal matrix (QR of a
+// Gaussian).
+func randomOrthogonal(n int, rng *rand.Rand) *tensor.Matrix {
+	q, _ := tensor.HouseholderQR(tensor.GaussianMatrix(n, n, rng))
+	return q
+}
+
+func TestButterflyFactorizeHadamardExact(t *testing.T) {
+	// The Walsh–Hadamard transform is an exact identity-permutation
+	// butterfly (paper Eq. 1): the hierarchical factorization must recover
+	// it to roundoff.
+	for _, n := range []int{2, 4, 16, 64} {
+		h := butterfly.NewHadamard(n).Dense()
+		bf, err := ButterflyFactorize(h)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if e := relError(h, bf.Dense()); e > 1e-5 {
+			t.Fatalf("n=%d: Hadamard reconstruction error %v", n, e)
+		}
+	}
+}
+
+func TestButterflyFactorizeRoundTrip(t *testing.T) {
+	// Any identity-permutation butterfly must round-trip exactly: its
+	// recursive sub-blocks are rank-1 by construction.
+	rng := rand.New(rand.NewSource(5))
+	for _, n := range []int{4, 32, 128} {
+		src := butterfly.New(n, butterfly.Dense2x2, rng)
+		src.Perm = nil // identity permutation variant
+		w := src.Dense()
+		bf, err := ButterflyFactorize(w)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if e := relError(w, bf.Dense()); e > 1e-4 {
+			t.Fatalf("n=%d: butterfly round-trip error %v", n, e)
+		}
+		if got, want := bf.ParamCount(), src.ParamCount(); got != want {
+			t.Fatalf("n=%d: params %d != %d", n, got, want)
+		}
+	}
+}
+
+func TestButterflyFactorizeRejectsBadShapes(t *testing.T) {
+	if _, err := ButterflyFactorize(tensor.New(3, 3)); err == nil {
+		t.Fatal("non-power-of-two accepted")
+	}
+	if _, err := ButterflyFactorize(tensor.New(4, 8)); err == nil {
+		t.Fatal("rectangular accepted")
+	}
+	if _, err := ButterflyFactorize(tensor.New(1, 1)); err == nil {
+		t.Fatal("1x1 accepted")
+	}
+}
+
+func TestLowRankExactOnLowRankMatrix(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	u := tensor.GaussianMatrix(48, 3, rng)
+	v := tensor.GaussianMatrix(3, 40, rng)
+	w := tensor.MatMul(u, v)
+	lr := LowRank(w, 3, rng)
+	if e := lr.RelError(w); e > 1e-4 {
+		t.Fatalf("rank-3 matrix not recovered at rank 3: error %v", e)
+	}
+	if lr.Params() != 3*(48+40) {
+		t.Fatalf("params = %d", lr.Params())
+	}
+}
+
+func TestLowRankToToleranceMeetsTarget(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for _, eps := range []float64{0.5, 0.2, 0.05, 0.01} {
+		w := tensor.GaussianMatrix(64, 64, rng)
+		lr := LowRankToTolerance(w, eps, rng)
+		if e := lr.RelError(w); e > eps*1.01 { // 1% slack for fp roundoff
+			t.Fatalf("eps=%v: achieved error %v", eps, e)
+		}
+	}
+}
+
+func TestLowRankToleranceIsMonotoneInBudget(t *testing.T) {
+	rng := rand.New(rand.NewSource(8))
+	w := tensor.GaussianMatrix(48, 48, rng)
+	loose := LowRankToTolerance(w, 0.5, rng)
+	tight := LowRankToTolerance(w, 0.05, rng)
+	if loose.Rank() >= tight.Rank() {
+		t.Fatalf("loose tolerance rank %d should be below tight rank %d",
+			loose.Rank(), tight.Rank())
+	}
+}
+
+func TestFactorizeToToleranceOrthogonal(t *testing.T) {
+	// A random orthogonal matrix has a flat spectrum: low-rank cannot
+	// compress it, so the search must still meet the tolerance (via the
+	// dense fallback or a full-rank factorization) without exceeding the
+	// dense budget.
+	rng := rand.New(rand.NewSource(9))
+	w := randomOrthogonal(32, rng)
+	for _, eps := range []float64{0.3, 0.05} {
+		a, err := FactorizeToTolerance(w, eps, Options{Seed: 1})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if a.RelError > eps*1.01 {
+			t.Fatalf("eps=%v: error %v over tolerance", eps, a.RelError)
+		}
+		if a.Params > w.NumElements() {
+			t.Fatalf("eps=%v: params %d exceed dense %d", eps, a.Params, w.NumElements())
+		}
+	}
+}
+
+func TestFactorizeToTolerancePicksButterflyWhenExact(t *testing.T) {
+	// For a Hadamard-like matrix the butterfly is exact with the smallest
+	// budget, so the search must choose it.
+	h := butterfly.NewHadamard(32).Dense()
+	a, err := FactorizeToTolerance(h, 0.01, Options{Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Kind != KindButterfly {
+		t.Fatalf("kind = %v, want butterfly (params=%d err=%v)", a.Kind, a.Params, a.RelError)
+	}
+	if a.RelError > 1e-4 {
+		t.Fatalf("butterfly error %v", a.RelError)
+	}
+}
+
+func TestFactorizeToTolerancePicksLowRankWhenCheaper(t *testing.T) {
+	// A rank-1 matrix: low-rank needs 2·n parameters, far below the
+	// butterfly's 2·n·log2 n.
+	rng := rand.New(rand.NewSource(10))
+	u := tensor.GaussianMatrix(64, 1, rng)
+	v := tensor.GaussianMatrix(1, 64, rng)
+	w := tensor.MatMul(u, v)
+	a, err := FactorizeToTolerance(w, 0.01, Options{Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Kind != KindLowRank || a.LowRank.Rank() != 1 {
+		t.Fatalf("kind = %v rank-%d, want rank-1 lowrank", a.Kind, a.LowRank.Rank())
+	}
+}
+
+func TestFactorizeToToleranceRespectsMethodFilter(t *testing.T) {
+	h := butterfly.NewHadamard(16).Dense()
+	a, err := FactorizeToTolerance(h, 0.01, Options{Seed: 4, Methods: []Kind{KindLowRank}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Kind == KindButterfly {
+		t.Fatal("butterfly chosen despite method filter")
+	}
+	if a.RelError > 0.01*1.01 {
+		t.Fatalf("error %v over tolerance", a.RelError)
+	}
+}

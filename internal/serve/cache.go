@@ -70,14 +70,27 @@ func NewProgramCache(cfg ipu.Config) *ProgramCache {
 	return &ProgramCache{cfg: cfg, entries: map[programKey]*cacheEntry{}}
 }
 
+// workloadBuilder produces the IPU workload whose compiled program prices
+// a model at one batch size. The registry installs a layout-aware builder
+// for compressed models; spec-built models go through buildWorkload.
+type workloadBuilder func(cfg ipu.Config, batch int) (*ipu.Workload, error)
+
 // Cost returns the modelled cost of running spec's structured layer at the
 // given batch size, compiling at most once per (model, version, batch).
 // Concurrent callers of a cold key block on the single compilation.
 func (c *ProgramCache) Cost(spec ModelSpec, version, batch int) (*ProgramCost, error) {
+	return c.costWith(spec.Name, version, batch, func(cfg ipu.Config, b int) (*ipu.Workload, error) {
+		return buildWorkload(cfg, spec, b)
+	})
+}
+
+// costWith is Cost with an explicit workload builder, keyed on the model
+// name and version alone.
+func (c *ProgramCache) costWith(name string, version, batch int, build workloadBuilder) (*ProgramCost, error) {
 	if batch <= 0 {
 		return nil, fmt.Errorf("serve: cache batch %d must be positive", batch)
 	}
-	key := programKey{model: spec.Name, version: version, batch: batch}
+	key := programKey{model: name, version: version, batch: batch}
 	c.mu.Lock()
 	e, ok := c.entries[key]
 	if !ok {
@@ -88,7 +101,7 @@ func (c *ProgramCache) Cost(spec ModelSpec, version, batch int) (*ProgramCost, e
 		c.hits.Add(1)
 	}
 	c.mu.Unlock()
-	e.once.Do(func() { e.cost, e.err = compileCost(c.cfg, spec, batch) })
+	e.once.Do(func() { e.cost, e.err = compileCost(c.cfg, batch, build) })
 	return e.cost, e.err
 }
 
@@ -108,12 +121,17 @@ func (c *ProgramCache) Stats() CacheStats {
 	return s
 }
 
-// compileCost builds the method's structured-layer workload for the batch,
-// compiles it, and prices it with the BSP cost model. The workload covers
-// the N×N structured layer — the part that differs between methods and
-// dominates the SHL — not the small dense classifier head.
-func compileCost(cfg ipu.Config, spec ModelSpec, batch int) (*ProgramCost, error) {
-	w, err := buildWorkload(cfg, spec, batch)
+// compileCost builds the structured-layer workload for the batch, compiles
+// it, and prices it with the BSP cost model. The workload covers the N×N
+// structured layer — the part that differs between methods and dominates
+// the SHL — not the small dense classifier head.
+func compileCost(cfg ipu.Config, batch int, build workloadBuilder) (cost *ProgramCost, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			err = fmt.Errorf("serve: building workload: %v", r)
+		}
+	}()
+	w, err := build(cfg, batch)
 	if err != nil {
 		return nil, err
 	}

@@ -1,0 +1,197 @@
+package serve
+
+import (
+	"context"
+	"math"
+	"math/rand"
+	"strings"
+	"testing"
+
+	"repro/internal/butterfly"
+	"repro/internal/factorize"
+	"repro/internal/nn"
+	"repro/internal/tensor"
+)
+
+// plantWeight overwrites the first-layer weight of a registered dense
+// model so the compression tests control how compressible it is.
+func plantWeight(m *Model, w *tensor.Matrix) { m.net.Layers[0].(*nn.Dense).W = w }
+
+func predictScores(t *testing.T, m *Model, features []float32) []float32 {
+	t.Helper()
+	p, err := m.Predict(context.Background(), features)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p.Scores
+}
+
+func scoresRelErr(a, b []float32) float64 {
+	var diff, norm float64
+	for i := range a {
+		d := float64(a[i]) - float64(b[i])
+		diff += d * d
+		norm += float64(a[i]) * float64(a[i])
+	}
+	return math.Sqrt(diff / norm)
+}
+
+func TestRegisterCompressedLowRankServesWithinTolerance(t *testing.T) {
+	reg := NewRegistry(Options{})
+	defer reg.Close()
+	src, err := reg.Register(spec("shl-dense", nn.Baseline))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Plant a rank-4 first layer: the eps=0.05 factorization recovers it
+	// almost exactly at a fraction of the parameters.
+	rng := rand.New(rand.NewSource(20))
+	u := tensor.GaussianMatrix(src.spec.N, 4, rng)
+	v := tensor.GaussianMatrix(4, src.spec.N, rng)
+	plantWeight(src, tensor.MatMul(u, v))
+
+	const eps = 0.05
+	comp, reports, err := reg.RegisterCompressed("shl-lr-eps0.05", "shl-dense",
+		nn.CompressOptions{Tolerance: eps, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if reports[0].Kind != factorize.KindLowRank {
+		t.Fatalf("first layer kind = %v, want lowrank", reports[0].Kind)
+	}
+	if comp.Info().Params >= src.Info().Params {
+		t.Fatalf("compressed params %d not below dense %d", comp.Info().Params, src.Info().Params)
+	}
+	if !strings.HasPrefix(comp.Info().Method, "compressed/lowrank") {
+		t.Fatalf("method label %q", comp.Info().Method)
+	}
+
+	// Served predictions stay within the compression tolerance.
+	features := make([]float32, src.spec.N)
+	for i := range features {
+		features[i] = rng.Float32()
+	}
+	want := predictScores(t, src, features)
+	got := predictScores(t, comp, features)
+	if e := scoresRelErr(want, got); e > eps {
+		t.Fatalf("served predictions deviate by %v (eps %v)", e, eps)
+	}
+
+	// The compressed variant must report strictly lower modelled IPU
+	// memory than the dense original at the same batch size.
+	denseCost, err := src.ModelledCost(8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	compCost, err := comp.ModelledCost(8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if compCost.DeviceBytes >= denseCost.DeviceBytes {
+		t.Fatalf("compressed device bytes %d not below dense %d",
+			compCost.DeviceBytes, denseCost.DeviceBytes)
+	}
+	if !strings.HasPrefix(compCost.Workload, "lowrank") {
+		t.Fatalf("compressed workload %q priced as the wrong layout", compCost.Workload)
+	}
+}
+
+func TestRegisterCompressedButterflyLayout(t *testing.T) {
+	reg := NewRegistry(Options{})
+	defer reg.Close()
+	src, err := reg.Register(spec("shl-dense", nn.Baseline))
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(21))
+	bf := butterfly.New(src.spec.N, butterfly.Dense2x2, rng)
+	bf.Perm = nil
+	plantWeight(src, bf.Dense().Transpose())
+
+	comp, reports, err := reg.RegisterCompressed("shl-bf-eps0.05", "shl-dense",
+		nn.CompressOptions{Tolerance: 0.05, Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if reports[0].Kind != factorize.KindButterfly {
+		t.Fatalf("first layer kind = %v, want butterfly", reports[0].Kind)
+	}
+	if comp.Info().Method != "compressed/butterfly" {
+		t.Fatalf("method label %q", comp.Info().Method)
+	}
+	cost, err := comp.ModelledCost(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.HasPrefix(cost.Workload, "butterflymm") && !strings.Contains(cost.Workload, "butterfly") {
+		t.Fatalf("workload %q not priced as butterfly", cost.Workload)
+	}
+	denseCost, err := src.ModelledCost(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cost.DeviceBytes >= denseCost.DeviceBytes {
+		t.Fatalf("butterfly device bytes %d not below dense %d",
+			cost.DeviceBytes, denseCost.DeviceBytes)
+	}
+}
+
+func TestRegisterCompressedUnknownSource(t *testing.T) {
+	reg := NewRegistry(Options{})
+	defer reg.Close()
+	if _, _, err := reg.RegisterCompressed("x", "nope", nn.CompressOptions{Tolerance: 0.1}); err == nil {
+		t.Fatal("unknown source accepted")
+	}
+	if _, _, err := reg.RegisterCompressed("", "nope", nn.CompressOptions{Tolerance: 0.1}); err == nil {
+		t.Fatal("empty name accepted")
+	}
+}
+
+func TestRegisterCompressedStructuredSourceKeepsSpecPricing(t *testing.T) {
+	// Compress passes a non-dense structured first layer (pixelfly)
+	// through untouched: the "compressed" variant must keep the source's
+	// method label and be priced by the pixelfly workload, not as dense.
+	reg := NewRegistry(Options{})
+	defer reg.Close()
+	src, err := reg.Register(spec("shl-pf", nn.Pixelfly))
+	if err != nil {
+		t.Fatal(err)
+	}
+	comp, _, err := reg.RegisterCompressed("shl-pf-c", "shl-pf",
+		nn.CompressOptions{Tolerance: 0.1, Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if comp.Info().Method != src.Info().Method {
+		t.Fatalf("method label %q, want source's %q", comp.Info().Method, src.Info().Method)
+	}
+	cost, err := comp.ModelledCost(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(cost.Workload, "pixelfly") {
+		t.Fatalf("workload %q not priced as pixelfly", cost.Workload)
+	}
+}
+
+func TestRegisterCompressedIncompressibleFallsBackToDense(t *testing.T) {
+	// Random dense weights at a tight tolerance: nothing beats the dense
+	// layer, so the "compressed" model keeps it and prices as dense.
+	reg := NewRegistry(Options{})
+	defer reg.Close()
+	src, err := reg.Register(spec("shl-dense", nn.Baseline))
+	if err != nil {
+		t.Fatal(err)
+	}
+	comp, _, err := reg.RegisterCompressed("shl-tight", "shl-dense",
+		nn.CompressOptions{Tolerance: 0.001, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if comp.Info().Method != "compressed/dense" {
+		t.Fatalf("method label %q, want compressed/dense", comp.Info().Method)
+	}
+	if comp.Info().Params > src.Info().Params {
+		t.Fatalf("params grew: %d -> %d", src.Info().Params, comp.Info().Params)
+	}
+}

@@ -8,6 +8,7 @@ import (
 	"sync"
 
 	"repro/internal/ipu"
+	"repro/internal/nn"
 )
 
 // latencyWindow bounds how many recent request latencies each model keeps
@@ -62,12 +63,21 @@ func (r *Registry) Register(spec ModelSpec) (*Model, error) {
 	if err != nil {
 		return nil, err
 	}
+	return r.install(spec, net, spec.Method.String(), nil), nil
+}
+
+// install wires a built network into a servable Model and swaps it into
+// the registry under spec.Name. A nil workload builder means the cost
+// model derives the workload from the spec's method.
+func (r *Registry) install(spec ModelSpec, net *nn.Sequential, label string, wb workloadBuilder) *Model {
 	m := &Model{
-		spec:   spec,
-		net:    net,
-		params: net.ParamCount(),
-		cache:  r.cache,
-		lat:    newLatencyRing(latencyWindow),
+		spec:        spec,
+		net:         net,
+		params:      net.ParamCount(),
+		methodLabel: label,
+		workload:    wb,
+		cache:       r.cache,
+		lat:         newLatencyRing(latencyWindow),
 	}
 	m.batcher = NewBatcher(spec.N, r.opts.Batcher, m.net.Infer)
 
@@ -81,7 +91,7 @@ func (r *Registry) Register(spec ModelSpec) (*Model, error) {
 	if old != nil {
 		old.stop()
 	}
-	return m, nil
+	return m
 }
 
 // Get returns the current model registered under name.

@@ -149,6 +149,14 @@ type Model struct {
 	net     *nn.Sequential
 	params  int
 
+	// methodLabel is what Info/Prediction report as the method; for
+	// spec-built models it is the Method's name, for compressed models it
+	// describes the compressed layout (e.g. "compressed/lowrank-r4").
+	methodLabel string
+	// workload overrides the spec-derived cost-model workload; nil for
+	// spec-built models.
+	workload workloadBuilder
+
 	batcher *Batcher
 	cache   *ProgramCache
 
@@ -162,7 +170,7 @@ var _ Predictor = (*Model)(nil)
 func (m *Model) Info() ModelInfo {
 	return ModelInfo{
 		Name:    m.spec.Name,
-		Method:  m.spec.Method.String(),
+		Method:  m.methodLabel,
 		N:       m.spec.N,
 		Classes: m.spec.Classes,
 		Params:  m.params,
@@ -192,7 +200,7 @@ func (m *Model) Predict(ctx context.Context, features []float32) (Prediction, er
 
 	p := Prediction{
 		Model:          m.spec.Name,
-		Method:         m.spec.Method.String(),
+		Method:         m.methodLabel,
 		Version:        m.version,
 		Scores:         scores,
 		ArgMax:         argMax(scores),
@@ -208,6 +216,9 @@ func (m *Model) Predict(ctx context.Context, features []float32) (Prediction, er
 // ModelledCost returns the cached modelled IPU cost of executing a batch
 // of the given size (rounded up to its power-of-two cache bucket).
 func (m *Model) ModelledCost(batch int) (*ProgramCost, error) {
+	if m.workload != nil {
+		return m.cache.costWith(m.spec.Name, m.version, nextPow2(batch), m.workload)
+	}
 	return m.cache.Cost(m.spec, m.version, nextPow2(batch))
 }
 

@@ -1,0 +1,254 @@
+package tensor
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+)
+
+// This file is the small in-repo linear-algebra layer the post-hoc
+// factorization subsystem (internal/factorize) builds on: Householder QR,
+// a randomized range finder (Halko, Martinsson & Tropp, SIAM Rev. 2011),
+// and a one-sided Jacobi SVD. Everything accumulates in float64 and stores
+// in float32, matching the rest of the tensor package.
+
+// GaussianMatrix returns a rows×cols matrix with i.i.d. N(0,1) entries —
+// the sketching matrix of the randomized range finder.
+func GaussianMatrix(rows, cols int, rng *rand.Rand) *Matrix {
+	m := New(rows, cols)
+	for i := range m.Data {
+		m.Data[i] = float32(rng.NormFloat64())
+	}
+	return m
+}
+
+// HouseholderQR computes the thin QR factorization a = Q·R for an m×n
+// matrix with m ≥ n: Q is m×n with orthonormal columns and R is n×n upper
+// triangular.
+func HouseholderQR(a *Matrix) (q, r *Matrix) {
+	m, n := a.Rows, a.Cols
+	if m < n {
+		panic(fmt.Sprintf("tensor: HouseholderQR needs rows >= cols, got %dx%d", m, n))
+	}
+	// Work in float64 column-major for the reflector sweeps.
+	work := make([]float64, m*n)
+	for i := 0; i < m; i++ {
+		for j := 0; j < n; j++ {
+			work[j*m+i] = float64(a.Data[i*n+j])
+		}
+	}
+	// vs[k] is the k-th Householder vector (length m, zero above k).
+	vs := make([][]float64, n)
+	for k := 0; k < n; k++ {
+		col := work[k*m : (k+1)*m]
+		var norm float64
+		for i := k; i < m; i++ {
+			norm += col[i] * col[i]
+		}
+		norm = math.Sqrt(norm)
+		v := make([]float64, m)
+		copy(v[k:], col[k:])
+		if norm > 0 {
+			if v[k] >= 0 {
+				v[k] += norm
+			} else {
+				v[k] -= norm
+			}
+		}
+		var vv float64
+		for i := k; i < m; i++ {
+			vv += v[i] * v[i]
+		}
+		vs[k] = v
+		if vv == 0 {
+			continue // column already zero below the diagonal
+		}
+		// Apply I - 2vvᵀ/vᵀv to the remaining columns.
+		for j := k; j < n; j++ {
+			cj := work[j*m : (j+1)*m]
+			var dot float64
+			for i := k; i < m; i++ {
+				dot += v[i] * cj[i]
+			}
+			f := 2 * dot / vv
+			for i := k; i < m; i++ {
+				cj[i] -= f * v[i]
+			}
+		}
+	}
+	r = New(n, n)
+	for i := 0; i < n; i++ {
+		for j := i; j < n; j++ {
+			r.Data[i*n+j] = float32(work[j*m+i])
+		}
+	}
+	// Form Q by applying the reflectors in reverse to the first n identity
+	// columns.
+	qcols := make([]float64, m*n)
+	for j := 0; j < n; j++ {
+		qcols[j*m+j] = 1
+	}
+	for k := n - 1; k >= 0; k-- {
+		v := vs[k]
+		var vv float64
+		for i := k; i < m; i++ {
+			vv += v[i] * v[i]
+		}
+		if vv == 0 {
+			continue
+		}
+		for j := 0; j < n; j++ {
+			cj := qcols[j*m : (j+1)*m]
+			var dot float64
+			for i := k; i < m; i++ {
+				dot += v[i] * cj[i]
+			}
+			f := 2 * dot / vv
+			for i := k; i < m; i++ {
+				cj[i] -= f * v[i]
+			}
+		}
+	}
+	q = New(m, n)
+	for i := 0; i < m; i++ {
+		for j := 0; j < n; j++ {
+			q.Data[i*n+j] = float32(qcols[j*m+i])
+		}
+	}
+	return q, r
+}
+
+// RandomizedRangeFinder returns an m×k matrix Q with orthonormal columns
+// approximately spanning the range of a (m×n), computed as the QR of
+// a·Ω with one power iteration (a·aᵀ)·a·Ω for spectra that decay slowly.
+// k must satisfy 1 ≤ k ≤ m.
+func RandomizedRangeFinder(a *Matrix, k int, rng *rand.Rand) *Matrix {
+	if k <= 0 || k > a.Rows {
+		panic(fmt.Sprintf("tensor: RandomizedRangeFinder k=%d out of range (0,%d]", k, a.Rows))
+	}
+	omega := GaussianMatrix(a.Cols, k, rng)
+	y := MatMulParallel(a, omega) // m×k
+	q, _ := HouseholderQR(y)
+	// One power iteration with re-orthonormalization: Q ← orth(A·(Aᵀ·Q)).
+	z := MatMulParallel(a.Transpose(), q) // n×k
+	y = MatMulParallel(a, z)              // m×k
+	q, _ = HouseholderQR(y)
+	return q
+}
+
+// JacobiSVD computes the thin singular value decomposition a = U·diag(S)·Vᵀ
+// with a one-sided Jacobi iteration on columns. For an m×n input with
+// m ≥ n it returns U (m×n, orthonormal columns), S (n, descending, ≥ 0)
+// and V (n×n, orthogonal); inputs with m < n are handled by factorizing
+// the transpose. Cost is O(m·n²) per sweep — intended for the small
+// sketched matrices of the randomized path, not for huge dense inputs.
+func JacobiSVD(a *Matrix) (u *Matrix, s []float32, v *Matrix) {
+	if a.Rows < a.Cols {
+		// Aᵀ = U'·S·V'ᵀ  ⇒  A = V'·S·U'ᵀ.
+		ut, st, vt := JacobiSVD(a.Transpose())
+		return vt, st, ut
+	}
+	m, n := a.Rows, a.Cols
+	// Column-major float64 working copy of A and accumulated V.
+	b := make([]float64, m*n)
+	for i := 0; i < m; i++ {
+		for j := 0; j < n; j++ {
+			b[j*m+i] = float64(a.Data[i*n+j])
+		}
+	}
+	vwork := make([]float64, n*n)
+	for j := 0; j < n; j++ {
+		vwork[j*n+j] = 1
+	}
+	const (
+		maxSweeps = 30
+		tol       = 1e-10
+	)
+	for sweep := 0; sweep < maxSweeps; sweep++ {
+		offDiag := false
+		for p := 0; p < n-1; p++ {
+			for q2 := p + 1; q2 < n; q2++ {
+				cp := b[p*m : (p+1)*m]
+				cq := b[q2*m : (q2+1)*m]
+				var alpha, beta, gamma float64
+				for i := 0; i < m; i++ {
+					alpha += cp[i] * cp[i]
+					beta += cq[i] * cq[i]
+					gamma += cp[i] * cq[i]
+				}
+				if math.Abs(gamma) <= tol*math.Sqrt(alpha*beta) || gamma == 0 {
+					continue
+				}
+				offDiag = true
+				// Jacobi rotation that orthogonalizes columns p and q.
+				zeta := (beta - alpha) / (2 * gamma)
+				var t float64
+				if zeta >= 0 {
+					t = 1 / (zeta + math.Sqrt(1+zeta*zeta))
+				} else {
+					t = -1 / (-zeta + math.Sqrt(1+zeta*zeta))
+				}
+				c := 1 / math.Sqrt(1+t*t)
+				sn := c * t
+				for i := 0; i < m; i++ {
+					bp, bq := cp[i], cq[i]
+					cp[i] = c*bp - sn*bq
+					cq[i] = sn*bp + c*bq
+				}
+				vp := vwork[p*n : (p+1)*n]
+				vq := vwork[q2*n : (q2+1)*n]
+				for i := 0; i < n; i++ {
+					wp, wq := vp[i], vq[i]
+					vp[i] = c*wp - sn*wq
+					vq[i] = sn*wp + c*wq
+				}
+			}
+		}
+		if !offDiag {
+			break
+		}
+	}
+	// Singular values are the column norms; normalize to get U.
+	sigma := make([]float64, n)
+	for j := 0; j < n; j++ {
+		var norm float64
+		col := b[j*m : (j+1)*m]
+		for i := 0; i < m; i++ {
+			norm += col[i] * col[i]
+		}
+		sigma[j] = math.Sqrt(norm)
+	}
+	// Order columns by descending singular value.
+	order := make([]int, n)
+	for i := range order {
+		order[i] = i
+	}
+	for i := 0; i < n; i++ { // selection sort keeps this allocation-free
+		best := i
+		for j := i + 1; j < n; j++ {
+			if sigma[order[j]] > sigma[order[best]] {
+				best = j
+			}
+		}
+		order[i], order[best] = order[best], order[i]
+	}
+	u = New(m, n)
+	v = New(n, n)
+	s = make([]float32, n)
+	for jj, j := range order {
+		s[jj] = float32(sigma[j])
+		col := b[j*m : (j+1)*m]
+		inv := 0.0
+		if sigma[j] > 0 {
+			inv = 1 / sigma[j]
+		}
+		for i := 0; i < m; i++ {
+			u.Data[i*n+jj] = float32(col[i] * inv)
+		}
+		vcol := vwork[j*n : (j+1)*n]
+		for i := 0; i < n; i++ {
+			v.Data[i*n+jj] = float32(vcol[i])
+		}
+	}
+	return u, s, v
+}

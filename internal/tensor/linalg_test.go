@@ -1,0 +1,121 @@
+package tensor
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func relErr(a, approx *Matrix) float64 {
+	d := Sub(a, approx)
+	na := a.FrobeniusNorm()
+	if na == 0 {
+		return d.FrobeniusNorm()
+	}
+	return d.FrobeniusNorm() / na
+}
+
+func assertOrthonormalCols(t *testing.T, q *Matrix, tol float64) {
+	t.Helper()
+	g := MatMul(q.Transpose(), q)
+	id := Identity(q.Cols)
+	if d := MaxAbsDiff(g, id); d > tol {
+		t.Fatalf("QᵀQ deviates from identity by %v (tol %v)", d, tol)
+	}
+}
+
+func TestHouseholderQRReconstructs(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for _, shape := range [][2]int{{8, 8}, {24, 8}, {17, 5}, {64, 64}} {
+		a := New(shape[0], shape[1])
+		a.FillRandom(rng, 1)
+		q, r := HouseholderQR(a)
+		assertOrthonormalCols(t, q, 1e-4)
+		if e := relErr(a, MatMul(q, r)); e > 1e-5 {
+			t.Fatalf("%dx%d: QR reconstruction error %v", shape[0], shape[1], e)
+		}
+		for i := 0; i < r.Rows; i++ {
+			for j := 0; j < i; j++ {
+				if r.At(i, j) != 0 {
+					t.Fatalf("R not upper triangular at (%d,%d)", i, j)
+				}
+			}
+		}
+	}
+}
+
+func TestHouseholderQRRankDeficient(t *testing.T) {
+	// Two identical columns: QR must still reconstruct.
+	a := New(6, 3)
+	rng := rand.New(rand.NewSource(2))
+	a.FillRandom(rng, 1)
+	for i := 0; i < a.Rows; i++ {
+		a.Set(i, 2, a.At(i, 0))
+	}
+	q, r := HouseholderQR(a)
+	if e := relErr(a, MatMul(q, r)); e > 1e-5 {
+		t.Fatalf("rank-deficient QR reconstruction error %v", e)
+	}
+}
+
+func TestJacobiSVDReconstructs(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	for _, shape := range [][2]int{{12, 12}, {20, 7}, {7, 20}, {48, 16}} {
+		a := New(shape[0], shape[1])
+		a.FillRandom(rng, 1)
+		u, s, v := JacobiSVD(a)
+		// Descending, non-negative spectrum.
+		for i := range s {
+			if s[i] < 0 {
+				t.Fatalf("negative singular value %v", s[i])
+			}
+			if i > 0 && s[i] > s[i-1]+1e-5 {
+				t.Fatalf("singular values not descending: %v", s)
+			}
+		}
+		// A = U·diag(S)·Vᵀ.
+		us := u.Clone()
+		for i := 0; i < us.Rows; i++ {
+			row := us.Row(i)
+			for j := range row {
+				row[j] *= s[j]
+			}
+		}
+		if e := relErr(a, MatMul(us, v.Transpose())); e > 1e-4 {
+			t.Fatalf("%dx%d: SVD reconstruction error %v", shape[0], shape[1], e)
+		}
+		assertOrthonormalCols(t, v, 1e-4)
+	}
+}
+
+func TestJacobiSVDKnownSpectrum(t *testing.T) {
+	// diag(3, 2, 1) embedded in a rotation-free matrix.
+	a := New(3, 3)
+	a.Set(0, 0, 3)
+	a.Set(1, 1, 1)
+	a.Set(2, 2, 2)
+	_, s, _ := JacobiSVD(a)
+	want := []float64{3, 2, 1}
+	for i, w := range want {
+		if math.Abs(float64(s[i])-w) > 1e-5 {
+			t.Fatalf("spectrum %v, want %v", s, want)
+		}
+	}
+}
+
+func TestRandomizedRangeFinderCapturesLowRank(t *testing.T) {
+	// A = B·C with rank 4: an 8-dimensional sketch must capture the range
+	// almost exactly.
+	rng := rand.New(rand.NewSource(4))
+	b := New(40, 4)
+	c := New(4, 30)
+	b.FillRandom(rng, 1)
+	c.FillRandom(rng, 1)
+	a := MatMul(b, c)
+	q := RandomizedRangeFinder(a, 8, rng)
+	assertOrthonormalCols(t, q, 1e-4)
+	proj := MatMul(q, MatMul(q.Transpose(), a))
+	if e := relErr(a, proj); e > 1e-4 {
+		t.Fatalf("range finder residual %v", e)
+	}
+}

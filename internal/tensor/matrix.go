@@ -341,10 +341,3 @@ func (m *Matrix) MulVec(x []float32) []float32 {
 	}
 	return out
 }
-
-func min(a, b int) int {
-	if a < b {
-		return a
-	}
-	return b
-}
