@@ -18,16 +18,21 @@ package main
 
 import (
 	"context"
+	"encoding/json"
 	"flag"
 	"fmt"
+	"math/rand"
 	"net/http"
 	"os"
+	"runtime"
 	"strings"
 	"time"
 
 	"repro/internal/ipu"
 	"repro/internal/nn"
 	"repro/internal/serve"
+	"repro/internal/stats"
+	"repro/internal/tensor"
 )
 
 var methodNames = map[string]nn.Method{
@@ -78,6 +83,7 @@ func main() {
 		loadgen  = flag.Bool("loadgen", false, "run the built-in load generator instead of serving")
 		rps      = flag.Int("rps", 500, "loadgen: offered requests/second per method")
 		duration = flag.Duration("duration", 10*time.Second, "loadgen: time to offer load per method")
+		benchout = flag.String("benchout", "BENCH_serve.json", "loadgen: machine-readable perf record path (empty disables)")
 	)
 	flag.Parse()
 
@@ -97,20 +103,20 @@ func main() {
 		os.Exit(2)
 	}
 
-	reg := serve.NewRegistry(serve.Options{
-		IPU: cfg,
-		Batcher: serve.BatcherConfig{
-			MaxBatch: *maxBatch,
-			MaxDelay: *maxDelay,
-			Workers:  *workers,
-		},
-	})
+	bcfg := serve.BatcherConfig{
+		MaxBatch: *maxBatch,
+		MaxDelay: *maxDelay,
+		Workers:  *workers,
+	}
+	reg := serve.NewRegistry(serve.Options{IPU: cfg, Batcher: bcfg})
 	defer reg.Close()
 
+	specs := make([]serve.ModelSpec, len(ms))
 	for i, m := range ms {
-		info, err := reg.Register(serve.ModelSpec{
+		specs[i] = serve.ModelSpec{
 			Name: names[i], Method: m, N: *n, Classes: *classes, Seed: *seed,
-		})
+		}
+		info, err := reg.Register(specs[i])
 		if err != nil {
 			fmt.Fprintln(os.Stderr, err)
 			os.Exit(1)
@@ -120,7 +126,7 @@ func main() {
 	}
 
 	if *loadgen {
-		runLoadgen(reg, names, *rps, *duration)
+		runLoadgen(reg, specs, bcfg, *rps, *duration, *benchout)
 		return
 	}
 
@@ -131,10 +137,55 @@ func main() {
 	}
 }
 
-func runLoadgen(reg *serve.Registry, names []string, rps int, duration time.Duration) {
+// benchRecord is the per-model block of the BENCH_serve.json perf record —
+// the repo's machine-readable serving-performance trajectory.
+type benchRecord struct {
+	Model         string  `json:"model"`
+	RPS           int     `json:"offered_rps"`
+	Done          int     `json:"done"`
+	Errors        int     `json:"errors"`
+	ThroughputRPS float64 `json:"throughput_rps"`
+	P50Millis     float64 `json:"p50_ms"`
+	P95Millis     float64 `json:"p95_ms"`
+	P99Millis     float64 `json:"p99_ms"`
+	AvgBatch      float64 `json:"avg_batch"`
+	AllocsPerOp   float64 `json:"allocs_per_op"`
+	BytesPerOp    float64 `json:"bytes_per_op"`
+	CacheHitRate  float64 `json:"cache_hit_rate"`
+}
+
+// allocProbe compares the compiled-plan serving path against the
+// pre-refactor per-layer allocating inference path (a batcher directly
+// over Sequential.Infer), both driven by the same sequential
+// single-request loop, in heap allocations per request.
+type allocProbe struct {
+	Model             string  `json:"model"`
+	PlanAllocsPerOp   float64 `json:"plan_allocs_per_op"`
+	LegacyAllocsPerOp float64 `json:"legacy_allocs_per_op"`
+	ReductionFactor   float64 `json:"reduction_factor"`
+}
+
+type benchFile struct {
+	GeneratedAt     string        `json:"generated_at"`
+	DurationSeconds float64       `json:"duration_s_per_model"`
+	N               int           `json:"n"`
+	Models          []benchRecord `json:"models"`
+	AllocProbes     []allocProbe  `json:"alloc_probes"`
+}
+
+func runLoadgen(reg *serve.Registry, specs []serve.ModelSpec, bcfg serve.BatcherConfig, rps int, duration time.Duration, benchout string) {
+	names := make([]string, len(specs))
+	for i, sp := range specs {
+		names[i] = sp.Name
+	}
 	fmt.Printf("\nload: %d req/s per model for %v each\n\n", rps, duration)
-	fmt.Printf("%-10s %8s %6s %10s %9s %9s %9s %9s %7s %9s\n",
-		"model", "done", "err", "thr(req/s)", "p50(ms)", "p95(ms)", "p99(ms)", "avg.batch", "hit%", "ipu(µs/req)")
+	fmt.Printf("%-10s %8s %6s %10s %9s %9s %9s %9s %7s %10s %9s\n",
+		"model", "done", "err", "thr(req/s)", "p50(ms)", "p95(ms)", "p99(ms)", "avg.batch", "hit%", "allocs/op", "ipu(µs/req)")
+	var records []benchRecord
+	var n int
+	if len(specs) > 0 {
+		n = specs[0].N
+	}
 	for _, name := range names {
 		rep, err := serve.RunLoad(context.Background(), reg, name, serve.LoadConfig{
 			RPS: rps, Duration: duration,
@@ -144,14 +195,130 @@ func runLoadgen(reg *serve.Registry, names []string, rps int, duration time.Dura
 			os.Exit(1)
 		}
 		ipuPerReq := modelledPerRequest(reg, name, rep)
-		fmt.Printf("%-10s %8d %6d %10.1f %9.3f %9.3f %9.3f %9.2f %6.1f%% %9s\n",
+		fmt.Printf("%-10s %8d %6d %10.1f %9.3f %9.3f %9.3f %9.2f %6.1f%% %10.1f %9s\n",
 			name, rep.Done, rep.Errors, rep.Throughput(),
 			rep.Latency.P50*1e3, rep.Latency.P95*1e3, rep.Latency.P99*1e3,
-			rep.Batching.AvgBatch, rep.Cache.HitRate*100, ipuPerReq)
+			rep.Batching.AvgBatch, rep.Cache.HitRate*100, rep.AllocsPerOp, ipuPerReq)
+		records = append(records, benchRecord{
+			Model:         name,
+			RPS:           rps,
+			Done:          rep.Done,
+			Errors:        rep.Errors,
+			ThroughputRPS: rep.Throughput(),
+			P50Millis:     rep.Latency.P50 * 1e3,
+			P95Millis:     rep.Latency.P95 * 1e3,
+			P99Millis:     rep.Latency.P99 * 1e3,
+			AvgBatch:      rep.Batching.AvgBatch,
+			AllocsPerOp:   rep.AllocsPerOp,
+			BytesPerOp:    rep.BytesPerOp,
+			CacheHitRate:  rep.Cache.HitRate,
+		})
 	}
 	cs := reg.CacheStats()
 	fmt.Printf("\nprogram cache: %d entries, %d hits / %d misses (%.1f%% hit rate)\n",
 		cs.Entries, cs.Hits, cs.Misses, cs.HitRate*100)
+
+	fmt.Printf("\nalloc probe (sequential single requests, plan path vs pre-refactor Infer path):\n")
+	fmt.Printf("%-10s %14s %16s %10s\n", "model", "plan(allocs)", "legacy(allocs)", "reduction")
+	var probes []allocProbe
+	for _, sp := range specs {
+		p, err := probeAllocs(reg, sp, bcfg)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		probes = append(probes, p)
+		fmt.Printf("%-10s %14.1f %16.1f %9.1fx\n",
+			p.Model, p.PlanAllocsPerOp, p.LegacyAllocsPerOp, p.ReductionFactor)
+	}
+
+	if benchout == "" {
+		return
+	}
+	out := benchFile{
+		GeneratedAt:     time.Now().UTC().Format(time.RFC3339),
+		DurationSeconds: duration.Seconds(),
+		N:               n,
+		Models:          records,
+		AllocProbes:     probes,
+	}
+	data, err := json.MarshalIndent(out, "", "  ")
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	if err := os.WriteFile(benchout, append(data, '\n'), 0o644); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	fmt.Printf("perf record written to %s\n", benchout)
+}
+
+// probeAllocs measures heap allocations per request of the registered
+// (plan-executing) model against a freshly built batcher running the same
+// weights through the pre-refactor Sequential.Infer path. Both sides run
+// the same sequential request loop; the plan side goes through the full
+// Predict (its per-request bookkeeping is allocation-free, and the legacy
+// loop mirrors the class selection), so the comparison is within ~1
+// alloc/op of apples-to-apples.
+func probeAllocs(reg *serve.Registry, sp serve.ModelSpec, bcfg serve.BatcherConfig) (allocProbe, error) {
+	m, ok := reg.Get(sp.Name)
+	if !ok {
+		return allocProbe{}, fmt.Errorf("alloc probe: unknown model %q", sp.Name)
+	}
+	features := tensor.New(1, sp.N)
+	features.FillRandom(rand.New(rand.NewSource(3)), 1)
+	ctx := context.Background()
+
+	plan, err := allocsPerOp(func() error {
+		_, err := m.Predict(ctx, features.Data)
+		return err
+	})
+	if err != nil {
+		return allocProbe{}, fmt.Errorf("alloc probe %q (plan): %w", sp.Name, err)
+	}
+
+	legacyNet := nn.BuildSHL(sp.Method, sp.N, sp.Classes, rand.New(rand.NewSource(sp.Seed)))
+	legacyBatcher := serve.NewBatcher(sp.N, bcfg, legacyNet.Infer)
+	defer legacyBatcher.Stop()
+	var sink int
+	legacy, err := allocsPerOp(func() error {
+		scores, _, err := legacyBatcher.Do(ctx, features.Data)
+		// Mirror the per-request bookkeeping Predict performs on the plan
+		// side (class selection) so the two loops stay comparable.
+		sink = stats.ArgMax(scores)
+		return err
+	})
+	_ = sink
+	if err != nil {
+		return allocProbe{}, fmt.Errorf("alloc probe %q (legacy): %w", sp.Name, err)
+	}
+
+	p := allocProbe{Model: sp.Name, PlanAllocsPerOp: plan, LegacyAllocsPerOp: legacy}
+	if plan > 0 {
+		p.ReductionFactor = legacy / plan
+	}
+	return p, nil
+}
+
+// allocsPerOp runs op sequentially and reports the process heap-allocation
+// delta per call, after a warm-up that lets pools and plans settle.
+func allocsPerOp(op func() error) (float64, error) {
+	const warm, measured = 64, 256
+	for i := 0; i < warm; i++ {
+		if err := op(); err != nil {
+			return 0, err
+		}
+	}
+	var m0, m1 runtime.MemStats
+	runtime.ReadMemStats(&m0)
+	for i := 0; i < measured; i++ {
+		if err := op(); err != nil {
+			return 0, err
+		}
+	}
+	runtime.ReadMemStats(&m1)
+	return float64(m1.Mallocs-m0.Mallocs) / measured, nil
 }
 
 // modelledPerRequest reads the modelled per-request IPU latency at the

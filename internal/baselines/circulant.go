@@ -18,6 +18,12 @@ type Circulant struct {
 	C     []float32 // the defining vector
 	GradC []float32
 
+	// plan is the precomputed in-place FFT ApplyInto convolves through;
+	// fc caches fft(C), re-derived by Refresh after optimizer steps (the
+	// same hook the cached transposes of LowRank/Pixelfly use).
+	plan *fft.Plan
+	fc   []complex128
+
 	xSaved *tensor.Matrix
 }
 
@@ -27,12 +33,22 @@ func NewCirculant(n int, rng *rand.Rand) *Circulant {
 	if !fft.IsPowerOfTwo(n) {
 		panic(fmt.Sprintf("baselines: circulant size %d must be a power of two", n))
 	}
-	c := &Circulant{N: n, C: make([]float32, n), GradC: make([]float32, n)}
+	c := &Circulant{N: n, C: make([]float32, n), GradC: make([]float32, n),
+		plan: fft.NewPlan(n), fc: make([]complex128, n)}
 	scale := float32(1 / math.Sqrt(float64(n)))
 	for i := range c.C {
 		c.C[i] = (rng.Float32()*2 - 1) * scale
 	}
+	c.Refresh()
 	return c
+}
+
+// Refresh re-derives the cached fft(C) after an optimizer step mutates C.
+func (c *Circulant) Refresh() {
+	for i, v := range c.C {
+		c.fc[i] = complex(float64(v), 0)
+	}
+	c.plan.Transform(c.fc)
 }
 
 // ParamCount returns n.
@@ -62,6 +78,41 @@ func (c *Circulant) Apply(x *tensor.Matrix) *tensor.Matrix {
 		copy(out.Row(r), fft.CircularConvolve(c.C, x.Row(r)))
 	}
 	return out
+}
+
+// ApplyInto is Apply writing into caller-owned dst (shape x.Rows×N, fully
+// overwritten), convolving every row through the precomputed in-place FFT
+// plan with workspace scratch. The cached fft(C) (see Refresh) is reused
+// across rows; every row then sees exactly the operations of
+// fft.CircularConvolve, so the result is bit-for-bit equal. dst must not
+// alias x.
+func (c *Circulant) ApplyInto(dst, x *tensor.Matrix, ws *tensor.Workspace) {
+	if x.Cols != c.N {
+		panic(fmt.Sprintf("baselines: Circulant input width %d != %d", x.Cols, c.N))
+	}
+	if dst.Rows != x.Rows || dst.Cols != c.N {
+		panic(fmt.Sprintf("baselines: Circulant ApplyInto dst %dx%d, want %dx%d", dst.Rows, dst.Cols, x.Rows, c.N))
+	}
+	n := c.N
+	fc := c.fc
+	row := ws.TakeComplex(n)
+	for r := 0; r < x.Rows; r++ {
+		src := x.Row(r)
+		for i := range src {
+			row[i] = complex(float64(src[i]), 0)
+		}
+		c.plan.Transform(row)
+		// fc is the transform of C (the first CircularConvolve operand),
+		// so multiply in the same operand order: fft(C)·fft(x).
+		for i := range row {
+			row[i] = fc[i] * row[i]
+		}
+		c.plan.Inverse(row)
+		d := dst.Row(r)
+		for i := range d {
+			d[i] = float32(real(row[i]))
+		}
+	}
 }
 
 // Backward: with y = C·x (C circulant), dX = Cᵀ·dY is circular correlation

@@ -62,6 +62,13 @@ func (f *Fastfood) Flops(batch int) float64 {
 
 func scaleRows(x *tensor.Matrix, d []float32) *tensor.Matrix {
 	out := tensor.New(x.Rows, x.Cols)
+	scaleRowsInto(out, x, d)
+	return out
+}
+
+// scaleRowsInto writes x with every row scaled element-wise by d into out;
+// out may alias x.
+func scaleRowsInto(out, x *tensor.Matrix, d []float32) {
 	for r := 0; r < x.Rows; r++ {
 		src := x.Row(r)
 		dst := out.Row(r)
@@ -69,24 +76,37 @@ func scaleRows(x *tensor.Matrix, d []float32) *tensor.Matrix {
 			dst[i] = src[i] * d[i]
 		}
 	}
-	return out
 }
 
 func fwhtRows(x *tensor.Matrix) *tensor.Matrix {
 	out := x.Clone()
+	fwhtRowsInPlace(out)
+	return out
+}
+
+// fwhtRowsInPlace applies the orthonormal Walsh–Hadamard transform to
+// every row of x in place — the same per-row operations fwhtRows performs
+// on its copy.
+func fwhtRowsInPlace(x *tensor.Matrix) {
 	inv := float32(1 / math.Sqrt(float64(x.Cols)))
-	for r := 0; r < out.Rows; r++ {
-		row := out.Row(r)
+	for r := 0; r < x.Rows; r++ {
+		row := x.Row(r)
 		hadamard.Transform(row)
 		for i := range row {
 			row[i] *= inv
 		}
 	}
-	return out
 }
 
 func permuteRows(x *tensor.Matrix, perm []int) *tensor.Matrix {
 	out := tensor.New(x.Rows, x.Cols)
+	permuteRowsInto(out, x, perm)
+	return out
+}
+
+// permuteRowsInto writes x with columns reordered by perm into out, which
+// must not alias x.
+func permuteRowsInto(out, x *tensor.Matrix, perm []int) {
 	for r := 0; r < x.Rows; r++ {
 		src := x.Row(r)
 		dst := out.Row(r)
@@ -94,7 +114,6 @@ func permuteRows(x *tensor.Matrix, perm []int) *tensor.Matrix {
 			dst[i] = src[p]
 		}
 	}
-	return out
 }
 
 func unpermuteRows(x *tensor.Matrix, perm []int) *tensor.Matrix {
@@ -135,6 +154,27 @@ func (f *Fastfood) Apply(x *tensor.Matrix) *tensor.Matrix {
 	u = scaleRows(u, f.G)
 	u = fwhtRows(u)
 	return scaleRows(u, f.S)
+}
+
+// ApplyInto is Apply writing into caller-owned dst (shape x.Rows×N, fully
+// overwritten), running the S·Ĥ·G·Π·Ĥ·B pipeline through two workspace
+// buffers with in-place FWHTs. Each step performs the same arithmetic as
+// Apply, so the result is bit-for-bit equal. dst must not alias x.
+func (f *Fastfood) ApplyInto(dst, x *tensor.Matrix, ws *tensor.Workspace) {
+	if x.Cols != f.N {
+		panic(fmt.Sprintf("baselines: Fastfood input width %d != %d", x.Cols, f.N))
+	}
+	if dst.Rows != x.Rows || dst.Cols != f.N {
+		panic(fmt.Sprintf("baselines: Fastfood ApplyInto dst %dx%d, want %dx%d", dst.Rows, dst.Cols, x.Rows, f.N))
+	}
+	u := ws.Take(x.Rows, f.N)
+	v := ws.Take(x.Rows, f.N)
+	scaleRowsInto(u, x, f.B)
+	fwhtRowsInPlace(u)
+	permuteRowsInto(v, u, f.Perm)
+	scaleRowsInto(u, v, f.G)
+	fwhtRowsInPlace(u)
+	scaleRowsInto(dst, u, f.S)
 }
 
 // Backward accumulates diagonal gradients and returns dX. Ĥ is symmetric,

@@ -20,6 +20,11 @@ type LowRank struct {
 	U, V         *tensor.Matrix // n×r
 	GradU, GradV *tensor.Matrix
 
+	// ut caches Uᵀ (r×n) for the allocation-free inference path; it is
+	// re-derived by Refresh after every optimizer step (the same post-step
+	// hook the rotation butterfly uses).
+	ut *tensor.Matrix
+
 	xSaved  *tensor.Matrix
 	xvSaved *tensor.Matrix
 }
@@ -48,7 +53,16 @@ func NewLowRank(n, rank int, rng *rand.Rand) *LowRank {
 	scale := float32(1 / math.Pow(float64(n), 0.25))
 	l.U.FillRandom(rng, scale)
 	l.V.FillRandom(rng, scale)
+	l.Refresh()
 	return l
+}
+
+// Refresh re-derives the cached Uᵀ after an optimizer step mutates U.
+func (l *LowRank) Refresh() {
+	if l.ut == nil {
+		l.ut = tensor.New(l.Rank, l.N)
+	}
+	tensor.TransposeInto(l.ut, l.U)
 }
 
 // NewLowRankFromFactors wraps explicit factors U, V (both n×r) so that the
@@ -64,9 +78,11 @@ func NewLowRankFromFactors(u, v *tensor.Matrix) *LowRank {
 		panic(fmt.Sprintf("baselines: rank %d out of range (0,%d]", u.Cols, u.Rows))
 	}
 	n, rank := u.Rows, u.Cols
-	return &LowRank{N: n, Rank: rank,
+	l := &LowRank{N: n, Rank: rank,
 		U: u.Clone(), V: v.Clone(),
 		GradU: tensor.New(n, rank), GradV: tensor.New(n, rank)}
+	l.Refresh()
+	return l
 }
 
 // ParamCount returns 2·n·rank.
@@ -95,6 +111,21 @@ func (l *LowRank) Apply(x *tensor.Matrix) *tensor.Matrix {
 		panic(fmt.Sprintf("baselines: LowRank input width %d != %d", x.Cols, l.N))
 	}
 	return tensor.MatMul(tensor.MatMul(x, l.V), l.U.Transpose())
+}
+
+// ApplyInto is Apply writing into caller-owned dst (shape x.Rows×N, fully
+// overwritten), staging X·V and Uᵀ through the workspace. Same kernels,
+// bit-for-bit equal result. dst must not alias x.
+func (l *LowRank) ApplyInto(dst, x *tensor.Matrix, ws *tensor.Workspace) {
+	if x.Cols != l.N {
+		panic(fmt.Sprintf("baselines: LowRank input width %d != %d", x.Cols, l.N))
+	}
+	if dst.Rows != x.Rows || dst.Cols != l.N {
+		panic(fmt.Sprintf("baselines: LowRank ApplyInto dst %dx%d, want %dx%d", dst.Rows, dst.Cols, x.Rows, l.N))
+	}
+	xv := ws.Take(x.Rows, l.Rank)
+	tensor.MatMulInto(xv, x, l.V)
+	tensor.MatMulInto(dst, xv, l.ut)
 }
 
 // Backward accumulates dU, dV and returns dX.

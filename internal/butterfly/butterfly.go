@@ -209,10 +209,18 @@ func (b *Butterfly) Flops(batch int) float64 {
 // applyPermRows returns x with columns permuted so row vectors are
 // reordered by Perm: out[r][i] = x[r][Perm[i]].
 func (b *Butterfly) applyPermRows(x *tensor.Matrix) *tensor.Matrix {
-	if b.Perm == nil {
-		return x.Clone()
-	}
 	out := tensor.New(x.Rows, x.Cols)
+	b.applyPermRowsInto(out, x)
+	return out
+}
+
+// applyPermRowsInto is applyPermRows into caller-owned out (which must not
+// alias x); a nil Perm degenerates to a copy.
+func (b *Butterfly) applyPermRowsInto(out, x *tensor.Matrix) {
+	if b.Perm == nil {
+		copy(out.Data, x.Data)
+		return
+	}
 	for r := 0; r < x.Rows; r++ {
 		src := x.Row(r)
 		dst := out.Row(r)
@@ -220,7 +228,6 @@ func (b *Butterfly) applyPermRows(x *tensor.Matrix) *tensor.Matrix {
 			dst[i] = src[p]
 		}
 	}
-	return out
 }
 
 // Forward applies the butterfly to each row of x (batch × N), returning
@@ -253,6 +260,32 @@ func (b *Butterfly) Apply(x *tensor.Matrix) *tensor.Matrix {
 		cur = next
 	}
 	return cur
+}
+
+// ApplyInto is Apply writing into caller-owned dst (shape x.Rows×N, fully
+// overwritten), ping-ponging the stage sweep between dst and one workspace
+// scratch buffer instead of allocating a fresh matrix per factor. The
+// arithmetic per stage is identical to Apply, so the result is bit-for-bit
+// equal. dst must not alias x.
+func (b *Butterfly) ApplyInto(dst, x *tensor.Matrix, ws *tensor.Workspace) {
+	if x.Cols != b.N {
+		panic(fmt.Sprintf("butterfly: input width %d != N %d", x.Cols, b.N))
+	}
+	if dst.Rows != x.Rows || dst.Cols != b.N {
+		panic(fmt.Sprintf("butterfly: ApplyInto dst %dx%d, want %dx%d", dst.Rows, dst.Cols, x.Rows, b.N))
+	}
+	tmp := ws.Take(x.Rows, b.N)
+	// Buffers alternate permOut → stage1 → … → stageS; pick the first so
+	// the final stage lands exactly in dst.
+	cur, other := dst, tmp
+	if len(b.Factors)%2 == 1 {
+		cur, other = tmp, dst
+	}
+	b.applyPermRowsInto(cur, x)
+	for _, f := range b.Factors {
+		applyFactorRows(f, cur, other)
+		cur, other = other, cur
+	}
 }
 
 func applyFactorRows(f *Factor, in, out *tensor.Matrix) {

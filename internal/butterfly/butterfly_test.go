@@ -323,3 +323,32 @@ func BenchmarkButterflyForward1024(b *testing.B) {
 		bf.Apply(x)
 	}
 }
+
+func BenchmarkButterflyApply(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	bf := New(1024, Rotation, rng)
+	x := tensor.New(32, 1024)
+	x.FillRandom(rng, 1)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		bf.Apply(x)
+	}
+}
+
+func BenchmarkButterflyApplyInto(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	bf := New(1024, Rotation, rng)
+	x := tensor.New(32, 1024)
+	x.FillRandom(rng, 1)
+	dst := tensor.New(32, 1024)
+	ws := tensor.NewWorkspace()
+	bf.ApplyInto(dst, x, ws)
+	ws.Reset()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ws.Reset()
+		bf.ApplyInto(dst, x, ws)
+	}
+}

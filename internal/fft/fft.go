@@ -238,3 +238,66 @@ func ApplyFactors(x []complex128) []complex128 {
 	}
 	return cur
 }
+
+// Plan precomputes the bit-reversal permutation of one FFT size so the
+// transform can run in place over caller-owned buffers — the
+// allocation-free path the circulant layer's compiled inference plan uses.
+// Transform and Inverse perform exactly the same arithmetic as FFT and
+// IFFT, so results are bit-identical to the allocating path.
+type Plan struct {
+	n    int
+	perm []int
+}
+
+// NewPlan builds a plan for power-of-two size n.
+func NewPlan(n int) *Plan {
+	if !IsPowerOfTwo(n) {
+		panic(fmt.Sprintf("fft: plan size %d is not a power of two", n))
+	}
+	return &Plan{n: n, perm: BitReverse(n)}
+}
+
+// Size returns the transform length the plan was built for.
+func (p *Plan) Size() int { return p.n }
+
+// Transform computes the forward DFT of buf (len == Size) in place.
+func (p *Plan) Transform(buf []complex128) {
+	n := p.n
+	if len(buf) != n {
+		panic(fmt.Sprintf("fft: plan size %d, buffer length %d", n, len(buf)))
+	}
+	// The bit-reversal permutation is an involution, so swapping each
+	// i < perm[i] pair applies it in place.
+	for i, pi := range p.perm {
+		if i < pi {
+			buf[i], buf[pi] = buf[pi], buf[i]
+		}
+	}
+	for size := 2; size <= n; size <<= 1 {
+		half := size / 2
+		w := cmplx.Exp(complex(0, -2*math.Pi/float64(size)))
+		for start := 0; start < n; start += size {
+			tw := complex(1, 0)
+			for k := 0; k < half; k++ {
+				a := buf[start+k]
+				b := buf[start+k+half] * tw
+				buf[start+k] = a + b
+				buf[start+k+half] = a - b
+				tw *= w
+			}
+		}
+	}
+}
+
+// Inverse computes the inverse DFT of buf (normalized by 1/n) in place,
+// via the same conjugation identity IFFT uses.
+func (p *Plan) Inverse(buf []complex128) {
+	for i, v := range buf {
+		buf[i] = cmplx.Conj(v)
+	}
+	p.Transform(buf)
+	inv := 1 / float64(p.n)
+	for i, v := range buf {
+		buf[i] = complex(real(v)*inv, -imag(v)*inv)
+	}
+}

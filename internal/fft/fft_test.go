@@ -308,3 +308,62 @@ func BenchmarkFFT1024(b *testing.B) {
 		FFT(x)
 	}
 }
+
+// TestPlanBitIdenticalToFFT checks the in-place plan transform against the
+// allocating FFT/IFFT/CircularConvolve, exactly — the guarantee the
+// circulant layer's compiled inference path relies on.
+func TestPlanBitIdenticalToFFT(t *testing.T) {
+	rng := rand.New(rand.NewSource(12))
+	for _, n := range []int{1, 2, 8, 64, 256} {
+		p := NewPlan(n)
+		x := make([]complex128, n)
+		for i := range x {
+			x[i] = complex(rng.NormFloat64(), rng.NormFloat64())
+		}
+		want := FFT(x)
+		buf := append([]complex128(nil), x...)
+		p.Transform(buf)
+		for i := range want {
+			if buf[i] != want[i] {
+				t.Fatalf("n=%d: Transform[%d] = %v, want %v (bit-exact)", n, i, buf[i], want[i])
+			}
+		}
+		wantInv := IFFT(x)
+		buf = append(buf[:0], x...)
+		p.Inverse(buf)
+		for i := range wantInv {
+			if buf[i] != wantInv[i] {
+				t.Fatalf("n=%d: Inverse[%d] = %v, want %v (bit-exact)", n, i, buf[i], wantInv[i])
+			}
+		}
+
+		// Convolution via plan primitives (the circulant layer's ApplyInto
+		// composition: transform both operands, multiply with the first
+		// operand on the left, inverse) must be bit-identical to
+		// CircularConvolve.
+		a := make([]float32, n)
+		b := make([]float32, n)
+		for i := range a {
+			a[i] = rng.Float32()*2 - 1
+			b[i] = rng.Float32()*2 - 1
+		}
+		wantConv := CircularConvolve(a, b)
+		ca := make([]complex128, n)
+		cb := make([]complex128, n)
+		for i := 0; i < n; i++ {
+			ca[i] = complex(float64(a[i]), 0)
+			cb[i] = complex(float64(b[i]), 0)
+		}
+		p.Transform(ca)
+		p.Transform(cb)
+		for i := range cb {
+			cb[i] = ca[i] * cb[i]
+		}
+		p.Inverse(cb)
+		for i := range wantConv {
+			if got := float32(real(cb[i])); got != wantConv[i] {
+				t.Fatalf("n=%d: plan convolution[%d] = %v, want %v (bit-exact)", n, i, got, wantConv[i])
+			}
+		}
+	}
+}

@@ -37,10 +37,15 @@ type refresher interface{ Refresh() }
 // Transform is a learnable square linear operator; the butterfly, pixelfly
 // and baseline packages all satisfy it. Apply is Forward without retaining
 // state: it writes nothing through the receiver, making shared-weight
-// concurrent inference safe.
+// concurrent inference safe. ApplyInto is Apply in destination-passing
+// form: it writes the result into caller-owned dst, staging intermediates
+// through the caller's workspace arena instead of allocating, and must
+// produce output bit-identical to Apply — the contract the compiled
+// inference plans (Sequential.CompilePlan) are built on.
 type Transform interface {
 	Forward(x *tensor.Matrix) *tensor.Matrix
 	Apply(x *tensor.Matrix) *tensor.Matrix
+	ApplyInto(dst, x *tensor.Matrix, ws *tensor.Workspace)
 	Backward(dY *tensor.Matrix) *tensor.Matrix
 	ZeroGrad()
 	Params() (params, grads [][]float32)

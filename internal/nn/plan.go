@@ -1,0 +1,210 @@
+package nn
+
+import (
+	"fmt"
+
+	"repro/internal/tensor"
+)
+
+// Plan is a compiled inference program: the result of walking a Sequential
+// once and lowering every layer to a destination-passing step with
+// pre-sized buffers. Execute ping-pongs activations between two
+// plan-owned arenas and stages per-layer scratch through one workspace, so
+// at steady state a batch runs with zero heap allocations — the host-side
+// analogue of a compiled Poplar program with static tensor liveness.
+//
+// A Plan shares the model's weights read-only (training the model while
+// executing its plans is not safe — the same contract as Sequential.Infer)
+// but owns its activation buffers, so a Plan must not be used from two
+// goroutines at once. Pool instances (sync.Pool) for concurrent serving;
+// compiling another instance from the same model is cheap.
+type Plan struct {
+	maxBatch int
+	in, out  int
+	steps    []planStep
+
+	ws         *tensor.Workspace
+	bufA, bufB []float32
+	actA, actB tensor.Matrix
+}
+
+// planStep is one lowered layer: its output width and a kernel that writes
+// the layer's inference result for input x into dst.
+type planStep struct {
+	name string
+	cols int
+	run  func(dst, x *tensor.Matrix, ws *tensor.Workspace)
+}
+
+// CompilePlan walks the network once and emits the execution plan for
+// batches of up to maxBatch rows. Layer kinds with a destination-passing
+// lowering (Dense, StructuredLinear, ReLU, FactorizedDense) become
+// allocation-free steps; anything else is kept correct through a generic
+// step that calls the layer's Infer and copies. Compilation runs two
+// warm-up batches of zeros at maxBatch so every buffer reaches its exact
+// high-water size before the plan serves real traffic.
+func (s *Sequential) CompilePlan(maxBatch int) (*Plan, error) {
+	if maxBatch <= 0 {
+		return nil, fmt.Errorf("nn: plan maxBatch %d must be positive", maxBatch)
+	}
+	if len(s.Layers) == 0 {
+		return nil, fmt.Errorf("nn: cannot compile a plan for an empty model")
+	}
+	in, err := inputWidth(s.Layers[0])
+	if err != nil {
+		return nil, err
+	}
+	p := &Plan{maxBatch: maxBatch, in: in, ws: tensor.NewWorkspace()}
+	width := in
+	for i, l := range s.Layers {
+		st, outW, err := lowerLayer(l, width)
+		if err != nil {
+			return nil, fmt.Errorf("nn: plan layer %d (%s): %w", i, l.Name(), err)
+		}
+		p.steps = append(p.steps, st)
+		width = outW
+	}
+	p.out = width
+
+	maxW := 0
+	for _, st := range p.steps {
+		if st.cols > maxW {
+			maxW = st.cols
+		}
+	}
+	p.bufA = make([]float32, maxBatch*maxW)
+	p.bufB = make([]float32, maxBatch*maxW)
+
+	// Two warm-up executions: the first records every buffer's demand, the
+	// second runs after the workspace has grown to it, leaving the arena at
+	// its exact steady-state size.
+	warm := tensor.New(maxBatch, in)
+	p.Execute(warm)
+	p.Execute(warm)
+	return p, nil
+}
+
+// MaxBatch returns the largest row count Execute accepts.
+func (p *Plan) MaxBatch() int { return p.maxBatch }
+
+// InputWidth returns the feature width the plan expects.
+func (p *Plan) InputWidth() int { return p.in }
+
+// OutputWidth returns the width of the result matrix.
+func (p *Plan) OutputWidth() int { return p.out }
+
+// Steps returns the lowered step names, in execution order.
+func (p *Plan) Steps() []string {
+	names := make([]string, len(p.steps))
+	for i, st := range p.steps {
+		names[i] = st.name
+	}
+	return names
+}
+
+// Execute runs the plan over x (rows ≤ MaxBatch, cols == InputWidth) and
+// returns the output matrix. The result aliases plan-owned memory: it is
+// valid until the next Execute on this plan, so callers that retain it
+// across executions (or hand the plan back to a pool) must copy first.
+// Output is bit-for-bit identical to Sequential.Infer on the same input.
+func (p *Plan) Execute(x *tensor.Matrix) *tensor.Matrix {
+	if x.Cols != p.in {
+		panic(fmt.Sprintf("nn: plan input width %d != %d", x.Cols, p.in))
+	}
+	if x.Rows < 1 || x.Rows > p.maxBatch {
+		panic(fmt.Sprintf("nn: plan batch %d outside [1,%d]", x.Rows, p.maxBatch))
+	}
+	cur := x
+	useA := true
+	for i := range p.steps {
+		st := &p.steps[i]
+		act, buf := &p.actB, p.bufB
+		if useA {
+			act, buf = &p.actA, p.bufA
+		}
+		act.Rows, act.Cols = x.Rows, st.cols
+		act.Data = buf[:x.Rows*st.cols]
+		p.ws.Reset()
+		st.run(act, cur, p.ws)
+		cur = act
+		useA = !useA
+	}
+	return cur
+}
+
+// inputWidth infers the feature width a layer consumes; layers without a
+// declared width (e.g. a leading ReLU) cannot head a plan.
+func inputWidth(l Layer) (int, error) {
+	switch t := l.(type) {
+	case *Dense:
+		return t.In, nil
+	case *StructuredLinear:
+		return t.N, nil
+	case *FactorizedDense:
+		return t.In, nil
+	default:
+		return 0, fmt.Errorf("nn: cannot infer plan input width from leading layer %s", l.Name())
+	}
+}
+
+// lowerLayer emits the plan step for one layer given its input width,
+// returning the step and the layer's output width.
+func lowerLayer(l Layer, width int) (planStep, int, error) {
+	switch t := l.(type) {
+	case *Dense:
+		if t.In != width {
+			return planStep{}, 0, fmt.Errorf("input width %d != %d", width, t.In)
+		}
+		return planStep{name: t.Name(), cols: t.Out,
+			run: func(dst, x *tensor.Matrix, ws *tensor.Workspace) {
+				tensor.MatMulParallelInto(dst, x, t.W)
+				tensor.AddRowVector(dst, t.Bias)
+			}}, t.Out, nil
+	case *StructuredLinear:
+		if t.N != width {
+			return planStep{}, 0, fmt.Errorf("input width %d != %d", width, t.N)
+		}
+		return planStep{name: t.Name(), cols: t.N,
+			run: func(dst, x *tensor.Matrix, ws *tensor.Workspace) {
+				t.T.ApplyInto(dst, x, ws)
+				tensor.AddRowVector(dst, t.Bias)
+			}}, t.N, nil
+	case *ReLU:
+		return planStep{name: t.Name(), cols: width,
+			run: func(dst, x *tensor.Matrix, ws *tensor.Workspace) {
+				for i, v := range x.Data {
+					if v > 0 {
+						dst.Data[i] = v
+					} else {
+						dst.Data[i] = 0
+					}
+				}
+			}}, width, nil
+	case *FactorizedDense:
+		if t.In != width {
+			return planStep{}, 0, fmt.Errorf("input width %d != %d", width, t.In)
+		}
+		return planStep{name: t.Name(), cols: t.Out,
+			run: func(dst, x *tensor.Matrix, ws *tensor.Workspace) {
+				xa := ws.Take(x.Rows, t.Rank)
+				tensor.MatMulParallelInto(xa, x, t.A)
+				tensor.MatMulParallelInto(dst, xa, t.B)
+				tensor.AddRowVector(dst, t.Bias)
+			}}, t.Out, nil
+	default:
+		// Generic fallback: correct for any Layer, at the cost of the
+		// layer's own allocations plus one copy. Probe the output width
+		// with a single zero row.
+		probe := l.Infer(tensor.New(1, width))
+		outW := probe.Cols
+		return planStep{name: l.Name(), cols: outW,
+			run: func(dst, x *tensor.Matrix, ws *tensor.Workspace) {
+				y := l.Infer(x)
+				if y.Rows != dst.Rows || y.Cols != dst.Cols {
+					panic(fmt.Sprintf("nn: plan step %s returned %dx%d, want %dx%d",
+						l.Name(), y.Rows, y.Cols, dst.Rows, dst.Cols))
+				}
+				copy(dst.Data, y.Data)
+			}}, outW, nil
+	}
+}

@@ -1,0 +1,201 @@
+package nn
+
+import (
+	"math/rand"
+	"sync"
+	"testing"
+
+	"repro/internal/tensor"
+)
+
+// TestPlanMatchesInferAllMethods asserts the tentpole contract: for every
+// Table 4 method, Plan.Execute output is bit-for-bit identical to
+// Sequential.Infer, across batch sizes from 1 up to the plan's maximum.
+func TestPlanMatchesInferAllMethods(t *testing.T) {
+	const n, classes, maxBatch = 64, 10, 16
+	for _, method := range AllMethods {
+		method := method
+		t.Run(method.String(), func(t *testing.T) {
+			net := BuildSHL(method, n, classes, rand.New(rand.NewSource(7)))
+			plan, err := net.CompilePlan(maxBatch)
+			if err != nil {
+				t.Fatalf("CompilePlan: %v", err)
+			}
+			if plan.InputWidth() != n || plan.OutputWidth() != classes {
+				t.Fatalf("plan dims %d->%d, want %d->%d",
+					plan.InputWidth(), plan.OutputWidth(), n, classes)
+			}
+			rng := rand.New(rand.NewSource(99))
+			for _, batch := range []int{1, 3, maxBatch} {
+				x := tensor.New(batch, n)
+				x.FillRandom(rng, 1)
+				want := net.Infer(x)
+				got := plan.Execute(x)
+				if d := tensor.MaxAbsDiff(want, got); d != 0 {
+					t.Fatalf("batch %d: plan output differs from Infer by %g (want bit-for-bit)", batch, d)
+				}
+			}
+		})
+	}
+}
+
+// TestPlanMatchesInferCompressed compiles a plan for a post-hoc compressed
+// model (which mixes FactorizedDense / structured layers swapped in by
+// Compress) and checks bit-for-bit equivalence with Infer.
+func TestPlanMatchesInferCompressed(t *testing.T) {
+	const n, classes = 32, 10
+	net := BuildSHL(Baseline, n, classes, rand.New(rand.NewSource(3)))
+	compressed, reports, err := net.Compress(CompressOptions{Tolerance: 0.7, Seed: 5})
+	if err != nil {
+		t.Fatalf("Compress: %v", err)
+	}
+	if len(reports) == 0 {
+		t.Fatal("Compress produced no layer reports")
+	}
+	plan, err := compressed.CompilePlan(8)
+	if err != nil {
+		t.Fatalf("CompilePlan(compressed): %v", err)
+	}
+	x := tensor.New(5, n)
+	x.FillRandom(rand.New(rand.NewSource(11)), 1)
+	want := compressed.Infer(x)
+	got := plan.Execute(x)
+	if d := tensor.MaxAbsDiff(want, got); d != 0 {
+		t.Fatalf("compressed plan output differs from Infer by %g", d)
+	}
+}
+
+// TestPlanRepeatedExecuteIsStable reruns one plan many times over distinct
+// inputs, interleaving batch sizes, to verify buffer reuse never leaks
+// state between executions.
+func TestPlanRepeatedExecuteIsStable(t *testing.T) {
+	const n, classes, maxBatch = 64, 10, 8
+	net := BuildSHL(Butterfly, n, classes, rand.New(rand.NewSource(21)))
+	plan, err := net.CompilePlan(maxBatch)
+	if err != nil {
+		t.Fatalf("CompilePlan: %v", err)
+	}
+	rng := rand.New(rand.NewSource(22))
+	for iter := 0; iter < 20; iter++ {
+		batch := 1 + iter%maxBatch
+		x := tensor.New(batch, n)
+		x.FillRandom(rng, 1)
+		want := net.Infer(x)
+		got := plan.Execute(x)
+		if d := tensor.MaxAbsDiff(want, got); d != 0 {
+			t.Fatalf("iter %d batch %d: diff %g", iter, batch, d)
+		}
+	}
+}
+
+// TestPlanPoolConcurrent exercises the serving pattern under -race: a
+// sync.Pool of plans shared by goroutines that concurrently check plan
+// outputs against the (read-only) Infer path.
+func TestPlanPoolConcurrent(t *testing.T) {
+	const n, classes, maxBatch = 64, 10, 8
+	for _, method := range []Method{Butterfly, Circulant, Pixelfly} {
+		method := method
+		t.Run(method.String(), func(t *testing.T) {
+			net := BuildSHL(method, n, classes, rand.New(rand.NewSource(31)))
+			var pool sync.Pool
+			getPlan := func() *Plan {
+				if v := pool.Get(); v != nil {
+					return v.(*Plan)
+				}
+				p, err := net.CompilePlan(maxBatch)
+				if err != nil {
+					t.Errorf("CompilePlan: %v", err)
+					return nil
+				}
+				return p
+			}
+			var wg sync.WaitGroup
+			for g := 0; g < 8; g++ {
+				wg.Add(1)
+				go func(seed int64) {
+					defer wg.Done()
+					rng := rand.New(rand.NewSource(seed))
+					for iter := 0; iter < 10; iter++ {
+						batch := 1 + rng.Intn(maxBatch)
+						x := tensor.New(batch, n)
+						x.FillRandom(rng, 1)
+						p := getPlan()
+						if p == nil {
+							return
+						}
+						got := p.Execute(x)
+						want := net.Infer(x)
+						if d := tensor.MaxAbsDiff(want, got); d != 0 {
+							t.Errorf("goroutine seed %d iter %d: diff %g", seed, iter, d)
+						}
+						pool.Put(p)
+					}
+				}(int64(100 + g))
+			}
+			wg.Wait()
+		})
+	}
+}
+
+// TestPlanErrors covers compilation edge cases.
+func TestPlanErrors(t *testing.T) {
+	net := BuildSHL(Baseline, 16, 4, rand.New(rand.NewSource(1)))
+	if _, err := net.CompilePlan(0); err == nil {
+		t.Error("CompilePlan(0) should fail")
+	}
+	if _, err := NewSequential().CompilePlan(4); err == nil {
+		t.Error("CompilePlan on empty model should fail")
+	}
+	if _, err := NewSequential(NewReLU()).CompilePlan(4); err == nil {
+		t.Error("CompilePlan with leading ReLU should fail (no input width)")
+	}
+	plan, err := net.CompilePlan(4)
+	if err != nil {
+		t.Fatalf("CompilePlan: %v", err)
+	}
+	mustPanic(t, "oversized batch", func() { plan.Execute(tensor.New(5, 16)) })
+	mustPanic(t, "wrong width", func() { plan.Execute(tensor.New(2, 8)) })
+}
+
+func mustPanic(t *testing.T, label string, f func()) {
+	t.Helper()
+	defer func() {
+		if recover() == nil {
+			t.Errorf("%s: expected panic", label)
+		}
+	}()
+	f()
+}
+
+// TestPlanSteadyStateAllocs checks the allocation contract directly: after
+// warm-up, Execute performs zero heap allocations for every method.
+func TestPlanSteadyStateAllocs(t *testing.T) {
+	const n, classes, maxBatch = 64, 10, 8
+	for _, method := range AllMethods {
+		method := method
+		t.Run(method.String(), func(t *testing.T) {
+			net := BuildSHL(method, n, classes, rand.New(rand.NewSource(17)))
+			plan, err := net.CompilePlan(maxBatch)
+			if err != nil {
+				t.Fatalf("CompilePlan: %v", err)
+			}
+			x := tensor.New(maxBatch, n)
+			x.FillRandom(rand.New(rand.NewSource(18)), 1)
+			plan.Execute(x)
+			avg := testing.AllocsPerRun(20, func() { plan.Execute(x) })
+			// Dense layers route through MatMulParallelInto, which may spawn
+			// goroutines (their stacks count as allocations); everything else
+			// must be zero. Allow a small parallelism budget only.
+			if avg > 8 {
+				t.Errorf("Execute allocates %.1f objects per run at steady state", avg)
+			}
+			if method != Baseline {
+				// Structured first layers are small enough that the dense
+				// head stays under the parallel threshold: expect zero.
+				if avg != 0 {
+					t.Errorf("Execute allocates %.1f objects per run, want 0", avg)
+				}
+			}
+		})
+	}
+}

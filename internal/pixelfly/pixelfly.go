@@ -102,6 +102,10 @@ type Pixelfly struct {
 	GradU *tensor.Matrix
 	GradV *tensor.Matrix
 
+	// ut caches Uᵀ (r×N) for the allocation-free inference path;
+	// re-derived by Refresh after every optimizer step.
+	ut *tensor.Matrix
+
 	// saved forward state
 	xSaved  *tensor.Matrix
 	xvSaved *tensor.Matrix
@@ -143,7 +147,19 @@ func New(cfg Config, rng *rand.Rand) (*Pixelfly, error) {
 		p.U.FillRandom(rng, scale)
 		p.V.FillRandom(rng, scale)
 	}
+	p.Refresh()
 	return p, nil
+}
+
+// Refresh re-derives the cached Uᵀ after an optimizer step mutates U.
+func (p *Pixelfly) Refresh() {
+	if p.Cfg.LowRank == 0 {
+		return
+	}
+	if p.ut == nil {
+		p.ut = tensor.New(p.Cfg.LowRank, p.Cfg.N)
+	}
+	tensor.TransposeInto(p.ut, p.U)
 }
 
 func sqrtf(x float64) float64 {
@@ -204,6 +220,33 @@ func (p *Pixelfly) Apply(x *tensor.Matrix) *tensor.Matrix {
 		tensor.AddInPlace(out, tensor.MatMul(xv, p.U.Transpose()))
 	}
 	return out
+}
+
+// ApplyInto is Apply writing into caller-owned dst (shape x.Rows×N, fully
+// overwritten), staging the transposes, the block-sparse product and the
+// low-rank term through the workspace instead of allocating. The kernels
+// run in the same order with the same loop structure as Apply, so the
+// result is bit-for-bit equal. dst must not alias x.
+func (p *Pixelfly) ApplyInto(dst, x *tensor.Matrix, ws *tensor.Workspace) {
+	n := p.Cfg.N
+	if x.Cols != n {
+		panic(fmt.Sprintf("pixelfly: input width %d != N %d", x.Cols, n))
+	}
+	if dst.Rows != x.Rows || dst.Cols != n {
+		panic(fmt.Sprintf("pixelfly: ApplyInto dst %dx%d, want %dx%d", dst.Rows, dst.Cols, x.Rows, n))
+	}
+	xt := ws.Take(n, x.Rows)
+	tensor.TransposeInto(xt, x)
+	yt := ws.Take(n, x.Rows)
+	p.W.MulDenseInto(yt, xt)
+	tensor.TransposeInto(dst, yt)
+	if r := p.Cfg.LowRank; r > 0 {
+		xv := ws.Take(x.Rows, r)
+		tensor.MatMulInto(xv, x, p.V)
+		lr := ws.Take(x.Rows, n)
+		tensor.MatMulInto(lr, xv, p.ut)
+		tensor.AddInPlace(dst, lr)
+	}
 }
 
 // Backward propagates dY (batch×N), accumulating gradients, and returns dX.

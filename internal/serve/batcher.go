@@ -54,6 +54,13 @@ type response struct {
 	err    error
 }
 
+// reqPool recycles request structs (and their 1-buffered response
+// channels) so the steady-state request path allocates nothing. A request
+// is only returned to the pool on the clean receive path: abandoned
+// requests (context cancellation, shutdown race) may still receive a late
+// worker response, so they are left to the garbage collector.
+var reqPool = sync.Pool{New: func() any { return &request{resp: make(chan response, 1)} }}
+
 // Batcher coalesces concurrent single-row requests into batched calls of
 // one inference function. One collector goroutine assembles batches
 // (flushing on MaxBatch or MaxDelay, whichever first); a pool of workers
@@ -64,10 +71,14 @@ type Batcher struct {
 	run func(*tensor.Matrix) *tensor.Matrix
 
 	reqs    chan *request
-	batches chan []*request
+	batches chan *batchBuf
 	stopped chan struct{}
 	stopOne sync.Once
 	wg      sync.WaitGroup
+
+	// batchPool recycles batchBuf holders between the collector and the
+	// workers (slice capacity MaxBatch, so appends never reallocate).
+	batchPool sync.Pool
 
 	nreq    atomic.Int64
 	nbatch  atomic.Int64
@@ -77,7 +88,11 @@ type Batcher struct {
 // NewBatcher starts a batcher over run, which must accept a (rows × dim)
 // matrix and return a (rows × anything) matrix; it is called from multiple
 // goroutines concurrently and must be read-only with respect to shared
-// state (nn.Sequential.Infer satisfies this).
+// state (nn.Sequential.Infer and Model.runBatch satisfy this). The input
+// matrix is worker-owned and recycled after run returns, so run must not
+// retain it; the returned matrix transfers to the batcher, which hands
+// row views of it to responses — run must return a matrix whose rows are
+// safe to alias until the callers are done with their scores.
 func NewBatcher(dim int, cfg BatcherConfig, run func(*tensor.Matrix) *tensor.Matrix) *Batcher {
 	cfg = cfg.withDefaults()
 	b := &Batcher{
@@ -85,8 +100,11 @@ func NewBatcher(dim int, cfg BatcherConfig, run func(*tensor.Matrix) *tensor.Mat
 		dim:     dim,
 		run:     run,
 		reqs:    make(chan *request),
-		batches: make(chan []*request, cfg.QueueCap),
+		batches: make(chan *batchBuf, cfg.QueueCap),
 		stopped: make(chan struct{}),
+	}
+	b.batchPool.New = func() any {
+		return &batchBuf{reqs: make([]*request, 0, cfg.MaxBatch)}
 	}
 	b.wg.Add(1)
 	go b.collect()
@@ -100,21 +118,26 @@ func NewBatcher(dim int, cfg BatcherConfig, run func(*tensor.Matrix) *tensor.Mat
 // Do submits one feature row and blocks until its batch has executed. It
 // returns the row's scores and the size of the batch it rode in.
 func (b *Batcher) Do(ctx context.Context, features []float32) ([]float32, int, error) {
-	r := &request{features: features, resp: make(chan response, 1)}
+	r := reqPool.Get().(*request)
+	r.features = features
 	select {
 	case b.reqs <- r:
 	case <-b.stopped:
+		b.release(r)
 		return nil, 0, ErrStopped
 	case <-ctx.Done():
+		b.release(r)
 		return nil, 0, ctx.Err()
 	}
 	select {
 	case resp := <-r.resp:
+		b.release(r)
 		return resp.scores, resp.batch, resp.err
 	case <-b.stopped:
 		// A worker may have answered concurrently with the shutdown.
 		select {
 		case resp := <-r.resp:
+			b.release(r)
 			return resp.scores, resp.batch, resp.err
 		default:
 			return nil, 0, ErrStopped
@@ -122,6 +145,14 @@ func (b *Batcher) Do(ctx context.Context, features []float32) ([]float32, int, e
 	case <-ctx.Done():
 		return nil, 0, ctx.Err()
 	}
+}
+
+// release recycles a request whose response channel is known to be empty
+// and that no worker will touch again — i.e. it was either never enqueued
+// or its response has been received. Abandoned requests are not released.
+func (b *Batcher) release(r *request) {
+	r.features = nil
+	reqPool.Put(r)
 }
 
 // Stop shuts the batcher down and waits for the workers to drain. Pending
@@ -153,10 +184,16 @@ func (b *Batcher) Stats() BatcherStats {
 }
 
 // collect assembles batches: block for the first request, then fill until
-// MaxBatch requests have arrived or MaxDelay has elapsed.
+// MaxBatch requests have arrived or MaxDelay has elapsed. One flush timer
+// and pooled batch slices are reused across batches so steady-state
+// assembly allocates nothing.
 func (b *Batcher) collect() {
 	defer b.wg.Done()
 	defer close(b.batches)
+	timer := time.NewTimer(time.Hour)
+	if !timer.Stop() {
+		<-timer.C
+	}
 	for {
 		var first *request
 		select {
@@ -164,52 +201,91 @@ func (b *Batcher) collect() {
 			return
 		case first = <-b.reqs:
 		}
-		batch := append(make([]*request, 0, b.cfg.MaxBatch), first)
-		timer := time.NewTimer(b.cfg.MaxDelay)
+		bb := b.batchPool.Get().(*batchBuf)
+		bb.reqs = append(bb.reqs[:0], first)
+		timer.Reset(b.cfg.MaxDelay)
+		expired := false
 	fill:
-		for len(batch) < b.cfg.MaxBatch {
+		for len(bb.reqs) < b.cfg.MaxBatch {
 			select {
 			case <-b.stopped:
-				timer.Stop()
-				fail(batch, ErrStopped)
+				if !timer.Stop() {
+					<-timer.C
+				}
+				fail(bb.reqs, ErrStopped)
 				return
 			case r := <-b.reqs:
-				batch = append(batch, r)
+				bb.reqs = append(bb.reqs, r)
 			case <-timer.C:
+				expired = true
 				break fill
 			}
 		}
-		timer.Stop()
+		if !expired && !timer.Stop() {
+			<-timer.C
+		}
 		select {
-		case b.batches <- batch:
+		case b.batches <- bb:
 		case <-b.stopped:
-			fail(batch, ErrStopped)
+			fail(bb.reqs, ErrStopped)
 			return
 		}
 	}
 }
 
+// batchBuf is a reusable batch holder passed from the collector to a
+// worker and back to the pool.
+type batchBuf struct {
+	reqs []*request
+}
+
+// putBatch returns a finished batch holder to the pool, dropping request
+// references so recycled buffers don't pin them.
+func (b *Batcher) putBatch(bb *batchBuf) {
+	for i := range bb.reqs {
+		bb.reqs[i] = nil
+	}
+	bb.reqs = bb.reqs[:0]
+	b.batchPool.Put(bb)
+}
+
 func (b *Batcher) work() {
 	defer b.wg.Done()
-	for batch := range b.batches {
-		b.exec(batch)
+	// Each worker owns one reusable input matrix; it grows to MaxBatch×dim
+	// once and is recycled across batches, so batch assembly allocates
+	// nothing at steady state.
+	in := &tensor.Matrix{Cols: b.dim}
+	for bb := range b.batches {
+		b.exec(bb.reqs, in)
+		b.putBatch(bb)
 	}
 }
 
-func (b *Batcher) exec(batch []*request) {
-	rows := make([][]float32, len(batch))
-	for i, r := range batch {
-		rows[i] = r.features
+func (b *Batcher) exec(batch []*request, in *tensor.Matrix) {
+	n := len(batch)
+	if cap(in.Data) < n*b.dim {
+		in.Data = make([]float32, n*b.dim)
 	}
-	y, err := b.safeRun(batchMatrix(rows, b.dim))
+	in.Data = in.Data[:n*b.dim]
+	in.Rows = n
+	for i, r := range batch {
+		copy(in.Data[i*b.dim:(i+1)*b.dim], r.features)
+	}
+	y, err := b.safeRun(in)
 	if err != nil {
 		fail(batch, err)
 		return
 	}
+	cols := y.Cols
 	for i, r := range batch {
+		// Responses alias rows of the run result: the run contract
+		// transfers the returned matrix to the batcher, and each caller
+		// owns exactly one row. The three-index slice caps capacity at the
+		// row boundary so a caller appending to its scores reallocates
+		// instead of writing into the next request's row.
 		r.resp <- response{
-			scores: append([]float32(nil), y.Row(i)...),
-			batch:  len(batch),
+			scores: y.Data[i*cols : (i+1)*cols : (i+1)*cols],
+			batch:  n,
 		}
 	}
 	b.nreq.Add(int64(len(batch)))

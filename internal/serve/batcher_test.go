@@ -61,6 +61,10 @@ func TestBatcherCoalescesConcurrentRequests(t *testing.T) {
 			if len(scores) != 4 || scores[0] != 2*float32(i) || scores[3] != 6 {
 				t.Errorf("request %d: wrong scores %v", i, scores)
 			}
+			if cap(scores) != len(scores) {
+				t.Errorf("request %d: scores capacity %d > len %d; append would clobber a neighbouring row",
+					i, cap(scores), len(scores))
+			}
 		}(i)
 	}
 	wg.Wait()

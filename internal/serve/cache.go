@@ -1,6 +1,7 @@
 package serve
 
 import (
+	"errors"
 	"fmt"
 	"sync"
 	"sync/atomic"
@@ -44,22 +45,77 @@ type programKey struct {
 	batch   int
 }
 
-type cacheEntry struct {
-	once sync.Once
-	cost *ProgramCost
-	err  error
+// Program is the cache's unit of work: everything compiled once per
+// (model, version, pow2-batch) key. It bundles the modelled IPU cost of
+// the batch program with a pool of host execution plans (nn.Plan) sized
+// for the same batch bucket, so the micro-batcher's workers run
+// allocation-free at steady state and every response can report device
+// cost without recompiling.
+type Program struct {
+	batch int
+
+	costOnce sync.Once
+	costDone atomic.Bool
+	cost     *ProgramCost
+	costErr  error
+	cfg      ipu.Config
+	build    workloadBuilder
+
+	// net is the host network plans compile from; set the first time the
+	// program is requested with a network attached (cost-only callers pass
+	// none). plans pools per-worker *nn.Plan instances.
+	net   atomic.Pointer[nn.Sequential]
+	plans sync.Pool
 }
 
-// ProgramCache memoizes ipu.Compile + ipu.Simulate results per
-// (model, batch size), so the per-request cost model can annotate every
-// served request with modelled IPU latency and memory without recompiling.
-// Failed compilations (e.g. tile OOM) are cached too: a model that cannot
-// fit at a batch size will not fit on the retry either.
+// errNoHostNet marks a program that was only ever priced, never given a
+// network to compile host plans from.
+var errNoHostNet = errors.New("serve: program has no host network")
+
+// Batch returns the power-of-two batch bucket the program was compiled for.
+func (p *Program) Batch() int { return p.batch }
+
+// Cost returns the memoized modelled IPU cost; the first caller pays the
+// compile, concurrent callers block on it, and failures (e.g. tile OOM)
+// are cached because the retry would fail identically.
+func (p *Program) Cost() (*ProgramCost, error) {
+	p.costOnce.Do(func() {
+		p.cost, p.costErr = compileCost(p.cfg, p.batch, p.build)
+		p.costDone.Store(true)
+	})
+	return p.cost, p.costErr
+}
+
+// GetPlan hands out a pooled host execution plan, compiling a fresh
+// instance when the pool is empty. Callers must return it with PutPlan
+// after copying anything they need out of its buffers.
+func (p *Program) GetPlan() (*nn.Plan, error) {
+	if v := p.plans.Get(); v != nil {
+		return v.(*nn.Plan), nil
+	}
+	net := p.net.Load()
+	if net == nil {
+		return nil, errNoHostNet
+	}
+	return net.CompilePlan(p.batch)
+}
+
+// PutPlan returns a plan obtained from GetPlan to the pool.
+func (p *Program) PutPlan(pl *nn.Plan) {
+	if pl != nil {
+		p.plans.Put(pl)
+	}
+}
+
+// ProgramCache memoizes compiled programs — host plan pool plus modelled
+// IPU cost — per (model, version, batch bucket), so the serving path
+// compiles each artifact at most once and every request rides prebuilt
+// state.
 type ProgramCache struct {
 	cfg ipu.Config
 
 	mu      sync.Mutex
-	entries map[programKey]*cacheEntry
+	entries map[programKey]*Program
 
 	hits   atomic.Int64
 	misses atomic.Int64
@@ -67,13 +123,74 @@ type ProgramCache struct {
 
 // NewProgramCache creates a cache compiling against the given device model.
 func NewProgramCache(cfg ipu.Config) *ProgramCache {
-	return &ProgramCache{cfg: cfg, entries: map[programKey]*cacheEntry{}}
+	return &ProgramCache{cfg: cfg, entries: map[programKey]*Program{}}
 }
 
 // workloadBuilder produces the IPU workload whose compiled program prices
 // a model at one batch size. The registry installs a layout-aware builder
 // for compressed models; spec-built models go through buildWorkload.
 type workloadBuilder func(cfg ipu.Config, batch int) (*ipu.Workload, error)
+
+// Program returns the compiled artifact for the key, creating it on first
+// use, and counts the lookup in the hit/miss statistics (one count per
+// served request — the semantics the perf trajectory records). net may be
+// nil for cost-only callers; the first non-nil net is attached so later
+// GetPlan calls can compile host plans. The modelled cost is not compiled
+// here — Cost does that lazily, memoized.
+func (c *ProgramCache) Program(name string, version, batch int, net *nn.Sequential, build workloadBuilder) (*Program, error) {
+	return c.lookup(name, version, batch, net, build, true)
+}
+
+// programQuiet is Program without touching the hit/miss counters — the
+// per-batch execution path uses it so batching behaviour doesn't skew the
+// per-request cache statistics.
+func (c *ProgramCache) programQuiet(name string, version, batch int, net *nn.Sequential, build workloadBuilder) (*Program, error) {
+	return c.lookup(name, version, batch, net, build, false)
+}
+
+func (c *ProgramCache) lookup(name string, version, batch int, net *nn.Sequential, build workloadBuilder, count bool) (*Program, error) {
+	if batch <= 0 {
+		return nil, fmt.Errorf("serve: cache batch %d must be positive", batch)
+	}
+	key := programKey{model: name, version: version, batch: batch}
+	c.mu.Lock()
+	p, ok := c.entries[key]
+	if !ok {
+		p = &Program{batch: batch, cfg: c.cfg, build: build}
+		c.entries[key] = p
+	}
+	if count {
+		// A hit means the request rode an already-compiled program; a
+		// lookup before the cost compile finished (including one that
+		// finds an entry the uncounted batch path just created) still
+		// pays or waits on the compile, so it counts as a miss.
+		if ok && p.costDone.Load() {
+			c.hits.Add(1)
+		} else {
+			c.misses.Add(1)
+		}
+	}
+	c.mu.Unlock()
+	if net != nil {
+		p.net.CompareAndSwap(nil, net)
+	}
+	return p, nil
+}
+
+// Evict drops every cached program of one (model, version), releasing the
+// pinned network weights and plan pools of a replaced or removed model.
+// Programs still held by in-flight callers stay usable; they are simply
+// no longer reachable from the cache. Callers must stop the model's
+// batcher first so no new lookups can resurrect the entries.
+func (c *ProgramCache) Evict(name string, version int) {
+	c.mu.Lock()
+	for k := range c.entries {
+		if k.model == name && k.version == version {
+			delete(c.entries, k)
+		}
+	}
+	c.mu.Unlock()
+}
 
 // Cost returns the modelled cost of running spec's structured layer at the
 // given batch size, compiling at most once per (model, version, batch).
@@ -87,22 +204,11 @@ func (c *ProgramCache) Cost(spec ModelSpec, version, batch int) (*ProgramCost, e
 // costWith is Cost with an explicit workload builder, keyed on the model
 // name and version alone.
 func (c *ProgramCache) costWith(name string, version, batch int, build workloadBuilder) (*ProgramCost, error) {
-	if batch <= 0 {
-		return nil, fmt.Errorf("serve: cache batch %d must be positive", batch)
+	p, err := c.Program(name, version, batch, nil, build)
+	if err != nil {
+		return nil, err
 	}
-	key := programKey{model: name, version: version, batch: batch}
-	c.mu.Lock()
-	e, ok := c.entries[key]
-	if !ok {
-		e = &cacheEntry{}
-		c.entries[key] = e
-		c.misses.Add(1)
-	} else {
-		c.hits.Add(1)
-	}
-	c.mu.Unlock()
-	e.once.Do(func() { e.cost, e.err = compileCost(c.cfg, batch, build) })
-	return e.cost, e.err
+	return p.Cost()
 }
 
 // Stats snapshots the hit/miss counters.

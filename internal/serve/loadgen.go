@@ -2,6 +2,7 @@ package serve
 
 import (
 	"context"
+	"runtime"
 	"sync"
 	"time"
 
@@ -43,6 +44,13 @@ type LoadReport struct {
 	Latency  stats.Summary // seconds, over successful requests
 	Batching BatcherStats  // delta over the run
 	Cache    CacheStats    // delta over the run
+
+	// AllocsPerOp and BytesPerOp are the process-wide heap allocation
+	// deltas of the run divided by completed requests — the serving
+	// stack's allocation trajectory (includes the load generator's own
+	// bookkeeping, so treat it as an upper bound on the serving path).
+	AllocsPerOp float64
+	BytesPerOp  float64
 }
 
 // Throughput returns completed requests per second.
@@ -75,6 +83,8 @@ func RunLoad(ctx context.Context, reg *Registry, model string, cfg LoadConfig) (
 
 	batchBefore := m.batcher.Stats()
 	cacheBefore := reg.CacheStats()
+	var memBefore runtime.MemStats
+	runtime.ReadMemStats(&memBefore)
 
 	var (
 		mu        sync.Mutex
@@ -126,6 +136,8 @@ loop:
 	wg.Wait()
 	elapsed := time.Since(start)
 
+	var memAfter runtime.MemStats
+	runtime.ReadMemStats(&memAfter)
 	batchAfter := m.batcher.Stats()
 	cacheAfter := reg.CacheStats()
 	rep := LoadReport{
@@ -151,6 +163,10 @@ loop:
 	}
 	if total := rep.Cache.Hits + rep.Cache.Misses; total > 0 {
 		rep.Cache.HitRate = float64(rep.Cache.Hits) / float64(total)
+	}
+	if rep.Done > 0 {
+		rep.AllocsPerOp = float64(memAfter.Mallocs-memBefore.Mallocs) / float64(rep.Done)
+		rep.BytesPerOp = float64(memAfter.TotalAlloc-memBefore.TotalAlloc) / float64(rep.Done)
 	}
 	return rep, nil
 }

@@ -70,6 +70,11 @@ func (r *Registry) Register(spec ModelSpec) (*Model, error) {
 // the registry under spec.Name. A nil workload builder means the cost
 // model derives the workload from the spec's method.
 func (r *Registry) install(spec ModelSpec, net *nn.Sequential, label string, wb workloadBuilder) *Model {
+	if wb == nil {
+		wb = func(cfg ipu.Config, batch int) (*ipu.Workload, error) {
+			return buildWorkload(cfg, spec, batch)
+		}
+	}
 	m := &Model{
 		spec:        spec,
 		net:         net,
@@ -79,7 +84,7 @@ func (r *Registry) install(spec ModelSpec, net *nn.Sequential, label string, wb 
 		cache:       r.cache,
 		lat:         newLatencyRing(latencyWindow),
 	}
-	m.batcher = NewBatcher(spec.N, r.opts.Batcher, m.net.Infer)
+	m.batcher = NewBatcher(spec.N, r.opts.Batcher, m.runBatch)
 
 	r.mu.Lock()
 	r.versions[spec.Name]++
@@ -89,7 +94,11 @@ func (r *Registry) install(spec ModelSpec, net *nn.Sequential, label string, wb 
 	r.mu.Unlock()
 
 	if old != nil {
+		// Stop first (drains in-flight batches), then drop the old
+		// version's cached programs so replaced weights and plan pools
+		// don't accumulate across redeploys.
 		old.stop()
+		r.cache.Evict(old.spec.Name, old.version)
 	}
 	return m
 }
@@ -134,6 +143,7 @@ func (r *Registry) Remove(name string) bool {
 	r.mu.Unlock()
 	if ok {
 		m.stop()
+		r.cache.Evict(m.spec.Name, m.version)
 	}
 	return ok
 }
@@ -164,5 +174,6 @@ func (r *Registry) Close() {
 	r.mu.Unlock()
 	for _, m := range models {
 		m.stop()
+		r.cache.Evict(m.spec.Name, m.version)
 	}
 }

@@ -8,6 +8,7 @@ import (
 	"time"
 
 	"repro/internal/nn"
+	"repro/internal/stats"
 	"repro/internal/tensor"
 )
 
@@ -54,8 +55,8 @@ func TestPredictMatchesDirectInfer(t *testing.T) {
 				t.Fatalf("%v: score[%d] = %v, want %v", method, j, v, want.At(0, j))
 			}
 		}
-		if pred.ArgMax != bestOf(want.Row(0)) {
-			t.Fatalf("%v: argmax %d, want %d", method, pred.ArgMax, bestOf(want.Row(0)))
+		if pred.ArgMax != stats.ArgMax(want.Row(0)) {
+			t.Fatalf("%v: argmax %d, want %d", method, pred.ArgMax, stats.ArgMax(want.Row(0)))
 		}
 		if pred.BatchSize < 1 {
 			t.Fatalf("%v: batch size %d", method, pred.BatchSize)
@@ -67,16 +68,6 @@ func TestPredictMatchesDirectInfer(t *testing.T) {
 			t.Fatalf("%v: degenerate IPU cost %+v", method, pred.IPU)
 		}
 	}
-}
-
-func bestOf(xs []float32) int {
-	best := 0
-	for i, v := range xs {
-		if v > xs[best] {
-			best = i
-		}
-	}
-	return best
 }
 
 func TestRegisterVersioning(t *testing.T) {
@@ -114,6 +105,44 @@ func TestRegisterVersioning(t *testing.T) {
 	}
 	if m3.Info().Version != 3 {
 		t.Fatalf("post-remove version = %d, want 3", m3.Info().Version)
+	}
+}
+
+// TestReplaceAndRemoveEvictPrograms pins the cache-lifecycle contract: a
+// replaced or removed model's compiled programs (which hold the whole
+// network plus plan pools) must leave the cache, so redeploy cycles don't
+// grow process memory without bound.
+func TestReplaceAndRemoveEvictPrograms(t *testing.T) {
+	reg := testRegistry(t)
+	sp := spec("evict", nn.Butterfly)
+	m1, err := reg.Register(sp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m1.Predict(context.Background(), make([]float32, sp.N)); err != nil {
+		t.Fatal(err)
+	}
+	entriesV1 := reg.CacheStats().Entries
+	if entriesV1 == 0 {
+		t.Fatal("no cache entries after first predict")
+	}
+
+	m2, err := reg.Register(sp) // replace: v1's programs must be evicted
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m2.Predict(context.Background(), make([]float32, sp.N)); err != nil {
+		t.Fatal(err)
+	}
+	if got := reg.CacheStats().Entries; got > entriesV1 {
+		t.Fatalf("entries grew from %d to %d across a replace; old version leaked", entriesV1, got)
+	}
+
+	if !reg.Remove("evict") {
+		t.Fatal("Remove returned false")
+	}
+	if got := reg.CacheStats().Entries; got != 0 {
+		t.Fatalf("entries = %d after Remove, want 0", got)
 	}
 }
 

@@ -153,12 +153,17 @@ type Model struct {
 	// spec-built models it is the Method's name, for compressed models it
 	// describes the compressed layout (e.g. "compressed/lowrank-r4").
 	methodLabel string
-	// workload overrides the spec-derived cost-model workload; nil for
-	// spec-built models.
+	// workload builds the IPU workload that prices this model; installed
+	// once at registration (layout-aware for compressed models,
+	// spec-derived otherwise) so the batch hot path creates no closures.
 	workload workloadBuilder
 
 	batcher *Batcher
 	cache   *ProgramCache
+
+	// retired is set when the model is replaced or removed; it stops
+	// late ModelledCost calls from resurrecting evicted cache entries.
+	retired atomic.Bool
 
 	served atomic.Int64
 	lat    *latencyRing
@@ -203,7 +208,7 @@ func (m *Model) Predict(ctx context.Context, features []float32) (Prediction, er
 		Method:         m.methodLabel,
 		Version:        m.version,
 		Scores:         scores,
-		ArgMax:         argMax(scores),
+		ArgMax:         stats.ArgMax(scores),
 		BatchSize:      batch,
 		LatencySeconds: elapsed,
 	}
@@ -214,12 +219,43 @@ func (m *Model) Predict(ctx context.Context, features []float32) (Prediction, er
 }
 
 // ModelledCost returns the cached modelled IPU cost of executing a batch
-// of the given size (rounded up to its power-of-two cache bucket).
+// of the given size (rounded up to its power-of-two cache bucket). This
+// per-request lookup is the one that feeds the cache hit/miss statistics.
 func (m *Model) ModelledCost(batch int) (*ProgramCost, error) {
-	if m.workload != nil {
-		return m.cache.costWith(m.spec.Name, m.version, nextPow2(batch), m.workload)
+	p, err := m.cache.Program(m.spec.Name, m.version, nextPow2(batch), m.net, m.workload)
+	if err != nil {
+		return nil, err
 	}
-	return m.cache.Cost(m.spec, m.version, nextPow2(batch))
+	// A Predict racing a replace/remove could have re-created an entry
+	// the registry just evicted; checking retirement after the lookup
+	// guarantees either the retire's eviction saw our entry or we see the
+	// retirement and evict our own resurrection — no permanent leak.
+	if m.retired.Load() {
+		m.cache.Evict(m.spec.Name, m.version)
+		return nil, ErrStopped
+	}
+	return p.Cost()
+}
+
+// runBatch is the micro-batcher's inference function: it executes the
+// batch on a pooled compiled plan (allocation-free at steady state except
+// the result copy handed to responses) and falls back to the generic
+// read-only forward pass if the plan path is unavailable.
+func (m *Model) runBatch(x *tensor.Matrix) *tensor.Matrix {
+	prog, err := m.cache.programQuiet(m.spec.Name, m.version, nextPow2(x.Rows), m.net, m.workload)
+	if err == nil {
+		if pl, perr := prog.GetPlan(); perr == nil {
+			y := pl.Execute(x)
+			// Copy out before returning the plan: responses alias rows of
+			// the returned matrix, and the plan's buffers are recycled by
+			// the next worker that draws it from the pool.
+			out := tensor.New(y.Rows, y.Cols)
+			copy(out.Data, y.Data)
+			prog.PutPlan(pl)
+			return out
+		}
+	}
+	return m.net.Infer(x)
 }
 
 // Stats returns the model's serving counters.
@@ -240,17 +276,12 @@ type ModelStats struct {
 	Latency stats.Summary `json:"latency_s"`
 }
 
-// stop shuts the model's batcher down; in-flight Predicts get ErrStopped.
-func (m *Model) stop() { m.batcher.Stop() }
-
-func argMax(xs []float32) int {
-	best := 0
-	for i, v := range xs {
-		if v > xs[best] {
-			best = i
-		}
-	}
-	return best
+// stop retires the model and shuts its batcher down; in-flight Predicts
+// get ErrStopped. Retirement must precede the registry's cache eviction so
+// ModelledCost's post-lookup check is race-free.
+func (m *Model) stop() {
+	m.retired.Store(true)
+	m.batcher.Stop()
 }
 
 // nextPow2 rounds n up to the next power of two, bucketing cache keys so
@@ -294,13 +325,4 @@ func (l *latencyRing) snapshot() []float64 {
 		return append([]float64(nil), l.buf...)
 	}
 	return append([]float64(nil), l.buf[:l.next]...)
-}
-
-// batchMatrix assembles the rows of a batch into one matrix.
-func batchMatrix(rows [][]float32, dim int) *tensor.Matrix {
-	x := tensor.New(len(rows), dim)
-	for i, r := range rows {
-		copy(x.Row(i), r)
-	}
-	return x
 }

@@ -112,10 +112,22 @@ func (b *BSR) ToDense() *tensor.Matrix {
 // block-sparse matmul that pixelfly's GPU implementation maps onto tensor
 // cores; here it is the reference semantics for both machine models.
 func (b *BSR) MulDense(x *tensor.Matrix) *tensor.Matrix {
+	out := tensor.New(b.Rows, x.Cols)
+	b.MulDenseInto(out, x)
+	return out
+}
+
+// MulDenseInto is MulDense writing into caller-owned out (shape
+// Rows×x.Cols, overwritten); the allocation-free kernel the compiled
+// pixelfly inference path executes through. out must not alias x.
+func (b *BSR) MulDenseInto(out, x *tensor.Matrix) {
 	if b.Cols != x.Rows {
 		panic(fmt.Sprintf("sparse: BSR MulDense shape mismatch %dx%d x %dx%d", b.Rows, b.Cols, x.Rows, x.Cols))
 	}
-	out := tensor.New(b.Rows, x.Cols)
+	if out.Rows != b.Rows || out.Cols != x.Cols {
+		panic(fmt.Sprintf("sparse: BSR MulDenseInto dst %dx%d, want %dx%d", out.Rows, out.Cols, b.Rows, x.Cols))
+	}
+	out.Zero()
 	bs, k := b.BlockSize, x.Cols
 	for bi := 0; bi < b.BlockRows; bi++ {
 		for p := b.RowPtr[bi]; p < b.RowPtr[bi+1]; p++ {
@@ -136,7 +148,6 @@ func (b *BSR) MulDense(x *tensor.Matrix) *tensor.Matrix {
 			}
 		}
 	}
-	return out
 }
 
 // TransposeMulDense computes bᵀ·x: (Cols×Rows)·(Rows×K); used in backward

@@ -136,6 +136,22 @@ func Summarize(xs []float64) Summary {
 	}
 }
 
+// ArgMax returns the index of the largest element of xs (the first such
+// index on ties), or -1 for an empty slice. It is the class-selection rule
+// of the serving path, shared so every consumer breaks ties identically.
+func ArgMax(xs []float32) int {
+	if len(xs) == 0 {
+		return -1
+	}
+	best := 0
+	for i, v := range xs {
+		if v > xs[best] {
+			best = i
+		}
+	}
+	return best
+}
+
 // Speedup returns baseline/candidate, the conventional "×" factor: values
 // above 1 mean candidate is faster than baseline. It panics when candidate
 // is zero.

@@ -164,3 +164,24 @@ func TestStdTranslationInvariantProperty(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+func TestArgMax(t *testing.T) {
+	cases := []struct {
+		xs   []float32
+		want int
+	}{
+		{nil, -1},
+		{[]float32{}, -1},
+		{[]float32{3}, 0},
+		{[]float32{1, 5, 2}, 1},
+		{[]float32{-4, -1, -9}, 1},
+		{[]float32{2, 7, 7, 3}, 1}, // first index wins ties
+		{[]float32{9, 1, 2}, 0},
+		{[]float32{0, 0, 1}, 2},
+	}
+	for i, c := range cases {
+		if got := ArgMax(c.xs); got != c.want {
+			t.Errorf("case %d: ArgMax(%v) = %d, want %d", i, c.xs, got, c.want)
+		}
+	}
+}

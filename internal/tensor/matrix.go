@@ -90,13 +90,22 @@ func Identity(n int) *Matrix {
 // Transpose returns a new matrix that is the transpose of m.
 func (m *Matrix) Transpose() *Matrix {
 	out := New(m.Cols, m.Rows)
+	TransposeInto(out, m)
+	return out
+}
+
+// TransposeInto writes mᵀ into dst (shape Cols×Rows, fully overwritten).
+// dst must not alias m.
+func TransposeInto(dst, m *Matrix) {
+	if dst.Rows != m.Cols || dst.Cols != m.Rows {
+		panic(fmt.Sprintf("tensor: TransposeInto dst %dx%d for src %dx%d", dst.Rows, dst.Cols, m.Rows, m.Cols))
+	}
 	for i := 0; i < m.Rows; i++ {
 		base := i * m.Cols
 		for j := 0; j < m.Cols; j++ {
-			out.Data[j*out.Cols+i] = m.Data[base+j]
+			dst.Data[j*dst.Cols+i] = m.Data[base+j]
 		}
 	}
-	return out
 }
 
 // Add returns a + b. Panics on shape mismatch.
@@ -145,14 +154,20 @@ func ScaleInPlace(m *Matrix, s float32) {
 
 // AddRowVector adds vector v (len == Cols) to every row of m in place.
 // This is the bias-add of a linear layer.
-func AddRowVector(m *Matrix, v []float32) {
+func AddRowVector(m *Matrix, v []float32) { AddRowVectorInto(m, m, v) }
+
+// AddRowVectorInto writes m + v (broadcast over rows) into dst. dst may be
+// m itself (the in-place bias add) or a distinct same-shape matrix.
+func AddRowVectorInto(dst, m *Matrix, v []float32) {
 	if len(v) != m.Cols {
 		panic(fmt.Sprintf("tensor: AddRowVector length %d != cols %d", len(v), m.Cols))
 	}
+	checkSameShape("AddRowVectorInto", dst, m)
 	for i := 0; i < m.Rows; i++ {
-		row := m.Row(i)
+		src := m.Row(i)
+		row := dst.Row(i)
 		for j := range row {
-			row[j] += v[j]
+			row[j] = src[j] + v[j]
 		}
 	}
 }
@@ -218,24 +233,25 @@ func MatMulFlops(m, n, k int) float64 { return 2 * float64(m) * float64(n) * flo
 // MatMul computes a·b with the straightforward triple loop (ikj order for
 // cache-friendly row access). This is the reference implementation.
 func MatMul(a, b *Matrix) *Matrix {
-	checkMulShapes(a, b)
 	out := New(a.Rows, b.Cols)
-	n, k := a.Cols, b.Cols
-	for i := 0; i < a.Rows; i++ {
-		arow := a.Row(i)
-		orow := out.Row(i)
-		for p := 0; p < n; p++ {
-			av := arow[p]
-			if av == 0 {
-				continue
-			}
-			brow := b.Data[p*k : (p+1)*k]
-			for j := 0; j < k; j++ {
-				orow[j] += av * brow[j]
-			}
-		}
-	}
+	MatMulInto(out, a, b)
 	return out
+}
+
+// MatMulInto computes a·b into dst (shape a.Rows×b.Cols), overwriting any
+// previous contents. dst must not alias a or b. This is the
+// destination-passing form the compiled inference plans execute through.
+func MatMulInto(dst, a, b *Matrix) {
+	checkMulShapes(a, b)
+	checkIntoShape("MatMulInto", dst, a.Rows, b.Cols)
+	dst.Zero()
+	matMulRows(a, b, dst, 0, a.Rows)
+}
+
+func checkIntoShape(op string, dst *Matrix, rows, cols int) {
+	if dst.Rows != rows || dst.Cols != cols {
+		panic(fmt.Sprintf("tensor: %s dst %dx%d, want %dx%d", op, dst.Rows, dst.Cols, rows, cols))
+	}
 }
 
 // DefaultBlock is the cache-blocking tile edge used by MatMulBlocked.
@@ -244,11 +260,21 @@ const DefaultBlock = 64
 // MatMulBlocked computes a·b with square cache blocking (tile edge bs; pass
 // 0 for DefaultBlock). Mirrors the "IPU blocked" / "GPU shmem" kernels.
 func MatMulBlocked(a, b *Matrix, bs int) *Matrix {
+	out := New(a.Rows, b.Cols)
+	MatMulBlockedInto(out, a, b, bs)
+	return out
+}
+
+// MatMulBlockedInto is MatMulBlocked writing into caller-owned dst
+// (shape a.Rows×b.Cols, overwritten). dst must not alias a or b.
+func MatMulBlockedInto(dst, a, b *Matrix, bs int) {
 	checkMulShapes(a, b)
+	checkIntoShape("MatMulBlockedInto", dst, a.Rows, b.Cols)
 	if bs <= 0 {
 		bs = DefaultBlock
 	}
-	out := New(a.Rows, b.Cols)
+	dst.Zero()
+	out := dst
 	m, n, k := a.Rows, a.Cols, b.Cols
 	for ii := 0; ii < m; ii += bs {
 		iMax := min(ii+bs, m)
@@ -273,21 +299,32 @@ func MatMulBlocked(a, b *Matrix, bs int) *Matrix {
 			}
 		}
 	}
-	return out
 }
 
 // MatMulParallel computes a·b splitting rows of a across GOMAXPROCS
 // goroutines. Used by the training loop to keep host-side epochs fast.
 func MatMulParallel(a, b *Matrix) *Matrix {
-	checkMulShapes(a, b)
 	out := New(a.Rows, b.Cols)
+	MatMulParallelInto(out, a, b)
+	return out
+}
+
+// MatMulParallelInto is MatMulParallel writing into caller-owned dst
+// (shape a.Rows×b.Cols, overwritten). The row partition makes every output
+// element the work of exactly one goroutine, so the result is bit-identical
+// to the serial kernel. dst must not alias a or b.
+func MatMulParallelInto(dst, a, b *Matrix) {
+	checkMulShapes(a, b)
+	checkIntoShape("MatMulParallelInto", dst, a.Rows, b.Cols)
+	dst.Zero()
+	out := dst
 	workers := runtime.GOMAXPROCS(0)
 	if workers > a.Rows {
 		workers = a.Rows
 	}
 	if workers <= 1 || a.Rows*a.Cols*b.Cols < 1<<16 {
 		matMulRows(a, b, out, 0, a.Rows)
-		return out
+		return
 	}
 	var wg sync.WaitGroup
 	chunk := (a.Rows + workers - 1) / workers
@@ -304,7 +341,6 @@ func MatMulParallel(a, b *Matrix) *Matrix {
 		}(lo, hi)
 	}
 	wg.Wait()
-	return out
 }
 
 func matMulRows(a, b, out *Matrix, lo, hi int) {
@@ -327,17 +363,25 @@ func matMulRows(a, b, out *Matrix, lo, hi int) {
 
 // MulVec computes m·x for a column vector x (len == Cols).
 func (m *Matrix) MulVec(x []float32) []float32 {
+	out := make([]float32, m.Rows)
+	m.MulVecInto(out, x)
+	return out
+}
+
+// MulVecInto computes m·x into dst (len == Rows, fully overwritten).
+func (m *Matrix) MulVecInto(dst, x []float32) {
 	if len(x) != m.Cols {
 		panic(fmt.Sprintf("tensor: MulVec length %d != cols %d", len(x), m.Cols))
 	}
-	out := make([]float32, m.Rows)
+	if len(dst) != m.Rows {
+		panic(fmt.Sprintf("tensor: MulVecInto dst length %d != rows %d", len(dst), m.Rows))
+	}
 	for i := 0; i < m.Rows; i++ {
 		row := m.Row(i)
 		var s float32
 		for j, v := range row {
 			s += v * x[j]
 		}
-		out[i] = s
+		dst[i] = s
 	}
-	return out
 }
