@@ -1,0 +1,124 @@
+// Command benchgate is the CI perf gate: it diffs a freshly generated
+// BENCH_serve.json (ipuserve -loadgen -benchout) against the committed
+// record and fails when throughput drops, or allocations per request
+// grow, by more than the tolerance.
+//
+//	benchgate -old BENCH_serve.json -new /tmp/fresh.json -tol 0.2
+//
+// Records are matched on (model, shards); models present only in the
+// fresh file are reported but not gated, models missing from it fail.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+)
+
+// record mirrors the per-model block of BENCH_serve.json (only the gated
+// and identifying fields).
+type record struct {
+	Model         string  `json:"model"`
+	Shards        int     `json:"shards"`
+	ThroughputRPS float64 `json:"throughput_rps"`
+	AllocsPerOp   float64 `json:"allocs_per_op"`
+}
+
+type benchFile struct {
+	Models []record `json:"models"`
+}
+
+func load(path string) (map[string]record, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var f benchFile
+	if err := json.Unmarshal(data, &f); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	out := make(map[string]record, len(f.Models))
+	for _, r := range f.Models {
+		out[key(r)] = r
+	}
+	return out, nil
+}
+
+func key(r record) string {
+	shards := r.Shards
+	if shards < 1 {
+		shards = 1 // records predating the sharding field
+	}
+	return fmt.Sprintf("%s/s%d", r.Model, shards)
+}
+
+func main() {
+	oldPath := flag.String("old", "BENCH_serve.json", "committed perf record")
+	newPath := flag.String("new", "", "freshly generated perf record")
+	tol := flag.Float64("tol", 0.2, "allowed relative regression (0.2 = 20%)")
+	allocSlack := flag.Float64("alloc-slack", 50,
+		"absolute allocs/op increase always tolerated: sync.Pool refills after a GC recompile a plan inside the measurement window, which jitters the per-op figure by tens of allocs; a real loss of the compiled-plan path costs hundreds")
+	flag.Parse()
+	if *newPath == "" {
+		fmt.Fprintln(os.Stderr, "benchgate: -new is required")
+		os.Exit(2)
+	}
+	oldRecs, err := load(*oldPath)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchgate:", err)
+		os.Exit(2)
+	}
+	newRecs, err := load(*newPath)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchgate:", err)
+		os.Exit(2)
+	}
+
+	failed := false
+	for k, o := range oldRecs {
+		n, ok := newRecs[k]
+		if !ok {
+			fmt.Printf("FAIL %-22s missing from the fresh record\n", k)
+			failed = true
+			continue
+		}
+		thrDrop := rel(o.ThroughputRPS, n.ThroughputRPS)
+		allocGrow := -rel(o.AllocsPerOp, n.AllocsPerOp)
+		status := "ok  "
+		if thrDrop > *tol {
+			status = "FAIL"
+			failed = true
+		}
+		fmt.Printf("%s %-22s throughput %8.1f -> %8.1f req/s (%+.1f%%)\n",
+			status, k, o.ThroughputRPS, n.ThroughputRPS,
+			100*(n.ThroughputRPS-o.ThroughputRPS)/o.ThroughputRPS)
+		status = "ok  "
+		if allocGrow > *tol && n.AllocsPerOp-o.AllocsPerOp > *allocSlack {
+			status = "FAIL"
+			failed = true
+		}
+		fmt.Printf("%s %-22s allocs/op  %8.1f -> %8.1f       (%+.1f%%)\n",
+			status, k, o.AllocsPerOp, n.AllocsPerOp,
+			100*(n.AllocsPerOp-o.AllocsPerOp)/max(o.AllocsPerOp, 1e-9))
+	}
+	for k := range newRecs {
+		if _, ok := oldRecs[k]; !ok {
+			fmt.Printf("new  %-22s (no committed baseline, not gated)\n", k)
+		}
+	}
+	if failed {
+		fmt.Printf("\nperf gate FAILED (tolerance %.0f%%) — if intentional, regenerate BENCH_serve.json\n", *tol*100)
+		os.Exit(1)
+	}
+	fmt.Printf("\nperf gate passed (tolerance %.0f%%)\n", *tol*100)
+}
+
+// rel returns how far below base the candidate fell as a fraction of
+// base (negate for growth); non-positive baselines gate nothing.
+func rel(base, candidate float64) float64 {
+	if base <= 0 {
+		return 0
+	}
+	return (base - candidate) / base
+}

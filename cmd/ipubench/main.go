@@ -21,9 +21,10 @@ import (
 )
 
 func main() {
-	exp := flag.String("exp", "all", "experiment id (table1..table5, fig3..fig7) or 'all'")
+	exp := flag.String("exp", "all", "experiment id (table1..table5, fig3..fig7, shardwall) or 'all'")
 	quick := flag.Bool("quick", false, "shrink problem sizes and epochs")
 	seed := flag.Int64("seed", 42, "seed for all randomized components")
+	shards := flag.Int("shards", 64, "shardwall: max shard count swept when finding the width that fits per-IPU SRAM")
 	list := flag.Bool("list", false, "list available experiments")
 	flag.Parse()
 
@@ -34,7 +35,7 @@ func main() {
 		return
 	}
 
-	opt := bench.Options{Quick: *quick, Seed: *seed}
+	opt := bench.Options{Quick: *quick, Seed: *seed, MaxShards: *shards}
 	ids := strings.Split(*exp, ",")
 	if *exp == "all" {
 		ids = bench.IDs()

@@ -14,6 +14,11 @@
 // head-to-head and prints throughput plus p50/p95/p99 latency per method):
 //
 //	ipuserve -loadgen -rps 500 -duration 10s -methods dense,butterfly,pixelfly
+//
+// Shard models across several modelled IPUs (tensor-parallel or pipeline,
+// planner-chosen; -loadgen then reports sharded vs unsharded side by side):
+//
+//	ipuserve -ipus 4 -shards 0 -ipu-mem 64 -methods dense,butterfly
 package main
 
 import (
@@ -84,6 +89,9 @@ func main() {
 		rps      = flag.Int("rps", 500, "loadgen: offered requests/second per method")
 		duration = flag.Duration("duration", 10*time.Second, "loadgen: time to offer load per method")
 		benchout = flag.String("benchout", "BENCH_serve.json", "loadgen: machine-readable perf record path (empty disables)")
+		ipus     = flag.Int("ipus", 1, "modelled IPUs available per model (IPU-Link pod size)")
+		shards   = flag.Int("shards", 0, "shard count per model: 0 auto-picks the smallest that fits -ipu-mem")
+		ipuMemMB = flag.Int("ipu-mem", 0, "per-IPU memory budget in MB for the auto shard pick (0 = full chip SRAM)")
 	)
 	flag.Parse()
 
@@ -108,7 +116,14 @@ func main() {
 		MaxDelay: *maxDelay,
 		Workers:  *workers,
 	}
-	reg := serve.NewRegistry(serve.Options{IPU: cfg, Batcher: bcfg})
+	opts := serve.Options{
+		IPU:            cfg,
+		Batcher:        bcfg,
+		NumIPUs:        *ipus,
+		PerIPUMemBytes: *ipuMemMB << 20,
+		Shards:         *shards,
+	}
+	reg := serve.NewRegistry(opts)
 	defer reg.Close()
 
 	specs := make([]serve.ModelSpec, len(ms))
@@ -121,12 +136,37 @@ func main() {
 			fmt.Fprintln(os.Stderr, err)
 			os.Exit(1)
 		}
-		fmt.Printf("registered %-10s (%s, %d params, v%d)\n",
-			names[i], info.Info().Method, info.Info().Params, info.Info().Version)
+		fmt.Printf("registered %-10s (%s, %d params, v%d, %d shard(s))\n",
+			names[i], info.Info().Method, info.Info().Params, info.Info().Version, info.Info().Shards)
 	}
 
 	if *loadgen {
-		runLoadgen(reg, specs, bcfg, *rps, *duration, *benchout)
+		// With a multi-IPU topology, also drive an unsharded registry over
+		// the same specs so the perf record compares sharded vs unsharded
+		// serving head-to-head. Built (and its models trained) only when at
+		// least one model actually sharded — otherwise the baseline rows
+		// would duplicate the main ones key-for-key.
+		var base *serve.Registry
+		anySharded := false
+		for _, sp := range specs {
+			if m, ok := reg.Get(sp.Name); ok && m.Shards() > 1 {
+				anySharded = true
+				break
+			}
+		}
+		if *ipus > 1 && anySharded {
+			baseOpts := opts
+			baseOpts.NumIPUs, baseOpts.Shards, baseOpts.PerIPUMemBytes = 1, 0, 0
+			base = serve.NewRegistry(baseOpts)
+			defer base.Close()
+			for _, sp := range specs {
+				if _, err := base.Register(sp); err != nil {
+					fmt.Fprintln(os.Stderr, err)
+					os.Exit(1)
+				}
+			}
+		}
+		runLoadgen(reg, base, specs, bcfg, *rps, *duration, *benchout)
 		return
 	}
 
@@ -141,6 +181,8 @@ func main() {
 // the repo's machine-readable serving-performance trajectory.
 type benchRecord struct {
 	Model         string  `json:"model"`
+	Shards        int     `json:"shards"`
+	Strategy      string  `json:"strategy,omitempty"`
 	RPS           int     `json:"offered_rps"`
 	Done          int     `json:"done"`
 	Errors        int     `json:"errors"`
@@ -173,46 +215,72 @@ type benchFile struct {
 	AllocProbes     []allocProbe  `json:"alloc_probes"`
 }
 
-func runLoadgen(reg *serve.Registry, specs []serve.ModelSpec, bcfg serve.BatcherConfig, rps int, duration time.Duration, benchout string) {
-	names := make([]string, len(specs))
-	for i, sp := range specs {
-		names[i] = sp.Name
-	}
+func runLoadgen(reg, base *serve.Registry, specs []serve.ModelSpec, bcfg serve.BatcherConfig, rps int, duration time.Duration, benchout string) {
 	fmt.Printf("\nload: %d req/s per model for %v each\n\n", rps, duration)
-	fmt.Printf("%-10s %8s %6s %10s %9s %9s %9s %9s %7s %10s %9s\n",
-		"model", "done", "err", "thr(req/s)", "p50(ms)", "p95(ms)", "p99(ms)", "avg.batch", "hit%", "allocs/op", "ipu(µs/req)")
+	fmt.Printf("%-10s %7s %8s %6s %10s %9s %9s %9s %9s %7s %10s %9s\n",
+		"model", "shards", "done", "err", "thr(req/s)", "p50(ms)", "p95(ms)", "p99(ms)", "avg.batch", "hit%", "allocs/op", "ipu(µs/req)")
 	var records []benchRecord
 	var n int
 	if len(specs) > 0 {
 		n = specs[0].N
 	}
-	for _, name := range names {
-		rep, err := serve.RunLoad(context.Background(), reg, name, serve.LoadConfig{
-			RPS: rps, Duration: duration,
-		})
-		if err != nil {
-			fmt.Fprintln(os.Stderr, err)
-			os.Exit(1)
+	// The unsharded baseline first (when present), then the main registry:
+	// the perf record then reads unsharded vs sharded per model. Models the
+	// main registry left on one shard are skipped in the baseline pass —
+	// their rows (and benchgate keys) would duplicate exactly.
+	type pass struct {
+		r    *serve.Registry
+		skip func(name string) bool
+	}
+	passes := []pass{{r: reg}}
+	if base != nil {
+		sharded := func(name string) bool {
+			m, ok := reg.Get(name)
+			return ok && m.Shards() > 1
 		}
-		ipuPerReq := modelledPerRequest(reg, name, rep)
-		fmt.Printf("%-10s %8d %6d %10.1f %9.3f %9.3f %9.3f %9.2f %6.1f%% %10.1f %9s\n",
-			name, rep.Done, rep.Errors, rep.Throughput(),
-			rep.Latency.P50*1e3, rep.Latency.P95*1e3, rep.Latency.P99*1e3,
-			rep.Batching.AvgBatch, rep.Cache.HitRate*100, rep.AllocsPerOp, ipuPerReq)
-		records = append(records, benchRecord{
-			Model:         name,
-			RPS:           rps,
-			Done:          rep.Done,
-			Errors:        rep.Errors,
-			ThroughputRPS: rep.Throughput(),
-			P50Millis:     rep.Latency.P50 * 1e3,
-			P95Millis:     rep.Latency.P95 * 1e3,
-			P99Millis:     rep.Latency.P99 * 1e3,
-			AvgBatch:      rep.Batching.AvgBatch,
-			AllocsPerOp:   rep.AllocsPerOp,
-			BytesPerOp:    rep.BytesPerOp,
-			CacheHitRate:  rep.Cache.HitRate,
-		})
+		passes = []pass{{r: base, skip: func(name string) bool { return !sharded(name) }}, {r: reg}}
+	}
+	for _, ps := range passes {
+		r := ps.r
+		for _, sp := range specs {
+			if ps.skip != nil && ps.skip(sp.Name) {
+				continue
+			}
+			rep, err := serve.RunLoad(context.Background(), r, sp.Name, serve.LoadConfig{
+				RPS: rps, Duration: duration,
+			})
+			if err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				os.Exit(1)
+			}
+			m, _ := r.Get(sp.Name)
+			shards := m.Shards()
+			strategy := ""
+			if cost, err := m.ModelledCost(int(rep.Batching.MaxBatch)); err == nil && cost != nil {
+				strategy = cost.Strategy
+			}
+			ipuPerReq := modelledPerRequest(r, sp.Name, rep)
+			fmt.Printf("%-10s %7d %8d %6d %10.1f %9.3f %9.3f %9.3f %9.2f %6.1f%% %10.1f %9s\n",
+				sp.Name, shards, rep.Done, rep.Errors, rep.Throughput(),
+				rep.Latency.P50*1e3, rep.Latency.P95*1e3, rep.Latency.P99*1e3,
+				rep.Batching.AvgBatch, rep.Cache.HitRate*100, rep.AllocsPerOp, ipuPerReq)
+			records = append(records, benchRecord{
+				Model:         sp.Name,
+				Shards:        shards,
+				Strategy:      strategy,
+				RPS:           rps,
+				Done:          rep.Done,
+				Errors:        rep.Errors,
+				ThroughputRPS: rep.Throughput(),
+				P50Millis:     rep.Latency.P50 * 1e3,
+				P95Millis:     rep.Latency.P95 * 1e3,
+				P99Millis:     rep.Latency.P99 * 1e3,
+				AvgBatch:      rep.Batching.AvgBatch,
+				AllocsPerOp:   rep.AllocsPerOp,
+				BytesPerOp:    rep.BytesPerOp,
+				CacheHitRate:  rep.Cache.HitRate,
+			})
+		}
 	}
 	cs := reg.CacheStats()
 	fmt.Printf("\nprogram cache: %d entries, %d hits / %d misses (%.1f%% hit rate)\n",

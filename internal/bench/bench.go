@@ -19,6 +19,9 @@ type Options struct {
 	Quick bool
 	// Seed drives every randomized component.
 	Seed int64
+	// MaxShards caps the shard-count sweep of the shardwall experiment
+	// (0 = 64).
+	MaxShards int
 }
 
 // DefaultOptions returns the full-scale configuration.

@@ -26,7 +26,7 @@ func mustRunExp(t *testing.T, id string) *Result {
 
 func TestRegistryComplete(t *testing.T) {
 	want := []string{"fig3", "fig4", "fig5", "fig6", "fig7", "frontier",
-		"table1", "table2", "table3", "table4", "table5"}
+		"shardwall", "table1", "table2", "table3", "table4", "table5"}
 	got := IDs()
 	if len(got) != len(want) {
 		t.Fatalf("registry = %v, want %v", got, want)
@@ -352,5 +352,33 @@ func TestFig6PixelflyConfigValid(t *testing.T) {
 		if err := Fig6PixelflyConfig(n).Validate(); err != nil {
 			t.Fatalf("n=%d: %v", n, err)
 		}
+	}
+}
+
+// TestShardWallDenseNeedsMoreIPUs checks the sweep's headline: at every
+// width the dense SHL never needs fewer IPUs than the butterfly SHL, and
+// at the widest swept width it needs strictly more.
+func TestShardWallDenseNeedsMoreIPUs(t *testing.T) {
+	res := mustRunExp(t, "shardwall")
+	if len(res.Rows) == 0 {
+		t.Fatal("no rows")
+	}
+	parse := func(cell string) int {
+		v, err := strconv.Atoi(strings.TrimPrefix(cell, ">"))
+		if err != nil {
+			t.Fatalf("bad shard cell %q", cell)
+		}
+		return v
+	}
+	// Columns: N, Baseline ipus, MB, Butterfly ipus, MB, ...
+	last := res.Rows[len(res.Rows)-1]
+	for _, row := range res.Rows {
+		dense, bf := parse(row[1]), parse(row[3])
+		if dense < bf {
+			t.Fatalf("N=%s: dense fits on %d IPUs but butterfly needs %d", row[0], dense, bf)
+		}
+	}
+	if dense, bf := parse(last[1]), parse(last[3]); dense <= bf {
+		t.Fatalf("widest width: dense %d IPUs should exceed butterfly %d", dense, bf)
 	}
 }

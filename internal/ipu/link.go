@@ -1,0 +1,100 @@
+package ipu
+
+import "fmt"
+
+// LinkConfig models the IPU-Link fabric connecting several IPU processors
+// in one pod (the M2000 carries four GC200s; larger pods chain boxes over
+// GW-Links). The model deliberately mirrors Observation 1 at the
+// inter-chip level: the cost of a transfer is a function of message size
+// only, never of which pair of IPUs exchanges it — the link fabric is
+// routed all-to-all just like the on-chip exchange, so "distance" does not
+// appear in the formula.
+//
+// Collectives are priced as the standard ring schedules GCL (the Graphcore
+// Communication Library) plans: an all-gather over S shards moves each
+// shard's payload S-1 hops, pipelined so the wall time is (S-1) steps of
+// one payload each.
+type LinkConfig struct {
+	Name string
+
+	// LinkBandwidth is the usable bytes/s per link per direction.
+	LinkBandwidth float64
+	// LinksPerIPU is how many IPU-Links each processor drives; transfers
+	// stripe across all of them, so the per-IPU injection bandwidth is
+	// LinkBandwidth · LinksPerIPU.
+	LinksPerIPU int
+	// LatencySeconds is the fixed per-message cost (serialization,
+	// link-layer framing, GCL dispatch) — paid once per transfer
+	// regardless of the endpoints, per Observation 1.
+	LatencySeconds float64
+	// SyncSeconds is the fixed cost of one inter-IPU BSP sync — the
+	// multi-chip analogue of Config.SyncCycles, paid once per collective
+	// or exchange phase.
+	SyncSeconds float64
+}
+
+// IPULink returns the model of the third-generation IPU-Link fabric of the
+// M2000 (GC200 era): 10 links per processor at 32 GB/s per direction, so
+// 320 GB/s of injection bandwidth per IPU. Latency and sync constants are
+// calibration values in the same spirit as Config's cycle counts.
+func IPULink() LinkConfig {
+	return LinkConfig{
+		Name:           "IPU-Link",
+		LinkBandwidth:  32e9,
+		LinksPerIPU:    10,
+		LatencySeconds: 1.5e-6,
+		SyncSeconds:    0.5e-6,
+	}
+}
+
+// InjectionBandwidth returns the aggregate bytes/s one IPU can push into
+// the link fabric.
+func (l LinkConfig) InjectionBandwidth() float64 {
+	n := l.LinksPerIPU
+	if n <= 0 {
+		n = 1
+	}
+	return l.LinkBandwidth * float64(n)
+}
+
+// PointToPointSeconds prices one message of the given size between any two
+// IPUs: fixed latency plus wire time at injection bandwidth. Size-only, by
+// design (Observation 1 at pod scope).
+func (l LinkConfig) PointToPointSeconds(bytes int) float64 {
+	if bytes <= 0 {
+		return 0
+	}
+	return l.SyncSeconds + l.LatencySeconds + float64(bytes)/l.InjectionBandwidth()
+}
+
+// AllGatherSeconds prices a ring all-gather across shards IPUs where every
+// IPU contributes bytesPerShard: S-1 pipelined steps, each moving one
+// shard payload per IPU.
+func (l LinkConfig) AllGatherSeconds(shards, bytesPerShard int) float64 {
+	if shards <= 1 || bytesPerShard <= 0 {
+		return 0
+	}
+	steps := float64(shards - 1)
+	return l.SyncSeconds + steps*(l.LatencySeconds+float64(bytesPerShard)/l.InjectionBandwidth())
+}
+
+// AllGatherBytes returns the bytes one IPU sends over the fabric during a
+// ring all-gather (it forwards every other shard's payload exactly once).
+func (l LinkConfig) AllGatherBytes(shards, bytesPerShard int) int {
+	if shards <= 1 || bytesPerShard <= 0 {
+		return 0
+	}
+	return (shards - 1) * bytesPerShard
+}
+
+// PairwiseExchangeSeconds prices one butterfly-exchange round: every IPU
+// swaps a payload of the given size with exactly one partner,
+// concurrently. One round costs a single message time; which partner it is
+// does not matter (size-only again).
+func (l LinkConfig) PairwiseExchangeSeconds(bytes int) float64 {
+	return l.PointToPointSeconds(bytes)
+}
+
+func (l LinkConfig) String() string {
+	return fmt.Sprintf("%s(%d×%.0fGB/s)", l.Name, l.LinksPerIPU, l.LinkBandwidth/1e9)
+}

@@ -1,0 +1,56 @@
+package ipu
+
+import "testing"
+
+func TestLinkSizeOnlyCost(t *testing.T) {
+	l := IPULink()
+	// Observation 1 at pod scope: cost is a function of bytes only. The
+	// API admits no endpoint arguments, so the property to check is
+	// monotonicity and latency domination for tiny messages.
+	small := l.PointToPointSeconds(64)
+	big := l.PointToPointSeconds(1 << 20)
+	if small <= 0 || big <= small {
+		t.Fatalf("point-to-point not monotone: %v vs %v", small, big)
+	}
+	if small < l.LatencySeconds {
+		t.Fatalf("small message %v should pay at least the fixed latency %v", small, l.LatencySeconds)
+	}
+	if l.PointToPointSeconds(0) != 0 {
+		t.Fatal("zero-byte message should be free")
+	}
+}
+
+func TestLinkAllGather(t *testing.T) {
+	l := IPULink()
+	const payload = 1 << 20
+	if got := l.AllGatherSeconds(1, payload); got != 0 {
+		t.Fatalf("all-gather across 1 shard should be free, got %v", got)
+	}
+	t2 := l.AllGatherSeconds(2, payload)
+	t4 := l.AllGatherSeconds(4, payload)
+	if t2 <= 0 || t4 <= t2 {
+		t.Fatalf("ring all-gather must grow with shard count: %v vs %v", t2, t4)
+	}
+	// A ring all-gather forwards S-1 payloads per IPU.
+	if got := l.AllGatherBytes(4, payload); got != 3*payload {
+		t.Fatalf("all-gather bytes = %d, want %d", got, 3*payload)
+	}
+	if got := l.AllGatherBytes(1, payload); got != 0 {
+		t.Fatalf("single-shard all-gather moved %d bytes", got)
+	}
+}
+
+func TestLinkInjectionBandwidth(t *testing.T) {
+	l := IPULink()
+	want := l.LinkBandwidth * float64(l.LinksPerIPU)
+	if got := l.InjectionBandwidth(); got != want {
+		t.Fatalf("injection bandwidth %v, want %v", got, want)
+	}
+	// Wire time of a large transfer approaches bytes/injection bandwidth.
+	const bytes = 1 << 30
+	got := l.PointToPointSeconds(bytes)
+	wire := float64(bytes) / want
+	if got < wire || got > wire+l.LatencySeconds+l.SyncSeconds+1e-12 {
+		t.Fatalf("1 GiB transfer %v outside [%v, %v]", got, wire, wire+l.LatencySeconds+l.SyncSeconds)
+	}
+}

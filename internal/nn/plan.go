@@ -1,10 +1,19 @@
 package nn
 
 import (
+	"errors"
 	"fmt"
 
 	"repro/internal/tensor"
 )
+
+// ErrPlanBatch is returned by Plan.Execute when the input has zero rows or
+// more rows than the plan's MaxBatch.
+var ErrPlanBatch = errors.New("nn: plan batch outside [1, MaxBatch]")
+
+// ErrPlanWidth is returned by Plan.Execute when the input's column count
+// does not match the plan's InputWidth.
+var ErrPlanWidth = errors.New("nn: plan input width mismatch")
 
 // Plan is a compiled inference program: the result of walking a Sequential
 // once and lowering every layer to a destination-passing step with
@@ -28,12 +37,14 @@ type Plan struct {
 	actA, actB tensor.Matrix
 }
 
-// planStep is one lowered layer: its output width and a kernel that writes
-// the layer's inference result for input x into dst.
+// planStep is one lowered layer: its output width, a kernel that writes
+// the layer's inference result for input x into dst, and the source layer
+// it was lowered from (the hook the shard partitioner splits on).
 type planStep struct {
-	name string
-	cols int
-	run  func(dst, x *tensor.Matrix, ws *tensor.Workspace)
+	name  string
+	cols  int
+	layer Layer
+	run   func(dst, x *tensor.Matrix, ws *tensor.Workspace)
 }
 
 // CompilePlan walks the network once and emits the execution plan for
@@ -61,6 +72,7 @@ func (s *Sequential) CompilePlan(maxBatch int) (*Plan, error) {
 		if err != nil {
 			return nil, fmt.Errorf("nn: plan layer %d (%s): %w", i, l.Name(), err)
 		}
+		st.layer = l
 		p.steps = append(p.steps, st)
 		width = outW
 	}
@@ -79,8 +91,11 @@ func (s *Sequential) CompilePlan(maxBatch int) (*Plan, error) {
 	// second runs after the workspace has grown to it, leaving the arena at
 	// its exact steady-state size.
 	warm := tensor.New(maxBatch, in)
-	p.Execute(warm)
-	p.Execute(warm)
+	for i := 0; i < 2; i++ {
+		if _, err := p.Execute(warm); err != nil {
+			return nil, err
+		}
+	}
 	return p, nil
 }
 
@@ -102,17 +117,40 @@ func (p *Plan) Steps() []string {
 	return names
 }
 
-// Execute runs the plan over x (rows ≤ MaxBatch, cols == InputWidth) and
-// returns the output matrix. The result aliases plan-owned memory: it is
-// valid until the next Execute on this plan, so callers that retain it
-// across executions (or hand the plan back to a pool) must copy first.
+// NumSteps returns how many lowered steps the plan executes.
+func (p *Plan) NumSteps() int { return len(p.steps) }
+
+// StepLayer returns the source layer step i was lowered from — the
+// introspection hook the shard partitioner uses to decide how (and
+// whether) a step can be split across modelled IPUs.
+func (p *Plan) StepLayer(i int) Layer { return p.steps[i].layer }
+
+// StepCols returns the output width of step i.
+func (p *Plan) StepCols(i int) int { return p.steps[i].cols }
+
+// StepRunner returns the lowered kernel of step i: it writes the step's
+// output for input x into dst (x.Rows × StepCols(i)), staging scratch
+// through the caller-owned workspace. The kernel captures only the layer's
+// weights — not the plan or its arenas — so holding it does not pin the
+// plan, and kernels of one plan may run concurrently with distinct
+// workspaces. This is the execution hook pipeline-sharded plans are built
+// on.
+func (p *Plan) StepRunner(i int) func(dst, x *tensor.Matrix, ws *tensor.Workspace) {
+	return p.steps[i].run
+}
+
+// Execute runs the plan over x (rows in [1, MaxBatch], cols ==
+// InputWidth) and returns the output matrix; inputs outside that contract
+// get ErrPlanBatch / ErrPlanWidth. The result aliases plan-owned memory:
+// it is valid until the next Execute on this plan, so callers that retain
+// it across executions (or hand the plan back to a pool) must copy first.
 // Output is bit-for-bit identical to Sequential.Infer on the same input.
-func (p *Plan) Execute(x *tensor.Matrix) *tensor.Matrix {
+func (p *Plan) Execute(x *tensor.Matrix) (*tensor.Matrix, error) {
 	if x.Cols != p.in {
-		panic(fmt.Sprintf("nn: plan input width %d != %d", x.Cols, p.in))
+		return nil, fmt.Errorf("%w: got %d columns, plan expects %d", ErrPlanWidth, x.Cols, p.in)
 	}
 	if x.Rows < 1 || x.Rows > p.maxBatch {
-		panic(fmt.Sprintf("nn: plan batch %d outside [1,%d]", x.Rows, p.maxBatch))
+		return nil, fmt.Errorf("%w: got %d rows, plan accepts 1..%d", ErrPlanBatch, x.Rows, p.maxBatch)
 	}
 	cur := x
 	useA := true
@@ -129,7 +167,7 @@ func (p *Plan) Execute(x *tensor.Matrix) *tensor.Matrix {
 		cur = act
 		useA = !useA
 	}
-	return cur
+	return cur, nil
 }
 
 // inputWidth infers the feature width a layer consumes; layers without a

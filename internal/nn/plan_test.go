@@ -1,6 +1,7 @@
 package nn
 
 import (
+	"errors"
 	"math/rand"
 	"sync"
 	"testing"
@@ -30,7 +31,7 @@ func TestPlanMatchesInferAllMethods(t *testing.T) {
 				x := tensor.New(batch, n)
 				x.FillRandom(rng, 1)
 				want := net.Infer(x)
-				got := plan.Execute(x)
+				got := mustExecute(t, plan, x)
 				if d := tensor.MaxAbsDiff(want, got); d != 0 {
 					t.Fatalf("batch %d: plan output differs from Infer by %g (want bit-for-bit)", batch, d)
 				}
@@ -59,7 +60,7 @@ func TestPlanMatchesInferCompressed(t *testing.T) {
 	x := tensor.New(5, n)
 	x.FillRandom(rand.New(rand.NewSource(11)), 1)
 	want := compressed.Infer(x)
-	got := plan.Execute(x)
+	got := mustExecute(t, plan, x)
 	if d := tensor.MaxAbsDiff(want, got); d != 0 {
 		t.Fatalf("compressed plan output differs from Infer by %g", d)
 	}
@@ -81,7 +82,7 @@ func TestPlanRepeatedExecuteIsStable(t *testing.T) {
 		x := tensor.New(batch, n)
 		x.FillRandom(rng, 1)
 		want := net.Infer(x)
-		got := plan.Execute(x)
+		got := mustExecute(t, plan, x)
 		if d := tensor.MaxAbsDiff(want, got); d != 0 {
 			t.Fatalf("iter %d batch %d: diff %g", iter, batch, d)
 		}
@@ -123,7 +124,11 @@ func TestPlanPoolConcurrent(t *testing.T) {
 						if p == nil {
 							return
 						}
-						got := p.Execute(x)
+						got, xerr := p.Execute(x)
+						if xerr != nil {
+							t.Errorf("Execute: %v", xerr)
+							return
+						}
 						want := net.Infer(x)
 						if d := tensor.MaxAbsDiff(want, got); d != 0 {
 							t.Errorf("goroutine seed %d iter %d: diff %g", seed, iter, d)
@@ -153,18 +158,33 @@ func TestPlanErrors(t *testing.T) {
 	if err != nil {
 		t.Fatalf("CompilePlan: %v", err)
 	}
-	mustPanic(t, "oversized batch", func() { plan.Execute(tensor.New(5, 16)) })
-	mustPanic(t, "wrong width", func() { plan.Execute(tensor.New(2, 8)) })
+	if _, err := plan.Execute(tensor.New(5, 16)); !errors.Is(err, ErrPlanBatch) {
+		t.Errorf("oversized batch: got %v, want ErrPlanBatch", err)
+	}
+	if _, err := plan.Execute(tensor.New(2, 8)); !errors.Is(err, ErrPlanWidth) {
+		t.Errorf("wrong width: got %v, want ErrPlanWidth", err)
+	}
+	if _, err := plan.Execute(tensor.New(0, 16)); !errors.Is(err, ErrPlanBatch) {
+		t.Errorf("zero rows: got %v, want ErrPlanBatch", err)
+	}
+	// A rejected input must not poison the plan for the next caller.
+	x := tensor.New(2, 16)
+	x.FillRandom(rand.New(rand.NewSource(5)), 1)
+	want := net.Infer(x)
+	got := mustExecute(t, plan, x)
+	if d := tensor.MaxAbsDiff(want, got); d != 0 {
+		t.Errorf("plan output differs by %g after rejected inputs", d)
+	}
 }
 
-func mustPanic(t *testing.T, label string, f func()) {
+// mustExecute runs the plan and fails the test on an input-contract error.
+func mustExecute(t *testing.T, p *Plan, x *tensor.Matrix) *tensor.Matrix {
 	t.Helper()
-	defer func() {
-		if recover() == nil {
-			t.Errorf("%s: expected panic", label)
-		}
-	}()
-	f()
+	y, err := p.Execute(x)
+	if err != nil {
+		t.Fatalf("Execute: %v", err)
+	}
+	return y
 }
 
 // TestPlanSteadyStateAllocs checks the allocation contract directly: after
@@ -181,7 +201,7 @@ func TestPlanSteadyStateAllocs(t *testing.T) {
 			}
 			x := tensor.New(maxBatch, n)
 			x.FillRandom(rand.New(rand.NewSource(18)), 1)
-			plan.Execute(x)
+			mustExecute(t, plan, x)
 			avg := testing.AllocsPerRun(20, func() { plan.Execute(x) })
 			// Dense layers route through MatMulParallelInto, which may spawn
 			// goroutines (their stacks count as allocations); everything else

@@ -9,6 +9,8 @@ import (
 
 	"repro/internal/ipu"
 	"repro/internal/nn"
+	"repro/internal/shard"
+	"repro/internal/tensor"
 )
 
 // ProgramCost is the modelled device cost of one compiled batch program —
@@ -29,6 +31,15 @@ type ProgramCost struct {
 
 	// CompileSeconds is the wall time the cache miss paid; hits pay zero.
 	CompileSeconds float64 `json:"compile_s"`
+
+	// Sharding block, present when the program spans several modelled
+	// IPUs. LatencySeconds/PerRequestSeconds above already include the
+	// exchange time and the tensor-parallel compute split.
+	Shards          int     `json:"shards,omitempty"`
+	Strategy        string  `json:"strategy,omitempty"`
+	PerIPUBytes     int     `json:"per_ipu_bytes,omitempty"`
+	ExchangeBytes   int     `json:"exchange_bytes,omitempty"`
+	ExchangeSeconds float64 `json:"exchange_s,omitempty"`
 }
 
 // CacheStats exposes the hit/miss counters of the program cache.
@@ -43,16 +54,28 @@ type programKey struct {
 	model   string
 	version int
 	batch   int
+	shards  int
+}
+
+// Executor is the host-side compiled program the batch path runs:
+// nn.Plan on one modelled IPU, shard.ShardedPlan across several. Both are
+// single-goroutine objects pooled per worker.
+type Executor interface {
+	Execute(x *tensor.Matrix) (*tensor.Matrix, error)
+	MaxBatch() int
 }
 
 // Program is the cache's unit of work: everything compiled once per
-// (model, version, pow2-batch) key. It bundles the modelled IPU cost of
-// the batch program with a pool of host execution plans (nn.Plan) sized
-// for the same batch bucket, so the micro-batcher's workers run
-// allocation-free at steady state and every response can report device
-// cost without recompiling.
+// (model, version, pow2-batch, shards) key. It bundles the modelled IPU
+// cost of the batch program with a pool of host execution plans (nn.Plan,
+// or shard.ShardedPlan when the model is sharded) sized for the same batch
+// bucket, so the micro-batcher's workers run allocation-free at steady
+// state and every response can report device cost without recompiling.
 type Program struct {
-	batch int
+	batch  int
+	shards int
+	topo   shard.Topology
+	budget int
 
 	costOnce sync.Once
 	costDone atomic.Bool
@@ -63,9 +86,18 @@ type Program struct {
 
 	// net is the host network plans compile from; set the first time the
 	// program is requested with a network attached (cost-only callers pass
-	// none). plans pools per-worker *nn.Plan instances.
+	// none). plans pools per-worker Executor instances.
 	net   atomic.Pointer[nn.Sequential]
 	plans sync.Pool
+
+	// scOnce memoizes the shard planner's verdict (strategy, per-IPU
+	// memory, exchange) and the 1-shard reference estimate, so GetPlan
+	// misses and Cost share one estimate and at most one probe plan
+	// compile per program.
+	scOnce sync.Once
+	sc     shard.Cost
+	scOne  shard.Cost
+	scErr  error
 }
 
 // errNoHostNet marks a program that was only ever priced, never given a
@@ -75,44 +107,117 @@ var errNoHostNet = errors.New("serve: program has no host network")
 // Batch returns the power-of-two batch bucket the program was compiled for.
 func (p *Program) Batch() int { return p.batch }
 
+// Shards returns how many modelled IPUs the program spans.
+func (p *Program) Shards() int { return p.shards }
+
 // Cost returns the memoized modelled IPU cost; the first caller pays the
 // compile, concurrent callers block on it, and failures (e.g. tile OOM)
-// are cached because the retry would fail identically.
+// are cached because the retry would fail identically. For sharded
+// programs the single-chip compile is augmented with the shard planner's
+// per-IPU memory and IPU-Link exchange verdict.
 func (p *Program) Cost() (*ProgramCost, error) {
 	p.costOnce.Do(func() {
 		p.cost, p.costErr = compileCost(p.cfg, p.batch, p.build)
+		if p.costErr == nil && p.shards > 1 {
+			p.costErr = p.shardCost(p.cost)
+			if p.costErr != nil {
+				p.cost = nil
+			}
+		}
 		p.costDone.Store(true)
 	})
 	return p.cost, p.costErr
 }
 
-// GetPlan hands out a pooled host execution plan, compiling a fresh
-// instance when the pool is empty. Callers must return it with PutPlan
-// after copying anything they need out of its buffers.
-func (p *Program) GetPlan() (*nn.Plan, error) {
+// shardEstimate memoizes the shard planner's verdict for this program.
+// pl may carry a freshly compiled plan to reuse; pass nil to have the
+// memo compile its own probe (only the first caller's plan is consulted).
+func (p *Program) shardEstimate(pl *nn.Plan) (shard.Cost, error) {
+	p.scOnce.Do(func() {
+		if pl == nil {
+			net := p.net.Load()
+			if net == nil {
+				p.scErr = errNoHostNet
+				return
+			}
+			var err error
+			if pl, err = net.CompilePlan(p.batch); err != nil {
+				p.scErr = err
+				return
+			}
+		}
+		if p.sc, p.scErr = shard.EstimateBudget(pl, p.batch, p.shards, p.topo, p.budget); p.scErr != nil {
+			return
+		}
+		p.scOne, p.scErr = shard.EstimateBudget(pl, p.batch, 1, p.topo, p.budget)
+	})
+	return p.sc, p.scErr
+}
+
+// shardCost folds the shard planner's estimate into a single-chip program
+// cost: per-IPU residency, exchange traffic, and the latency of the
+// partitioned run. The compute portion is scaled by the planner's own
+// sharded-vs-unsharded compute ratio (1 for pipeline; between 1/S and 1
+// for tensor parallelism, since replicated rank bottlenecks do not
+// divide), keeping the served latency consistent with the planner's
+// Cost for the same plan.
+func (p *Program) shardCost(cost *ProgramCost) error {
+	sc, err := p.shardEstimate(nil)
+	if err != nil {
+		return err
+	}
+	one := p.scOne
+	cost.Shards = p.shards
+	cost.Strategy = sc.StrategyName()
+	cost.PerIPUBytes = sc.PerIPUBytes
+	cost.ExchangeBytes = sc.ExchangeBytesPerBatch
+	cost.ExchangeSeconds = sc.ExchangeSecondsPerBatch
+	if one.ComputeSecondsPerBatch > 0 {
+		cost.LatencySeconds *= sc.ComputeSecondsPerBatch / one.ComputeSecondsPerBatch
+	}
+	cost.LatencySeconds += sc.ExchangeSecondsPerBatch
+	cost.PerRequestSeconds = cost.LatencySeconds / float64(p.batch)
+	return nil
+}
+
+// GetPlan hands out a pooled host execution plan — sharded across the
+// program's modelled IPUs when shards > 1 — compiling a fresh instance
+// when the pool is empty. Callers must return it with PutPlan after
+// copying anything they need out of its buffers.
+func (p *Program) GetPlan() (Executor, error) {
 	if v := p.plans.Get(); v != nil {
-		return v.(*nn.Plan), nil
+		return v.(Executor), nil
 	}
 	net := p.net.Load()
 	if net == nil {
 		return nil, errNoHostNet
 	}
-	return net.CompilePlan(p.batch)
+	pl, err := net.CompilePlan(p.batch)
+	if err != nil || p.shards <= 1 {
+		return pl, err
+	}
+	sc, err := p.shardEstimate(pl)
+	if err != nil {
+		return nil, err
+	}
+	return shard.CompileWith(pl, p.topo, p.shards, sc.Strategy)
 }
 
 // PutPlan returns a plan obtained from GetPlan to the pool.
-func (p *Program) PutPlan(pl *nn.Plan) {
+func (p *Program) PutPlan(pl Executor) {
 	if pl != nil {
 		p.plans.Put(pl)
 	}
 }
 
 // ProgramCache memoizes compiled programs — host plan pool plus modelled
-// IPU cost — per (model, version, batch bucket), so the serving path
-// compiles each artifact at most once and every request rides prebuilt
-// state.
+// IPU cost — per (model, version, batch bucket, shard count), so the
+// serving path compiles each artifact at most once and every request
+// rides prebuilt state.
 type ProgramCache struct {
-	cfg ipu.Config
+	cfg    ipu.Config
+	topo   shard.Topology
+	budget int
 
 	mu      sync.Mutex
 	entries map[programKey]*Program
@@ -121,9 +226,18 @@ type ProgramCache struct {
 	misses atomic.Int64
 }
 
-// NewProgramCache creates a cache compiling against the given device model.
+// NewProgramCache creates a cache compiling against the given device
+// model, with a single-IPU topology (sharded keys are rejected).
 func NewProgramCache(cfg ipu.Config) *ProgramCache {
-	return &ProgramCache{cfg: cfg, entries: map[programKey]*Program{}}
+	return NewShardedProgramCache(cfg, shard.Topology{NumIPUs: 1, IPU: cfg}, 0)
+}
+
+// NewShardedProgramCache creates a cache that can also compile programs
+// partitioned across the topology's modelled IPUs, auto-picking the
+// partitioning strategy against the per-IPU memory budget (0 = full
+// SRAM).
+func NewShardedProgramCache(cfg ipu.Config, topo shard.Topology, budgetBytes int) *ProgramCache {
+	return &ProgramCache{cfg: cfg, topo: topo, budget: budgetBytes, entries: map[programKey]*Program{}}
 }
 
 // workloadBuilder produces the IPU workload whose compiled program prices
@@ -137,26 +251,32 @@ type workloadBuilder func(cfg ipu.Config, batch int) (*ipu.Workload, error)
 // nil for cost-only callers; the first non-nil net is attached so later
 // GetPlan calls can compile host plans. The modelled cost is not compiled
 // here — Cost does that lazily, memoized.
-func (c *ProgramCache) Program(name string, version, batch int, net *nn.Sequential, build workloadBuilder) (*Program, error) {
-	return c.lookup(name, version, batch, net, build, true)
+func (c *ProgramCache) Program(name string, version, batch, shards int, net *nn.Sequential, build workloadBuilder) (*Program, error) {
+	return c.lookup(name, version, batch, shards, net, build, true)
 }
 
 // programQuiet is Program without touching the hit/miss counters — the
 // per-batch execution path uses it so batching behaviour doesn't skew the
 // per-request cache statistics.
-func (c *ProgramCache) programQuiet(name string, version, batch int, net *nn.Sequential, build workloadBuilder) (*Program, error) {
-	return c.lookup(name, version, batch, net, build, false)
+func (c *ProgramCache) programQuiet(name string, version, batch, shards int, net *nn.Sequential, build workloadBuilder) (*Program, error) {
+	return c.lookup(name, version, batch, shards, net, build, false)
 }
 
-func (c *ProgramCache) lookup(name string, version, batch int, net *nn.Sequential, build workloadBuilder, count bool) (*Program, error) {
+func (c *ProgramCache) lookup(name string, version, batch, shards int, net *nn.Sequential, build workloadBuilder, count bool) (*Program, error) {
 	if batch <= 0 {
 		return nil, fmt.Errorf("serve: cache batch %d must be positive", batch)
 	}
-	key := programKey{model: name, version: version, batch: batch}
+	if shards < 1 {
+		shards = 1
+	}
+	if shards > 1 && shards > c.topo.NumIPUs {
+		return nil, fmt.Errorf("serve: %d shards exceed the cache topology of %d IPUs", shards, c.topo.NumIPUs)
+	}
+	key := programKey{model: name, version: version, batch: batch, shards: shards}
 	c.mu.Lock()
 	p, ok := c.entries[key]
 	if !ok {
-		p = &Program{batch: batch, cfg: c.cfg, build: build}
+		p = &Program{batch: batch, shards: shards, topo: c.topo, budget: c.budget, cfg: c.cfg, build: build}
 		c.entries[key] = p
 	}
 	if count {
@@ -204,7 +324,7 @@ func (c *ProgramCache) Cost(spec ModelSpec, version, batch int) (*ProgramCost, e
 // costWith is Cost with an explicit workload builder, keyed on the model
 // name and version alone.
 func (c *ProgramCache) costWith(name string, version, batch int, build workloadBuilder) (*ProgramCost, error) {
-	p, err := c.Program(name, version, batch, nil, build)
+	p, err := c.Program(name, version, batch, 1, nil, build)
 	if err != nil {
 		return nil, err
 	}

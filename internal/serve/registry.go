@@ -9,6 +9,7 @@ import (
 
 	"repro/internal/ipu"
 	"repro/internal/nn"
+	"repro/internal/shard"
 )
 
 // latencyWindow bounds how many recent request latencies each model keeps
@@ -24,6 +25,18 @@ type Options struct {
 	IPU ipu.Config
 	// Batcher is applied to every model's micro-batcher.
 	Batcher BatcherConfig
+
+	// NumIPUs is how many modelled IPUs each model may shard across
+	// (0 or 1 = unsharded serving).
+	NumIPUs int
+	// Link is the inter-IPU exchange model (zero value = ipu.IPULink()).
+	Link ipu.LinkConfig
+	// PerIPUMemBytes is the per-IPU memory budget the registry fits
+	// models into when auto-picking a shard count (0 = the chip's SRAM).
+	PerIPUMemBytes int
+	// Shards fixes the shard count for every registered model instead of
+	// auto-picking the smallest count that fits PerIPUMemBytes (0 = auto).
+	Shards int
 }
 
 // Registry builds, versions and owns servable models. All methods are safe
@@ -31,6 +44,7 @@ type Options struct {
 // goroutines.
 type Registry struct {
 	opts  Options
+	topo  shard.Topology
 	cache *ProgramCache
 
 	mu       sync.RWMutex
@@ -43,9 +57,17 @@ func NewRegistry(opts Options) *Registry {
 	if opts.IPU.Tiles == 0 {
 		opts.IPU = ipu.GC200()
 	}
+	if opts.NumIPUs < 1 {
+		opts.NumIPUs = 1
+	}
+	if opts.Link.LinkBandwidth == 0 {
+		opts.Link = ipu.IPULink()
+	}
+	topo := shard.Topology{NumIPUs: opts.NumIPUs, IPU: opts.IPU, Link: opts.Link}
 	return &Registry{
 		opts:     opts,
-		cache:    NewProgramCache(opts.IPU),
+		topo:     topo,
+		cache:    NewShardedProgramCache(opts.IPU, topo, opts.PerIPUMemBytes),
 		models:   map[string]*Model{},
 		versions: map[string]int{},
 	}
@@ -82,8 +104,10 @@ func (r *Registry) install(spec ModelSpec, net *nn.Sequential, label string, wb 
 		methodLabel: label,
 		workload:    wb,
 		cache:       r.cache,
+		topo:        r.topo,
 		lat:         newLatencyRing(latencyWindow),
 	}
+	m.shards = r.pickShards(net)
 	m.batcher = NewBatcher(spec.N, r.opts.Batcher, m.runBatch)
 
 	r.mu.Lock()
@@ -101,6 +125,34 @@ func (r *Registry) install(spec ModelSpec, net *nn.Sequential, label string, wb 
 		r.cache.Evict(old.spec.Name, old.version)
 	}
 	return m
+}
+
+// pickShards decides how many modelled IPUs a model serves on: the fixed
+// Options.Shards when set, otherwise the smallest power-of-two count whose
+// per-IPU footprint (priced by the shard planner at the batcher's largest
+// batch bucket) fits the per-IPU memory budget. When nothing fits, the
+// full topology is used anyway — the registry still serves, oversubscribed
+// in the model, and ProgramCost reports the overflow.
+func (r *Registry) pickShards(net *nn.Sequential) int {
+	if r.opts.Shards > 0 {
+		// Shard counts must be powers of two (slices and butterfly stages
+		// halve); round a fixed request down so the shard compiler never
+		// rejects what the registry promised.
+		return prevPow2(min(r.opts.Shards, r.topo.NumIPUs))
+	}
+	if r.topo.NumIPUs <= 1 {
+		return 1
+	}
+	batch := nextPow2(r.opts.Batcher.withDefaults().MaxBatch)
+	pl, err := net.CompilePlan(batch)
+	if err != nil {
+		return 1
+	}
+	cost, _, err := shard.FitShards(pl, batch, r.topo, r.opts.PerIPUMemBytes)
+	if err != nil {
+		return 1
+	}
+	return cost.Shards
 }
 
 // Get returns the current model registered under name.

@@ -32,6 +32,7 @@ import (
 	"repro/internal/fft"
 	"repro/internal/nn"
 	"repro/internal/pixelfly"
+	"repro/internal/shard"
 	"repro/internal/stats"
 	"repro/internal/tensor"
 )
@@ -112,6 +113,7 @@ type ModelInfo struct {
 	Classes int    `json:"classes"`
 	Params  int    `json:"params"`
 	Version int    `json:"version"`
+	Shards  int    `json:"shards"`
 }
 
 // Prediction is the result of one served request.
@@ -160,6 +162,8 @@ type Model struct {
 
 	batcher *Batcher
 	cache   *ProgramCache
+	topo    shard.Topology
+	shards  int
 
 	// retired is set when the model is replaced or removed; it stops
 	// late ModelledCost calls from resurrecting evicted cache entries.
@@ -180,11 +184,15 @@ func (m *Model) Info() ModelInfo {
 		Classes: m.spec.Classes,
 		Params:  m.params,
 		Version: m.version,
+		Shards:  m.shards,
 	}
 }
 
 // Spec returns the spec the model was built from.
 func (m *Model) Spec() ModelSpec { return m.spec }
+
+// Shards returns how many modelled IPUs the model serves on.
+func (m *Model) Shards() int { return m.shards }
 
 // Predict implements Predictor: the request is coalesced with concurrent
 // ones into a micro-batch, executed on the shared read-only weights, and
@@ -222,7 +230,7 @@ func (m *Model) Predict(ctx context.Context, features []float32) (Prediction, er
 // of the given size (rounded up to its power-of-two cache bucket). This
 // per-request lookup is the one that feeds the cache hit/miss statistics.
 func (m *Model) ModelledCost(batch int) (*ProgramCost, error) {
-	p, err := m.cache.Program(m.spec.Name, m.version, nextPow2(batch), m.net, m.workload)
+	p, err := m.cache.Program(m.spec.Name, m.version, nextPow2(batch), m.shards, m.net, m.workload)
 	if err != nil {
 		return nil, err
 	}
@@ -242,17 +250,20 @@ func (m *Model) ModelledCost(batch int) (*ProgramCost, error) {
 // the result copy handed to responses) and falls back to the generic
 // read-only forward pass if the plan path is unavailable.
 func (m *Model) runBatch(x *tensor.Matrix) *tensor.Matrix {
-	prog, err := m.cache.programQuiet(m.spec.Name, m.version, nextPow2(x.Rows), m.net, m.workload)
+	prog, err := m.cache.programQuiet(m.spec.Name, m.version, nextPow2(x.Rows), m.shards, m.net, m.workload)
 	if err == nil {
 		if pl, perr := prog.GetPlan(); perr == nil {
-			y := pl.Execute(x)
-			// Copy out before returning the plan: responses alias rows of
-			// the returned matrix, and the plan's buffers are recycled by
-			// the next worker that draws it from the pool.
-			out := tensor.New(y.Rows, y.Cols)
-			copy(out.Data, y.Data)
+			y, xerr := pl.Execute(x)
+			if xerr == nil {
+				// Copy out before returning the plan: responses alias rows
+				// of the returned matrix, and the plan's buffers are
+				// recycled by the next worker that draws it from the pool.
+				out := tensor.New(y.Rows, y.Cols)
+				copy(out.Data, y.Data)
+				prog.PutPlan(pl)
+				return out
+			}
 			prog.PutPlan(pl)
-			return out
 		}
 	}
 	return m.net.Infer(x)
@@ -282,6 +293,16 @@ type ModelStats struct {
 func (m *Model) stop() {
 	m.retired.Store(true)
 	m.batcher.Stop()
+}
+
+// prevPow2 rounds n down to a power of two (n ≥ 1) — the shard counts the
+// partitioner accepts.
+func prevPow2(n int) int {
+	p := 1
+	for p*2 <= n {
+		p *= 2
+	}
+	return p
 }
 
 // nextPow2 rounds n up to the next power of two, bucketing cache keys so

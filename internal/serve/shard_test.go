@@ -1,0 +1,251 @@
+package serve
+
+import (
+	"context"
+	"math/rand"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/ipu"
+	"repro/internal/nn"
+	"repro/internal/shard"
+	"repro/internal/tensor"
+)
+
+// shardedRegistry builds a 4-IPU registry with the given per-IPU budget.
+func shardedRegistry(t *testing.T, budget, fixed int) *Registry {
+	t.Helper()
+	r := NewRegistry(Options{
+		Batcher:        BatcherConfig{MaxBatch: 8, MaxDelay: time.Millisecond, Workers: 2},
+		NumIPUs:        4,
+		PerIPUMemBytes: budget,
+		Shards:         fixed,
+	})
+	t.Cleanup(r.Close)
+	return r
+}
+
+// TestRegistryAutoShardSelection asserts the acceptance criterion: the
+// registry picks the smallest shard count whose per-IPU footprint fits the
+// memory budget, and serving through the sharded plans stays bit-for-bit
+// correct.
+func TestRegistryAutoShardSelection(t *testing.T) {
+	sp := spec("m", nn.Baseline)
+
+	// Price the model ourselves to derive budget thresholds.
+	net := nn.BuildSHL(sp.Method, sp.N, sp.Classes, rand.New(rand.NewSource(sp.Seed)))
+	pl, err := net.CompilePlan(8) // the batcher's pow2 bucket in these tests
+	if err != nil {
+		t.Fatal(err)
+	}
+	topo := shard.Topology{NumIPUs: 4, IPU: ipu.GC200(), Link: ipu.IPULink()}
+	c1, err := shard.Estimate(pl, 8, 1, topo)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Roomy budget: one IPU suffices, no sharding.
+	reg := shardedRegistry(t, c1.PerIPUBytes+1, 0)
+	m, err := reg.Register(sp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Shards() != 1 {
+		t.Fatalf("roomy budget: model sharded %d-way, want 1", m.Shards())
+	}
+
+	// Budget below the single-chip footprint: the registry must shard,
+	// picking exactly what the planner calls the smallest fitting count.
+	budget := c1.PerIPUBytes - 1
+	want, fits, err := shard.FitShards(pl, 8, topo, budget)
+	if err != nil || !fits {
+		t.Fatalf("FitShards: fits=%v err=%v", fits, err)
+	}
+	if want.Shards < 2 {
+		t.Fatalf("test setup: expected a budget that forces sharding, got %d", want.Shards)
+	}
+	reg2 := shardedRegistry(t, budget, 0)
+	m2, err := reg2.Register(sp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m2.Shards() != want.Shards {
+		t.Fatalf("auto-pick chose %d shards, planner says %d", m2.Shards(), want.Shards)
+	}
+	if m2.Info().Shards != want.Shards {
+		t.Fatalf("Info().Shards = %d, want %d", m2.Info().Shards, want.Shards)
+	}
+
+	// Serving through the sharded plans is still exactly the reference
+	// forward pass.
+	x := tensor.New(1, sp.N)
+	x.FillRandom(rand.New(rand.NewSource(5)), 1)
+	wantY := net.Infer(x)
+	pred, err := m2.Predict(context.Background(), x.Row(0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for j, v := range pred.Scores {
+		if v != wantY.At(0, j) {
+			t.Fatalf("sharded score[%d] = %v, want %v (bit-for-bit)", j, v, wantY.At(0, j))
+		}
+	}
+
+	// The per-request cost report carries the sharding verdict.
+	cost, err := m2.ModelledCost(8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cost.Shards != want.Shards || cost.PerIPUBytes <= 0 || cost.Strategy == "" {
+		t.Fatalf("sharded cost not annotated: %+v", cost)
+	}
+	if cost.PerIPUBytes > budget {
+		t.Fatalf("reported per-IPU bytes %d exceed the budget %d it was fit to", cost.PerIPUBytes, budget)
+	}
+	if cost.ExchangeBytes <= 0 && cost.Strategy == "tensor-parallel" {
+		t.Fatal("tensor-parallel cost reports no exchange traffic")
+	}
+}
+
+// TestRegistryFixedShards pins the shard count explicitly.
+func TestRegistryFixedShards(t *testing.T) {
+	reg := shardedRegistry(t, 0, 2)
+	m, err := reg.Register(spec("m", nn.Butterfly))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Shards() != 2 {
+		t.Fatalf("fixed shards: got %d, want 2", m.Shards())
+	}
+	x := tensor.New(1, 64)
+	x.FillRandom(rand.New(rand.NewSource(9)), 1)
+	ref := nn.BuildSHL(nn.Butterfly, 64, 10, rand.New(rand.NewSource(42)))
+	want := ref.Infer(x)
+	pred, err := m.Predict(context.Background(), x.Row(0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for j, v := range pred.Scores {
+		if v != want.At(0, j) {
+			t.Fatalf("score[%d] = %v, want %v", j, v, want.At(0, j))
+		}
+	}
+}
+
+// TestProgramCacheShardedKeysDistinct: the same model/batch at different
+// shard counts are distinct compiled programs.
+func TestProgramCacheShardedKeysDistinct(t *testing.T) {
+	topo := shard.Topology{NumIPUs: 4, IPU: ipu.GC200(), Link: ipu.IPULink()}
+	c := NewShardedProgramCache(ipu.GC200(), topo, 0)
+	sp := spec("m", nn.Butterfly)
+	net, err := buildNet(sp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	build := func(cfg ipu.Config, b int) (*ipu.Workload, error) { return buildWorkload(cfg, sp, b) }
+	for _, shards := range []int{1, 2, 4} {
+		p, err := c.Program(sp.Name, 1, 8, shards, net, build)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if p.Shards() != shards {
+			t.Fatalf("program shards %d, want %d", p.Shards(), shards)
+		}
+		pl, err := p.GetPlan()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if pl.MaxBatch() != 8 {
+			t.Fatalf("plan maxBatch %d, want 8", pl.MaxBatch())
+		}
+		p.PutPlan(pl)
+	}
+	if s := c.Stats(); s.Entries != 3 {
+		t.Fatalf("entries = %d, want 3 (one per shard count)", s.Entries)
+	}
+	if _, err := c.Program(sp.Name, 1, 8, 8, net, build); err == nil {
+		t.Fatal("shard count beyond the topology accepted")
+	}
+	c.Evict(sp.Name, 1)
+	if s := c.Stats(); s.Entries != 0 {
+		t.Fatalf("after evict: %d entries, want 0 (sharded keys must evict too)", s.Entries)
+	}
+}
+
+// TestProgramCacheConcurrentProgramEvict races Program/GetPlan/Execute
+// against Evict across shard counts — run under -race (the satellite
+// coverage for the cache's concurrency contract). Every lookup must either
+// produce a usable program or a clean error; entries must all be gone at
+// the end.
+func TestProgramCacheConcurrentProgramEvict(t *testing.T) {
+	topo := shard.Topology{NumIPUs: 4, IPU: ipu.GC200(), Link: ipu.IPULink()}
+	c := NewShardedProgramCache(ipu.GC200(), topo, 0)
+	sp := spec("m", nn.Butterfly)
+	net, err := buildNet(sp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	build := func(cfg ipu.Config, b int) (*ipu.Workload, error) { return buildWorkload(cfg, sp, b) }
+
+	const loops = 30
+	var wg sync.WaitGroup
+	for g := 0; g < 6; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			shardsOf := []int{1, 2, 4}
+			x := tensor.New(2, sp.N)
+			x.FillRandom(rand.New(rand.NewSource(int64(g))), 1)
+			for i := 0; i < loops; i++ {
+				shards := shardsOf[(g+i)%len(shardsOf)]
+				p, err := c.Program(sp.Name, 1, 4, shards, net, build)
+				if err != nil {
+					t.Errorf("Program: %v", err)
+					return
+				}
+				pl, err := p.GetPlan()
+				if err != nil {
+					t.Errorf("GetPlan: %v", err)
+					return
+				}
+				if _, err := pl.Execute(x); err != nil {
+					t.Errorf("Execute: %v", err)
+				}
+				p.PutPlan(pl)
+				if _, err := p.Cost(); err != nil {
+					t.Errorf("Cost: %v", err)
+				}
+			}
+		}(g)
+	}
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < loops; i++ {
+			c.Evict(sp.Name, 1)
+		}
+	}()
+	wg.Wait()
+	c.Evict(sp.Name, 1)
+	if s := c.Stats(); s.Entries != 0 {
+		t.Fatalf("after final evict: %d entries, want 0", s.Entries)
+	}
+}
+
+// TestRegistryFixedShardsRoundsToPow2: a fixed -shards 3 must not produce
+// a model the shard compiler rejects on every batch (silent Infer
+// fallback); it rounds down to a power of two.
+func TestRegistryFixedShardsRoundsToPow2(t *testing.T) {
+	reg := shardedRegistry(t, 0, 3)
+	m, err := reg.Register(spec("m", nn.Baseline))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Shards() != 2 {
+		t.Fatalf("fixed shards 3: got %d, want 2 (rounded down)", m.Shards())
+	}
+	if cost, err := m.ModelledCost(4); err != nil || cost.Shards != 2 {
+		t.Fatalf("ModelledCost after rounding: cost=%+v err=%v", cost, err)
+	}
+}

@@ -1,0 +1,345 @@
+package shard
+
+import (
+	"fmt"
+
+	"repro/internal/baselines"
+	"repro/internal/butterfly"
+	"repro/internal/fft"
+	"repro/internal/ipu"
+	"repro/internal/nn"
+	"repro/internal/pixelfly"
+)
+
+// memOverhead scales raw data bytes to modelled resident bytes, standing
+// in for the compiler-generated vertex/edge/exchange/control code the
+// single-chip model prices in detail (Observation 3). Calibration value.
+const memOverhead = 1.15
+
+// Cost is the modelled price of executing one batch of a sharded plan on
+// the topology: what each IPU must hold, and what the IPU-Link fabric
+// moves. Host execution is the numerics oracle; this struct is the
+// device-model verdict the serving registry budgets against.
+type Cost struct {
+	Shards   int      `json:"shards"`
+	Strategy Strategy `json:"-"`
+	Batch    int      `json:"batch"`
+
+	// Per-IPU residency (max over shards).
+	PerIPUWeightBytes     int `json:"per_ipu_weight_bytes"`
+	PerIPUActivationBytes int `json:"per_ipu_activation_bytes"`
+	PerIPUBytes           int `json:"per_ipu_bytes"` // overhead-scaled total
+
+	// IPU-Link traffic of one batch (bytes sent per IPU) and its time.
+	ExchangeBytesPerBatch   int     `json:"exchange_bytes"`
+	ExchangeSecondsPerBatch float64 `json:"exchange_s"`
+
+	// Modelled compute and end-to-end batch latency.
+	ComputeSecondsPerBatch float64 `json:"compute_s"`
+	LatencySecondsPerBatch float64 `json:"latency_s"`
+}
+
+// StrategyName is the JSON-friendly strategy label.
+func (c Cost) StrategyName() string { return c.Strategy.String() }
+
+// stepDesc is the cost-relevant description of one plan step.
+type stepDesc struct {
+	outW        int
+	weightBytes int     // parameter bytes that split 1/S under tensor parallelism
+	replBytes   int     // bytes every shard holds regardless of count
+	flops       float64 // total forward flops of the layer
+	replFlops   float64 // flops every shard repeats (rank bottlenecks x·A, x·V)
+	class       ipu.ComputeClass
+	globalFn    func(shards int) int // butterfly: exchange rounds inside the layer
+	splitErr    func(shards int) error
+}
+
+// describeStep prices one layer for the planner. Splittability defers to
+// canSplit so the estimate can never disagree with the lowering.
+func describeStep(l nn.Layer, outW, batch int) stepDesc {
+	d := stepDesc{
+		outW:     outW,
+		splitErr: func(shards int) error { return canSplit(l, outW, shards) },
+	}
+	switch t := l.(type) {
+	case *nn.Dense:
+		d.weightBytes = 4 * t.ParamCount()
+		d.flops = t.Flops(batch)
+		d.class = ipu.ClassAMP
+	case *nn.ReLU:
+		d.flops = float64(batch * outW)
+		d.class = ipu.ClassSIMD
+	case *nn.FactorizedDense:
+		d.weightBytes = 4 * (t.Rank*t.Out + t.Out)
+		d.replBytes = 4 * t.Rank * t.In // A is replicated
+		d.flops = t.Flops(batch)
+		d.replFlops = 2 * float64(batch) * float64(t.In) * float64(t.Rank) // x·A on every shard
+		d.class = ipu.ClassAMP
+	case *nn.StructuredLinear:
+		d.flops = t.Flops(batch)
+		d.class = ipu.ClassSIMD
+		switch tr := t.T.(type) {
+		case *butterfly.Butterfly:
+			d.weightBytes = 4 * (tr.ParamCount() + t.N)
+			if tr.Perm != nil {
+				d.replBytes = 8 * tr.N // the permutation table rides along
+			}
+			d.globalFn = func(shards int) int {
+				if shards <= 1 {
+					return 0
+				}
+				return fft.Log2(shards) // stages with stride ≥ N/S
+			}
+		case *baselines.LowRank:
+			d.weightBytes = 4 * (tr.N*tr.Rank + t.N)                            // U slice + bias
+			d.replBytes = 4 * tr.N * tr.Rank                                    // V is replicated
+			d.replFlops = 2 * float64(batch) * float64(tr.N) * float64(tr.Rank) // x·V on every shard
+		case *pixelfly.Pixelfly:
+			d.weightBytes = 4 * (tr.ParamCount() - tr.Cfg.N*tr.Cfg.LowRank + t.N)
+			d.replBytes = 4 * tr.Cfg.N * tr.Cfg.LowRank                                    // V is replicated
+			d.replFlops = 2 * float64(batch) * float64(tr.Cfg.N) * float64(tr.Cfg.LowRank) // x·V
+		default:
+			// Unsplittable structured layer (fastfood, circulant): all of
+			// it lives wherever its pipeline stage lands.
+			d.weightBytes = 4 * t.ParamCount()
+		}
+	default:
+		d.weightBytes = 4 * l.ParamCount()
+		d.class = ipu.ClassScalar
+	}
+	return d
+}
+
+// describePlan walks the plan once.
+func describePlan(pl *nn.Plan, batch int) (descs []stepDesc, maxW int) {
+	maxW = pl.InputWidth()
+	for i := 0; i < pl.NumSteps(); i++ {
+		outW := pl.StepCols(i)
+		if outW > maxW {
+			maxW = outW
+		}
+		descs = append(descs, describeStep(pl.StepLayer(i), outW, batch))
+	}
+	return descs, maxW
+}
+
+// Splittable reports whether every layer of the plan admits a
+// tensor-parallel split at the given shard count, and if not, why.
+func Splittable(pl *nn.Plan, shards int) error {
+	for i := 0; i < pl.NumSteps(); i++ {
+		if err := canSplit(pl.StepLayer(i), pl.StepCols(i), shards); err != nil {
+			return fmt.Errorf("shard: step %d (%s): %w", i, pl.Steps()[i], err)
+		}
+	}
+	return nil
+}
+
+// Estimate prices the plan at the given batch and shard count with the
+// per-IPU budget defaulting to the full chip SRAM.
+func Estimate(pl *nn.Plan, batch, shards int, topo Topology) (Cost, error) {
+	return EstimateBudget(pl, batch, shards, topo, 0)
+}
+
+// EstimateBudget prices the plan and picks the strategy
+// fitting-then-fastest: among the candidates whose per-IPU footprint fits
+// budgetBytes (0 = the chip's SRAM), the lower modelled latency wins; if
+// neither fits, the more memory-frugal one does. Pipeline usually wins on
+// latency at SHL scale — the all-gathers cost more than the compute a
+// split saves — but pipeline can never split a single layer, so once one
+// weight matrix outgrows the budget (the paper's memory wall), only
+// tensor-parallel still fits and the planner switches. Unsplittable
+// layers (fastfood, circulant, generic fallbacks) force pipeline.
+func EstimateBudget(pl *nn.Plan, batch, shards int, topo Topology, budgetBytes int) (Cost, error) {
+	topo = topo.withDefaults()
+	if budgetBytes <= 0 {
+		budgetBytes = topo.IPU.TotalMemBytes()
+	}
+	if shards < 1 || shards&(shards-1) != 0 {
+		return Cost{}, fmt.Errorf("shard: shard count %d must be a positive power of two", shards)
+	}
+	if shards > topo.NumIPUs {
+		return Cost{}, fmt.Errorf("shard: %d shards exceed topology of %d IPUs", shards, topo.NumIPUs)
+	}
+	pipe, err := estimateWith(pl, batch, shards, topo, Pipeline)
+	if err != nil {
+		return Cost{}, err
+	}
+	if shards == 1 || Splittable(pl, shards) != nil {
+		return pipe, nil
+	}
+	tp, err := estimateWith(pl, batch, shards, topo, TensorParallel)
+	if err != nil {
+		return Cost{}, err
+	}
+	tpFits, pipeFits := tp.PerIPUBytes <= budgetBytes, pipe.PerIPUBytes <= budgetBytes
+	switch {
+	case tpFits && !pipeFits:
+		return tp, nil
+	case pipeFits && !tpFits:
+		return pipe, nil
+	case tpFits && pipeFits:
+		if tp.LatencySecondsPerBatch <= pipe.LatencySecondsPerBatch {
+			return tp, nil
+		}
+		return pipe, nil
+	default:
+		if tp.PerIPUBytes <= pipe.PerIPUBytes {
+			return tp, nil
+		}
+		return pipe, nil
+	}
+}
+
+// estimateWith prices one specific strategy.
+func estimateWith(pl *nn.Plan, batch, shards int, topo Topology, strategy Strategy) (Cost, error) {
+	topo = topo.withDefaults()
+	descs, maxW := describePlan(pl, batch)
+	c := Cost{Shards: shards, Strategy: strategy, Batch: batch}
+
+	// Both strategies keep the full-width ping-pong arenas resident (the
+	// gathered activations under TP, the streamed batch under pipeline)
+	// plus one arena's worth of per-step scratch.
+	c.PerIPUActivationBytes = 3 * 4 * batch * maxW
+
+	rate := func(cl ipu.ComputeClass) float64 {
+		return float64(topo.IPU.Tiles) * topo.IPU.ClassRate(cl) * topo.IPU.ClockHz
+	}
+
+	switch strategy {
+	case TensorParallel:
+		if shards > 1 {
+			if err := Splittable(pl, shards); err != nil {
+				return Cost{}, err
+			}
+		}
+		for _, d := range descs {
+			c.PerIPUWeightBytes += d.weightBytes/shards + d.replBytes
+			// The sliced work divides across shards; rank-bottleneck
+			// products (x·A, x·V) are replicated and do not.
+			split := (d.flops-d.replFlops)/float64(shards) + d.replFlops
+			c.ComputeSecondsPerBatch += split / rate(d.class)
+			if shards > 1 {
+				// All-gather of the layer's output slices.
+				slice := 4 * batch * d.outW / shards
+				c.ExchangeBytesPerBatch += topo.Link.AllGatherBytes(shards, slice)
+				c.ExchangeSecondsPerBatch += topo.Link.AllGatherSeconds(shards, slice)
+				if d.globalFn != nil {
+					// Butterfly global stages: one pairwise swap each.
+					rounds := d.globalFn(shards)
+					c.ExchangeBytesPerBatch += rounds * slice
+					c.ExchangeSecondsPerBatch += float64(rounds) * topo.Link.PairwiseExchangeSeconds(slice)
+				}
+			}
+		}
+	case Pipeline:
+		owners := pipelineOwners(pl, shards)
+		stageBytes := make([]int, shards)
+		for i, d := range descs {
+			stageBytes[owners[i]] += d.weightBytes + d.replBytes
+			c.ComputeSecondsPerBatch += d.flops / rate(d.class)
+			if i+1 < len(owners) && owners[i+1] != owners[i] {
+				// Activations cross one IPU-Link at the stage boundary.
+				bytes := 4 * batch * d.outW
+				c.ExchangeBytesPerBatch += bytes
+				c.ExchangeSecondsPerBatch += topo.Link.PointToPointSeconds(bytes)
+			}
+		}
+		for _, b := range stageBytes {
+			if b > c.PerIPUWeightBytes {
+				c.PerIPUWeightBytes = b
+			}
+		}
+	default:
+		return Cost{}, fmt.Errorf("shard: unknown strategy %v", strategy)
+	}
+
+	c.PerIPUBytes = int(memOverhead * float64(c.PerIPUWeightBytes+c.PerIPUActivationBytes))
+	c.LatencySecondsPerBatch = c.ComputeSecondsPerBatch + c.ExchangeSecondsPerBatch
+	return c, nil
+}
+
+// SpecLayer describes one layer of an unbuilt model for spec-level
+// sizing: the shard-count sweep of the memory-wall experiment prices
+// widths no host could materialize, so it cannot go through a compiled
+// plan.
+type SpecLayer struct {
+	OutW            int
+	WeightBytes     int // parameter bytes that divide across shards
+	ReplicatedBytes int // bytes every shard holds regardless of count
+	Splittable      bool
+}
+
+// EstimateSpecBytes prices the per-IPU residency of a model described
+// only by per-layer byte counts, under the same arena and overhead model
+// as EstimateBudget: splittable layers divide S ways (tensor parallel);
+// if any layer is unsplittable the model pipelines, and the weight
+// residency is the heaviest contiguous stage — never less than the
+// largest single layer, which is exactly why a lone N² dense weight walls
+// a pipeline but not a tensor-parallel split.
+func EstimateSpecBytes(layers []SpecLayer, batch, shards int, topo Topology) int {
+	topo = topo.withDefaults()
+	if shards < 1 {
+		shards = 1
+	}
+	maxW := 0
+	splittable := true
+	for _, l := range layers {
+		if l.OutW > maxW {
+			maxW = l.OutW
+		}
+		if !l.Splittable {
+			splittable = false
+		}
+	}
+	weights := 0
+	if splittable || shards == 1 {
+		for _, l := range layers {
+			weights += l.WeightBytes/shards + l.ReplicatedBytes
+		}
+	} else {
+		// Greedy contiguous stage packing, as pipelineOwners does.
+		total := 0
+		for _, l := range layers {
+			total += l.WeightBytes + l.ReplicatedBytes
+		}
+		fair := (total + shards - 1) / shards
+		stage, stagesUsed := 0, 1
+		for _, l := range layers {
+			b := l.WeightBytes + l.ReplicatedBytes
+			if stage > 0 && stage+b > fair && stagesUsed < shards {
+				stage = 0
+				stagesUsed++
+			}
+			stage += b
+			if stage > weights {
+				weights = stage
+			}
+		}
+	}
+	acts := 3 * 4 * batch * maxW
+	return int(memOverhead * float64(weights+acts))
+}
+
+// FitShards returns the smallest power-of-two shard count (≤ the
+// topology) whose per-IPU footprint fits budgetBytes, with its cost. When
+// even the full topology does not fit, it returns the largest available
+// count and fits == false — callers may still serve, oversubscribed, or
+// refuse.
+func FitShards(pl *nn.Plan, batch int, topo Topology, budgetBytes int) (cost Cost, fits bool, err error) {
+	topo = topo.withDefaults()
+	if budgetBytes <= 0 {
+		budgetBytes = topo.IPU.TotalMemBytes()
+	}
+	best := Cost{}
+	for s := 1; s <= topo.NumIPUs; s <<= 1 {
+		c, err := EstimateBudget(pl, batch, s, topo, budgetBytes)
+		if err != nil {
+			return Cost{}, false, err
+		}
+		best = c
+		if c.PerIPUBytes <= budgetBytes {
+			return c, true, nil
+		}
+	}
+	return best, false, nil
+}

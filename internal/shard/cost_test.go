@@ -1,0 +1,199 @@
+package shard
+
+import (
+	"testing"
+
+	"repro/internal/nn"
+)
+
+func TestEstimateSplitsWeightMemory(t *testing.T) {
+	topo := DefaultTopology(4)
+	for _, method := range []nn.Method{nn.Baseline, nn.Butterfly, nn.Pixelfly} {
+		_, pl := buildPlan(t, method, 5)
+		c1, err := Estimate(pl, testMaxBatch, 1, topo)
+		if err != nil {
+			t.Fatal(err)
+		}
+		c4, err := estimateWith(pl, testMaxBatch, 4, topo, TensorParallel)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if c4.PerIPUWeightBytes >= c1.PerIPUWeightBytes {
+			t.Errorf("%v: 4-shard per-IPU weights %d not below 1-shard %d",
+				method, c4.PerIPUWeightBytes, c1.PerIPUWeightBytes)
+		}
+		if c1.ExchangeBytesPerBatch != 0 || c1.ExchangeSecondsPerBatch != 0 {
+			t.Errorf("%v: single shard should exchange nothing, got %d bytes",
+				method, c1.ExchangeBytesPerBatch)
+		}
+		if c4.ExchangeBytesPerBatch <= 0 || c4.ExchangeSecondsPerBatch <= 0 {
+			t.Errorf("%v: 4-shard tensor parallel must pay exchange, got %d bytes",
+				method, c4.ExchangeBytesPerBatch)
+		}
+	}
+}
+
+// TestPlannerStrategyChoice checks the fitting-then-fastest rule:
+// unsplittable layers force pipeline; while everything fits, the lower
+// modelled latency wins (pipeline at SHL scale — all-gathers cost more
+// than the compute a split saves); and once the budget drops below
+// pipeline's biggest stage (one whole dense layer — the memory wall),
+// only tensor-parallel still fits and the planner must switch.
+func TestPlannerStrategyChoice(t *testing.T) {
+	topo := DefaultTopology(4)
+	for _, method := range []nn.Method{nn.Fastfood, nn.Circulant} {
+		_, pl := buildPlan(t, method, 6)
+		c, err := Estimate(pl, testMaxBatch, 4, topo)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if c.Strategy != Pipeline {
+			t.Errorf("%v: planner chose %v, want pipeline (unsplittable)", method, c.Strategy)
+		}
+	}
+	_, pl := buildPlan(t, nn.Baseline, 6)
+	tp, err := estimateWith(pl, testMaxBatch, 4, topo, TensorParallel)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pipe, err := estimateWith(pl, testMaxBatch, 4, topo, Pipeline)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tp.PerIPUBytes >= pipe.PerIPUBytes {
+		t.Fatalf("tensor-parallel footprint %d not below pipeline's %d (dense layer should dominate)",
+			tp.PerIPUBytes, pipe.PerIPUBytes)
+	}
+	// Everything fits the default (full-SRAM) budget: latency decides, and
+	// at this narrow width the all-gathers outweigh the compute saved.
+	c, err := Estimate(pl, testMaxBatch, 4, topo)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Strategy != Pipeline {
+		t.Errorf("roomy budget: planner chose %v, want pipeline (lower latency)", c.Strategy)
+	}
+	// Budget between the two footprints: pipeline cannot split the dense
+	// layer, so tensor-parallel is the only strategy that fits.
+	c, err = EstimateBudget(pl, testMaxBatch, 4, topo, tp.PerIPUBytes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Strategy != TensorParallel {
+		t.Errorf("memory wall: planner chose %v, want tensor-parallel", c.Strategy)
+	}
+	// Budget below both: the frugal strategy (tensor-parallel) wins.
+	c, err = EstimateBudget(pl, testMaxBatch, 4, topo, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Strategy != TensorParallel {
+		t.Errorf("starved budget: planner chose %v, want tensor-parallel (frugal)", c.Strategy)
+	}
+}
+
+func TestFitShardsPicksSmallest(t *testing.T) {
+	topo := DefaultTopology(4)
+	_, pl := buildPlan(t, nn.Baseline, 8)
+	one, err := Estimate(pl, testMaxBatch, 1, topo)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Generous budget: one shard suffices.
+	c, fits, err := FitShards(pl, testMaxBatch, topo, one.PerIPUBytes+1)
+	if err != nil || !fits || c.Shards != 1 {
+		t.Fatalf("generous budget: shards=%d fits=%v err=%v, want 1/true/nil", c.Shards, fits, err)
+	}
+	// Budget below the single-chip footprint: must shard up, smallest first.
+	c, fits, err = FitShards(pl, testMaxBatch, topo, one.PerIPUBytes-1)
+	if err != nil || !fits {
+		t.Fatalf("tight budget: fits=%v err=%v", fits, err)
+	}
+	if c.Shards < 2 {
+		t.Fatalf("tight budget picked %d shards, want ≥ 2", c.Shards)
+	}
+	if c.PerIPUBytes >= one.PerIPUBytes {
+		t.Fatalf("sharded footprint %d not below unsharded %d", c.PerIPUBytes, one.PerIPUBytes)
+	}
+	// Impossible budget: report the largest count and fits == false.
+	c, fits, err = FitShards(pl, testMaxBatch, topo, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fits || c.Shards != 4 {
+		t.Fatalf("impossible budget: shards=%d fits=%v, want 4/false", c.Shards, fits)
+	}
+	// Zero budget defaults to the full per-IPU SRAM.
+	c, fits, err = FitShards(pl, testMaxBatch, topo, 0)
+	if err != nil || !fits || c.Shards != 1 {
+		t.Fatalf("default budget: shards=%d fits=%v err=%v", c.Shards, fits, err)
+	}
+}
+
+// TestShardedPlanReportsCost ties the compiled plan to its estimate.
+func TestShardedPlanReportsCost(t *testing.T) {
+	_, pl := buildPlan(t, nn.Butterfly, 4)
+	topo := DefaultTopology(4)
+	sp, err := Compile(pl, topo, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sp.Close()
+	c := sp.Cost()
+	if c.Shards != 4 || c.Batch != testMaxBatch {
+		t.Fatalf("cost header %+v", c)
+	}
+	if c.Strategy != sp.Strategy() {
+		t.Fatalf("cost strategy %v != plan strategy %v", c.Strategy, sp.Strategy())
+	}
+	if c.PerIPUBytes <= 0 || c.LatencySecondsPerBatch <= 0 {
+		t.Fatalf("degenerate cost %+v", c)
+	}
+	// The butterfly's global stages must be visible as exchange steps.
+	found := false
+	for _, name := range sp.Steps() {
+		if sp.Strategy() == TensorParallel && contains(name, "+exchange") {
+			found = true
+		}
+	}
+	if sp.Strategy() == TensorParallel && !found {
+		t.Error("tensor-parallel butterfly plan lists no exchange stages")
+	}
+}
+
+func contains(s, sub string) bool {
+	for i := 0; i+len(sub) <= len(s); i++ {
+		if s[i:i+len(sub)] == sub {
+			return true
+		}
+	}
+	return false
+}
+
+// TestEstimateSpecBytes checks the spec-level sizing used by the
+// memory-wall sweep: splittable weights divide S ways; an unsplittable
+// model pipelines and can never drop below its largest single layer.
+func TestEstimateSpecBytes(t *testing.T) {
+	topo := DefaultTopology(64)
+	const n, batch = 1 << 14, 64
+	dense := []SpecLayer{
+		{OutW: n, WeightBytes: 4 * n * n, Splittable: true},
+		{OutW: n, Splittable: true},
+		{OutW: 10, WeightBytes: 4 * n * 10, Splittable: true},
+	}
+	one := EstimateSpecBytes(dense, batch, 1, topo)
+	four := EstimateSpecBytes(dense, batch, 4, topo)
+	if four >= one/2 {
+		t.Fatalf("4-shard spec bytes %d not well below 1-shard %d", four, one)
+	}
+	// Flip the big layer to unsplittable: pipelining cannot shrink it.
+	pipe := append([]SpecLayer(nil), dense...)
+	pipe[0].Splittable = false
+	p4 := EstimateSpecBytes(pipe, batch, 4, topo)
+	if p4 < 4*n*n {
+		t.Fatalf("pipelined spec bytes %d below the unsplittable layer's own %d", p4, 4*n*n)
+	}
+	if EstimateSpecBytes(dense, batch, 0, topo) != one {
+		t.Fatal("shard count 0 should clamp to 1")
+	}
+}

@@ -1,0 +1,71 @@
+package shard
+
+import (
+	"fmt"
+
+	"repro/internal/nn"
+	"repro/internal/tensor"
+)
+
+// lowerPipeline assigns contiguous plan-step ranges to consecutive IPUs,
+// balanced by parameter bytes (the quantity that overflows tile SRAM).
+// Every plan step becomes one micro-step whose kernel runs only on the
+// owning shard, through the unsharded plan's own lowered kernel
+// (nn.Plan.StepRunner) — which is what makes pipeline partitioning
+// trivially bit-for-bit: each step executes unchanged, only its placement
+// moves. The runners capture layer weights, not the source plan, so its
+// arenas do not stay resident behind the sharded plan's own. Activations
+// crossing a stage boundary ride one IPU-Link transfer in the cost model;
+// on the host they are already in the shared arena.
+func lowerPipeline(pl *nn.Plan, shards int) ([]step, error) {
+	owners := pipelineOwners(pl, shards)
+	steps := make([]step, pl.NumSteps())
+	names := pl.Steps()
+	for i := range steps {
+		st := step{
+			name: fmt.Sprintf("%s@ipu%d", names[i], owners[i]),
+			cols: pl.StepCols(i),
+			run:  make([]func(dst, x *tensor.Matrix, ws *tensor.Workspace), shards),
+		}
+		st.run[owners[i]] = pl.StepRunner(i)
+		steps[i] = st
+	}
+	return steps, nil
+}
+
+// pipelineOwners maps each plan step to its pipeline stage: a greedy
+// in-order packing that closes a stage once it holds its fair share of the
+// model's parameter bytes, while leaving enough steps for the remaining
+// stages. Stages are contiguous and monotone, as a pipeline requires.
+func pipelineOwners(pl *nn.Plan, shards int) []int {
+	n := pl.NumSteps()
+	bytes := make([]int, n)
+	total := 0
+	for i := 0; i < n; i++ {
+		bytes[i] = layerParamBytes(pl.StepLayer(i))
+		total += bytes[i]
+	}
+	owners := make([]int, n)
+	stage, acc := 0, 0
+	remaining := total
+	for i := 0; i < n; i++ {
+		owners[i] = stage
+		acc += bytes[i]
+		remaining -= bytes[i]
+		stepsLeft := n - i - 1
+		stagesLeft := shards - stage - 1
+		if stagesLeft > 0 && stepsLeft > 0 {
+			fair := (total + shards - 1) / shards
+			// Advance when this stage has its share, or when the remaining
+			// steps are only just enough to populate the remaining stages.
+			if acc >= fair || stepsLeft <= stagesLeft {
+				stage++
+				acc = 0
+			}
+		}
+	}
+	return owners
+}
+
+// layerParamBytes returns the FP32 parameter footprint of one layer.
+func layerParamBytes(l nn.Layer) int { return 4 * l.ParamCount() }

@@ -1,0 +1,340 @@
+// Package shard partitions compiled inference plans (nn.Plan) across
+// several modelled IPUs connected by IPU-Links — the production answer
+// when a model, or the batch riding through it, no longer fits one chip's
+// SRAM (the paper's binding constraint).
+//
+// Two partitioning strategies are implemented, chosen per plan by a
+// cost-based planner over the ipu.LinkConfig exchange model:
+//
+//   - Tensor parallel: every wide layer is split into per-shard column
+//     slices — each IPU holds 1/S of the weights and produces 1/S of the
+//     layer's output, followed by an all-gather so the next layer sees the
+//     full activation. Butterfly chains split specially: the first
+//     log2(N/S) factor stages are block-local to a shard's slice, and only
+//     the top log2(S) "global" stages need a pairwise exchange round each —
+//     the property (Liu et al., arXiv:2002.03400) that makes structured
+//     layers cheap to shard.
+//   - Pipeline: contiguous step ranges are assigned to consecutive IPUs
+//     and activations stream across one link per boundary. This is the
+//     fallback when a layer is not splittable (fastfood and circulant mix
+//     all features through Hadamard/FFT passes whose per-output cone is the
+//     whole input, and their weights are O(N) anyway).
+//
+// Host-side execution verifies the numerics: shards run on a
+// goroutine-per-IPU pool over plan-owned per-shard workspaces, with the
+// all-gather realized as writes into a shared full-width activation arena
+// and a barrier per step. Every element is produced by the same float32
+// expression as the unsharded plan, so ShardedPlan.Execute is bit-for-bit
+// equal to nn.Plan.Execute at any shard count — while the per-IPU memory
+// and the exchange traffic of a real multi-chip run are priced
+// analytically by the Cost model.
+package shard
+
+import (
+	"fmt"
+	"runtime"
+
+	"repro/internal/ipu"
+	"repro/internal/nn"
+	"repro/internal/tensor"
+)
+
+// Strategy selects how a plan is partitioned across IPUs.
+type Strategy int
+
+const (
+	// TensorParallel splits every layer into per-shard column slices with
+	// an all-gather between layers.
+	TensorParallel Strategy = iota
+	// Pipeline assigns contiguous step ranges to consecutive IPUs.
+	Pipeline
+)
+
+func (s Strategy) String() string {
+	switch s {
+	case TensorParallel:
+		return "tensor-parallel"
+	case Pipeline:
+		return "pipeline"
+	default:
+		return fmt.Sprintf("Strategy(%d)", int(s))
+	}
+}
+
+// Topology describes the modelled multi-IPU system a plan is sharded onto.
+type Topology struct {
+	// NumIPUs is how many processors the topology offers (the shard-count
+	// ceiling; the planner may use fewer).
+	NumIPUs int
+	// IPU is the per-processor model (memory, compute classes).
+	IPU ipu.Config
+	// Link is the inter-processor exchange model.
+	Link ipu.LinkConfig
+}
+
+// DefaultTopology returns n GC200s on an IPU-Link fabric — the M2000 pod
+// building block the paper's hardware belongs to.
+func DefaultTopology(n int) Topology {
+	return Topology{NumIPUs: n, IPU: ipu.GC200(), Link: ipu.IPULink()}
+}
+
+func (t Topology) withDefaults() Topology {
+	if t.NumIPUs <= 0 {
+		t.NumIPUs = 1
+	}
+	if t.IPU.Tiles == 0 {
+		t.IPU = ipu.GC200()
+	}
+	if t.Link.LinkBandwidth == 0 {
+		t.Link = ipu.IPULink()
+	}
+	return t
+}
+
+// step is one barrier-delimited micro-step of the sharded program: per
+// shard, a kernel writing that shard's slice of the step output into the
+// shared full-width activation arena. A nil kernel means the shard is idle
+// this step (pipeline stages it does not own, exchange-only steps). Layer
+// lowering may emit several micro-steps per source layer — a butterfly
+// emits one per factor stage, since the global stages must see the other
+// shards' writes from the previous stage.
+type step struct {
+	name string
+	cols int
+	run  []func(dst, x *tensor.Matrix, ws *tensor.Workspace)
+}
+
+// engine holds everything the worker goroutines touch. It is split from
+// ShardedPlan so the workers keep only the engine alive: the plan's
+// finalizer can then stop them once the plan itself becomes unreachable
+// (pooled plans are dropped by cache eviction, never closed explicitly).
+type engine struct {
+	shards   int
+	maxBatch int
+	in, out  int
+	steps    []step
+
+	bufA, bufB []float32
+	actA, actB tensor.Matrix
+	ws         []*tensor.Workspace
+
+	// Orchestration state: the orchestrator publishes curDst/curX/stepIdx,
+	// wakes the workers through their start channels (the channel send is
+	// the happens-before edge), runs shard 0 inline, and collects one done
+	// token per worker as the barrier.
+	curDst, curX *tensor.Matrix
+	stepIdx      int
+	start        []chan struct{}
+	done         chan struct{}
+	quit         chan struct{}
+}
+
+// ShardedPlan is a compiled multi-IPU inference program. Like nn.Plan it
+// owns its activation buffers and must not be used from two goroutines at
+// once; pool instances for concurrent serving.
+type ShardedPlan struct {
+	e        *engine
+	topo     Topology
+	strategy Strategy
+	cost     Cost
+}
+
+// Compile partitions a compiled plan across shards IPUs of the topology,
+// letting the cost planner choose the strategy: tensor-parallel when every
+// layer is splittable and its modelled latency (compute/S plus all-gather
+// and butterfly exchange rounds) beats pipeline's, pipeline otherwise.
+// shards must be a power of two within the topology.
+func Compile(pl *nn.Plan, topo Topology, shards int) (*ShardedPlan, error) {
+	cost, err := Estimate(pl, pl.MaxBatch(), shards, topo)
+	if err != nil {
+		return nil, err
+	}
+	return CompileWith(pl, topo, shards, cost.Strategy)
+}
+
+// CompileWith is Compile with the partitioning strategy forced — the hook
+// the equivalence tests use to cover both lowerings at every shard count.
+func CompileWith(pl *nn.Plan, topo Topology, shards int, strategy Strategy) (*ShardedPlan, error) {
+	topo = topo.withDefaults()
+	if shards < 1 || shards&(shards-1) != 0 {
+		return nil, fmt.Errorf("shard: shard count %d must be a positive power of two", shards)
+	}
+	if shards > topo.NumIPUs {
+		return nil, fmt.Errorf("shard: %d shards exceed topology of %d IPUs", shards, topo.NumIPUs)
+	}
+	var steps []step
+	var err error
+	switch strategy {
+	case TensorParallel:
+		steps, err = lowerTensorParallel(pl, shards)
+	case Pipeline:
+		steps, err = lowerPipeline(pl, shards)
+	default:
+		return nil, fmt.Errorf("shard: unknown strategy %v", strategy)
+	}
+	if err != nil {
+		return nil, err
+	}
+	cost, err := estimateWith(pl, pl.MaxBatch(), shards, topo, strategy)
+	if err != nil {
+		return nil, err
+	}
+
+	e := &engine{
+		shards:   shards,
+		maxBatch: pl.MaxBatch(),
+		in:       pl.InputWidth(),
+		out:      pl.OutputWidth(),
+		steps:    steps,
+		done:     make(chan struct{}, shards),
+		quit:     make(chan struct{}),
+	}
+	maxW := 0
+	for _, st := range steps {
+		if st.cols > maxW {
+			maxW = st.cols
+		}
+	}
+	e.bufA = make([]float32, e.maxBatch*maxW)
+	e.bufB = make([]float32, e.maxBatch*maxW)
+	e.ws = make([]*tensor.Workspace, shards)
+	for k := range e.ws {
+		e.ws[k] = tensor.NewWorkspace()
+	}
+	for k := 1; k < shards; k++ {
+		c := make(chan struct{}, 1)
+		e.start = append(e.start, c)
+		go e.workerLoop(k, c)
+	}
+	p := &ShardedPlan{e: e, topo: topo, strategy: strategy, cost: cost}
+	// Workers park on their start channels; if the plan is dropped without
+	// Close (pooled plans are), the finalizer releases them.
+	runtime.SetFinalizer(p, func(sp *ShardedPlan) { sp.e.stop() })
+
+	// Two warm-up executions, as in nn.CompilePlan: the first records
+	// every per-shard workspace's demand, the second runs with the arenas
+	// at their exact steady-state size.
+	warm := tensor.New(e.maxBatch, e.in)
+	for i := 0; i < 2; i++ {
+		if _, err := p.Execute(warm); err != nil {
+			p.Close()
+			return nil, err
+		}
+	}
+	return p, nil
+}
+
+// Shards returns the number of modelled IPUs the plan runs on.
+func (p *ShardedPlan) Shards() int { return p.e.shards }
+
+// Strategy returns the partitioning the planner (or caller) chose.
+func (p *ShardedPlan) Strategy() Strategy { return p.strategy }
+
+// Cost returns the modelled per-IPU memory and exchange cost of one batch.
+func (p *ShardedPlan) Cost() Cost { return p.cost }
+
+// MaxBatch returns the largest row count Execute accepts.
+func (p *ShardedPlan) MaxBatch() int { return p.e.maxBatch }
+
+// InputWidth returns the feature width the plan expects.
+func (p *ShardedPlan) InputWidth() int { return p.e.in }
+
+// OutputWidth returns the width of the result matrix.
+func (p *ShardedPlan) OutputWidth() int { return p.e.out }
+
+// Steps returns the micro-step names in execution order.
+func (p *ShardedPlan) Steps() []string {
+	names := make([]string, len(p.e.steps))
+	for i := range p.e.steps {
+		names[i] = p.e.steps[i].name
+	}
+	return names
+}
+
+// Execute runs the sharded program over x (rows in [1, MaxBatch], cols ==
+// InputWidth), dispatching each micro-step to the goroutine-per-IPU pool
+// and barriering between steps. The result aliases plan-owned memory,
+// valid until the next Execute. Output is bit-for-bit identical to the
+// unsharded nn.Plan.Execute (and hence to Sequential.Infer).
+func (p *ShardedPlan) Execute(x *tensor.Matrix) (*tensor.Matrix, error) {
+	// The cleanup finalizer closes e.quit; without this the GC may deem p
+	// dead the moment e is loaded (a caller's last use of p can be this
+	// very call) and stop the workers mid-execution, deadlocking the
+	// barrier below.
+	defer runtime.KeepAlive(p)
+	e := p.e
+	if x.Cols != e.in {
+		return nil, fmt.Errorf("%w: got %d columns, plan expects %d", nn.ErrPlanWidth, x.Cols, e.in)
+	}
+	if x.Rows < 1 || x.Rows > e.maxBatch {
+		return nil, fmt.Errorf("%w: got %d rows, plan accepts 1..%d", nn.ErrPlanBatch, x.Rows, e.maxBatch)
+	}
+	cur := x
+	useA := true
+	for i := range e.steps {
+		st := &e.steps[i]
+		act, buf := &e.actB, e.bufB
+		if useA {
+			act, buf = &e.actA, e.bufA
+		}
+		act.Rows, act.Cols = x.Rows, st.cols
+		act.Data = buf[:x.Rows*st.cols]
+		e.curDst, e.curX, e.stepIdx = act, cur, i
+		for _, c := range e.start {
+			c <- struct{}{}
+		}
+		e.runShard(0, st)
+		for range e.start {
+			<-e.done
+		}
+		cur = act
+		useA = !useA
+	}
+	return cur, nil
+}
+
+// Close stops the worker goroutines. A closed plan must not be executed
+// again; plans that are simply dropped are cleaned up by a finalizer, so
+// calling Close is optional.
+func (p *ShardedPlan) Close() {
+	runtime.SetFinalizer(p, nil)
+	p.e.stop()
+}
+
+func (e *engine) stop() {
+	select {
+	case <-e.quit:
+	default:
+		close(e.quit)
+	}
+}
+
+func (e *engine) runShard(k int, st *step) {
+	if f := st.run[k]; f != nil {
+		w := e.ws[k]
+		w.Reset()
+		f(e.curDst, e.curX, w)
+	}
+}
+
+func (e *engine) workerLoop(k int, start <-chan struct{}) {
+	for {
+		select {
+		case <-e.quit:
+			return
+		case <-start:
+			e.runShard(k, &e.steps[e.stepIdx])
+			e.done <- struct{}{}
+		}
+	}
+}
+
+// splitPoints returns the S+1 column boundaries slicing width columns into
+// S near-equal contiguous shares: shard k owns [pts[k], pts[k+1]).
+func splitPoints(width, shards int) []int {
+	pts := make([]int, shards+1)
+	for k := 0; k <= shards; k++ {
+		pts[k] = k * width / shards
+	}
+	return pts
+}

@@ -1,0 +1,231 @@
+package shard
+
+import (
+	"errors"
+	"math/rand"
+	"testing"
+
+	"repro/internal/nn"
+	"repro/internal/tensor"
+)
+
+// n is wide enough that pixelfly's 64-wide blocks still split at 4 shards.
+const testN, testClasses, testMaxBatch = 256, 10, 16
+
+func buildPlan(t testing.TB, method nn.Method, seed int64) (*nn.Sequential, *nn.Plan) {
+	t.Helper()
+	net := nn.BuildSHL(method, testN, testClasses, rand.New(rand.NewSource(seed)))
+	pl, err := net.CompilePlan(testMaxBatch)
+	if err != nil {
+		t.Fatalf("CompilePlan: %v", err)
+	}
+	return net, pl
+}
+
+// TestShardedMatchesPlanAllMethods asserts the tentpole contract: for all
+// six operator families, at 1, 2 and 4 shards, under whichever strategy
+// the planner picks AND under pipeline explicitly, ShardedPlan.Execute is
+// bit-for-bit equal to the unsharded nn.Plan.Execute.
+func TestShardedMatchesPlanAllMethods(t *testing.T) {
+	topo := DefaultTopology(4)
+	for _, method := range nn.AllMethods {
+		method := method
+		t.Run(method.String(), func(t *testing.T) {
+			_, pl := buildPlan(t, method, 7)
+			rng := rand.New(rand.NewSource(99))
+			for _, shards := range []int{1, 2, 4} {
+				strategies := []Strategy{Pipeline}
+				if Splittable(pl, shards) == nil {
+					strategies = append(strategies, TensorParallel)
+				}
+				for _, strat := range strategies {
+					sp, err := CompileWith(pl, topo, shards, strat)
+					if err != nil {
+						t.Fatalf("CompileWith(%d, %v): %v", shards, strat, err)
+					}
+					for _, batch := range []int{1, 3, testMaxBatch} {
+						x := tensor.New(batch, testN)
+						x.FillRandom(rng, 1)
+						want, err := pl.Execute(x)
+						if err != nil {
+							t.Fatal(err)
+						}
+						got, err := sp.Execute(x)
+						if err != nil {
+							t.Fatalf("shards=%d %v batch=%d: %v", shards, strat, batch, err)
+						}
+						if d := tensor.MaxAbsDiff(want, got); d != 0 {
+							t.Fatalf("shards=%d %v batch=%d: differs from plan by %g (want bit-for-bit)",
+								shards, strat, batch, d)
+						}
+					}
+					sp.Close()
+				}
+			}
+		})
+	}
+}
+
+// TestShardedMatchesPlanCompressed covers the post-hoc compressed layer
+// mix (FactorizedDense / structured swaps) the registry also serves.
+func TestShardedMatchesPlanCompressed(t *testing.T) {
+	net := nn.BuildSHL(nn.Baseline, 64, 10, rand.New(rand.NewSource(3)))
+	compressed, _, err := net.Compress(nn.CompressOptions{Tolerance: 0.7, Seed: 5})
+	if err != nil {
+		t.Fatalf("Compress: %v", err)
+	}
+	pl, err := compressed.CompilePlan(8)
+	if err != nil {
+		t.Fatalf("CompilePlan: %v", err)
+	}
+	topo := DefaultTopology(4)
+	for _, shards := range []int{2, 4} {
+		sp, err := Compile(pl, topo, shards)
+		if err != nil {
+			t.Fatalf("Compile(%d): %v", shards, err)
+		}
+		x := tensor.New(5, 64)
+		x.FillRandom(rand.New(rand.NewSource(11)), 1)
+		want, _ := pl.Execute(x)
+		got, err := sp.Execute(x)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if d := tensor.MaxAbsDiff(want, got); d != 0 {
+			t.Fatalf("shards=%d: compressed sharded output differs by %g", shards, d)
+		}
+		sp.Close()
+	}
+}
+
+// TestShardedRepeatedExecuteIsStable interleaves batch sizes over one
+// sharded plan to verify arena reuse never leaks state across executions
+// or shards.
+func TestShardedRepeatedExecuteIsStable(t *testing.T) {
+	_, pl := buildPlan(t, nn.Butterfly, 21)
+	sp, err := CompileWith(pl, DefaultTopology(4), 4, TensorParallel)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sp.Close()
+	rng := rand.New(rand.NewSource(22))
+	for iter := 0; iter < 24; iter++ {
+		batch := 1 + iter%testMaxBatch
+		x := tensor.New(batch, testN)
+		x.FillRandom(rng, 1)
+		want, _ := pl.Execute(x)
+		got, err := sp.Execute(x)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if d := tensor.MaxAbsDiff(want, got); d != 0 {
+			t.Fatalf("iter %d batch %d: diff %g", iter, batch, d)
+		}
+	}
+}
+
+// TestShardedErrors covers the input and compile contracts.
+func TestShardedErrors(t *testing.T) {
+	_, pl := buildPlan(t, nn.Butterfly, 1)
+	topo := DefaultTopology(4)
+	if _, err := Compile(pl, topo, 3); err == nil {
+		t.Error("non-power-of-two shard count should fail")
+	}
+	if _, err := Compile(pl, topo, 8); err == nil {
+		t.Error("shards beyond the topology should fail")
+	}
+	if _, err := Compile(pl, topo, 0); err == nil {
+		t.Error("zero shards should fail")
+	}
+	sp, err := Compile(pl, topo, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sp.Close()
+	if _, err := sp.Execute(tensor.New(testMaxBatch+1, testN)); !errors.Is(err, nn.ErrPlanBatch) {
+		t.Errorf("oversized batch: got %v, want ErrPlanBatch", err)
+	}
+	if _, err := sp.Execute(tensor.New(2, testN/2)); !errors.Is(err, nn.ErrPlanWidth) {
+		t.Errorf("wrong width: got %v, want ErrPlanWidth", err)
+	}
+	// Fastfood cannot tensor-parallel split; forcing it must fail cleanly.
+	_, fp := buildPlan(t, nn.Fastfood, 2)
+	if _, err := CompileWith(fp, topo, 2, TensorParallel); err == nil {
+		t.Error("forcing tensor-parallel on fastfood should fail")
+	}
+}
+
+// TestShardedZeroAllocSteadyState asserts the pooled-serving contract:
+// after warm-up, Execute allocates nothing, at any shard count, including
+// the butterfly exchange stages and the goroutine-per-IPU dispatch.
+func TestShardedZeroAllocSteadyState(t *testing.T) {
+	for _, method := range []nn.Method{nn.Baseline, nn.Butterfly, nn.Pixelfly} {
+		method := method
+		t.Run(method.String(), func(t *testing.T) {
+			_, pl := buildPlan(t, method, 17)
+			for _, shards := range []int{2, 4} {
+				sp, err := CompileWith(pl, DefaultTopology(4), shards, TensorParallel)
+				if err != nil {
+					t.Fatal(err)
+				}
+				x := tensor.New(testMaxBatch, testN)
+				x.FillRandom(rand.New(rand.NewSource(18)), 1)
+				if _, err := sp.Execute(x); err != nil {
+					t.Fatal(err)
+				}
+				avg := testing.AllocsPerRun(20, func() { sp.Execute(x) })
+				if avg != 0 {
+					t.Errorf("shards=%d: Execute allocates %.1f objects per run, want 0", shards, avg)
+				}
+				sp.Close()
+			}
+		})
+	}
+}
+
+// TestPipelineOwnersContiguous checks the stage assignment invariants.
+func TestPipelineOwnersContiguous(t *testing.T) {
+	_, pl := buildPlan(t, nn.Baseline, 9)
+	for _, shards := range []int{1, 2, 4} {
+		owners := pipelineOwners(pl, shards)
+		if len(owners) != pl.NumSteps() {
+			t.Fatalf("shards=%d: %d owners for %d steps", shards, len(owners), pl.NumSteps())
+		}
+		prev := 0
+		for i, o := range owners {
+			if o < prev || o > prev+1 || o >= shards {
+				t.Fatalf("shards=%d: owner sequence %v not monotone-contiguous at %d", shards, owners, i)
+			}
+			prev = o
+		}
+	}
+}
+
+// BenchmarkShardedPredict measures steady-state sharded execution of a
+// full SHL batch — the acceptance benchmark: 0 allocs/op.
+func BenchmarkShardedPredict(b *testing.B) {
+	for _, method := range []nn.Method{nn.Baseline, nn.Butterfly} {
+		for _, shards := range []int{1, 2, 4} {
+			b.Run(method.String()+"/shards="+string(rune('0'+shards)), func(b *testing.B) {
+				_, pl := buildPlan(b, method, 40)
+				sp, err := Compile(pl, DefaultTopology(4), shards)
+				if err != nil {
+					b.Fatal(err)
+				}
+				defer sp.Close()
+				x := tensor.New(testMaxBatch, testN)
+				x.FillRandom(rand.New(rand.NewSource(41)), 1)
+				if _, err := sp.Execute(x); err != nil {
+					b.Fatal(err)
+				}
+				b.ReportAllocs()
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					if _, err := sp.Execute(x); err != nil {
+						b.Fatal(err)
+					}
+				}
+			})
+		}
+	}
+}

@@ -1,0 +1,345 @@
+package shard
+
+import (
+	"fmt"
+
+	"repro/internal/baselines"
+	"repro/internal/butterfly"
+	"repro/internal/nn"
+	"repro/internal/pixelfly"
+	"repro/internal/tensor"
+)
+
+// lowerTensorParallel lowers every step of the plan into per-shard
+// column-slice kernels. It fails (sending the planner to pipeline) as soon
+// as one layer is not splittable.
+func lowerTensorParallel(pl *nn.Plan, shards int) ([]step, error) {
+	if shards == 1 {
+		// A 1-shard split is the identity placement; reuse the pipeline
+		// lowering, which runs every step unchanged on IPU 0.
+		return lowerPipeline(pl, 1)
+	}
+	var steps []step
+	inW := pl.InputWidth()
+	for i := 0; i < pl.NumSteps(); i++ {
+		l := pl.StepLayer(i)
+		outW := pl.StepCols(i)
+		if err := canSplit(l, outW, shards); err != nil {
+			return nil, fmt.Errorf("shard: step %d (%s): %w", i, pl.Steps()[i], err)
+		}
+		steps = append(steps, splitStep(l, inW, outW, shards)...)
+		inW = outW
+	}
+	return steps, nil
+}
+
+// canSplit reports whether a layer admits a tensor-parallel column split
+// at the given shard count. The checks here are the single source of truth
+// the cost planner consults, so the estimate can never disagree with the
+// lowering.
+func canSplit(l nn.Layer, outW, shards int) error {
+	if shards == 1 {
+		return nil // a 1-shard "split" is the identity lowering
+	}
+	switch t := l.(type) {
+	case *nn.Dense:
+		if t.Out < shards {
+			return fmt.Errorf("dense output width %d < %d shards", t.Out, shards)
+		}
+		return nil
+	case *nn.ReLU:
+		return nil
+	case *nn.FactorizedDense:
+		if t.Out < shards {
+			return fmt.Errorf("factorized output width %d < %d shards", t.Out, shards)
+		}
+		return nil
+	case *nn.StructuredLinear:
+		switch tr := t.T.(type) {
+		case *butterfly.Butterfly:
+			if tr.N%shards != 0 {
+				return fmt.Errorf("butterfly width %d not divisible by %d shards", tr.N, shards)
+			}
+			return nil
+		case *baselines.LowRank:
+			if tr.N < shards {
+				return fmt.Errorf("low-rank width %d < %d shards", tr.N, shards)
+			}
+			return nil
+		case *pixelfly.Pixelfly:
+			if tr.Cfg.N%(shards*tr.Cfg.BlockSize) != 0 {
+				return fmt.Errorf("pixelfly slice width %d not block-aligned (block %d)",
+					tr.Cfg.N/shards, tr.Cfg.BlockSize)
+			}
+			return nil
+		default:
+			// Fastfood and circulant mix every input feature into every
+			// output (Hadamard sweeps / FFT), so a column slice of the
+			// output still needs the full O(N log N) pass — no memory or
+			// compute is saved by splitting them.
+			return fmt.Errorf("transform %T is not column-splittable", t.T)
+		}
+	default:
+		return fmt.Errorf("layer %T is not column-splittable", l)
+	}
+}
+
+// splitStep lowers one layer to its tensor-parallel micro-steps. canSplit
+// must have accepted the layer first.
+func splitStep(l nn.Layer, inW, outW, shards int) []step {
+	pts := splitPoints(outW, shards)
+	switch t := l.(type) {
+	case *nn.Dense:
+		return []step{denseSplit(t.Name(), t.W, t.Bias, outW, pts)}
+	case *nn.FactorizedDense:
+		return []step{factorizedSplit(t, pts)}
+	case *nn.ReLU:
+		return []step{reluSplit(outW, pts)}
+	case *nn.StructuredLinear:
+		switch tr := t.T.(type) {
+		case *butterfly.Butterfly:
+			return butterflySplit(t.Name(), tr, t.Bias, pts)
+		case *baselines.LowRank:
+			return []step{lowRankSplit(t.Name(), tr, t.Bias, pts)}
+		case *pixelfly.Pixelfly:
+			return []step{pixelflySplit(t.Name(), tr, t.Bias, pts)}
+		}
+	}
+	panic(fmt.Sprintf("shard: splitStep on unsplittable layer %T", l))
+}
+
+// sliceCols copies columns [lo,hi) of w into a fresh (rows × hi-lo) matrix
+// — the weight slice one shard owns.
+func sliceCols(w *tensor.Matrix, lo, hi int) *tensor.Matrix {
+	out := tensor.New(w.Rows, hi-lo)
+	tensor.CopyCols(out, 0, w, lo, hi-lo)
+	return out
+}
+
+// sliceRowsT copies rows [lo,hi) of u into a fresh transposed
+// (u.Cols × hi-lo) matrix: out[p][j] = u[lo+j][p]. This derives one
+// shard's slice of Uᵀ from an exported n×r factor.
+func sliceRowsT(u *tensor.Matrix, lo, hi int) *tensor.Matrix {
+	out := tensor.New(u.Cols, hi-lo)
+	for j := lo; j < hi; j++ {
+		for p := 0; p < u.Cols; p++ {
+			out.Set(p, j-lo, u.At(j, p))
+		}
+	}
+	return out
+}
+
+// denseSplit: shard k computes dst[:, lo:hi) = x·W[:, lo:hi) + bias[lo:hi)
+// from its own column slice of the weight — the Megatron-style split of a
+// linear layer, each IPU holding 1/S of the N² matrix.
+func denseSplit(name string, w *tensor.Matrix, bias []float32, outW int, pts []int) step {
+	shards := len(pts) - 1
+	st := step{name: name + "/tp", cols: outW, run: make([]func(dst, x *tensor.Matrix, ws *tensor.Workspace), shards)}
+	for k := 0; k < shards; k++ {
+		lo, hi := pts[k], pts[k+1]
+		if lo == hi {
+			continue
+		}
+		wk := sliceCols(w, lo, hi)
+		bk := append([]float32(nil), bias[lo:hi]...)
+		st.run[k] = func(dst, x *tensor.Matrix, ws *tensor.Workspace) {
+			tensor.MatMulColsInto(dst, lo, x, wk)
+			tensor.AddRowVectorCols(dst, lo, bk)
+		}
+	}
+	return st
+}
+
+// factorizedSplit: the rank-r bottleneck x·A is replicated on every shard
+// (it is tiny — r ≪ out), the wide B factor is column-sliced.
+func factorizedSplit(t *nn.FactorizedDense, pts []int) step {
+	shards := len(pts) - 1
+	st := step{name: t.Name() + "/tp", cols: t.Out, run: make([]func(dst, x *tensor.Matrix, ws *tensor.Workspace), shards)}
+	for k := 0; k < shards; k++ {
+		lo, hi := pts[k], pts[k+1]
+		if lo == hi {
+			continue
+		}
+		bk := sliceCols(t.B, lo, hi)
+		biask := append([]float32(nil), t.Bias[lo:hi]...)
+		st.run[k] = func(dst, x *tensor.Matrix, ws *tensor.Workspace) {
+			xa := ws.Take(x.Rows, t.Rank)
+			tensor.MatMulInto(xa, x, t.A)
+			tensor.MatMulColsInto(dst, lo, xa, bk)
+			tensor.AddRowVectorCols(dst, lo, biask)
+		}
+	}
+	return st
+}
+
+// reluSplit: elementwise, each shard clamps its own slice.
+func reluSplit(width int, pts []int) step {
+	shards := len(pts) - 1
+	st := step{name: "relu/tp", cols: width, run: make([]func(dst, x *tensor.Matrix, ws *tensor.Workspace), shards)}
+	for k := 0; k < shards; k++ {
+		lo, hi := pts[k], pts[k+1]
+		if lo == hi {
+			continue
+		}
+		st.run[k] = func(dst, x *tensor.Matrix, ws *tensor.Workspace) {
+			for r := 0; r < x.Rows; r++ {
+				src := x.Row(r)[lo:hi]
+				out := dst.Row(r)[lo:hi]
+				for i, v := range src {
+					if v > 0 {
+						out[i] = v
+					} else {
+						out[i] = 0
+					}
+				}
+			}
+		}
+	}
+	return st
+}
+
+// lowRankSplit: xv = x·V is replicated (rank columns only); the n-wide
+// back-projection through Uᵀ is column-sliced per shard.
+func lowRankSplit(name string, t *baselines.LowRank, bias []float32, pts []int) step {
+	shards := len(pts) - 1
+	st := step{name: name + "/tp", cols: t.N, run: make([]func(dst, x *tensor.Matrix, ws *tensor.Workspace), shards)}
+	for k := 0; k < shards; k++ {
+		lo, hi := pts[k], pts[k+1]
+		if lo == hi {
+			continue
+		}
+		utk := sliceRowsT(t.U, lo, hi)
+		bk := append([]float32(nil), bias[lo:hi]...)
+		st.run[k] = func(dst, x *tensor.Matrix, ws *tensor.Workspace) {
+			xv := ws.Take(x.Rows, t.Rank)
+			tensor.MatMulInto(xv, x, t.V)
+			tensor.MatMulColsInto(dst, lo, xv, utk)
+			tensor.AddRowVectorCols(dst, lo, bk)
+		}
+	}
+	return st
+}
+
+// pixelflySplit: shard k owns the block rows covering its output slice of
+// the BSR weight (1/S of the blocks, up to support skew) plus its slice of
+// the low-rank U factor; V and the input transpose are replicated.
+func pixelflySplit(name string, t *pixelfly.Pixelfly, bias []float32, pts []int) step {
+	shards := len(pts) - 1
+	n, bs := t.Cfg.N, t.Cfg.BlockSize
+	st := step{name: name + "/tp", cols: n, run: make([]func(dst, x *tensor.Matrix, ws *tensor.Workspace), shards)}
+	for k := 0; k < shards; k++ {
+		lo, hi := pts[k], pts[k+1]
+		if lo == hi {
+			continue
+		}
+		br0, br1 := lo/bs, hi/bs
+		var utk *tensor.Matrix
+		if t.Cfg.LowRank > 0 {
+			utk = sliceRowsT(t.U, lo, hi)
+		}
+		bk := append([]float32(nil), bias[lo:hi]...)
+		st.run[k] = func(dst, x *tensor.Matrix, ws *tensor.Workspace) {
+			xt := ws.Take(n, x.Rows)
+			tensor.TransposeInto(xt, x)
+			ytk := ws.Take(hi-lo, x.Rows)
+			t.W.MulDenseRowsInto(ytk, xt, br0, br1)
+			tensor.TransposeIntoCols(dst, lo, ytk)
+			if utk != nil {
+				xv := ws.Take(x.Rows, t.Cfg.LowRank)
+				tensor.MatMulInto(xv, x, t.V)
+				lrk := ws.Take(x.Rows, hi-lo)
+				tensor.MatMulInto(lrk, xv, utk)
+				tensor.AddInPlaceCols(dst, lo, lrk)
+			}
+			tensor.AddRowVectorCols(dst, lo, bk)
+		}
+	}
+	return st
+}
+
+// butterflySplit lowers one butterfly layer into 1+log2(N) micro-steps:
+// the input permutation, then one step per factor stage. Stages whose
+// pairing stride stays inside a slice (the first log2(N/S)) read only the
+// shard's own columns; the top log2(S) "global" stages read the partner
+// slice another shard wrote the step before — which on a real pod is one
+// pairwise IPU-Link exchange per stage, and on the host is just the shared
+// arena plus the inter-step barrier. The layer bias folds into the final
+// stage's kernel.
+func butterflySplit(name string, b *butterfly.Butterfly, bias []float32, pts []int) []step {
+	shards := len(pts) - 1
+	mk := func(tag string) step {
+		return step{name: name + tag, cols: b.N, run: make([]func(dst, x *tensor.Matrix, ws *tensor.Workspace), shards)}
+	}
+	perm := mk("/tp:perm")
+	for k := 0; k < shards; k++ {
+		lo, hi := pts[k], pts[k+1]
+		if lo == hi {
+			continue
+		}
+		perm.run[k] = func(dst, x *tensor.Matrix, ws *tensor.Workspace) {
+			for r := 0; r < x.Rows; r++ {
+				src := x.Row(r)
+				out := dst.Row(r)
+				if b.Perm == nil {
+					copy(out[lo:hi], src[lo:hi])
+					continue
+				}
+				for i := lo; i < hi; i++ {
+					out[i] = src[b.Perm[i]]
+				}
+			}
+		}
+	}
+	steps := []step{perm}
+	sliceW := b.N / shards
+	for si, f := range b.Factors {
+		f := f
+		last := si == len(b.Factors)-1
+		tag := fmt.Sprintf("/tp:stage%d", f.Stage)
+		if 1<<f.Stage > sliceW && shards > 1 {
+			tag += "+exchange"
+		}
+		st := mk(tag)
+		for k := 0; k < shards; k++ {
+			lo, hi := pts[k], pts[k+1]
+			if lo == hi {
+				continue
+			}
+			var bk []float32
+			if last {
+				bk = append([]float32(nil), bias[lo:hi]...)
+			}
+			st.run[k] = func(dst, x *tensor.Matrix, ws *tensor.Workspace) {
+				applyFactorWindow(f, x, dst, lo, hi)
+				if bk != nil {
+					tensor.AddRowVectorCols(dst, lo, bk)
+				}
+			}
+		}
+		steps = append(steps, st)
+	}
+	return steps
+}
+
+// applyFactorWindow writes output indices [lo,hi) of one butterfly factor
+// application, reading whichever source indices the pairs need (possibly
+// outside the window). Each element is produced by exactly the expression
+// butterfly.applyFactorRows uses, so a windowed sweep assembled across
+// shards is bit-for-bit the full sweep.
+func applyFactorWindow(f *butterfly.Factor, in, out *tensor.Matrix, lo, hi int) {
+	h := 1 << (f.Stage - 1)
+	for r := 0; r < in.Rows; r++ {
+		src := in.Row(r)
+		dst := out.Row(r)
+		for i := lo; i < hi; i++ {
+			if i&h == 0 {
+				p := (i>>uint(f.Stage))*h + i&(h-1)
+				dst[i] = f.A[p]*src[i] + f.B[p]*src[i+h]
+			} else {
+				top := i - h
+				p := (top>>uint(f.Stage))*h + top&(h-1)
+				dst[i] = f.C[p]*src[top] + f.D[p]*src[i]
+			}
+		}
+	}
+}

@@ -150,6 +150,45 @@ func (b *BSR) MulDenseInto(out, x *tensor.Matrix) {
 	}
 }
 
+// MulDenseRowsInto computes the block-row window [br0, br1) of b·x into
+// out (shape (br1-br0)·BlockSize × x.Cols, overwritten). The window's rows
+// accumulate the same blocks in the same order as MulDenseInto, so the
+// result is bit-for-bit the corresponding row slice of the full product —
+// the kernel one tensor-parallel shard of a pixelfly layer executes.
+// out must not alias x.
+func (b *BSR) MulDenseRowsInto(out, x *tensor.Matrix, br0, br1 int) {
+	if b.Cols != x.Rows {
+		panic(fmt.Sprintf("sparse: BSR MulDenseRows shape mismatch %dx%d x %dx%d", b.Rows, b.Cols, x.Rows, x.Cols))
+	}
+	if br0 < 0 || br1 < br0 || br1 > b.BlockRows {
+		panic(fmt.Sprintf("sparse: BSR block-row window [%d,%d) outside %d block rows", br0, br1, b.BlockRows))
+	}
+	bs, k := b.BlockSize, x.Cols
+	if out.Rows != (br1-br0)*bs || out.Cols != k {
+		panic(fmt.Sprintf("sparse: BSR MulDenseRowsInto dst %dx%d, want %dx%d", out.Rows, out.Cols, (br1-br0)*bs, k))
+	}
+	out.Zero()
+	for bi := br0; bi < br1; bi++ {
+		for p := b.RowPtr[bi]; p < b.RowPtr[bi+1]; p++ {
+			bj := int(b.ColIdx[p])
+			blk := b.Block(int(p))
+			for r := 0; r < bs; r++ {
+				orow := out.Row((bi-br0)*bs + r)
+				for c := 0; c < bs; c++ {
+					v := blk[r*bs+c]
+					if v == 0 {
+						continue
+					}
+					xrow := x.Data[(bj*bs+c)*k : (bj*bs+c+1)*k]
+					for j := 0; j < k; j++ {
+						orow[j] += v * xrow[j]
+					}
+				}
+			}
+		}
+	}
+}
+
 // TransposeMulDense computes bᵀ·x: (Cols×Rows)·(Rows×K); used in backward
 // passes of block-sparse layers.
 func (b *BSR) TransposeMulDense(x *tensor.Matrix) *tensor.Matrix {

@@ -236,3 +236,53 @@ func TestBSRFlops(t *testing.T) {
 		t.Fatalf("Flops = %v, want %v", got, 2*2*16*3)
 	}
 }
+
+func TestBSRMulDenseRowsIntoMatchesFull(t *testing.T) {
+	rng := rand.New(rand.NewSource(13))
+	pattern := [][2]int{{0, 0}, {0, 2}, {1, 1}, {2, 0}, {2, 3}, {3, 3}}
+	b, err := NewBSR(16, 16, 4, pattern)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range b.Blocks {
+		b.Blocks[i] = rng.Float32()*2 - 1
+	}
+	x := tensor.New(16, 5)
+	x.FillRandom(rng, 1)
+	full := b.MulDense(x)
+
+	for _, window := range [][2]int{{0, 4}, {0, 2}, {2, 4}, {1, 3}} {
+		br0, br1 := window[0], window[1]
+		out := tensor.New((br1-br0)*b.BlockSize, x.Cols)
+		b.MulDenseRowsInto(out, x, br0, br1)
+		for r := 0; r < out.Rows; r++ {
+			for c := 0; c < out.Cols; c++ {
+				if out.At(r, c) != full.At(br0*b.BlockSize+r, c) {
+					t.Fatalf("window [%d,%d): (%d,%d) = %v, want %v (not bit-for-bit)",
+						br0, br1, r, c, out.At(r, c), full.At(br0*b.BlockSize+r, c))
+				}
+			}
+		}
+	}
+}
+
+func TestBSRMulDenseRowsIntoPanics(t *testing.T) {
+	b, err := NewBSR(8, 8, 4, [][2]int{{0, 0}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	x := tensor.New(8, 2)
+	for name, fn := range map[string]func(){
+		"bad window":   func() { b.MulDenseRowsInto(tensor.New(4, 2), x, 1, 3) },
+		"bad dst rows": func() { b.MulDenseRowsInto(tensor.New(8, 2), x, 0, 1) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatalf("%s: expected panic", name)
+				}
+			}()
+			fn()
+		}()
+	}
+}

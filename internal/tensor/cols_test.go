@@ -1,0 +1,141 @@
+package tensor
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// TestMatMulColsInto checks that assembling a product from per-slice
+// column-window multiplies is bit-for-bit identical to the full-width
+// kernels — the equality the tensor-parallel sharded plans rely on.
+func TestMatMulColsInto(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	const rows, n, cols = 5, 16, 12
+	a := New(rows, n)
+	b := New(n, cols)
+	a.FillRandom(rng, 1)
+	b.FillRandom(rng, 1)
+	want := MatMul(a, b)
+
+	for _, shards := range []int{1, 2, 3, 4} {
+		got := New(rows, cols)
+		for i := range got.Data {
+			got.Data[i] = 99 // verify windows are fully overwritten
+		}
+		per := (cols + shards - 1) / shards
+		for s := 0; s < shards; s++ {
+			lo := s * per
+			hi := min(lo+per, cols)
+			if lo >= hi {
+				continue
+			}
+			// Column slice of b, copied the way a shard holds its weights.
+			bs := New(n, hi-lo)
+			for r := 0; r < n; r++ {
+				copy(bs.Row(r), b.Row(r)[lo:hi])
+			}
+			MatMulColsInto(got, lo, a, bs)
+		}
+		for i := range got.Data {
+			if got.Data[i] != want.Data[i] {
+				t.Fatalf("shards=%d: element %d = %v, want %v (not bit-for-bit)",
+					shards, i, got.Data[i], want.Data[i])
+			}
+		}
+	}
+}
+
+func TestAddRowVectorCols(t *testing.T) {
+	rng := rand.New(rand.NewSource(8))
+	const rows, cols = 4, 10
+	m := New(rows, cols)
+	m.FillRandom(rng, 1)
+	v := make([]float32, cols)
+	for i := range v {
+		v[i] = rng.Float32()
+	}
+	want := m.Clone()
+	AddRowVector(want, v)
+
+	got := m.Clone()
+	AddRowVectorCols(got, 0, v[:6])
+	AddRowVectorCols(got, 6, v[6:])
+	for i := range got.Data {
+		if got.Data[i] != want.Data[i] {
+			t.Fatalf("element %d = %v, want %v", i, got.Data[i], want.Data[i])
+		}
+	}
+}
+
+func TestTransposeIntoCols(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	const n, batch = 12, 5
+	src := New(n, batch) // feature-major, like a BSR product
+	src.FillRandom(rng, 1)
+	want := src.Transpose() // batch×n
+
+	got := New(batch, n)
+	// Transpose row windows [0,5) and [5,12) of src into column windows.
+	top := New(5, batch)
+	copy(top.Data, src.Data[:5*batch])
+	bot := New(n-5, batch)
+	copy(bot.Data, src.Data[5*batch:])
+	TransposeIntoCols(got, 0, top)
+	TransposeIntoCols(got, 5, bot)
+	for i := range got.Data {
+		if got.Data[i] != want.Data[i] {
+			t.Fatalf("element %d = %v, want %v", i, got.Data[i], want.Data[i])
+		}
+	}
+}
+
+func TestAddInPlaceColsAndCopyCols(t *testing.T) {
+	rng := rand.New(rand.NewSource(10))
+	const rows, cols = 3, 8
+	m := New(rows, cols)
+	m.FillRandom(rng, 1)
+	addend := New(rows, 3)
+	addend.FillRandom(rng, 1)
+
+	want := m.Clone()
+	for i := 0; i < rows; i++ {
+		for j := 0; j < 3; j++ {
+			want.Data[i*cols+2+j] += addend.At(i, j)
+		}
+	}
+	got := m.Clone()
+	AddInPlaceCols(got, 2, addend)
+	for i := range got.Data {
+		if got.Data[i] != want.Data[i] {
+			t.Fatalf("AddInPlaceCols element %d = %v, want %v", i, got.Data[i], want.Data[i])
+		}
+	}
+
+	dst := New(rows, cols)
+	CopyCols(dst, 1, m, 4, 3)
+	for i := 0; i < rows; i++ {
+		for j := 0; j < 3; j++ {
+			if dst.At(i, 1+j) != m.At(i, 4+j) {
+				t.Fatalf("CopyCols (%d,%d) = %v, want %v", i, j, dst.At(i, 1+j), m.At(i, 4+j))
+			}
+		}
+	}
+}
+
+func TestColWindowPanics(t *testing.T) {
+	m := New(2, 4)
+	for name, fn := range map[string]func(){
+		"matmul out of range": func() { MatMulColsInto(m, 3, New(2, 2), New(2, 2)) },
+		"bias out of range":   func() { AddRowVectorCols(m, 3, []float32{1, 1}) },
+		"negative window":     func() { AddRowVectorCols(m, -1, []float32{1}) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatalf("%s: expected panic", name)
+				}
+			}()
+			fn()
+		}()
+	}
+}

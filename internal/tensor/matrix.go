@@ -361,6 +361,105 @@ func matMulRows(a, b, out *Matrix, lo, hi int) {
 	}
 }
 
+// checkColWindow validates that columns [lo, lo+w) lie inside dst.
+func checkColWindow(op string, dst *Matrix, lo, w int) {
+	if lo < 0 || w < 0 || lo+w > dst.Cols {
+		panic(fmt.Sprintf("tensor: %s column window [%d,%d) outside %d cols", op, lo, lo+w, dst.Cols))
+	}
+}
+
+// MatMulColsInto computes a·b into the column window [dstLo, dstLo+b.Cols)
+// of dst (dst.Rows == a.Rows, dst may be wider than the product). Every
+// element of the window is produced by the same p-ordered accumulation as
+// MatMulInto over a full-width b, so writing a column slice of the weight
+// through this kernel is bit-for-bit equal to slicing the full product —
+// the contract the tensor-parallel sharded plans are built on. Columns
+// outside the window are untouched. dst must not alias a or b.
+func MatMulColsInto(dst *Matrix, dstLo int, a, b *Matrix) {
+	checkMulShapes(a, b)
+	if dst.Rows != a.Rows {
+		panic(fmt.Sprintf("tensor: MatMulColsInto dst rows %d != %d", dst.Rows, a.Rows))
+	}
+	checkColWindow("MatMulColsInto", dst, dstLo, b.Cols)
+	n, k, w := a.Cols, dst.Cols, b.Cols
+	for i := 0; i < a.Rows; i++ {
+		arow := a.Row(i)
+		orow := dst.Data[i*k+dstLo : i*k+dstLo+w]
+		for j := range orow {
+			orow[j] = 0
+		}
+		for p := 0; p < n; p++ {
+			av := arow[p]
+			if av == 0 {
+				continue
+			}
+			brow := b.Data[p*w : (p+1)*w]
+			for j := 0; j < w; j++ {
+				orow[j] += av * brow[j]
+			}
+		}
+	}
+}
+
+// AddRowVectorCols adds v to every row of m at columns [lo, lo+len(v)) in
+// place — the bias add of one shard's column slice.
+func AddRowVectorCols(m *Matrix, lo int, v []float32) {
+	checkColWindow("AddRowVectorCols", m, lo, len(v))
+	for i := 0; i < m.Rows; i++ {
+		row := m.Data[i*m.Cols+lo : i*m.Cols+lo+len(v)]
+		for j := range row {
+			row[j] += v[j]
+		}
+	}
+}
+
+// TransposeIntoCols writes mᵀ into the column window [dstLo, dstLo+m.Rows)
+// of dst (dst.Rows == m.Cols). The sharded pixelfly step uses it to land
+// its slice of a feature-major product back into the batch-major
+// activation arena. dst must not alias m.
+func TransposeIntoCols(dst *Matrix, dstLo int, m *Matrix) {
+	if dst.Rows != m.Cols {
+		panic(fmt.Sprintf("tensor: TransposeIntoCols dst rows %d != src cols %d", dst.Rows, m.Cols))
+	}
+	checkColWindow("TransposeIntoCols", dst, dstLo, m.Rows)
+	for i := 0; i < m.Rows; i++ {
+		base := i * m.Cols
+		for j := 0; j < m.Cols; j++ {
+			dst.Data[j*dst.Cols+dstLo+i] = m.Data[base+j]
+		}
+	}
+}
+
+// AddInPlaceCols accumulates src (a.Rows×src.Cols) into the column window
+// [lo, lo+src.Cols) of dst.
+func AddInPlaceCols(dst *Matrix, lo int, src *Matrix) {
+	if dst.Rows != src.Rows {
+		panic(fmt.Sprintf("tensor: AddInPlaceCols rows %d != %d", dst.Rows, src.Rows))
+	}
+	checkColWindow("AddInPlaceCols", dst, lo, src.Cols)
+	for i := 0; i < src.Rows; i++ {
+		row := dst.Data[i*dst.Cols+lo : i*dst.Cols+lo+src.Cols]
+		s := src.Row(i)
+		for j := range row {
+			row[j] += s[j]
+		}
+	}
+}
+
+// CopyCols copies columns [srcLo, srcLo+w) of src into columns
+// [dstLo, dstLo+w) of dst (same row count).
+func CopyCols(dst *Matrix, dstLo int, src *Matrix, srcLo, w int) {
+	if dst.Rows != src.Rows {
+		panic(fmt.Sprintf("tensor: CopyCols rows %d != %d", dst.Rows, src.Rows))
+	}
+	checkColWindow("CopyCols dst", dst, dstLo, w)
+	checkColWindow("CopyCols src", src, srcLo, w)
+	for i := 0; i < src.Rows; i++ {
+		copy(dst.Data[i*dst.Cols+dstLo:i*dst.Cols+dstLo+w],
+			src.Data[i*src.Cols+srcLo:i*src.Cols+srcLo+w])
+	}
+}
+
 // MulVec computes m·x for a column vector x (len == Cols).
 func (m *Matrix) MulVec(x []float32) []float32 {
 	out := make([]float32, m.Rows)
