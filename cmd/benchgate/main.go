@@ -25,24 +25,41 @@ type record struct {
 	AllocsPerOp   float64 `json:"allocs_per_op"`
 }
 
-type benchFile struct {
-	Models []record `json:"models"`
+// fusionRecord mirrors the per-model fusion probe: the plan-level fusion
+// pass's modelled arena traffic and fused-step count. Gated absolutely —
+// these are deterministic compile-time properties, so any growth means the
+// fusion pass stopped firing somewhere.
+type fusionRecord struct {
+	Model               string `json:"model"`
+	Steps               int    `json:"plan_steps"`
+	FusedSteps          int    `json:"fused_steps"`
+	TrafficBytes        int    `json:"traffic_bytes"`
+	TrafficBytesUnfused int    `json:"traffic_bytes_unfused"`
 }
 
-func load(path string) (map[string]record, error) {
+type benchFile struct {
+	Models       []record       `json:"models"`
+	FusionProbes []fusionRecord `json:"fusion_probes"`
+}
+
+func load(path string) (map[string]record, map[string]fusionRecord, error) {
 	data, err := os.ReadFile(path)
 	if err != nil {
-		return nil, err
+		return nil, nil, err
 	}
 	var f benchFile
 	if err := json.Unmarshal(data, &f); err != nil {
-		return nil, fmt.Errorf("%s: %w", path, err)
+		return nil, nil, fmt.Errorf("%s: %w", path, err)
 	}
 	out := make(map[string]record, len(f.Models))
 	for _, r := range f.Models {
 		out[key(r)] = r
 	}
-	return out, nil
+	fus := make(map[string]fusionRecord, len(f.FusionProbes))
+	for _, r := range f.FusionProbes {
+		fus[r.Model] = r
+	}
+	return out, fus, nil
 }
 
 func key(r record) string {
@@ -64,12 +81,12 @@ func main() {
 		fmt.Fprintln(os.Stderr, "benchgate: -new is required")
 		os.Exit(2)
 	}
-	oldRecs, err := load(*oldPath)
+	oldRecs, oldFus, err := load(*oldPath)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "benchgate:", err)
 		os.Exit(2)
 	}
-	newRecs, err := load(*newPath)
+	newRecs, newFus, err := load(*newPath)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "benchgate:", err)
 		os.Exit(2)
@@ -105,6 +122,28 @@ func main() {
 	for k := range newRecs {
 		if _, ok := oldRecs[k]; !ok {
 			fmt.Printf("new  %-22s (no committed baseline, not gated)\n", k)
+		}
+	}
+	// Fusion probes are compile-time deterministic: modelled arena traffic
+	// must not grow and fused-step coverage must not shrink, at all.
+	for m, o := range oldFus {
+		n, ok := newFus[m]
+		if !ok {
+			fmt.Printf("FAIL %-22s fusion probe missing from the fresh record\n", m)
+			failed = true
+			continue
+		}
+		status := "ok  "
+		if n.TrafficBytes > o.TrafficBytes || n.FusedSteps < o.FusedSteps {
+			status = "FAIL"
+			failed = true
+		}
+		fmt.Printf("%s %-22s fusion     %8d -> %8d traffic B   (%d/%d steps fused)\n",
+			status, m, o.TrafficBytes, n.TrafficBytes, n.FusedSteps, n.Steps)
+	}
+	for m := range newFus {
+		if _, ok := oldFus[m]; !ok {
+			fmt.Printf("new  %-22s fusion probe (no committed baseline, not gated)\n", m)
 		}
 	}
 	if failed {

@@ -207,12 +207,30 @@ type allocProbe struct {
 	ReductionFactor   float64 `json:"reduction_factor"`
 }
 
+// fusionProbe is the fused-vs-unfused plan comparison of one model at the
+// batcher's largest batch bucket: step counts, resident arena bytes and
+// modelled activation-arena traffic. cmd/benchgate gates TrafficBytes and
+// FusedSteps so a silently disabled fusion pass fails CI.
+type fusionProbe struct {
+	Model               string  `json:"model"`
+	Batch               int     `json:"batch"`
+	Steps               int     `json:"plan_steps"`
+	StepsUnfused        int     `json:"plan_steps_unfused"`
+	FusedSteps          int     `json:"fused_steps"`
+	TrafficBytes        int     `json:"traffic_bytes"`
+	TrafficBytesUnfused int     `json:"traffic_bytes_unfused"`
+	TrafficReduction    float64 `json:"traffic_reduction"`
+	ArenaBytes          int     `json:"arena_bytes"`
+	ArenaBytesUnfused   int     `json:"arena_bytes_unfused"`
+}
+
 type benchFile struct {
 	GeneratedAt     string        `json:"generated_at"`
 	DurationSeconds float64       `json:"duration_s_per_model"`
 	N               int           `json:"n"`
 	Models          []benchRecord `json:"models"`
 	AllocProbes     []allocProbe  `json:"alloc_probes"`
+	FusionProbes    []fusionProbe `json:"fusion_probes"`
 }
 
 func runLoadgen(reg, base *serve.Registry, specs []serve.ModelSpec, bcfg serve.BatcherConfig, rps int, duration time.Duration, benchout string) {
@@ -300,6 +318,23 @@ func runLoadgen(reg, base *serve.Registry, specs []serve.ModelSpec, bcfg serve.B
 			p.Model, p.PlanAllocsPerOp, p.LegacyAllocsPerOp, p.ReductionFactor)
 	}
 
+	fmt.Printf("\nfusion probe (compiled plan, fused vs unfused, batch %d):\n", bcfg.MaxBatch)
+	fmt.Printf("%-10s %6s %8s %13s %15s %10s\n",
+		"model", "steps", "unfused", "traffic(KiB)", "unfused(KiB)", "reduction")
+	var fprobes []fusionProbe
+	for _, sp := range specs {
+		fp, err := probeFusion(sp, bcfg.MaxBatch)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		fprobes = append(fprobes, fp)
+		fmt.Printf("%-10s %6d %8d %13.1f %15.1f %9.2fx\n",
+			fp.Model, fp.Steps, fp.StepsUnfused,
+			float64(fp.TrafficBytes)/1024, float64(fp.TrafficBytesUnfused)/1024,
+			fp.TrafficReduction)
+	}
+
 	if benchout == "" {
 		return
 	}
@@ -309,6 +344,7 @@ func runLoadgen(reg, base *serve.Registry, specs []serve.ModelSpec, bcfg serve.B
 		N:               n,
 		Models:          records,
 		AllocProbes:     probes,
+		FusionProbes:    fprobes,
 	}
 	data, err := json.MarshalIndent(out, "", "  ")
 	if err != nil {
@@ -367,6 +403,38 @@ func probeAllocs(reg *serve.Registry, sp serve.ModelSpec, bcfg serve.BatcherConf
 		p.ReductionFactor = legacy / plan
 	}
 	return p, nil
+}
+
+// probeFusion compiles the spec's network into a fused and an unfused
+// plan at the batcher's largest batch bucket and reports the fusion win —
+// the same weights the registry serves (specs are seed-deterministic), so
+// the probe tracks exactly what the serving path executes.
+func probeFusion(sp serve.ModelSpec, batch int) (fusionProbe, error) {
+	net := nn.BuildSHL(sp.Method, sp.N, sp.Classes, rand.New(rand.NewSource(sp.Seed)))
+	fused, err := net.CompilePlan(batch)
+	if err != nil {
+		return fusionProbe{}, fmt.Errorf("fusion probe %q: %w", sp.Name, err)
+	}
+	unfused, err := net.CompilePlanOpts(batch, nn.PlanOptions{NoFuse: true})
+	if err != nil {
+		return fusionProbe{}, fmt.Errorf("fusion probe %q (unfused): %w", sp.Name, err)
+	}
+	fs, us := fused.Stats(), unfused.Stats()
+	fp := fusionProbe{
+		Model:               sp.Name,
+		Batch:               batch,
+		Steps:               fs.Steps,
+		StepsUnfused:        us.Steps,
+		FusedSteps:          fs.FusedSteps,
+		TrafficBytes:        fs.TrafficBytes,
+		TrafficBytesUnfused: us.TrafficBytes,
+		ArenaBytes:          fs.ArenaBytes,
+		ArenaBytesUnfused:   us.ArenaBytes,
+	}
+	if fp.TrafficBytes > 0 {
+		fp.TrafficReduction = float64(fp.TrafficBytesUnfused) / float64(fp.TrafficBytes)
+	}
+	return fp, nil
 }
 
 // allocsPerOp runs op sequentially and reports the process heap-allocation

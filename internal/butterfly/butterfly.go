@@ -266,13 +266,34 @@ func (b *Butterfly) Apply(x *tensor.Matrix) *tensor.Matrix {
 // overwritten), ping-ponging the stage sweep between dst and one workspace
 // scratch buffer instead of allocating a fresh matrix per factor. The
 // arithmetic per stage is identical to Apply, so the result is bit-for-bit
-// equal. dst must not alias x.
+// equal. dst must not alias x. It is the nil-epilogue form of
+// ApplyIntoEpilogue — one implementation, one contract.
 func (b *Butterfly) ApplyInto(dst, x *tensor.Matrix, ws *tensor.Workspace) {
+	b.ApplyIntoEpilogue(dst, x, ws, nil, tensor.ActNone)
+}
+
+// ApplyIntoEpilogue is ApplyInto with the fused tail of a linear layer —
+// bias add then activation — folded into the final factor stage, so each
+// output element is written exactly once already finished instead of being
+// reswept by two more arena passes. The linear value entering the epilogue
+// is produced by exactly ApplyInto's arithmetic, and act(v + bias) is the
+// same float32 chain as separate sweeps, so the result is bit-for-bit
+// act(ApplyInto(x) + bias). bias may be nil; a factorless butterfly (N=1)
+// degenerates to the permutation plus a post-sweep.
+func (b *Butterfly) ApplyIntoEpilogue(dst, x *tensor.Matrix, ws *tensor.Workspace, bias []float32, act tensor.Activation) {
 	if x.Cols != b.N {
 		panic(fmt.Sprintf("butterfly: input width %d != N %d", x.Cols, b.N))
 	}
 	if dst.Rows != x.Rows || dst.Cols != b.N {
-		panic(fmt.Sprintf("butterfly: ApplyInto dst %dx%d, want %dx%d", dst.Rows, dst.Cols, x.Rows, b.N))
+		panic(fmt.Sprintf("butterfly: ApplyIntoEpilogue dst %dx%d, want %dx%d", dst.Rows, dst.Cols, x.Rows, b.N))
+	}
+	if bias != nil && len(bias) != b.N {
+		panic(fmt.Sprintf("butterfly: ApplyIntoEpilogue bias length %d != N %d", len(bias), b.N))
+	}
+	if len(b.Factors) == 0 {
+		b.applyPermRowsInto(dst, x)
+		tensor.ApplyBiasActInto(dst, dst, bias, act)
+		return
 	}
 	tmp := ws.Take(x.Rows, b.N)
 	// Buffers alternate permOut → stage1 → … → stageS; pick the first so
@@ -282,10 +303,11 @@ func (b *Butterfly) ApplyInto(dst, x *tensor.Matrix, ws *tensor.Workspace) {
 		cur, other = tmp, dst
 	}
 	b.applyPermRowsInto(cur, x)
-	for _, f := range b.Factors {
+	for _, f := range b.Factors[:len(b.Factors)-1] {
 		applyFactorRows(f, cur, other)
 		cur, other = other, cur
 	}
+	applyFactorRowsEpilogue(b.Factors[len(b.Factors)-1], cur, other, bias, act)
 }
 
 func applyFactorRows(f *Factor, in, out *tensor.Matrix) {
@@ -303,6 +325,36 @@ func applyFactorRows(f *Factor, in, out *tensor.Matrix) {
 				xt, xb := src[top], src[bot]
 				dst[top] = f.A[p]*xt + f.B[p]*xb
 				dst[bot] = f.C[p]*xt + f.D[p]*xb
+				p++
+			}
+		}
+	}
+}
+
+// applyFactorRowsEpilogue is applyFactorRows for the final stage of a
+// fused layer: each pair's two outputs get the bias added and the
+// activation applied the moment they are computed. bias may be nil.
+func applyFactorRowsEpilogue(f *Factor, in, out *tensor.Matrix, bias []float32, act tensor.Activation) {
+	half := 1 << (f.Stage - 1)
+	block := half << 1
+	n := f.N
+	for r := 0; r < in.Rows; r++ {
+		src := in.Row(r)
+		dst := out.Row(r)
+		p := 0
+		for start := 0; start < n; start += block {
+			for k := 0; k < half; k++ {
+				top := start + k
+				bot := top + half
+				xt, xb := src[top], src[bot]
+				vt := f.A[p]*xt + f.B[p]*xb
+				vb := f.C[p]*xt + f.D[p]*xb
+				if bias != nil {
+					vt += bias[top]
+					vb += bias[bot]
+				}
+				dst[top] = act.Apply(vt)
+				dst[bot] = act.Apply(vb)
 				p++
 			}
 		}

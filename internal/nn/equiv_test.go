@@ -1,0 +1,164 @@
+// Package nn_test holds the repo-wide equivalence fuzz harness: for
+// randomized widths, batches, operator families and shard counts, every
+// compiled execution path — unfused plan, fused plan, and sharded plan
+// under both partitioning strategies — must be bit-for-bit equal to the
+// reference Sequential.Infer. This is the property the plan-fusion
+// optimisation is pinned against (structured-equivalence in the spirit of
+// the rank-one-block identification line of work: an optimisation is only
+// admissible if it computes the exact same float32 chain), and it runs
+// race-clean in CI.
+package nn_test
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/nn"
+	"repro/internal/pixelfly"
+	"repro/internal/shard"
+	"repro/internal/tensor"
+)
+
+// assertBitEqual fails unless a and b hold exactly the same float32 bits.
+func assertBitEqual(t *testing.T, tag string, want, got *tensor.Matrix) {
+	t.Helper()
+	if want.Rows != got.Rows || want.Cols != got.Cols {
+		t.Fatalf("%s: shape %dx%d vs %dx%d", tag, want.Rows, want.Cols, got.Rows, got.Cols)
+	}
+	for i := range want.Data {
+		if want.Data[i] != got.Data[i] {
+			t.Fatalf("%s: element %d differs: %g vs %g (want bit-for-bit)", tag, i, want.Data[i], got.Data[i])
+		}
+	}
+}
+
+// methodWidths returns layer widths compatible with a method's structural
+// constraints (pixelfly's 64-wide blocks need wider layers).
+func methodWidths(m nn.Method) []int {
+	if m == nn.Pixelfly {
+		return []int{64, 128}
+	}
+	return []int{8, 16, 32, 64, 128}
+}
+
+// equivTrial drives one randomized model through every execution path and
+// pins them all to Infer.
+func equivTrial(t *testing.T, rng *rand.Rand, net *nn.Sequential, n, maxBatch int) {
+	t.Helper()
+	topo := shard.DefaultTopology(4)
+	fused, err := net.CompilePlan(maxBatch)
+	if err != nil {
+		t.Fatalf("CompilePlan: %v", err)
+	}
+	unfused, err := net.CompilePlanOpts(maxBatch, nn.PlanOptions{NoFuse: true})
+	if err != nil {
+		t.Fatalf("CompilePlanOpts(NoFuse): %v", err)
+	}
+	fs, us := fused.Stats(), unfused.Stats()
+	if us.FusedSteps != 0 {
+		t.Fatalf("unfused plan reports %d fused steps", us.FusedSteps)
+	}
+	if fs.FusedSteps > 0 {
+		if fs.Steps >= us.Steps {
+			t.Fatalf("fusion fired (%d fused) but steps %d !< %d", fs.FusedSteps, fs.Steps, us.Steps)
+		}
+		if fs.TrafficBytes >= us.TrafficBytes {
+			t.Fatalf("fusion fired but modelled traffic %d !< %d", fs.TrafficBytes, us.TrafficBytes)
+		}
+	}
+	if fs.TrafficBytesBeforeFusion != us.TrafficBytes {
+		t.Fatalf("pre-fusion traffic %d != unfused plan traffic %d", fs.TrafficBytesBeforeFusion, us.TrafficBytes)
+	}
+
+	batches := []int{1, 1 + rng.Intn(maxBatch), maxBatch}
+	inputs := make([]*tensor.Matrix, len(batches))
+	refs := make([]*tensor.Matrix, len(batches))
+	for i, batch := range batches {
+		x := tensor.New(batch, n)
+		x.FillRandom(rng, 1)
+		inputs[i] = x
+		refs[i] = net.Infer(x)
+		for tag, pl := range map[string]*nn.Plan{"unfused": unfused, "fused": fused} {
+			got, err := pl.Execute(x)
+			if err != nil {
+				t.Fatalf("%s Execute(batch=%d): %v", tag, batch, err)
+			}
+			assertBitEqual(t, tag, refs[i], got)
+		}
+	}
+
+	for _, src := range []struct {
+		tag string
+		pl  *nn.Plan
+	}{{"fused", fused}, {"unfused", unfused}} {
+		for _, shards := range []int{1, 2, 4} {
+			strategies := []shard.Strategy{shard.Pipeline}
+			if shards > 1 && shard.Splittable(src.pl, shards) == nil {
+				strategies = append(strategies, shard.TensorParallel)
+			}
+			for _, strat := range strategies {
+				sp, err := shard.CompileWith(src.pl, topo, shards, strat)
+				if err != nil {
+					t.Fatalf("CompileWith(%s, %d, %v): %v", src.tag, shards, strat, err)
+				}
+				for i, x := range inputs {
+					got, err := sp.Execute(x)
+					if err != nil {
+						t.Fatalf("sharded %s/%d/%v Execute: %v", src.tag, shards, strat, err)
+					}
+					assertBitEqual(t, src.tag+"/sharded", refs[i], got)
+				}
+				sp.Close()
+			}
+		}
+	}
+}
+
+// TestEquivalenceFuzzAllMethods is the harness over the six operator
+// families with randomized (seeded) widths, class counts and batch caps.
+func TestEquivalenceFuzzAllMethods(t *testing.T) {
+	const trials = 3
+	for _, method := range nn.AllMethods {
+		method := method
+		t.Run(method.String(), func(t *testing.T) {
+			t.Parallel()
+			rng := rand.New(rand.NewSource(2026 + int64(method)))
+			for trial := 0; trial < trials; trial++ {
+				widths := methodWidths(method)
+				n := widths[rng.Intn(len(widths))]
+				classes := 2 + rng.Intn(11)
+				maxBatch := 1 + rng.Intn(12)
+				net := nn.BuildSHL(method, n, classes, rand.New(rand.NewSource(rng.Int63())))
+				equivTrial(t, rng, net, n, maxBatch)
+			}
+		})
+	}
+}
+
+// TestEquivalenceFuzzCompressed covers the post-hoc compressed layer mix
+// (FactorizedDense / structured swaps) the registry also serves.
+func TestEquivalenceFuzzCompressed(t *testing.T) {
+	rng := rand.New(rand.NewSource(77))
+	net := nn.BuildSHL(nn.Baseline, 64, 10, rand.New(rand.NewSource(5)))
+	compressed, reports, err := net.Compress(nn.CompressOptions{Tolerance: 0.7, Seed: 9})
+	if err != nil {
+		t.Fatalf("Compress: %v", err)
+	}
+	if len(reports) == 0 {
+		t.Fatal("Compress produced no layer reports")
+	}
+	equivTrial(t, rng, compressed, 64, 8)
+}
+
+// TestEquivalenceFuzzPixelflyNoLowRank exercises the BSR fused final stage
+// (pixelfly without a low-rank term routes the epilogue through
+// BSR.MulDenseBiasActInto) and its sharded transpose-epilogue counterpart.
+func TestEquivalenceFuzzPixelflyNoLowRank(t *testing.T) {
+	rng := rand.New(rand.NewSource(88))
+	cfg := pixelfly.Config{N: 128, BlockSize: 16, ButterflySize: 16, LowRank: 0}
+	net, err := nn.BuildSHLPixelfly(cfg, 6, rand.New(rand.NewSource(13)))
+	if err != nil {
+		t.Fatalf("BuildSHLPixelfly: %v", err)
+	}
+	equivTrial(t, rng, net, 128, 9)
+}

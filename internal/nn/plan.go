@@ -15,12 +15,55 @@ var ErrPlanBatch = errors.New("nn: plan batch outside [1, MaxBatch]")
 // does not match the plan's InputWidth.
 var ErrPlanWidth = errors.New("nn: plan input width mismatch")
 
+// StepKind classifies a lowered plan step — what one pass over the
+// activation arena computes.
+type StepKind int
+
+const (
+	// StepLinear is a matmul or structured multiply plus its bias add.
+	StepLinear StepKind = iota
+	// StepActivation is a standalone elementwise nonlinearity.
+	StepActivation
+	// StepFused is a linear step with the following activation folded in:
+	// multiply, bias and nonlinearity write each output element once.
+	StepFused
+	// StepGeneric is the Infer-and-copy fallback for unknown layers.
+	StepGeneric
+)
+
+func (k StepKind) String() string {
+	switch k {
+	case StepLinear:
+		return "linear"
+	case StepActivation:
+		return "activation"
+	case StepFused:
+		return "fused"
+	case StepGeneric:
+		return "generic"
+	default:
+		return fmt.Sprintf("StepKind(%d)", int(k))
+	}
+}
+
+// EpilogueApplier is implemented by transforms whose ApplyInto can fold a
+// trailing bias add and elementwise activation into the final stage that
+// writes the output — the hook the plan fusion pass uses to write each
+// output element exactly once instead of resweeping the arena. The result
+// must be bit-for-bit equal to act(ApplyInto(x) + bias) computed by
+// separate passes. All six of the repo's operator families implement it;
+// transforms that don't still fuse through a generic post-sweep.
+type EpilogueApplier interface {
+	ApplyIntoEpilogue(dst, x *tensor.Matrix, ws *tensor.Workspace, bias []float32, act tensor.Activation)
+}
+
 // Plan is a compiled inference program: the result of walking a Sequential
-// once and lowering every layer to a destination-passing step with
-// pre-sized buffers. Execute ping-pongs activations between two
-// plan-owned arenas and stages per-layer scratch through one workspace, so
-// at steady state a batch runs with zero heap allocations — the host-side
-// analogue of a compiled Poplar program with static tensor liveness.
+// once, lowering every layer to a destination-passing step with pre-sized
+// buffers, and fusing adjacent multiply + bias + activation steps into
+// single passes. Execute ping-pongs activations between two plan-owned
+// arenas and stages per-layer scratch through one workspace, so at steady
+// state a batch runs with zero heap allocations — the host-side analogue
+// of a compiled Poplar program with static tensor liveness.
 //
 // A Plan shares the model's weights read-only (training the model while
 // executing its plans is not safe — the same contract as Sequential.Infer)
@@ -32,29 +75,63 @@ type Plan struct {
 	in, out  int
 	steps    []planStep
 
+	// preFusion is the step silhouette before the fusion pass ran (equal
+	// to the final silhouette when compiled with NoFuse), kept so Stats
+	// can report the fusion win without compiling a second plan.
+	preFusion []stepShape
+
 	ws         *tensor.Workspace
 	bufA, bufB []float32
 	actA, actB tensor.Matrix
 }
 
-// planStep is one lowered layer: its output width, a kernel that writes
-// the layer's inference result for input x into dst, and the source layer
-// it was lowered from (the hook the shard partitioner splits on).
+// planStep is one lowered step: its output width, a kernel that writes the
+// step's inference result for input x into dst, the source layer it was
+// lowered from (the hook the shard partitioner splits on), and — for fused
+// steps — the activation layer that was folded in.
 type planStep struct {
 	name  string
 	cols  int
+	kind  StepKind
 	layer Layer
-	run   func(dst, x *tensor.Matrix, ws *tensor.Workspace)
+	act   Layer // folded activation; nil unless kind == StepFused
+	// sweeps counts extra read-modify-write passes over the output arena
+	// beyond the producing write (the unfused bias add is one); it feeds
+	// the modelled-traffic accounting.
+	sweeps int
+	run    func(dst, x *tensor.Matrix, ws *tensor.Workspace)
 }
 
-// CompilePlan walks the network once and emits the execution plan for
-// batches of up to maxBatch rows. Layer kinds with a destination-passing
-// lowering (Dense, StructuredLinear, ReLU, FactorizedDense) become
-// allocation-free steps; anything else is kept correct through a generic
-// step that calls the layer's Infer and copies. Compilation runs two
-// warm-up batches of zeros at maxBatch so every buffer reaches its exact
-// high-water size before the plan serves real traffic.
+// stepShape is the traffic-relevant silhouette of one step: input width
+// read, output width written, and extra arena sweeps.
+type stepShape struct{ in, out, sweeps int }
+
+// PlanOptions tune plan compilation.
+type PlanOptions struct {
+	// NoFuse disables the step-fusion pass, keeping one step per layer.
+	// Fused and unfused plans are bit-for-bit equivalent; the unfused
+	// form is the reference the equivalence tests pin fusion against and
+	// a debugging aid when a fused kernel is suspect.
+	NoFuse bool
+}
+
+// CompilePlan walks the network once, emits the execution plan for batches
+// of up to maxBatch rows, and runs the fusion pass (see CompilePlanOpts).
 func (s *Sequential) CompilePlan(maxBatch int) (*Plan, error) {
+	return s.CompilePlanOpts(maxBatch, PlanOptions{})
+}
+
+// CompilePlanOpts is CompilePlan with explicit options. Layer kinds with a
+// destination-passing lowering (Dense, StructuredLinear, ReLU,
+// FactorizedDense) become allocation-free steps; anything else is kept
+// correct through a generic step that calls the layer's Infer and copies.
+// Unless opts.NoFuse is set, a peephole pass then rewrites every adjacent
+// (linear, activation) step pair into one fused step whose kernel applies
+// multiply, bias and nonlinearity in a single pass over the output arena.
+// Compilation runs two warm-up batches of zeros at maxBatch so every
+// buffer reaches its exact high-water size before the plan serves real
+// traffic.
+func (s *Sequential) CompilePlanOpts(maxBatch int, opts PlanOptions) (*Plan, error) {
 	if maxBatch <= 0 {
 		return nil, fmt.Errorf("nn: plan maxBatch %d must be positive", maxBatch)
 	}
@@ -77,15 +154,26 @@ func (s *Sequential) CompilePlan(maxBatch int) (*Plan, error) {
 		width = outW
 	}
 	p.out = width
+	p.preFusion = stepShapes(p.in, p.steps)
+	if !opts.NoFuse {
+		p.steps = fusePlanSteps(p.steps)
+	}
 
-	maxW := 0
-	for _, st := range p.steps {
-		if st.cols > maxW {
-			maxW = st.cols
+	// The ping-pong arenas alternate ownership of the step outputs, so
+	// each is sized to the widest step that lands in it — fusing steps
+	// out of the list shifts the parity and typically shrinks one arena
+	// (e.g. an SHL's second arena drops from hidden width to class
+	// width once multiply+bias+ReLU collapse into one step).
+	wA, wB := 0, 0
+	for i, st := range p.steps {
+		if i%2 == 0 {
+			wA = max(wA, st.cols)
+		} else {
+			wB = max(wB, st.cols)
 		}
 	}
-	p.bufA = make([]float32, maxBatch*maxW)
-	p.bufB = make([]float32, maxBatch*maxW)
+	p.bufA = make([]float32, maxBatch*wA)
+	p.bufB = make([]float32, maxBatch*wB)
 
 	// Two warm-up executions: the first records every buffer's demand, the
 	// second runs after the workspace has grown to it, leaving the arena at
@@ -99,6 +187,148 @@ func (s *Sequential) CompilePlan(maxBatch int) (*Plan, error) {
 	return p, nil
 }
 
+// fusePlanSteps is the peephole rewriter: a single left-to-right scan that
+// replaces every adjacent (linear, activation) pair with one fused step.
+// Steps that don't match pass through unchanged, so the pass is safe on
+// any lowered sequence (generic fallbacks, trailing linears, standalone
+// activations after them).
+func fusePlanSteps(steps []planStep) []planStep {
+	out := steps[:0:0]
+	for i := 0; i < len(steps); i++ {
+		if i+1 < len(steps) {
+			if f, ok := fusePair(&steps[i], &steps[i+1]); ok {
+				out = append(out, f)
+				i++
+				continue
+			}
+		}
+		out = append(out, steps[i])
+	}
+	return out
+}
+
+// fusePair builds the fused step for a (linear, activation) step pair, or
+// reports that the pair doesn't fuse. Only elementwise column-local
+// activations may fold (ReLU is the only one the framework has), which is
+// also what lets the shard partitioner keep fusion inside tensor-parallel
+// column windows.
+func fusePair(lin, actStep *planStep) (planStep, bool) {
+	if lin.kind != StepLinear || actStep.kind != StepActivation || lin.cols != actStep.cols {
+		return planStep{}, false
+	}
+	if _, ok := actStep.layer.(*ReLU); !ok {
+		return planStep{}, false
+	}
+	const act = tensor.ActReLU
+	var run func(dst, x *tensor.Matrix, ws *tensor.Workspace)
+	sweeps := 0
+	switch t := lin.layer.(type) {
+	case *Dense:
+		run = func(dst, x *tensor.Matrix, ws *tensor.Workspace) {
+			tensor.MatMulBiasActParallelInto(dst, x, t.W, t.Bias, act)
+		}
+	case *FactorizedDense:
+		run = func(dst, x *tensor.Matrix, ws *tensor.Workspace) {
+			xa := ws.Take(x.Rows, t.Rank)
+			tensor.MatMulParallelInto(xa, x, t.A)
+			tensor.MatMulBiasActParallelInto(dst, xa, t.B, t.Bias, act)
+		}
+	case *StructuredLinear:
+		if ea, ok := t.T.(EpilogueApplier); ok {
+			run = func(dst, x *tensor.Matrix, ws *tensor.Workspace) {
+				ea.ApplyIntoEpilogue(dst, x, ws, t.Bias, act)
+			}
+		} else {
+			// Transform without a fused final stage: still collapse the
+			// bias and activation into one post-sweep (two arena passes
+			// instead of three).
+			sweeps = 1
+			run = func(dst, x *tensor.Matrix, ws *tensor.Workspace) {
+				t.T.ApplyInto(dst, x, ws)
+				tensor.ApplyBiasActInto(dst, dst, t.Bias, act)
+			}
+		}
+	default:
+		return planStep{}, false
+	}
+	return planStep{
+		name:   lin.name + "+" + actStep.name,
+		cols:   lin.cols,
+		kind:   StepFused,
+		layer:  lin.layer,
+		act:    actStep.layer,
+		sweeps: sweeps,
+		run:    run,
+	}, true
+}
+
+// stepShapes derives the traffic silhouette of a step list given the plan
+// input width.
+func stepShapes(in int, steps []planStep) []stepShape {
+	shapes := make([]stepShape, len(steps))
+	for i, st := range steps {
+		shapes[i] = stepShape{in: in, out: st.cols, sweeps: st.sweeps}
+		in = st.cols
+	}
+	return shapes
+}
+
+// trafficBytes models the activation-arena bytes one batch moves: each
+// step reads its input once, writes its output once, and pays one
+// read+write resweep per extra pass (the unfused bias add and activation
+// are such passes). Transform-internal scratch (butterfly stage ping-pong,
+// FFT buffers) is excluded — it is identical between fused and unfused
+// plans.
+func trafficBytes(batch int, shapes []stepShape) int {
+	total := 0
+	for _, s := range shapes {
+		total += 4 * batch * (s.in + s.out + 2*s.sweeps*s.out)
+	}
+	return total
+}
+
+// PlanStats reports a plan's compiled silhouette: what the fusion pass
+// merged and what one max-batch execution costs in modelled arena traffic
+// and resident buffers.
+type PlanStats struct {
+	MaxBatch int
+	// Steps is the executed step count; StepsBeforeFusion the lowered
+	// count before the peephole pass (equal when compiled with NoFuse).
+	Steps             int
+	StepsBeforeFusion int
+	// FusedSteps counts steps carrying a folded activation.
+	FusedSteps int
+	// ArenaBytes is the ping-pong activation arenas' total backing size;
+	// WorkspaceBytes the scratch arena's steady-state backing.
+	ArenaBytes     int
+	WorkspaceBytes int
+	// TrafficBytes is the modelled activation-arena traffic of one
+	// max-batch execution; TrafficBytesBeforeFusion what the unfused
+	// step list would move.
+	TrafficBytes             int
+	TrafficBytesBeforeFusion int
+}
+
+// Stats reports the plan's fusion and memory silhouette at MaxBatch.
+func (p *Plan) Stats() PlanStats {
+	fused := 0
+	for i := range p.steps {
+		if p.steps[i].kind == StepFused {
+			fused++
+		}
+	}
+	return PlanStats{
+		MaxBatch:                 p.maxBatch,
+		Steps:                    len(p.steps),
+		StepsBeforeFusion:        len(p.preFusion),
+		FusedSteps:               fused,
+		ArenaBytes:               4 * (len(p.bufA) + len(p.bufB)),
+		WorkspaceBytes:           p.ws.FootprintBytes(),
+		TrafficBytes:             trafficBytes(p.maxBatch, stepShapes(p.in, p.steps)),
+		TrafficBytesBeforeFusion: trafficBytes(p.maxBatch, p.preFusion),
+	}
+}
+
 // MaxBatch returns the largest row count Execute accepts.
 func (p *Plan) MaxBatch() int { return p.maxBatch }
 
@@ -108,7 +338,8 @@ func (p *Plan) InputWidth() int { return p.in }
 // OutputWidth returns the width of the result matrix.
 func (p *Plan) OutputWidth() int { return p.out }
 
-// Steps returns the lowered step names, in execution order.
+// Steps returns the lowered step names, in execution order. Fused steps
+// carry both source names joined by '+' (e.g. "butterfly(1024)+relu").
 func (p *Plan) Steps() []string {
 	names := make([]string, len(p.steps))
 	for i, st := range p.steps {
@@ -120,9 +351,44 @@ func (p *Plan) Steps() []string {
 // NumSteps returns how many lowered steps the plan executes.
 func (p *Plan) NumSteps() int { return len(p.steps) }
 
-// StepLayer returns the source layer step i was lowered from — the
-// introspection hook the shard partitioner uses to decide how (and
-// whether) a step can be split across modelled IPUs.
+// StepInfo describes one lowered step — the introspection surface
+// debuggers and the shard partitioner read, which must stay coherent when
+// fusion merges layers: a fused step reports its linear source layer under
+// Layer and the folded activation under Act, so walking the steps still
+// accounts for every layer exactly once.
+type StepInfo struct {
+	Index int
+	Name  string
+	Cols  int
+	Kind  StepKind
+	// Layer is the source layer (the linear layer for fused steps).
+	Layer Layer
+	// Act is the activation layer folded into a fused step; nil otherwise.
+	Act Layer
+}
+
+// Fused reports whether the step carries a folded activation.
+func (si StepInfo) Fused() bool { return si.Kind == StepFused }
+
+// Activation returns the folded activation as the tensor-kernel enum the
+// sharded lowerings thread into their column-window epilogues (ActNone for
+// unfused steps).
+func (si StepInfo) Activation() tensor.Activation {
+	if _, ok := si.Act.(*ReLU); ok {
+		return tensor.ActReLU
+	}
+	return tensor.ActNone
+}
+
+// Step returns the introspection record of step i.
+func (p *Plan) Step(i int) StepInfo {
+	st := &p.steps[i]
+	return StepInfo{Index: i, Name: st.name, Cols: st.cols, Kind: st.kind, Layer: st.layer, Act: st.act}
+}
+
+// StepLayer returns the source layer step i was lowered from — the hook
+// the shard partitioner splits on. For fused steps this is the linear
+// layer; the folded activation is reported by Step(i).Act.
 func (p *Plan) StepLayer(i int) Layer { return p.steps[i].layer }
 
 // StepCols returns the output width of step i.
@@ -130,11 +396,12 @@ func (p *Plan) StepCols(i int) int { return p.steps[i].cols }
 
 // StepRunner returns the lowered kernel of step i: it writes the step's
 // output for input x into dst (x.Rows × StepCols(i)), staging scratch
-// through the caller-owned workspace. The kernel captures only the layer's
-// weights — not the plan or its arenas — so holding it does not pin the
-// plan, and kernels of one plan may run concurrently with distinct
-// workspaces. This is the execution hook pipeline-sharded plans are built
-// on.
+// through the caller-owned workspace. For fused steps the kernel is the
+// whole fused pass (multiply + bias + activation). The kernel captures
+// only the layer's weights — not the plan or its arenas — so holding it
+// does not pin the plan, and kernels of one plan may run concurrently with
+// distinct workspaces. This is the execution hook pipeline-sharded plans
+// are built on.
 func (p *Plan) StepRunner(i int) func(dst, x *tensor.Matrix, ws *tensor.Workspace) {
 	return p.steps[i].run
 }
@@ -144,7 +411,8 @@ func (p *Plan) StepRunner(i int) func(dst, x *tensor.Matrix, ws *tensor.Workspac
 // get ErrPlanBatch / ErrPlanWidth. The result aliases plan-owned memory:
 // it is valid until the next Execute on this plan, so callers that retain
 // it across executions (or hand the plan back to a pool) must copy first.
-// Output is bit-for-bit identical to Sequential.Infer on the same input.
+// Output is bit-for-bit identical to Sequential.Infer on the same input,
+// fused or not.
 func (p *Plan) Execute(x *tensor.Matrix) (*tensor.Matrix, error) {
 	if x.Cols != p.in {
 		return nil, fmt.Errorf("%w: got %d columns, plan expects %d", ErrPlanWidth, x.Cols, p.in)
@@ -193,7 +461,7 @@ func lowerLayer(l Layer, width int) (planStep, int, error) {
 		if t.In != width {
 			return planStep{}, 0, fmt.Errorf("input width %d != %d", width, t.In)
 		}
-		return planStep{name: t.Name(), cols: t.Out,
+		return planStep{name: t.Name(), cols: t.Out, kind: StepLinear, sweeps: 1,
 			run: func(dst, x *tensor.Matrix, ws *tensor.Workspace) {
 				tensor.MatMulParallelInto(dst, x, t.W)
 				tensor.AddRowVector(dst, t.Bias)
@@ -202,13 +470,13 @@ func lowerLayer(l Layer, width int) (planStep, int, error) {
 		if t.N != width {
 			return planStep{}, 0, fmt.Errorf("input width %d != %d", width, t.N)
 		}
-		return planStep{name: t.Name(), cols: t.N,
+		return planStep{name: t.Name(), cols: t.N, kind: StepLinear, sweeps: 1,
 			run: func(dst, x *tensor.Matrix, ws *tensor.Workspace) {
 				t.T.ApplyInto(dst, x, ws)
 				tensor.AddRowVector(dst, t.Bias)
 			}}, t.N, nil
 	case *ReLU:
-		return planStep{name: t.Name(), cols: width,
+		return planStep{name: t.Name(), cols: width, kind: StepActivation,
 			run: func(dst, x *tensor.Matrix, ws *tensor.Workspace) {
 				for i, v := range x.Data {
 					if v > 0 {
@@ -222,7 +490,7 @@ func lowerLayer(l Layer, width int) (planStep, int, error) {
 		if t.In != width {
 			return planStep{}, 0, fmt.Errorf("input width %d != %d", width, t.In)
 		}
-		return planStep{name: t.Name(), cols: t.Out,
+		return planStep{name: t.Name(), cols: t.Out, kind: StepLinear, sweeps: 1,
 			run: func(dst, x *tensor.Matrix, ws *tensor.Workspace) {
 				xa := ws.Take(x.Rows, t.Rank)
 				tensor.MatMulParallelInto(xa, x, t.A)
@@ -235,7 +503,7 @@ func lowerLayer(l Layer, width int) (planStep, int, error) {
 		// with a single zero row.
 		probe := l.Infer(tensor.New(1, width))
 		outW := probe.Cols
-		return planStep{name: l.Name(), cols: outW,
+		return planStep{name: l.Name(), cols: outW, kind: StepGeneric,
 			run: func(dst, x *tensor.Matrix, ws *tensor.Workspace) {
 				y := l.Infer(x)
 				if y.Rows != dst.Rows || y.Cols != dst.Cols {

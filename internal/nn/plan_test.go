@@ -219,3 +219,188 @@ func TestPlanSteadyStateAllocs(t *testing.T) {
 		})
 	}
 }
+
+// TestPlanStepIntrospection pins the fused-step reporting contract: a
+// debugger walking Step(i) must account for every source layer exactly
+// once, with fused steps exposing both the linear layer and the folded
+// activation.
+func TestPlanStepIntrospection(t *testing.T) {
+	const n, classes, maxBatch = 64, 10, 8
+	net := BuildSHL(Butterfly, n, classes, rand.New(rand.NewSource(3)))
+	fused, err := net.CompilePlan(maxBatch)
+	if err != nil {
+		t.Fatalf("CompilePlan: %v", err)
+	}
+	unfused, err := net.CompilePlanOpts(maxBatch, PlanOptions{NoFuse: true})
+	if err != nil {
+		t.Fatalf("CompilePlanOpts: %v", err)
+	}
+
+	if unfused.NumSteps() != 3 {
+		t.Fatalf("unfused steps = %d, want 3", unfused.NumSteps())
+	}
+	for i, want := range []StepKind{StepLinear, StepActivation, StepLinear} {
+		si := unfused.Step(i)
+		if si.Kind != want || si.Fused() || si.Act != nil {
+			t.Fatalf("unfused step %d: kind=%v fused=%v act=%v, want %v/false/nil", i, si.Kind, si.Fused(), si.Act, want)
+		}
+	}
+
+	if fused.NumSteps() != 2 {
+		t.Fatalf("fused steps = %d, want 2", fused.NumSteps())
+	}
+	s0 := fused.Step(0)
+	if s0.Kind != StepFused || !s0.Fused() {
+		t.Fatalf("step 0 kind = %v, want StepFused", s0.Kind)
+	}
+	if _, ok := s0.Layer.(*StructuredLinear); !ok {
+		t.Fatalf("step 0 layer = %T, want *StructuredLinear", s0.Layer)
+	}
+	if _, ok := s0.Act.(*ReLU); !ok {
+		t.Fatalf("step 0 act = %T, want *ReLU", s0.Act)
+	}
+	if s0.Activation() != tensor.ActReLU {
+		t.Fatalf("step 0 activation = %v, want relu", s0.Activation())
+	}
+	s1 := fused.Step(1)
+	if s1.Kind != StepLinear || s1.Fused() || s1.Act != nil || s1.Activation() != tensor.ActNone {
+		t.Fatalf("step 1 = %+v, want plain linear", s1)
+	}
+
+	// Walking the step list must account for every model layer exactly
+	// once, in order — fused steps contribute their linear layer and the
+	// folded activation.
+	next := 0
+	for i := 0; i < fused.NumSteps(); i++ {
+		si := fused.Step(i)
+		if si.Layer != net.Layers[next] {
+			t.Fatalf("step %d layer is not model layer %d", i, next)
+		}
+		next++
+		if si.Act != nil {
+			if si.Act != net.Layers[next] {
+				t.Fatalf("step %d folded act is not model layer %d", i, next)
+			}
+			next++
+		}
+	}
+	if next != len(net.Layers) {
+		t.Fatalf("steps cover %d layers, want %d", next, len(net.Layers))
+	}
+
+	// Fused step names join both sources.
+	if name := fused.Steps()[0]; name != unfused.Steps()[0]+"+"+unfused.Steps()[1] {
+		t.Fatalf("fused step name %q does not join source names %q and %q",
+			name, unfused.Steps()[0], unfused.Steps()[1])
+	}
+}
+
+// TestPlanArenaSizingUnderFusion asserts the exact arena byte counts of
+// fused and unfused plans: fusing the SHL's multiply+bias+ReLU into one
+// step moves the classifier head to the second ping-pong arena, shrinking
+// it from hidden width to class width, while the workspace's grow-at-Reset
+// sizing stays at the transform's exact scratch demand under fusion.
+func TestPlanArenaSizingUnderFusion(t *testing.T) {
+	const n, classes, maxBatch = 64, 10, 8
+	net := BuildSHL(Butterfly, n, classes, rand.New(rand.NewSource(19)))
+	fused, err := net.CompilePlan(maxBatch)
+	if err != nil {
+		t.Fatalf("CompilePlan: %v", err)
+	}
+	unfused, err := net.CompilePlanOpts(maxBatch, PlanOptions{NoFuse: true})
+	if err != nil {
+		t.Fatalf("CompilePlanOpts: %v", err)
+	}
+	fs, us := fused.Stats(), unfused.Stats()
+
+	// Unfused: steps land [butterfly:A, relu:B, dense:A] — both arenas
+	// hold the 64-wide hidden activation. 4 bytes × 8 rows × (64 + 64).
+	if want := 4 * maxBatch * (n + n); us.ArenaBytes != want {
+		t.Errorf("unfused ArenaBytes = %d, want %d", us.ArenaBytes, want)
+	}
+	// Fused: [butterfly+relu:A, dense:B] — arena B shrinks to the 10-wide
+	// logits. 4 × 8 × (64 + 10).
+	if want := 4 * maxBatch * (n + classes); fs.ArenaBytes != want {
+		t.Errorf("fused ArenaBytes = %d, want %d", fs.ArenaBytes, want)
+	}
+	if fs.ArenaBytes >= us.ArenaBytes {
+		t.Errorf("fusion did not shrink the arenas: %d >= %d", fs.ArenaBytes, us.ArenaBytes)
+	}
+
+	// The butterfly's ApplyInto (fused or not) stages one N-wide scratch
+	// matrix through the workspace; grow-at-Reset must settle at exactly
+	// that demand after compilation's two warm-ups.
+	if want := 4 * maxBatch * n; fs.WorkspaceBytes != want || us.WorkspaceBytes != want {
+		t.Errorf("WorkspaceBytes fused=%d unfused=%d, want %d", fs.WorkspaceBytes, us.WorkspaceBytes, want)
+	}
+
+	// Modelled arena traffic at maxBatch, from the step silhouettes:
+	// unfused (read in + write out + 2 sweeps per extra pass):
+	//   butterfly 4·8·(64+64+2·64) + relu 4·8·(64+64) + dense 4·8·(64+10+2·10)
+	wantUnfused := 4*maxBatch*(n+n+2*n) + 4*maxBatch*(n+n) + 4*maxBatch*(n+classes+2*classes)
+	if us.TrafficBytes != wantUnfused {
+		t.Errorf("unfused TrafficBytes = %d, want %d", us.TrafficBytes, wantUnfused)
+	}
+	wantFused := 4*maxBatch*(n+n) + 4*maxBatch*(n+classes+2*classes)
+	if fs.TrafficBytes != wantFused {
+		t.Errorf("fused TrafficBytes = %d, want %d", fs.TrafficBytes, wantFused)
+	}
+	if fs.TrafficBytesBeforeFusion != wantUnfused {
+		t.Errorf("TrafficBytesBeforeFusion = %d, want %d", fs.TrafficBytesBeforeFusion, wantUnfused)
+	}
+	if 2*fs.TrafficBytes <= us.TrafficBytes {
+		// the headline claim: fusing the SHL roughly halves arena traffic
+		t.Logf("traffic reduction %.2fx", float64(us.TrafficBytes)/float64(fs.TrafficBytes))
+	} else if float64(us.TrafficBytes)/float64(fs.TrafficBytes) < 1.5 {
+		t.Errorf("fusion saved too little traffic: %d -> %d", us.TrafficBytes, fs.TrafficBytes)
+	}
+
+	// Executing at every batch size must not grow any arena afterwards —
+	// the grow-at-Reset high-water mark was reached during compilation.
+	rng := rand.New(rand.NewSource(20))
+	for batch := 1; batch <= maxBatch; batch++ {
+		x := tensor.New(batch, n)
+		x.FillRandom(rng, 1)
+		mustExecute(t, fused, x)
+		if got := fused.Stats(); got != fs {
+			t.Fatalf("batch %d: plan stats drifted after Execute: %+v != %+v", batch, got, fs)
+		}
+	}
+}
+
+// benchmarkPlanExecute measures steady-state Execute for one compile mode.
+func benchmarkPlanExecute(b *testing.B, method Method, opts PlanOptions) {
+	const n, classes, maxBatch = 256, 10, 16
+	net := BuildSHL(method, n, classes, rand.New(rand.NewSource(50)))
+	plan, err := net.CompilePlanOpts(maxBatch, opts)
+	if err != nil {
+		b.Fatalf("CompilePlanOpts: %v", err)
+	}
+	x := tensor.New(maxBatch, n)
+	x.FillRandom(rand.New(rand.NewSource(51)), 1)
+	if _, err := plan.Execute(x); err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := plan.Execute(x); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFusedPlanExecute / BenchmarkUnfusedPlanExecute compare the
+// fused single-pass kernels against the three-sweep lowering — the
+// host-side proxy for the modelled memory-traffic win.
+func BenchmarkFusedPlanExecute(b *testing.B) {
+	for _, method := range []Method{Baseline, Butterfly} {
+		b.Run(method.String(), func(b *testing.B) { benchmarkPlanExecute(b, method, PlanOptions{}) })
+	}
+}
+
+func BenchmarkUnfusedPlanExecute(b *testing.B) {
+	for _, method := range []Method{Baseline, Butterfly} {
+		b.Run(method.String(), func(b *testing.B) { benchmarkPlanExecute(b, method, PlanOptions{NoFuse: true}) })
+	}
+}

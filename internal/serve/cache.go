@@ -40,6 +40,18 @@ type ProgramCost struct {
 	PerIPUBytes     int     `json:"per_ipu_bytes,omitempty"`
 	ExchangeBytes   int     `json:"exchange_bytes,omitempty"`
 	ExchangeSeconds float64 `json:"exchange_s,omitempty"`
+
+	// Fusion block, present when a host network is attached: the compiled
+	// plan's step-fusion verdict — executed vs lowered step count, steps
+	// carrying a folded activation, resident activation-arena bytes, and
+	// the modelled arena traffic of one batch against what the unfused
+	// step list would move.
+	PlanSteps           int `json:"plan_steps,omitempty"`
+	PlanStepsUnfused    int `json:"plan_steps_unfused,omitempty"`
+	PlanFusedSteps      int `json:"plan_fused_steps,omitempty"`
+	PlanArenaBytes      int `json:"plan_arena_bytes,omitempty"`
+	TrafficBytes        int `json:"traffic_bytes,omitempty"`
+	TrafficBytesUnfused int `json:"traffic_bytes_unfused,omitempty"`
 }
 
 // CacheStats exposes the hit/miss counters of the program cache.
@@ -118,15 +130,55 @@ func (p *Program) Shards() int { return p.shards }
 func (p *Program) Cost() (*ProgramCost, error) {
 	p.costOnce.Do(func() {
 		p.cost, p.costErr = compileCost(p.cfg, p.batch, p.build)
-		if p.costErr == nil && p.shards > 1 {
-			p.costErr = p.shardCost(p.cost)
+		if p.costErr != nil {
+			p.costDone.Store(true)
+			return
+		}
+		pl, err := p.fusionCost(p.cost)
+		if err != nil {
+			p.cost, p.costErr = nil, err
+			p.costDone.Store(true)
+			return
+		}
+		if p.shards > 1 {
+			// The fusion probe's plan seeds the shard estimate, so a
+			// sharded cost query compiles the host plan exactly once.
+			p.costErr = p.shardCost(p.cost, pl)
 			if p.costErr != nil {
 				p.cost = nil
 			}
+		} else if pl != nil {
+			// Donate the probe plan to the executor pool: the first
+			// Predict after a Cost pays no second compile.
+			p.plans.Put(pl)
 		}
 		p.costDone.Store(true)
 	})
 	return p.cost, p.costErr
+}
+
+// fusionCost annotates the cost with the host plan's fusion silhouette
+// (step counts, arena bytes, modelled activation-arena traffic) and
+// returns the plan it compiled. Cost-only programs — no host network
+// attached — skip the block and return nil; a network that fails to
+// compile is a real error, not a silent cost-only silhouette.
+func (p *Program) fusionCost(cost *ProgramCost) (*nn.Plan, error) {
+	net := p.net.Load()
+	if net == nil {
+		return nil, nil
+	}
+	pl, err := net.CompilePlan(p.batch)
+	if err != nil {
+		return nil, fmt.Errorf("serve: compiling host plan for fusion cost: %w", err)
+	}
+	st := pl.Stats()
+	cost.PlanSteps = st.Steps
+	cost.PlanStepsUnfused = st.StepsBeforeFusion
+	cost.PlanFusedSteps = st.FusedSteps
+	cost.PlanArenaBytes = st.ArenaBytes
+	cost.TrafficBytes = st.TrafficBytes
+	cost.TrafficBytesUnfused = st.TrafficBytesBeforeFusion
+	return pl, nil
 }
 
 // shardEstimate memoizes the shard planner's verdict for this program.
@@ -156,13 +208,14 @@ func (p *Program) shardEstimate(pl *nn.Plan) (shard.Cost, error) {
 
 // shardCost folds the shard planner's estimate into a single-chip program
 // cost: per-IPU residency, exchange traffic, and the latency of the
-// partitioned run. The compute portion is scaled by the planner's own
-// sharded-vs-unsharded compute ratio (1 for pipeline; between 1/S and 1
-// for tensor parallelism, since replicated rank bottlenecks do not
-// divide), keeping the served latency consistent with the planner's
-// Cost for the same plan.
-func (p *Program) shardCost(cost *ProgramCost) error {
-	sc, err := p.shardEstimate(nil)
+// partitioned run. pl may carry an already compiled host plan to estimate
+// from (nil compiles a probe). The compute portion is scaled by the
+// planner's own sharded-vs-unsharded compute ratio (1 for pipeline;
+// between 1/S and 1 for tensor parallelism, since replicated rank
+// bottlenecks do not divide), keeping the served latency consistent with
+// the planner's Cost for the same plan.
+func (p *Program) shardCost(cost *ProgramCost, pl *nn.Plan) error {
+	sc, err := p.shardEstimate(pl)
 	if err != nil {
 		return err
 	}

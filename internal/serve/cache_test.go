@@ -104,3 +104,59 @@ func TestProgramCacheRejectsBadBatch(t *testing.T) {
 		t.Fatal("batch 0 accepted")
 	}
 }
+
+// TestProgramCostFusionBlock checks the fusion silhouette surfaces on the
+// modelled cost once a host network is attached: executed vs lowered step
+// counts, at least one fused step for an SHL, and reduced modelled arena
+// traffic — and that cost-only programs simply omit the block.
+func TestProgramCostFusionBlock(t *testing.T) {
+	c := NewProgramCache(ipu.GC200())
+	sp := spec("m", nn.Butterfly)
+
+	// Cost-only (no host net): fusion fields stay zero.
+	bare, err := c.Cost(sp, 1, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bare.PlanSteps != 0 || bare.TrafficBytes != 0 {
+		t.Fatalf("cost-only program carries fusion block: %+v", bare)
+	}
+
+	net, err := buildNet(sp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := c.Program("m2", 1, 8, 1, net, func(cfg ipu.Config, b int) (*ipu.Workload, error) {
+		return buildWorkload(cfg, sp, b)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cost, err := p.Cost()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cost.PlanSteps == 0 || cost.PlanStepsUnfused <= cost.PlanSteps {
+		t.Fatalf("fusion block missing or incoherent: steps=%d unfused=%d", cost.PlanSteps, cost.PlanStepsUnfused)
+	}
+	if cost.PlanFusedSteps < 1 {
+		t.Fatalf("SHL program reports %d fused steps, want >= 1", cost.PlanFusedSteps)
+	}
+	if cost.TrafficBytes <= 0 || cost.TrafficBytes >= cost.TrafficBytesUnfused {
+		t.Fatalf("modelled traffic not reduced: %d vs unfused %d", cost.TrafficBytes, cost.TrafficBytesUnfused)
+	}
+	if cost.PlanArenaBytes <= 0 {
+		t.Fatalf("PlanArenaBytes = %d, want > 0", cost.PlanArenaBytes)
+	}
+
+	// The plan compiled for the fusion block is donated to the pool: the
+	// first GetPlan must not compile again but still execute correctly.
+	pl, err := p.GetPlan()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pl.MaxBatch() != 8 {
+		t.Fatalf("pooled plan MaxBatch = %d, want 8", pl.MaxBatch())
+	}
+	p.PutPlan(pl)
+}

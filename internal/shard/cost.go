@@ -110,15 +110,23 @@ func describeStep(l nn.Layer, outW, batch int) stepDesc {
 	return d
 }
 
-// describePlan walks the plan once.
+// describePlan walks the plan once. A fused step is priced as its linear
+// layer plus the folded activation's elementwise pass — the activation's
+// work doesn't disappear under fusion, but its arena resweep, barrier and
+// per-step all-gather do (one desc instead of two is exactly that saving).
 func describePlan(pl *nn.Plan, batch int) (descs []stepDesc, maxW int) {
 	maxW = pl.InputWidth()
 	for i := 0; i < pl.NumSteps(); i++ {
-		outW := pl.StepCols(i)
+		info := pl.Step(i)
+		outW := info.Cols
 		if outW > maxW {
 			maxW = outW
 		}
-		descs = append(descs, describeStep(pl.StepLayer(i), outW, batch))
+		d := describeStep(info.Layer, outW, batch)
+		if info.Fused() {
+			d.flops += float64(batch * outW)
+		}
+		descs = append(descs, d)
 	}
 	return descs, maxW
 }

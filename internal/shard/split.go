@@ -12,7 +12,10 @@ import (
 
 // lowerTensorParallel lowers every step of the plan into per-shard
 // column-slice kernels. It fails (sending the planner to pipeline) as soon
-// as one layer is not splittable.
+// as one layer is not splittable. Fused steps survive the split because
+// their folded bias and activation are column-local: each shard's final
+// micro-step applies the epilogue inside its own column window, and only
+// the (unchanged) exchange stages stay barriers.
 func lowerTensorParallel(pl *nn.Plan, shards int) ([]step, error) {
 	if shards == 1 {
 		// A 1-shard split is the identity placement; reuse the pipeline
@@ -22,12 +25,13 @@ func lowerTensorParallel(pl *nn.Plan, shards int) ([]step, error) {
 	var steps []step
 	inW := pl.InputWidth()
 	for i := 0; i < pl.NumSteps(); i++ {
-		l := pl.StepLayer(i)
-		outW := pl.StepCols(i)
+		info := pl.Step(i)
+		l := info.Layer
+		outW := info.Cols
 		if err := canSplit(l, outW, shards); err != nil {
-			return nil, fmt.Errorf("shard: step %d (%s): %w", i, pl.Steps()[i], err)
+			return nil, fmt.Errorf("shard: step %d (%s): %w", i, info.Name, err)
 		}
-		steps = append(steps, splitStep(l, inW, outW, shards)...)
+		steps = append(steps, splitStep(l, info.Activation(), inW, outW, shards)...)
 		inW = outW
 	}
 	return steps, nil
@@ -84,25 +88,27 @@ func canSplit(l nn.Layer, outW, shards int) error {
 	}
 }
 
-// splitStep lowers one layer to its tensor-parallel micro-steps. canSplit
-// must have accepted the layer first.
-func splitStep(l nn.Layer, inW, outW, shards int) []step {
+// splitStep lowers one layer to its tensor-parallel micro-steps, folding
+// the step's fused activation (ActNone for unfused steps) into each
+// shard's final column-window kernel. canSplit must have accepted the
+// layer first.
+func splitStep(l nn.Layer, act tensor.Activation, inW, outW, shards int) []step {
 	pts := splitPoints(outW, shards)
 	switch t := l.(type) {
 	case *nn.Dense:
-		return []step{denseSplit(t.Name(), t.W, t.Bias, outW, pts)}
+		return []step{denseSplit(t.Name(), t.W, t.Bias, outW, pts, act)}
 	case *nn.FactorizedDense:
-		return []step{factorizedSplit(t, pts)}
+		return []step{factorizedSplit(t, pts, act)}
 	case *nn.ReLU:
 		return []step{reluSplit(outW, pts)}
 	case *nn.StructuredLinear:
 		switch tr := t.T.(type) {
 		case *butterfly.Butterfly:
-			return butterflySplit(t.Name(), tr, t.Bias, pts)
+			return butterflySplit(t.Name(), tr, t.Bias, pts, act)
 		case *baselines.LowRank:
-			return []step{lowRankSplit(t.Name(), tr, t.Bias, pts)}
+			return []step{lowRankSplit(t.Name(), tr, t.Bias, pts, act)}
 		case *pixelfly.Pixelfly:
-			return []step{pixelflySplit(t.Name(), tr, t.Bias, pts)}
+			return []step{pixelflySplit(t.Name(), tr, t.Bias, pts, act)}
 		}
 	}
 	panic(fmt.Sprintf("shard: splitStep on unsplittable layer %T", l))
@@ -129,12 +135,24 @@ func sliceRowsT(u *tensor.Matrix, lo, hi int) *tensor.Matrix {
 	return out
 }
 
-// denseSplit: shard k computes dst[:, lo:hi) = x·W[:, lo:hi) + bias[lo:hi)
-// from its own column slice of the weight — the Megatron-style split of a
-// linear layer, each IPU holding 1/S of the N² matrix.
-func denseSplit(name string, w *tensor.Matrix, bias []float32, outW int, pts []int) step {
+// fusedTag names micro-steps lowered from a fused plan step, keeping the
+// sharded step listing coherent with the plan's own ("dense(256x256)/tp"
+// vs "dense(256x256)+relu/tp").
+func fusedTag(act tensor.Activation) string {
+	if act == tensor.ActNone {
+		return ""
+	}
+	return "+" + act.String()
+}
+
+// denseSplit: shard k computes act(x·W[:, lo:hi) + bias[lo:hi)) into its
+// column window from its own slice of the weight — the Megatron-style
+// split of a linear layer, each IPU holding 1/S of the N² matrix — in one
+// fused pass (act is ActNone for unfused steps; the kernel's arithmetic
+// chain per element is identical either way).
+func denseSplit(name string, w *tensor.Matrix, bias []float32, outW int, pts []int, act tensor.Activation) step {
 	shards := len(pts) - 1
-	st := step{name: name + "/tp", cols: outW, run: make([]func(dst, x *tensor.Matrix, ws *tensor.Workspace), shards)}
+	st := step{name: name + fusedTag(act) + "/tp", cols: outW, run: make([]func(dst, x *tensor.Matrix, ws *tensor.Workspace), shards)}
 	for k := 0; k < shards; k++ {
 		lo, hi := pts[k], pts[k+1]
 		if lo == hi {
@@ -143,18 +161,18 @@ func denseSplit(name string, w *tensor.Matrix, bias []float32, outW int, pts []i
 		wk := sliceCols(w, lo, hi)
 		bk := append([]float32(nil), bias[lo:hi]...)
 		st.run[k] = func(dst, x *tensor.Matrix, ws *tensor.Workspace) {
-			tensor.MatMulColsInto(dst, lo, x, wk)
-			tensor.AddRowVectorCols(dst, lo, bk)
+			tensor.MatMulColsBiasActInto(dst, lo, x, wk, bk, act)
 		}
 	}
 	return st
 }
 
 // factorizedSplit: the rank-r bottleneck x·A is replicated on every shard
-// (it is tiny — r ≪ out), the wide B factor is column-sliced.
-func factorizedSplit(t *nn.FactorizedDense, pts []int) step {
+// (it is tiny — r ≪ out), the wide B factor is column-sliced with the
+// epilogue fused into the window write.
+func factorizedSplit(t *nn.FactorizedDense, pts []int, act tensor.Activation) step {
 	shards := len(pts) - 1
-	st := step{name: t.Name() + "/tp", cols: t.Out, run: make([]func(dst, x *tensor.Matrix, ws *tensor.Workspace), shards)}
+	st := step{name: t.Name() + fusedTag(act) + "/tp", cols: t.Out, run: make([]func(dst, x *tensor.Matrix, ws *tensor.Workspace), shards)}
 	for k := 0; k < shards; k++ {
 		lo, hi := pts[k], pts[k+1]
 		if lo == hi {
@@ -165,8 +183,7 @@ func factorizedSplit(t *nn.FactorizedDense, pts []int) step {
 		st.run[k] = func(dst, x *tensor.Matrix, ws *tensor.Workspace) {
 			xa := ws.Take(x.Rows, t.Rank)
 			tensor.MatMulInto(xa, x, t.A)
-			tensor.MatMulColsInto(dst, lo, xa, bk)
-			tensor.AddRowVectorCols(dst, lo, biask)
+			tensor.MatMulColsBiasActInto(dst, lo, xa, bk, biask, act)
 		}
 	}
 	return st
@@ -199,10 +216,11 @@ func reluSplit(width int, pts []int) step {
 }
 
 // lowRankSplit: xv = x·V is replicated (rank columns only); the n-wide
-// back-projection through Uᵀ is column-sliced per shard.
-func lowRankSplit(name string, t *baselines.LowRank, bias []float32, pts []int) step {
+// back-projection through Uᵀ is column-sliced per shard with the epilogue
+// fused into the window write.
+func lowRankSplit(name string, t *baselines.LowRank, bias []float32, pts []int, act tensor.Activation) step {
 	shards := len(pts) - 1
-	st := step{name: name + "/tp", cols: t.N, run: make([]func(dst, x *tensor.Matrix, ws *tensor.Workspace), shards)}
+	st := step{name: name + fusedTag(act) + "/tp", cols: t.N, run: make([]func(dst, x *tensor.Matrix, ws *tensor.Workspace), shards)}
 	for k := 0; k < shards; k++ {
 		lo, hi := pts[k], pts[k+1]
 		if lo == hi {
@@ -213,8 +231,7 @@ func lowRankSplit(name string, t *baselines.LowRank, bias []float32, pts []int) 
 		st.run[k] = func(dst, x *tensor.Matrix, ws *tensor.Workspace) {
 			xv := ws.Take(x.Rows, t.Rank)
 			tensor.MatMulInto(xv, x, t.V)
-			tensor.MatMulColsInto(dst, lo, xv, utk)
-			tensor.AddRowVectorCols(dst, lo, bk)
+			tensor.MatMulColsBiasActInto(dst, lo, xv, utk, bk, act)
 		}
 	}
 	return st
@@ -222,11 +239,14 @@ func lowRankSplit(name string, t *baselines.LowRank, bias []float32, pts []int) 
 
 // pixelflySplit: shard k owns the block rows covering its output slice of
 // the BSR weight (1/S of the blocks, up to support skew) plus its slice of
-// the low-rank U factor; V and the input transpose are replicated.
-func pixelflySplit(name string, t *pixelfly.Pixelfly, bias []float32, pts []int) step {
+// the low-rank U factor; V and the input transpose are replicated. The
+// fused bias and activation ride whichever kernel writes the window last —
+// the low-rank residual accumulation when the layer has one, the transpose
+// back to batch-major otherwise.
+func pixelflySplit(name string, t *pixelfly.Pixelfly, bias []float32, pts []int, act tensor.Activation) step {
 	shards := len(pts) - 1
 	n, bs := t.Cfg.N, t.Cfg.BlockSize
-	st := step{name: name + "/tp", cols: n, run: make([]func(dst, x *tensor.Matrix, ws *tensor.Workspace), shards)}
+	st := step{name: name + fusedTag(act) + "/tp", cols: n, run: make([]func(dst, x *tensor.Matrix, ws *tensor.Workspace), shards)}
 	for k := 0; k < shards; k++ {
 		lo, hi := pts[k], pts[k+1]
 		if lo == hi {
@@ -243,15 +263,16 @@ func pixelflySplit(name string, t *pixelfly.Pixelfly, bias []float32, pts []int)
 			tensor.TransposeInto(xt, x)
 			ytk := ws.Take(hi-lo, x.Rows)
 			t.W.MulDenseRowsInto(ytk, xt, br0, br1)
-			tensor.TransposeIntoCols(dst, lo, ytk)
-			if utk != nil {
-				xv := ws.Take(x.Rows, t.Cfg.LowRank)
-				tensor.MatMulInto(xv, x, t.V)
-				lrk := ws.Take(x.Rows, hi-lo)
-				tensor.MatMulInto(lrk, xv, utk)
-				tensor.AddInPlaceCols(dst, lo, lrk)
+			if utk == nil {
+				tensor.TransposeIntoColsBiasAct(dst, lo, ytk, bk, act)
+				return
 			}
-			tensor.AddRowVectorCols(dst, lo, bk)
+			tensor.TransposeIntoCols(dst, lo, ytk)
+			xv := ws.Take(x.Rows, t.Cfg.LowRank)
+			tensor.MatMulInto(xv, x, t.V)
+			lrk := ws.Take(x.Rows, hi-lo)
+			tensor.MatMulInto(lrk, xv, utk)
+			tensor.AddInPlaceColsBiasAct(dst, lo, lrk, bk, act)
 		}
 	}
 	return st
@@ -263,9 +284,10 @@ func pixelflySplit(name string, t *pixelfly.Pixelfly, bias []float32, pts []int)
 // shard's own columns; the top log2(S) "global" stages read the partner
 // slice another shard wrote the step before — which on a real pod is one
 // pairwise IPU-Link exchange per stage, and on the host is just the shared
-// arena plus the inter-step barrier. The layer bias folds into the final
-// stage's kernel.
-func butterflySplit(name string, b *butterfly.Butterfly, bias []float32, pts []int) []step {
+// arena plus the inter-step barrier. The layer bias — and, for fused plan
+// steps, the folded activation — ride the final stage's kernel: both are
+// column-local, so fusion survives the split.
+func butterflySplit(name string, b *butterfly.Butterfly, bias []float32, pts []int, act tensor.Activation) []step {
 	shards := len(pts) - 1
 	mk := func(tag string) step {
 		return step{name: name + tag, cols: b.N, run: make([]func(dst, x *tensor.Matrix, ws *tensor.Workspace), shards)}
@@ -299,21 +321,24 @@ func butterflySplit(name string, b *butterfly.Butterfly, bias []float32, pts []i
 		if 1<<f.Stage > sliceW && shards > 1 {
 			tag += "+exchange"
 		}
+		if last {
+			tag += fusedTag(act)
+		}
 		st := mk(tag)
 		for k := 0; k < shards; k++ {
 			lo, hi := pts[k], pts[k+1]
 			if lo == hi {
 				continue
 			}
-			var bk []float32
-			if last {
-				bk = append([]float32(nil), bias[lo:hi]...)
-			}
-			st.run[k] = func(dst, x *tensor.Matrix, ws *tensor.Workspace) {
-				applyFactorWindow(f, x, dst, lo, hi)
-				if bk != nil {
-					tensor.AddRowVectorCols(dst, lo, bk)
+			if !last {
+				st.run[k] = func(dst, x *tensor.Matrix, ws *tensor.Workspace) {
+					applyFactorWindow(f, x, dst, lo, hi, nil, tensor.ActNone)
 				}
+				continue
+			}
+			bk := append([]float32(nil), bias[lo:hi]...)
+			st.run[k] = func(dst, x *tensor.Matrix, ws *tensor.Workspace) {
+				applyFactorWindow(f, x, dst, lo, hi, bk, act)
 			}
 		}
 		steps = append(steps, st)
@@ -325,21 +350,29 @@ func butterflySplit(name string, b *butterfly.Butterfly, bias []float32, pts []i
 // application, reading whichever source indices the pairs need (possibly
 // outside the window). Each element is produced by exactly the expression
 // butterfly.applyFactorRows uses, so a windowed sweep assembled across
-// shards is bit-for-bit the full sweep.
-func applyFactorWindow(f *butterfly.Factor, in, out *tensor.Matrix, lo, hi int) {
+// shards is bit-for-bit the full sweep. On the layer's final stage the
+// fused epilogue — bias (window-relative, nil for none) then activation —
+// is applied as each element is produced, matching the fused unsharded
+// kernels element-for-element.
+func applyFactorWindow(f *butterfly.Factor, in, out *tensor.Matrix, lo, hi int, bias []float32, act tensor.Activation) {
 	h := 1 << (f.Stage - 1)
 	for r := 0; r < in.Rows; r++ {
 		src := in.Row(r)
 		dst := out.Row(r)
 		for i := lo; i < hi; i++ {
+			var v float32
 			if i&h == 0 {
 				p := (i>>uint(f.Stage))*h + i&(h-1)
-				dst[i] = f.A[p]*src[i] + f.B[p]*src[i+h]
+				v = f.A[p]*src[i] + f.B[p]*src[i+h]
 			} else {
 				top := i - h
 				p := (top>>uint(f.Stage))*h + top&(h-1)
-				dst[i] = f.C[p]*src[top] + f.D[p]*src[i]
+				v = f.C[p]*src[top] + f.D[p]*src[i]
 			}
+			if bias != nil {
+				v += bias[i-lo]
+			}
+			dst[i] = act.Apply(v)
 		}
 	}
 }

@@ -150,6 +150,58 @@ func (b *BSR) MulDenseInto(out, x *tensor.Matrix) {
 	}
 }
 
+// MulDenseBiasActInto is MulDenseInto with a fused epilogue: as soon as a
+// block row's accumulation completes, the per-output-feature bias (indexed
+// by the logical row of out, i.e. feature-major like the product itself)
+// and the activation are applied while the rows are still cache-hot. The
+// accumulation is exactly MulDenseInto's, and act(v + bias) is the same
+// float32 chain as separate sweeps, so the result is bit-for-bit equal to
+// MulDenseInto followed by a row-broadcast bias add and an activation
+// pass. bias may be nil (len == Rows otherwise). out must not alias x.
+func (b *BSR) MulDenseBiasActInto(out, x *tensor.Matrix, bias []float32, act tensor.Activation) {
+	if b.Cols != x.Rows {
+		panic(fmt.Sprintf("sparse: BSR MulDenseBiasAct shape mismatch %dx%d x %dx%d", b.Rows, b.Cols, x.Rows, x.Cols))
+	}
+	if out.Rows != b.Rows || out.Cols != x.Cols {
+		panic(fmt.Sprintf("sparse: BSR MulDenseBiasActInto dst %dx%d, want %dx%d", out.Rows, out.Cols, b.Rows, x.Cols))
+	}
+	if bias != nil && len(bias) != b.Rows {
+		panic(fmt.Sprintf("sparse: BSR MulDenseBiasActInto bias length %d != rows %d", len(bias), b.Rows))
+	}
+	out.Zero()
+	bs, k := b.BlockSize, x.Cols
+	for bi := 0; bi < b.BlockRows; bi++ {
+		for p := b.RowPtr[bi]; p < b.RowPtr[bi+1]; p++ {
+			bj := int(b.ColIdx[p])
+			blk := b.Block(int(p))
+			for r := 0; r < bs; r++ {
+				orow := out.Row(bi*bs + r)
+				for c := 0; c < bs; c++ {
+					v := blk[r*bs+c]
+					if v == 0 {
+						continue
+					}
+					xrow := x.Data[(bj*bs+c)*k : (bj*bs+c+1)*k]
+					for j := 0; j < k; j++ {
+						orow[j] += v * xrow[j]
+					}
+				}
+			}
+		}
+		// This block row's accumulation is complete: finish its rows
+		// while they are still cache-hot.
+		for r := 0; r < bs; r++ {
+			row := out.Row(bi*bs + r)
+			for j, v := range row {
+				if bias != nil {
+					v += bias[bi*bs+r]
+				}
+				row[j] = act.Apply(v)
+			}
+		}
+	}
+}
+
 // MulDenseRowsInto computes the block-row window [br0, br1) of b·x into
 // out (shape (br1-br0)·BlockSize × x.Cols, overwritten). The window's rows
 // accumulate the same blocks in the same order as MulDenseInto, so the

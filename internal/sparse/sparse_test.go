@@ -286,3 +286,54 @@ func TestBSRMulDenseRowsIntoPanics(t *testing.T) {
 		}()
 	}
 }
+
+// TestBSRMulDenseBiasActMatchesUnfused pins the fused block-sparse
+// epilogue (pixelfly's fused final stage without a low-rank term) to the
+// unfused MulDenseInto + bias broadcast + activation chain, bit-for-bit.
+func TestBSRMulDenseBiasActMatchesUnfused(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	pattern := [][2]int{{0, 0}, {0, 2}, {1, 1}, {2, 3}, {3, 0}, {3, 3}}
+	b, err := NewBSR(16, 16, 4, pattern)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range b.Blocks {
+		b.Blocks[i] = rng.Float32()*2 - 1
+	}
+	x := tensor.New(16, 5)
+	x.FillRandom(rng, 1)
+	bias := make([]float32, 16)
+	for i := range bias {
+		bias[i] = rng.Float32()*2 - 1
+	}
+
+	want := tensor.New(16, 5)
+	b.MulDenseInto(want, x)
+	for i := 0; i < want.Rows; i++ {
+		row := want.Row(i)
+		for j, v := range row {
+			v += bias[i]
+			if !(v > 0) {
+				v = 0
+			}
+			row[j] = v
+		}
+	}
+	got := tensor.New(16, 5)
+	b.MulDenseBiasActInto(got, x, bias, tensor.ActReLU)
+	for i := range want.Data {
+		if want.Data[i] != got.Data[i] {
+			t.Fatalf("element %d differs: %g vs %g", i, want.Data[i], got.Data[i])
+		}
+	}
+
+	// nil bias, no activation degenerates to MulDenseInto exactly.
+	plain := tensor.New(16, 5)
+	b.MulDenseBiasActInto(plain, x, nil, tensor.ActNone)
+	ref := b.MulDense(x)
+	for i := range ref.Data {
+		if ref.Data[i] != plain.Data[i] {
+			t.Fatalf("nil-epilogue element %d differs", i)
+		}
+	}
+}

@@ -1,0 +1,251 @@
+package tensor
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+)
+
+// Activation identifies the elementwise nonlinearity an epilogue-aware
+// kernel applies as it writes each output element. The fusion contract of
+// the compiled inference plans: act(linear + bias) must be produced by
+// exactly the float32 operations the unfused sweeps perform, so fused and
+// unfused plans stay bit-for-bit equal.
+type Activation int
+
+const (
+	// ActNone applies no nonlinearity.
+	ActNone Activation = iota
+	// ActReLU clamps non-positive values to zero — the same comparison
+	// nn.ReLU's inference path uses (NaN also maps to zero).
+	ActReLU
+)
+
+func (a Activation) String() string {
+	switch a {
+	case ActNone:
+		return "none"
+	case ActReLU:
+		return "relu"
+	default:
+		return fmt.Sprintf("Activation(%d)", int(a))
+	}
+}
+
+// Apply returns act(v) — the single definition of each activation's
+// float32 semantics (ReLU clamps non-positives, including NaN, to zero,
+// matching nn.ReLU's inference comparison). Every fused kernel, in this
+// package and in the operator packages, finishes its elements through
+// this method so the fused-vs-unfused bit-for-bit contract has exactly
+// one implementation to agree with.
+func (a Activation) Apply(v float32) float32 {
+	if a == ActReLU && !(v > 0) {
+		return 0
+	}
+	return v
+}
+
+// epilogueRow applies the fused tail of a linear layer to one finished
+// output row (or row window): add the bias, then the activation. bias may
+// be nil and is indexed relative to the row slice.
+func epilogueRow(row, bias []float32, act Activation) {
+	if bias != nil {
+		for j, v := range row {
+			row[j] = act.Apply(v + bias[j])
+		}
+		return
+	}
+	if act == ActNone {
+		return
+	}
+	for j, v := range row {
+		row[j] = act.Apply(v)
+	}
+}
+
+// ApplyBiasActInto writes act(x + bias) into dst in one sweep: the generic
+// epilogue for operators without a deeper fused final stage. dst may alias
+// x; bias may be nil (len == Cols otherwise).
+func ApplyBiasActInto(dst, x *Matrix, bias []float32, act Activation) {
+	checkSameShape("ApplyBiasActInto", dst, x)
+	if bias != nil && len(bias) != x.Cols {
+		panic(fmt.Sprintf("tensor: ApplyBiasActInto bias length %d != cols %d", len(bias), x.Cols))
+	}
+	for i := 0; i < x.Rows; i++ {
+		src := x.Row(i)
+		row := dst.Row(i)
+		if dst != x {
+			copy(row, src)
+		}
+		epilogueRow(row, bias, act)
+	}
+}
+
+// matMulBiasActRows is matMulRows with the epilogue applied to each output
+// row as soon as its accumulation finishes — the row leaves cache exactly
+// once.
+func matMulBiasActRows(a, b, out *Matrix, bias []float32, act Activation, lo, hi int) {
+	n, k := a.Cols, b.Cols
+	for i := lo; i < hi; i++ {
+		arow := a.Row(i)
+		orow := out.Row(i)
+		for j := range orow {
+			orow[j] = 0
+		}
+		for p := 0; p < n; p++ {
+			av := arow[p]
+			if av == 0 {
+				continue
+			}
+			brow := b.Data[p*k : (p+1)*k]
+			for j := 0; j < k; j++ {
+				orow[j] += av * brow[j]
+			}
+		}
+		epilogueRow(orow, bias, act)
+	}
+}
+
+func checkBiasLen(op string, bias []float32, cols int) {
+	if bias != nil && len(bias) != cols {
+		panic(fmt.Sprintf("tensor: %s bias length %d != cols %d", op, len(bias), cols))
+	}
+}
+
+// MatMulBiasActInto computes act(a·b + bias) into dst (shape a.Rows×b.Cols,
+// overwritten) in a single pass over the output: the accumulation order is
+// exactly MatMulInto's, with the bias add and activation folded into the
+// moment each row completes, so the result is bit-for-bit equal to
+// MatMulInto + AddRowVector + a separate activation sweep. bias may be nil.
+// dst must not alias a or b.
+func MatMulBiasActInto(dst, a, b *Matrix, bias []float32, act Activation) {
+	checkMulShapes(a, b)
+	checkIntoShape("MatMulBiasActInto", dst, a.Rows, b.Cols)
+	checkBiasLen("MatMulBiasActInto", bias, b.Cols)
+	matMulBiasActRows(a, b, dst, bias, act, 0, a.Rows)
+}
+
+// MatMulBiasActParallelInto is MatMulBiasActInto with MatMulParallelInto's
+// row partition (same worker count and serial threshold). Every output row
+// is accumulated and finished by exactly one goroutine in the serial order,
+// so the result is bit-identical to the serial kernel — and to the unfused
+// MatMulParallelInto + AddRowVector + activation sweeps.
+func MatMulBiasActParallelInto(dst, a, b *Matrix, bias []float32, act Activation) {
+	checkMulShapes(a, b)
+	checkIntoShape("MatMulBiasActParallelInto", dst, a.Rows, b.Cols)
+	checkBiasLen("MatMulBiasActParallelInto", bias, b.Cols)
+	workers := runtime.GOMAXPROCS(0)
+	if workers > a.Rows {
+		workers = a.Rows
+	}
+	if workers <= 1 || a.Rows*a.Cols*b.Cols < 1<<16 {
+		matMulBiasActRows(a, b, dst, bias, act, 0, a.Rows)
+		return
+	}
+	var wg sync.WaitGroup
+	chunk := (a.Rows + workers - 1) / workers
+	for w := 0; w < workers; w++ {
+		lo := w * chunk
+		hi := min(lo+chunk, a.Rows)
+		if lo >= hi {
+			break
+		}
+		wg.Add(1)
+		go func(lo, hi int) {
+			defer wg.Done()
+			matMulBiasActRows(a, b, dst, bias, act, lo, hi)
+		}(lo, hi)
+	}
+	wg.Wait()
+}
+
+// MatMulColsBiasActInto computes act(a·b + bias) into the column window
+// [dstLo, dstLo+b.Cols) of dst in one pass — the fused form of
+// MatMulColsInto + AddRowVectorCols + an activation sweep one tensor-
+// parallel shard executes. bias is window-relative (len == b.Cols) and may
+// be nil. Columns outside the window are untouched. dst must not alias a
+// or b.
+func MatMulColsBiasActInto(dst *Matrix, dstLo int, a, b *Matrix, bias []float32, act Activation) {
+	checkMulShapes(a, b)
+	if dst.Rows != a.Rows {
+		panic(fmt.Sprintf("tensor: MatMulColsBiasActInto dst rows %d != %d", dst.Rows, a.Rows))
+	}
+	checkColWindow("MatMulColsBiasActInto", dst, dstLo, b.Cols)
+	checkBiasLen("MatMulColsBiasActInto", bias, b.Cols)
+	n, k, w := a.Cols, dst.Cols, b.Cols
+	for i := 0; i < a.Rows; i++ {
+		arow := a.Row(i)
+		orow := dst.Data[i*k+dstLo : i*k+dstLo+w]
+		for j := range orow {
+			orow[j] = 0
+		}
+		for p := 0; p < n; p++ {
+			av := arow[p]
+			if av == 0 {
+				continue
+			}
+			brow := b.Data[p*w : (p+1)*w]
+			for j := 0; j < w; j++ {
+				orow[j] += av * brow[j]
+			}
+		}
+		epilogueRow(orow, bias, act)
+	}
+}
+
+// AddInPlaceBiasAct folds a residual accumulation into the epilogue:
+// dst = act((dst + src) + bias) in one sweep, matching the unfused
+// AddInPlace + AddRowVector + activation chain element-for-element. bias
+// may be nil.
+func AddInPlaceBiasAct(dst, src *Matrix, bias []float32, act Activation) {
+	checkSameShape("AddInPlaceBiasAct", dst, src)
+	checkBiasLen("AddInPlaceBiasAct", bias, dst.Cols)
+	for i := 0; i < dst.Rows; i++ {
+		row := dst.Row(i)
+		s := src.Row(i)
+		for j := range row {
+			row[j] += s[j]
+		}
+		epilogueRow(row, bias, act)
+	}
+}
+
+// AddInPlaceColsBiasAct is AddInPlaceBiasAct on the column window
+// [lo, lo+src.Cols) of dst; bias is window-relative and may be nil.
+func AddInPlaceColsBiasAct(dst *Matrix, lo int, src *Matrix, bias []float32, act Activation) {
+	if dst.Rows != src.Rows {
+		panic(fmt.Sprintf("tensor: AddInPlaceColsBiasAct rows %d != %d", dst.Rows, src.Rows))
+	}
+	checkColWindow("AddInPlaceColsBiasAct", dst, lo, src.Cols)
+	checkBiasLen("AddInPlaceColsBiasAct", bias, src.Cols)
+	for i := 0; i < src.Rows; i++ {
+		row := dst.Data[i*dst.Cols+lo : i*dst.Cols+lo+src.Cols]
+		s := src.Row(i)
+		for j := range row {
+			row[j] += s[j]
+		}
+		epilogueRow(row, bias, act)
+	}
+}
+
+// TransposeIntoColsBiasAct writes act(mᵀ + bias) into the column window
+// [dstLo, dstLo+m.Rows) of dst — the fused tail of a sharded pixelfly step
+// without a low-rank term. bias is indexed by m's row (the dst column
+// offset within the window) and may be nil. dst must not alias m.
+func TransposeIntoColsBiasAct(dst *Matrix, dstLo int, m *Matrix, bias []float32, act Activation) {
+	if dst.Rows != m.Cols {
+		panic(fmt.Sprintf("tensor: TransposeIntoColsBiasAct dst rows %d != src cols %d", dst.Rows, m.Cols))
+	}
+	checkColWindow("TransposeIntoColsBiasAct", dst, dstLo, m.Rows)
+	checkBiasLen("TransposeIntoColsBiasAct", bias, m.Rows)
+	for i := 0; i < m.Rows; i++ {
+		base := i * m.Cols
+		for j := 0; j < m.Cols; j++ {
+			v := m.Data[base+j]
+			if bias != nil {
+				v += bias[i]
+			}
+			dst.Data[j*dst.Cols+dstLo+i] = act.Apply(v)
+		}
+	}
+}
