@@ -1,19 +1,36 @@
-// Command benchgate is the CI perf gate: it diffs a freshly generated
-// BENCH_serve.json (ipuserve -loadgen -benchout) against the committed
-// record and fails when throughput drops, or allocations per request
-// grow, by more than the tolerance.
+// Command benchgate is the CI perf gate. It has two modes, usable
+// together:
+//
+// Snapshot mode diffs a freshly generated BENCH_serve.json (ipuserve
+// -loadgen -benchout) against the committed record and fails when
+// throughput drops, or allocations per request grow, by more than the
+// tolerance:
 //
 //	benchgate -old BENCH_serve.json -new /tmp/fresh.json -tol 0.2
 //
-// Records are matched on (model, shards); models present only in the
-// fresh file are reported but not gated, models missing from it fail.
+// History mode reads the append-only BENCH_history.jsonl (one record per
+// loadgen run, ipuserve -loadgen -history) and runs step detection over
+// each model's throughput trajectory: at every split point it compares
+// the windowed mean before against the windowed mean after, and fails
+// when the worst drop exceeds -step-tol. This catches gradual
+// regressions — e.g. three consecutive 5% losses compound to ~14%,
+// inside a 20% snapshot tolerance but far outside a 5% trajectory step:
+//
+//	benchgate -history BENCH_history.jsonl -window 3 -step-tol 0.05
+//	benchgate -history BENCH_history.jsonl -history-lint   # well-formedness only
+//
+// Snapshot records are matched on (model, shards); models present only
+// in the fresh file are reported but not gated, models missing from it
+// fail.
 package main
 
 import (
+	"bytes"
 	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
+	"sort"
 )
 
 // record mirrors the per-model block of BENCH_serve.json (only the gated
@@ -40,6 +57,142 @@ type fusionRecord struct {
 type benchFile struct {
 	Models       []record       `json:"models"`
 	FusionProbes []fusionRecord `json:"fusion_probes"`
+}
+
+// historySchema is the JSONL history record version this gate reads;
+// ipuserve stamps it on every appended run.
+const historySchema = 1
+
+// historyRecord is one line of BENCH_history.jsonl — one loadgen run.
+// Only the identifying and gated fields are decoded; ipuserve writes a
+// superset.
+type historyRecord struct {
+	Schema          int      `json:"schema"`
+	GeneratedAt     string   `json:"generated_at"`
+	Commit          string   `json:"commit,omitempty"`
+	N               int      `json:"n"`
+	DurationSeconds float64  `json:"duration_s_per_model"`
+	Models          []record `json:"models"`
+}
+
+// loadHistory parses the append-only JSONL history, rejecting malformed
+// lines with their line number so a corrupted append fails loudly.
+func loadHistory(path string) ([]historyRecord, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var runs []historyRecord
+	for i, line := range bytes.Split(data, []byte("\n")) {
+		line = bytes.TrimSpace(line)
+		if len(line) == 0 {
+			continue
+		}
+		var h historyRecord
+		if err := json.Unmarshal(line, &h); err != nil {
+			return nil, fmt.Errorf("%s:%d: %w", path, i+1, err)
+		}
+		if h.Schema != historySchema {
+			return nil, fmt.Errorf("%s:%d: schema %d, want %d", path, i+1, h.Schema, historySchema)
+		}
+		if len(h.Models) == 0 {
+			return nil, fmt.Errorf("%s:%d: record has no models", path, i+1)
+		}
+		runs = append(runs, h)
+	}
+	if len(runs) == 0 {
+		return nil, fmt.Errorf("%s: no history records", path)
+	}
+	return runs, nil
+}
+
+// historySeries pivots the runs into one throughput series per
+// (model, shards) key, in run order. Keys absent from a run simply skip
+// that run (a model added later starts its series there).
+func historySeries(runs []historyRecord) map[string][]float64 {
+	series := map[string][]float64{}
+	for _, h := range runs {
+		for _, r := range h.Models {
+			series[key(r)] = append(series[key(r)], r.ThroughputRPS)
+		}
+	}
+	return series
+}
+
+// worstStep scans every split point of the series, comparing the mean of
+// up to w runs before against the mean of up to w runs after, and
+// returns the largest relative drop and the split index it occurred at
+// (-1 when the series is too short to split). Windowed means smooth
+// single-run jitter while still localizing where a trajectory stepped
+// down.
+func worstStep(series []float64, w int) (drop float64, at int) {
+	at = -1
+	if len(series) < 2 {
+		return 0, at
+	}
+	if half := len(series) / 2; w > half {
+		w = half
+	}
+	if w < 1 {
+		w = 1
+	}
+	for i := w; i+w <= len(series); i++ {
+		d := rel(mean(series[i-w:i]), mean(series[i:i+w]))
+		if at == -1 || d > drop {
+			drop, at = d, i
+		}
+	}
+	return drop, at
+}
+
+func mean(xs []float64) float64 {
+	var s float64
+	for _, x := range xs {
+		s += x
+	}
+	return s / float64(len(xs))
+}
+
+// runHistory validates the JSONL history and (unless lintOnly) gates the
+// per-model throughput trajectories on step detection. Returns whether
+// the gate failed.
+func runHistory(path string, window int, stepTol float64, lintOnly bool) bool {
+	runs, err := loadHistory(path)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchgate:", err)
+		return true
+	}
+	fmt.Printf("history: %d run(s) in %s\n", len(runs), path)
+	if lintOnly {
+		fmt.Println("history well-formed (lint only, trajectory not gated)")
+		return false
+	}
+	series := historySeries(runs)
+	keys := make([]string, 0, len(series))
+	for k := range series {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	failed := false
+	for _, k := range keys {
+		s := series[k]
+		drop, at := worstStep(s, window)
+		if at == -1 {
+			fmt.Printf("ok   %-22s %d run(s), too short for step detection\n", k, len(s))
+			continue
+		}
+		status := "ok  "
+		if drop > stepTol {
+			status = "FAIL"
+			failed = true
+		}
+		fmt.Printf("%s %-22s %d runs, latest %8.1f req/s, worst step %+.1f%% at run %d\n",
+			status, k, len(s), s[len(s)-1], -100*drop, at+1)
+	}
+	if failed {
+		fmt.Printf("\nhistory gate FAILED (step tolerance %.0f%%) — the throughput trajectory stepped down\n", stepTol*100)
+	}
+	return failed
 }
 
 func load(path string) (map[string]record, map[string]fusionRecord, error) {
@@ -72,24 +225,43 @@ func key(r record) string {
 
 func main() {
 	oldPath := flag.String("old", "BENCH_serve.json", "committed perf record")
-	newPath := flag.String("new", "", "freshly generated perf record")
-	tol := flag.Float64("tol", 0.2, "allowed relative regression (0.2 = 20%)")
+	newPath := flag.String("new", "", "freshly generated perf record (enables snapshot mode)")
+	tol := flag.Float64("tol", 0.2, "snapshot: allowed relative regression (0.2 = 20%)")
 	allocSlack := flag.Float64("alloc-slack", 50,
 		"absolute allocs/op increase always tolerated: sync.Pool refills after a GC recompile a plan inside the measurement window, which jitters the per-op figure by tens of allocs; a real loss of the compiled-plan path costs hundreds")
+	history := flag.String("history", "", "append-only JSONL perf history (enables trajectory mode)")
+	window := flag.Int("window", 3, "history: runs averaged on each side of a split point")
+	stepTol := flag.Float64("step-tol", 0.05, "history: relative windowed-mean throughput drop that fails the gate")
+	histLint := flag.Bool("history-lint", false, "history: validate JSONL well-formedness only, don't gate the trajectory")
 	flag.Parse()
-	if *newPath == "" {
-		fmt.Fprintln(os.Stderr, "benchgate: -new is required")
+	if *newPath == "" && *history == "" {
+		fmt.Fprintln(os.Stderr, "benchgate: -new and/or -history is required")
 		os.Exit(2)
 	}
-	oldRecs, oldFus, err := load(*oldPath)
-	if err != nil {
-		fmt.Fprintln(os.Stderr, "benchgate:", err)
-		os.Exit(2)
+	failed := false
+	if *history != "" {
+		failed = runHistory(*history, *window, *stepTol, *histLint) || failed
 	}
-	newRecs, newFus, err := load(*newPath)
+	if *newPath != "" {
+		failed = runSnapshot(*oldPath, *newPath, *tol, *allocSlack) || failed
+	}
+	if failed {
+		os.Exit(1)
+	}
+}
+
+// runSnapshot diffs the fresh perf record against the committed one and
+// reports whether the gate failed.
+func runSnapshot(oldPath, newPath string, tol, allocSlack float64) bool {
+	oldRecs, oldFus, err := load(oldPath)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "benchgate:", err)
-		os.Exit(2)
+		return true
+	}
+	newRecs, newFus, err := load(newPath)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchgate:", err)
+		return true
 	}
 
 	failed := false
@@ -103,7 +275,7 @@ func main() {
 		thrDrop := rel(o.ThroughputRPS, n.ThroughputRPS)
 		allocGrow := -rel(o.AllocsPerOp, n.AllocsPerOp)
 		status := "ok  "
-		if thrDrop > *tol {
+		if thrDrop > tol {
 			status = "FAIL"
 			failed = true
 		}
@@ -111,7 +283,7 @@ func main() {
 			status, k, o.ThroughputRPS, n.ThroughputRPS,
 			100*(n.ThroughputRPS-o.ThroughputRPS)/o.ThroughputRPS)
 		status = "ok  "
-		if allocGrow > *tol && n.AllocsPerOp-o.AllocsPerOp > *allocSlack {
+		if allocGrow > tol && n.AllocsPerOp-o.AllocsPerOp > allocSlack {
 			status = "FAIL"
 			failed = true
 		}
@@ -147,10 +319,11 @@ func main() {
 		}
 	}
 	if failed {
-		fmt.Printf("\nperf gate FAILED (tolerance %.0f%%) — if intentional, regenerate BENCH_serve.json\n", *tol*100)
-		os.Exit(1)
+		fmt.Printf("\nperf gate FAILED (tolerance %.0f%%) — if intentional, regenerate BENCH_serve.json\n", tol*100)
+		return true
 	}
-	fmt.Printf("\nperf gate passed (tolerance %.0f%%)\n", *tol*100)
+	fmt.Printf("\nperf gate passed (tolerance %.0f%%)\n", tol*100)
+	return false
 }
 
 // rel returns how far below base the candidate fell as a fraction of

@@ -1,0 +1,158 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"math"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// writeHistory writes one JSONL history line per throughput value, all
+// for the same single-model run shape ipuserve appends.
+func writeHistory(t *testing.T, path string, throughputs []float64) {
+	t.Helper()
+	var b strings.Builder
+	for i, thr := range throughputs {
+		h := historyRecord{
+			Schema:          historySchema,
+			GeneratedAt:     fmt.Sprintf("2026-08-%02dT00:00:00Z", i+1),
+			N:               1024,
+			DurationSeconds: 6,
+			Models:          []record{{Model: "butterfly", Shards: 2, ThroughputRPS: thr, AllocsPerOp: 2}},
+		}
+		line, err := json.Marshal(h)
+		if err != nil {
+			t.Fatal(err)
+		}
+		b.Write(line)
+		b.WriteByte('\n')
+	}
+	if err := os.WriteFile(path, []byte(b.String()), 0o644); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// gradualSeries is the acceptance fixture: a stable trajectory followed
+// by three consecutive 5% losses. Each individual drop — and even the
+// committed-baseline-vs-latest snapshot diff — stays inside the 20%
+// snapshot tolerance, but the trajectory clearly stepped down.
+func gradualSeries() []float64 {
+	s := []float64{2000, 2000, 2000, 2000, 2000, 2000, 2000, 2000}
+	last := s[len(s)-1]
+	for i := 0; i < 3; i++ {
+		last *= 0.95
+		s = append(s, last)
+	}
+	return s
+}
+
+func TestHistoryFlagsGradualRegressionSnapshotMisses(t *testing.T) {
+	series := gradualSeries()
+
+	// The single-snapshot gate at its 20% tolerance does NOT fire: the
+	// committed baseline (2000) vs the latest run compounds to ~14.3%.
+	first, latest := series[0], series[len(series)-1]
+	if d := rel(first, latest); d > 0.2 {
+		t.Fatalf("fixture broken: snapshot drop %.3f should be inside the 0.2 tolerance", d)
+	}
+
+	// The trajectory gate does fire: the windowed means around the step
+	// show a drop well beyond 5%.
+	drop, at := worstStep(series, 3)
+	if drop <= 0.05 {
+		t.Fatalf("worstStep = %.3f at %d, want > 0.05 (step detection must catch the gradual decline)", drop, at)
+	}
+	if at != 8 {
+		t.Fatalf("worst step localized at run %d, want 8 (where the decline starts)", at)
+	}
+
+	// End-to-end through the file loader and gate driver.
+	path := filepath.Join(t.TempDir(), "hist.jsonl")
+	writeHistory(t, path, series)
+	if !runHistory(path, 3, 0.05, false) {
+		t.Fatal("runHistory should fail on the injected gradual regression")
+	}
+	if runHistory(path, 3, 0.05, true) {
+		t.Fatal("lint-only mode must not gate the trajectory")
+	}
+}
+
+func TestHistoryStableTrajectoryPasses(t *testing.T) {
+	// ±2% jitter around a flat trajectory must not trip a 5% step gate.
+	series := []float64{2000, 1980, 2030, 1990, 2010, 1975, 2025, 2005}
+	drop, _ := worstStep(series, 3)
+	if drop > 0.05 {
+		t.Fatalf("worstStep = %.3f on jittery-but-flat series, want <= 0.05", drop)
+	}
+	path := filepath.Join(t.TempDir(), "hist.jsonl")
+	writeHistory(t, path, series)
+	if runHistory(path, 3, 0.05, false) {
+		t.Fatal("runHistory should pass a stable trajectory")
+	}
+}
+
+func TestWorstStepShortSeries(t *testing.T) {
+	if d, at := worstStep([]float64{100}, 3); at != -1 || d != 0 {
+		t.Fatalf("single-run series: got drop=%v at=%d, want 0, -1", d, at)
+	}
+	// Two runs: window shrinks to 1 and the gate still sees the cliff.
+	if d, _ := worstStep([]float64{100, 50}, 3); math.Abs(d-0.5) > 1e-12 {
+		t.Fatalf("two-run cliff: drop = %v, want 0.5", d)
+	}
+}
+
+func TestLoadHistoryRejectsMalformed(t *testing.T) {
+	dir := t.TempDir()
+
+	bad := filepath.Join(dir, "bad.jsonl")
+	good := `{"schema":1,"generated_at":"x","n":1024,"duration_s_per_model":6,"models":[{"model":"bf","shards":1,"throughput_rps":100,"allocs_per_op":2}]}`
+	if err := os.WriteFile(bad, []byte(good+"\n{not json\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := loadHistory(bad); err == nil || !strings.Contains(err.Error(), ":2:") {
+		t.Fatalf("malformed line should fail with its line number, got %v", err)
+	}
+
+	wrongSchema := filepath.Join(dir, "schema.jsonl")
+	if err := os.WriteFile(wrongSchema, []byte(strings.Replace(good, `"schema":1`, `"schema":99`, 1)+"\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := loadHistory(wrongSchema); err == nil || !strings.Contains(err.Error(), "schema 99") {
+		t.Fatalf("unknown schema should fail, got %v", err)
+	}
+
+	empty := filepath.Join(dir, "empty.jsonl")
+	if err := os.WriteFile(empty, []byte("\n\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := loadHistory(empty); err == nil {
+		t.Fatal("history with no records should fail")
+	}
+
+	noModels := filepath.Join(dir, "nomodels.jsonl")
+	if err := os.WriteFile(noModels, []byte(`{"schema":1,"models":[]}`+"\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := loadHistory(noModels); err == nil {
+		t.Fatal("record with no models should fail")
+	}
+}
+
+func TestHistorySeriesPivot(t *testing.T) {
+	runs := []historyRecord{
+		{Schema: 1, Models: []record{{Model: "a", Shards: 1, ThroughputRPS: 10}, {Model: "b", Shards: 2, ThroughputRPS: 20}}},
+		{Schema: 1, Models: []record{{Model: "a", Shards: 1, ThroughputRPS: 11}}},
+		{Schema: 1, Models: []record{{Model: "a", Shards: 1, ThroughputRPS: 12}, {Model: "b", Shards: 2, ThroughputRPS: 22}}},
+	}
+	series := historySeries(runs)
+	if got := series["a/s1"]; len(got) != 3 || got[2] != 12 {
+		t.Fatalf("series a/s1 = %v", got)
+	}
+	// b skipped the middle run; its series just has a gap.
+	if got := series["b/s2"]; len(got) != 2 || got[1] != 22 {
+		t.Fatalf("series b/s2 = %v", got)
+	}
+}

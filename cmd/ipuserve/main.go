@@ -26,7 +26,9 @@ import (
 	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
 	"math/rand"
+	"net"
 	"net/http"
 	"os"
 	"runtime"
@@ -89,6 +91,8 @@ func main() {
 		rps      = flag.Int("rps", 500, "loadgen: offered requests/second per method")
 		duration = flag.Duration("duration", 10*time.Second, "loadgen: time to offer load per method")
 		benchout = flag.String("benchout", "BENCH_serve.json", "loadgen: machine-readable perf record path (empty disables)")
+		history  = flag.String("history", "", "loadgen: append this run as one line of the JSONL perf history (empty disables)")
+		metout   = flag.String("metricsout", "", "loadgen: after the load, scrape /metrics over a real loopback listener and write the exposition here (empty disables)")
 		ipus     = flag.Int("ipus", 1, "modelled IPUs available per model (IPU-Link pod size)")
 		shards   = flag.Int("shards", 0, "shard count per model: 0 auto-picks the smallest that fits -ipu-mem")
 		ipuMemMB = flag.Int("ipu-mem", 0, "per-IPU memory budget in MB for the auto shard pick (0 = full chip SRAM)")
@@ -166,12 +170,22 @@ func main() {
 				}
 			}
 		}
-		runLoadgen(reg, base, specs, bcfg, *rps, *duration, *benchout)
+		runLoadgen(reg, base, specs, bcfg, *rps, *duration, *benchout, *history, *metout)
 		return
 	}
 
-	fmt.Printf("serving on %s (POST /predict, GET /models, GET /stats)\n", *addr)
-	if err := http.ListenAndServe(*addr, serve.NewServer(reg)); err != nil {
+	fmt.Printf("serving on %s (POST /predict, GET /models, GET /stats, GET /metrics, GET /debug/traces, GET /healthz)\n", *addr)
+	// Bounded server timeouts so a stalled or malicious client can't pin
+	// a connection (and its goroutine) forever.
+	srv := &http.Server{
+		Addr:              *addr,
+		Handler:           serve.NewServer(reg),
+		ReadHeaderTimeout: 5 * time.Second,
+		ReadTimeout:       15 * time.Second,
+		WriteTimeout:      30 * time.Second,
+		IdleTimeout:       2 * time.Minute,
+	}
+	if err := srv.ListenAndServe(); err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)
 	}
@@ -233,7 +247,24 @@ type benchFile struct {
 	FusionProbes    []fusionProbe `json:"fusion_probes"`
 }
 
-func runLoadgen(reg, base *serve.Registry, specs []serve.ModelSpec, bcfg serve.BatcherConfig, rps int, duration time.Duration, benchout string) {
+// historySchema versions the JSONL history lines; cmd/benchgate rejects
+// lines carrying a different version.
+const historySchema = 1
+
+// historyRecord is one line of the append-only perf history
+// (BENCH_history.jsonl): everything one loadgen run measured, stamped
+// with the schema version and the commit under test. benchgate's
+// trajectory gate reads a subset of these fields.
+type historyRecord struct {
+	Schema          int           `json:"schema"`
+	GeneratedAt     string        `json:"generated_at"`
+	Commit          string        `json:"commit,omitempty"`
+	N               int           `json:"n"`
+	DurationSeconds float64       `json:"duration_s_per_model"`
+	Models          []benchRecord `json:"models"`
+}
+
+func runLoadgen(reg, base *serve.Registry, specs []serve.ModelSpec, bcfg serve.BatcherConfig, rps int, duration time.Duration, benchout, history, metricsout string) {
 	fmt.Printf("\nload: %d req/s per model for %v each\n\n", rps, duration)
 	fmt.Printf("%-10s %7s %8s %6s %10s %9s %9s %9s %9s %7s %10s %9s\n",
 		"model", "shards", "done", "err", "thr(req/s)", "p50(ms)", "p95(ms)", "p99(ms)", "avg.batch", "hit%", "allocs/op", "ipu(µs/req)")
@@ -335,6 +366,29 @@ func runLoadgen(reg, base *serve.Registry, specs []serve.ModelSpec, bcfg serve.B
 			fp.TrafficReduction)
 	}
 
+	if metricsout != "" {
+		if err := scrapeMetrics(reg, metricsout); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		fmt.Printf("metrics exposition written to %s\n", metricsout)
+	}
+
+	if history != "" {
+		if err := appendHistory(history, historyRecord{
+			Schema:          historySchema,
+			GeneratedAt:     time.Now().UTC().Format(time.RFC3339),
+			Commit:          os.Getenv("GITHUB_SHA"),
+			N:               n,
+			DurationSeconds: duration.Seconds(),
+			Models:          records,
+		}); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		fmt.Printf("perf history appended to %s\n", history)
+	}
+
 	if benchout == "" {
 		return
 	}
@@ -356,6 +410,52 @@ func runLoadgen(reg, base *serve.Registry, specs []serve.ModelSpec, bcfg serve.B
 		os.Exit(1)
 	}
 	fmt.Printf("perf record written to %s\n", benchout)
+}
+
+// appendHistory writes one compact JSON line to the append-only perf
+// history, creating the file on first use. Appends are whole-line and
+// O_APPEND, so concurrent runs interleave at line granularity.
+func appendHistory(path string, rec historyRecord) error {
+	line, err := json.Marshal(rec)
+	if err != nil {
+		return err
+	}
+	f, err := os.OpenFile(path, os.O_APPEND|os.O_CREATE|os.O_WRONLY, 0o644)
+	if err != nil {
+		return err
+	}
+	if _, err := f.Write(append(line, '\n')); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// scrapeMetrics serves the registry on a loopback listener and fetches
+// /metrics over real HTTP — the same path a Prometheus scrape takes — so
+// the written exposition proves the endpoint end-to-end, not just the
+// encoder.
+func scrapeMetrics(reg *serve.Registry, path string) error {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return fmt.Errorf("metrics scrape: %w", err)
+	}
+	srv := &http.Server{Handler: serve.NewServer(reg), ReadHeaderTimeout: 5 * time.Second}
+	go srv.Serve(ln)
+	defer srv.Close()
+	resp, err := http.Get("http://" + ln.Addr().String() + "/metrics")
+	if err != nil {
+		return fmt.Errorf("metrics scrape: %w", err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("metrics scrape: status %s", resp.Status)
+	}
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return fmt.Errorf("metrics scrape: %w", err)
+	}
+	return os.WriteFile(path, body, 0o644)
 }
 
 // probeAllocs measures heap allocations per request of the registered

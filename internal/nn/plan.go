@@ -3,6 +3,7 @@ package nn
 import (
 	"errors"
 	"fmt"
+	"time"
 
 	"repro/internal/tensor"
 )
@@ -79,6 +80,12 @@ type Plan struct {
 	// to the final silhouette when compiled with NoFuse), kept so Stats
 	// can report the fusion win without compiling a second plan.
 	preFusion []stepShape
+
+	// stepNanos holds the wall-clock duration of each step of the most
+	// recent Execute — the measured counterpart the serving layer lines
+	// up against the modelled per-step cost. Plan-owned and overwritten
+	// every Execute, so recording it allocates nothing.
+	stepNanos []int64
 
 	ws         *tensor.Workspace
 	bufA, bufB []float32
@@ -174,6 +181,7 @@ func (s *Sequential) CompilePlanOpts(maxBatch int, opts PlanOptions) (*Plan, err
 	}
 	p.bufA = make([]float32, maxBatch*wA)
 	p.bufB = make([]float32, maxBatch*wB)
+	p.stepNanos = make([]int64, len(p.steps))
 
 	// Two warm-up executions: the first records every buffer's demand, the
 	// second runs after the workspace has grown to it, leaving the arena at
@@ -431,12 +439,20 @@ func (p *Plan) Execute(x *tensor.Matrix) (*tensor.Matrix, error) {
 		act.Rows, act.Cols = x.Rows, st.cols
 		act.Data = buf[:x.Rows*st.cols]
 		p.ws.Reset()
+		t0 := time.Now()
 		st.run(act, cur, p.ws)
+		p.stepNanos[i] = time.Since(t0).Nanoseconds()
 		cur = act
 		useA = !useA
 	}
 	return cur, nil
 }
+
+// LastStepNanos returns the wall-clock duration, in nanoseconds, of each
+// step of the most recent Execute (index-aligned with Step/Steps). The
+// slice is plan-owned and overwritten by the next Execute — copy it to
+// retain. Before the first Execute all entries are zero.
+func (p *Plan) LastStepNanos() []int64 { return p.stepNanos }
 
 // inputWidth infers the feature width a layer consumes; layers without a
 // declared width (e.g. a leading ReLU) cannot head a plan.

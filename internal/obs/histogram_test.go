@@ -1,0 +1,118 @@
+package obs
+
+import (
+	"math"
+	"sync"
+	"testing"
+)
+
+func TestExpBuckets(t *testing.T) {
+	b := ExpBuckets(1e-6, 2, 4)
+	want := []float64{1e-6, 2e-6, 4e-6, 8e-6}
+	if len(b) != len(want) {
+		t.Fatalf("got %d buckets, want %d", len(b), len(want))
+	}
+	for i := range want {
+		if math.Abs(b[i]-want[i]) > 1e-18 {
+			t.Fatalf("bucket %d = %v, want %v", i, b[i], want[i])
+		}
+	}
+}
+
+func TestHistogramObserveAndCounts(t *testing.T) {
+	h := NewHistogram([]float64{1, 10, 100})
+	for _, v := range []float64{0.5, 1, 5, 50, 500} {
+		h.Observe(v)
+	}
+	counts := h.BucketCounts()
+	// le=1 holds {0.5, 1}; le=10 holds {5}; le=100 holds {50}; +Inf {500}.
+	want := []int64{2, 1, 1, 1}
+	for i, w := range want {
+		if counts[i] != w {
+			t.Fatalf("bucket %d = %d, want %d (counts %v)", i, counts[i], w, counts)
+		}
+	}
+	if h.Count() != 5 {
+		t.Fatalf("count = %d, want 5", h.Count())
+	}
+	if math.Abs(h.Sum()-556.5) > 1e-9 {
+		t.Fatalf("sum = %v, want 556.5", h.Sum())
+	}
+}
+
+func TestHistogramQuantile(t *testing.T) {
+	h := NewHistogram(ExpBuckets(1, 2, 10)) // 1..512
+	for i := 0; i < 100; i++ {
+		h.Observe(3) // bucket le=4
+	}
+	for i := 0; i < 100; i++ {
+		h.Observe(30) // bucket le=32
+	}
+	if q := h.Quantile(0.25); q < 2 || q > 4 {
+		t.Fatalf("p25 = %v, want within (2, 4]", q)
+	}
+	if q := h.Quantile(0.95); q < 16 || q > 32 {
+		t.Fatalf("p95 = %v, want within (16, 32]", q)
+	}
+	// Quantiles are monotone in q.
+	if h.Quantile(0.1) > h.Quantile(0.9) {
+		t.Fatal("quantiles not monotone")
+	}
+	empty := NewHistogram([]float64{1})
+	if !math.IsNaN(empty.Quantile(0.5)) {
+		t.Fatal("empty histogram quantile should be NaN")
+	}
+}
+
+func TestHistogramMerge(t *testing.T) {
+	a := NewHistogram([]float64{1, 10})
+	b := NewHistogram([]float64{1, 10})
+	a.Observe(0.5)
+	a.Observe(5)
+	b.Observe(5)
+	b.Observe(50)
+	if err := a.Merge(b); err != nil {
+		t.Fatal(err)
+	}
+	if a.Count() != 4 {
+		t.Fatalf("merged count = %d, want 4", a.Count())
+	}
+	counts := a.BucketCounts()
+	want := []int64{1, 2, 1}
+	for i, w := range want {
+		if counts[i] != w {
+			t.Fatalf("merged bucket %d = %d, want %d", i, counts[i], w)
+		}
+	}
+	if math.Abs(a.Sum()-60.5) > 1e-9 {
+		t.Fatalf("merged sum = %v, want 60.5", a.Sum())
+	}
+
+	c := NewHistogram([]float64{1, 20})
+	if err := a.Merge(c); err == nil {
+		t.Fatal("merging mismatched bounds should error")
+	}
+	d := NewHistogram([]float64{1})
+	if err := a.Merge(d); err == nil {
+		t.Fatal("merging different bucket counts should error")
+	}
+}
+
+func TestHistogramConcurrentObserve(t *testing.T) {
+	h := NewHistogram(ExpBuckets(1, 2, 8))
+	const goroutines, perG = 8, 5000
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < perG; i++ {
+				h.Observe(float64(1 + g%4))
+			}
+		}(g)
+	}
+	wg.Wait()
+	if h.Count() != goroutines*perG {
+		t.Fatalf("count = %d, want %d", h.Count(), goroutines*perG)
+	}
+}

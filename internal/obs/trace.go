@@ -1,0 +1,201 @@
+package obs
+
+import (
+	"context"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// MaxSpans bounds how many spans one trace records; spans beyond it are
+// dropped (counted in Truncated). 32 covers the deepest pipeline the
+// stack produces: HTTP decode + queue wait + execute + one span per
+// sharded butterfly micro-step + cost lookup + response write.
+const MaxSpans = 32
+
+// Span is one timed stage of a request, offset-encoded against the
+// trace's start so a trace serializes without per-span wall clocks.
+type Span struct {
+	Name       string `json:"name"`
+	StartNanos int64  `json:"start_ns"` // offset from the trace start
+	DurNanos   int64  `json:"dur_ns"`
+}
+
+// Trace is the per-request record of one sampled request's path through
+// the serving pipeline. Traces are pooled: a Trace obtained from
+// Tracer.Sample is owned by the caller until Finish, after which the
+// tracer may recycle it — do not retain it past Finish.
+type Trace struct {
+	ID         uint64    `json:"id"`
+	Model      string    `json:"model"`
+	Start      time.Time `json:"start"`
+	TotalNanos int64     `json:"total_ns"`
+	Batch      int       `json:"batch,omitempty"`
+	Error      string    `json:"error,omitempty"`
+	Truncated  int       `json:"truncated_spans,omitempty"`
+	Spans      []Span    `json:"spans"`
+
+	spans [MaxSpans]Span // backing store; Spans aliases it
+}
+
+func (t *Trace) reset() {
+	*t = Trace{}
+	t.Spans = t.spans[:0]
+}
+
+// AddSpan records a span by explicit offset and duration (nanoseconds
+// from the trace start). Allocation-free; silently drops spans past
+// MaxSpans.
+func (t *Trace) AddSpan(name string, startNanos, durNanos int64) {
+	if len(t.Spans) == MaxSpans {
+		t.Truncated++
+		return
+	}
+	t.Spans = append(t.Spans, Span{Name: name, StartNanos: startNanos, DurNanos: durNanos})
+}
+
+// AddSpanAt records a span from a wall-clock start time and duration,
+// converting to the trace's offset encoding.
+func (t *Trace) AddSpanAt(name string, start time.Time, d time.Duration) {
+	t.AddSpan(name, start.Sub(t.Start).Nanoseconds(), d.Nanoseconds())
+}
+
+// Tracer samples one request in every sampleEvery and keeps the last
+// keep finished traces in a ring buffer for /debug/traces. Sampling,
+// recording and finishing are allocation-free at steady state: traces
+// are pooled, and a trace evicted from the ring returns to the pool.
+type Tracer struct {
+	every uint64
+	seq   atomic.Uint64
+	ids   atomic.Uint64
+	pool  sync.Pool
+
+	mu   sync.Mutex
+	ring []*Trace
+	next int
+	n    int
+}
+
+// NewTracer creates a tracer sampling one request per sampleEvery
+// (minimum 1 = every request) and retaining the last keep traces.
+func NewTracer(sampleEvery, keep int) *Tracer {
+	if sampleEvery < 1 {
+		sampleEvery = 1
+	}
+	if keep < 1 {
+		keep = 1
+	}
+	t := &Tracer{every: uint64(sampleEvery), ring: make([]*Trace, keep)}
+	t.pool.New = func() any { return &Trace{} }
+	return t
+}
+
+// SampleEvery returns the sampling period.
+func (t *Tracer) SampleEvery() int { return int(t.every) }
+
+// Sample returns a fresh trace for this request if it falls on the
+// sampling grid, nil otherwise (the common, zero-cost case). The caller
+// must either Finish the trace or hand it to someone who will.
+func (t *Tracer) Sample(model string) *Trace {
+	if t == nil {
+		return nil
+	}
+	if t.seq.Add(1)%t.every != 0 {
+		return nil
+	}
+	tr := t.pool.Get().(*Trace)
+	tr.reset()
+	tr.ID = t.ids.Add(1)
+	tr.Model = model
+	tr.Start = time.Now()
+	return tr
+}
+
+// Finish stamps the trace's total duration and publishes it to the ring,
+// recycling the trace the ring slot evicts. The trace must not be
+// touched after Finish.
+func (t *Tracer) Finish(tr *Trace) {
+	if t == nil || tr == nil {
+		return
+	}
+	tr.TotalNanos = time.Since(tr.Start).Nanoseconds()
+	t.mu.Lock()
+	old := t.ring[t.next]
+	t.ring[t.next] = tr
+	t.next = (t.next + 1) % len(t.ring)
+	if t.n < len(t.ring) {
+		t.n++
+	}
+	t.mu.Unlock()
+	if old != nil {
+		t.pool.Put(old)
+	}
+}
+
+// TraceRecord is the detached, JSON-ready copy of one finished trace
+// that Snapshot hands out (safe to hold after the pooled original is
+// recycled).
+type TraceRecord struct {
+	ID         uint64    `json:"id"`
+	Model      string    `json:"model"`
+	Start      time.Time `json:"start"`
+	TotalNanos int64     `json:"total_ns"`
+	Batch      int       `json:"batch,omitempty"`
+	Error      string    `json:"error,omitempty"`
+	Truncated  int       `json:"truncated_spans,omitempty"`
+	Spans      []Span    `json:"spans"`
+}
+
+// Snapshot returns copies of the retained traces, most recent last.
+func (t *Tracer) Snapshot() []TraceRecord {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	out := make([]TraceRecord, 0, t.n)
+	for i := 0; i < t.n; i++ {
+		// Oldest first: the slot after next (when full) wraps to the start.
+		idx := (t.next - t.n + i + len(t.ring)) % len(t.ring)
+		tr := t.ring[idx]
+		out = append(out, TraceRecord{
+			ID:         tr.ID,
+			Model:      tr.Model,
+			Start:      tr.Start,
+			TotalNanos: tr.TotalNanos,
+			Batch:      tr.Batch,
+			Error:      tr.Error,
+			Truncated:  tr.Truncated,
+			Spans:      append([]Span(nil), tr.Spans...),
+		})
+	}
+	return out
+}
+
+// ctxKey is the context key traces travel under between the HTTP layer
+// and the model's Predict.
+type ctxKey struct{}
+
+// WithTrace attaches a trace to the context (allocates; only called on
+// sampled requests). Passing tr == nil marks the context as having had
+// its sampling decision made upstream without attaching a trace — see
+// TraceDecided.
+func WithTrace(ctx context.Context, tr *Trace) context.Context {
+	return context.WithValue(ctx, ctxKey{}, tr)
+}
+
+// TraceFrom returns the trace attached to the context, or nil.
+func TraceFrom(ctx context.Context) *Trace {
+	tr, _ := ctx.Value(ctxKey{}).(*Trace)
+	return tr
+}
+
+// TraceDecided reports whether an upstream layer already made the
+// sampling decision for this context (sampled or not). Downstream
+// self-sampling must check this before drawing from the tracer, or each
+// request advances the sample counter once per layer and an even
+// sampling period can starve one layer of samples entirely.
+func TraceDecided(ctx context.Context) bool {
+	_, ok := ctx.Value(ctxKey{}).(*Trace)
+	return ok
+}

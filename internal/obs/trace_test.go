@@ -1,0 +1,135 @@
+package obs
+
+import (
+	"context"
+	"testing"
+	"time"
+)
+
+func TestTracerSampleEvery(t *testing.T) {
+	tr := NewTracer(4, 16)
+	sampled := 0
+	for i := 0; i < 100; i++ {
+		if s := tr.Sample("m"); s != nil {
+			sampled++
+			tr.Finish(s)
+		}
+	}
+	if sampled != 25 {
+		t.Fatalf("sampled %d of 100 at 1/4, want 25", sampled)
+	}
+}
+
+func TestTracerRingKeepsLastN(t *testing.T) {
+	tr := NewTracer(1, 3)
+	for i := 0; i < 5; i++ {
+		s := tr.Sample("m")
+		if s == nil {
+			t.Fatal("sampleEvery=1 must sample every request")
+		}
+		s.AddSpan("stage", 0, int64(i))
+		tr.Finish(s)
+	}
+	snap := tr.Snapshot()
+	if len(snap) != 3 {
+		t.Fatalf("ring kept %d traces, want 3", len(snap))
+	}
+	// Oldest first: IDs 3, 4, 5 survive out of 1..5.
+	for i, want := range []uint64{3, 4, 5} {
+		if snap[i].ID != want {
+			t.Fatalf("snapshot[%d].ID = %d, want %d", i, snap[i].ID, want)
+		}
+	}
+}
+
+func TestTraceSpansAndReset(t *testing.T) {
+	tr := NewTracer(1, 2)
+	s := tr.Sample("bf")
+	start := s.Start
+	s.AddSpanAt("decode", start.Add(10*time.Nanosecond), 5*time.Nanosecond)
+	s.AddSpan("execute", 20, 30)
+	s.Batch = 4
+	tr.Finish(s)
+
+	snap := tr.Snapshot()
+	if len(snap) != 1 {
+		t.Fatalf("got %d traces, want 1", len(snap))
+	}
+	got := snap[0]
+	if got.Model != "bf" || got.Batch != 4 || len(got.Spans) != 2 {
+		t.Fatalf("trace = %+v", got)
+	}
+	if got.Spans[0].Name != "decode" || got.Spans[0].StartNanos != 10 || got.Spans[0].DurNanos != 5 {
+		t.Fatalf("span 0 = %+v", got.Spans[0])
+	}
+
+	// A recycled trace starts clean.
+	s2 := tr.Sample("other")
+	s3 := tr.Sample("other2") // evicts nothing yet; fill the ring
+	tr.Finish(s2)
+	tr.Finish(s3)
+	s4 := tr.Sample("fresh") // this Get may reuse the first trace
+	if len(s4.Spans) != 0 || s4.Batch != 0 || s4.Error != "" {
+		t.Fatalf("recycled trace not reset: %+v", s4)
+	}
+	tr.Finish(s4)
+}
+
+func TestTraceSpanTruncation(t *testing.T) {
+	tr := NewTracer(1, 1)
+	s := tr.Sample("m")
+	for i := 0; i < MaxSpans+5; i++ {
+		s.AddSpan("s", int64(i), 1)
+	}
+	if len(s.Spans) != MaxSpans {
+		t.Fatalf("spans = %d, want capped at %d", len(s.Spans), MaxSpans)
+	}
+	if s.Truncated != 5 {
+		t.Fatalf("truncated = %d, want 5", s.Truncated)
+	}
+	tr.Finish(s)
+}
+
+func TestTraceContext(t *testing.T) {
+	if TraceFrom(context.Background()) != nil {
+		t.Fatal("empty context should carry no trace")
+	}
+	tr := NewTracer(1, 1)
+	s := tr.Sample("m")
+	ctx := WithTrace(context.Background(), s)
+	if TraceFrom(ctx) != s {
+		t.Fatal("trace lost in context round-trip")
+	}
+	tr.Finish(s)
+}
+
+func TestTraceDecided(t *testing.T) {
+	ctx := context.Background()
+	if TraceDecided(ctx) {
+		t.Fatal("empty context should have no sampling decision")
+	}
+	// A negative decision (nil trace) still counts as decided, so
+	// downstream layers don't re-draw from the shared counter.
+	neg := WithTrace(ctx, nil)
+	if !TraceDecided(neg) || TraceFrom(neg) != nil {
+		t.Fatal("nil-trace decision lost in context round-trip")
+	}
+	tr := NewTracer(1, 1)
+	s := tr.Sample("m")
+	pos := WithTrace(ctx, s)
+	if !TraceDecided(pos) || TraceFrom(pos) != s {
+		t.Fatal("sampled decision lost in context round-trip")
+	}
+	tr.Finish(s)
+}
+
+func TestNilTracerIsSafe(t *testing.T) {
+	var tr *Tracer
+	if tr.Sample("m") != nil {
+		t.Fatal("nil tracer must not sample")
+	}
+	tr.Finish(nil)
+	if tr.Snapshot() != nil {
+		t.Fatal("nil tracer snapshot should be nil")
+	}
+}

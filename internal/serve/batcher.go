@@ -8,6 +8,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"repro/internal/obs"
 	"repro/internal/tensor"
 )
 
@@ -43,8 +44,31 @@ func (c BatcherConfig) withDefaults() BatcherConfig {
 	return c
 }
 
+// maxTraceSteps bounds how many per-step plan timings ride a response
+// back to the request that asked for them — sized for the deepest
+// compiled program the stack produces (a sharded butterfly lowers to
+// log2(N/S) + log2(S) micro-steps plus the classifier tail).
+const maxTraceSteps = 24
+
+// execInfo is the per-batch execution report the inference function
+// fills in: how many compiled-plan steps ran and how long each took.
+// One instance lives per worker and is reused across batches, so the
+// timing plumbing allocates nothing.
+type execInfo struct {
+	nsteps    int
+	stepNanos [maxTraceSteps]int64
+}
+
+func (e *execInfo) reset() { e.nsteps = 0 }
+
+// runFunc is the internal batch-inference signature: like the public
+// NewBatcher contract, plus an optional execution report for the
+// per-request traces (implementations may ignore it).
+type runFunc func(x *tensor.Matrix, info *execInfo) *tensor.Matrix
+
 type request struct {
 	features []float32
+	enq      time.Time // when Do handed the request to the collector
 	resp     chan response
 }
 
@@ -52,6 +76,16 @@ type response struct {
 	scores []float32
 	batch  int
 	err    error
+
+	// Timing block for the per-request trace: when the batch's inference
+	// started, how long this request waited in the queue before that,
+	// how long the inference ran, and the compiled plan's per-step
+	// durations (valid for the first nsteps entries).
+	execStart  time.Time
+	queueNanos int64
+	execNanos  int64
+	nsteps     int
+	stepNanos  [maxTraceSteps]int64
 }
 
 // reqPool recycles request structs (and their 1-buffered response
@@ -66,9 +100,10 @@ var reqPool = sync.Pool{New: func() any { return &request{resp: make(chan respon
 // (flushing on MaxBatch or MaxDelay, whichever first); a pool of workers
 // executes them.
 type Batcher struct {
-	cfg BatcherConfig
-	dim int
-	run func(*tensor.Matrix) *tensor.Matrix
+	cfg  BatcherConfig
+	dim  int
+	run  runFunc
+	mets *batcherMetrics // nil when the batcher is not instrumented
 
 	reqs    chan *request
 	batches chan *batchBuf
@@ -85,6 +120,15 @@ type Batcher struct {
 	maxSeen atomic.Int64
 }
 
+// batcherMetrics is the obs instrumentation of one batcher: why batches
+// flushed and how big they were. Fixed at construction so the collector
+// goroutine reads it without synchronization.
+type batcherMetrics struct {
+	flushFull    *obs.Counter   // batch reached MaxBatch
+	flushTimeout *obs.Counter   // MaxDelay expired first
+	batchSize    *obs.Histogram // coalesced requests per flush
+}
+
 // NewBatcher starts a batcher over run, which must accept a (rows × dim)
 // matrix and return a (rows × anything) matrix; it is called from multiple
 // goroutines concurrently and must be read-only with respect to shared
@@ -94,11 +138,22 @@ type Batcher struct {
 // row views of it to responses — run must return a matrix whose rows are
 // safe to alias until the callers are done with their scores.
 func NewBatcher(dim int, cfg BatcherConfig, run func(*tensor.Matrix) *tensor.Matrix) *Batcher {
+	return newBatcher(dim, cfg, nil, func(x *tensor.Matrix, _ *execInfo) *tensor.Matrix {
+		return run(x)
+	})
+}
+
+// newBatcher is the internal constructor: the run function may fill in
+// the per-batch execution report, and mets (optional) wires the flush
+// counters and batch-size histogram. Both are fixed before the collector
+// and worker goroutines start, so they need no synchronization.
+func newBatcher(dim int, cfg BatcherConfig, mets *batcherMetrics, run runFunc) *Batcher {
 	cfg = cfg.withDefaults()
 	b := &Batcher{
 		cfg:     cfg,
 		dim:     dim,
 		run:     run,
+		mets:    mets,
 		reqs:    make(chan *request),
 		batches: make(chan *batchBuf, cfg.QueueCap),
 		stopped: make(chan struct{}),
@@ -118,32 +173,45 @@ func NewBatcher(dim int, cfg BatcherConfig, run func(*tensor.Matrix) *tensor.Mat
 // Do submits one feature row and blocks until its batch has executed. It
 // returns the row's scores and the size of the batch it rode in.
 func (b *Batcher) Do(ctx context.Context, features []float32) ([]float32, int, error) {
+	resp, err := b.do(ctx, features)
+	if err != nil {
+		return nil, 0, err
+	}
+	return resp.scores, resp.batch, resp.err
+}
+
+// do is Do returning the full response, timing block included, for
+// callers that feed per-request traces. The returned response is a value
+// copy; the error covers submission/shutdown failures while resp.err
+// covers inference failures.
+func (b *Batcher) do(ctx context.Context, features []float32) (response, error) {
 	r := reqPool.Get().(*request)
 	r.features = features
+	r.enq = time.Now()
 	select {
 	case b.reqs <- r:
 	case <-b.stopped:
 		b.release(r)
-		return nil, 0, ErrStopped
+		return response{}, ErrStopped
 	case <-ctx.Done():
 		b.release(r)
-		return nil, 0, ctx.Err()
+		return response{}, ctx.Err()
 	}
 	select {
 	case resp := <-r.resp:
 		b.release(r)
-		return resp.scores, resp.batch, resp.err
+		return resp, nil
 	case <-b.stopped:
 		// A worker may have answered concurrently with the shutdown.
 		select {
 		case resp := <-r.resp:
 			b.release(r)
-			return resp.scores, resp.batch, resp.err
+			return resp, nil
 		default:
-			return nil, 0, ErrStopped
+			return response{}, ErrStopped
 		}
 	case <-ctx.Done():
-		return nil, 0, ctx.Err()
+		return response{}, ctx.Err()
 	}
 }
 
@@ -224,6 +292,14 @@ func (b *Batcher) collect() {
 		if !expired && !timer.Stop() {
 			<-timer.C
 		}
+		if b.mets != nil {
+			b.mets.batchSize.Observe(float64(len(bb.reqs)))
+			if expired {
+				b.mets.flushTimeout.Inc()
+			} else {
+				b.mets.flushFull.Inc()
+			}
+		}
 		select {
 		case b.batches <- bb:
 		case <-b.stopped:
@@ -255,13 +331,16 @@ func (b *Batcher) work() {
 	// once and is recycled across batches, so batch assembly allocates
 	// nothing at steady state.
 	in := &tensor.Matrix{Cols: b.dim}
+	// One execution report per worker, reused across batches, so the
+	// per-step timing plumbing never allocates at steady state.
+	info := new(execInfo)
 	for bb := range b.batches {
-		b.exec(bb.reqs, in)
+		b.exec(bb.reqs, in, info)
 		b.putBatch(bb)
 	}
 }
 
-func (b *Batcher) exec(batch []*request, in *tensor.Matrix) {
+func (b *Batcher) exec(batch []*request, in *tensor.Matrix, info *execInfo) {
 	n := len(batch)
 	if cap(in.Data) < n*b.dim {
 		in.Data = make([]float32, n*b.dim)
@@ -271,7 +350,10 @@ func (b *Batcher) exec(batch []*request, in *tensor.Matrix) {
 	for i, r := range batch {
 		copy(in.Data[i*b.dim:(i+1)*b.dim], r.features)
 	}
-	y, err := b.safeRun(in)
+	info.reset()
+	execStart := time.Now()
+	y, err := b.safeRun(in, info)
+	execNanos := time.Since(execStart).Nanoseconds()
 	if err != nil {
 		fail(batch, err)
 		return
@@ -284,8 +366,13 @@ func (b *Batcher) exec(batch []*request, in *tensor.Matrix) {
 		// row boundary so a caller appending to its scores reallocates
 		// instead of writing into the next request's row.
 		r.resp <- response{
-			scores: y.Data[i*cols : (i+1)*cols : (i+1)*cols],
-			batch:  n,
+			scores:     y.Data[i*cols : (i+1)*cols : (i+1)*cols],
+			batch:      n,
+			execStart:  execStart,
+			queueNanos: execStart.Sub(r.enq).Nanoseconds(),
+			execNanos:  execNanos,
+			nsteps:     info.nsteps,
+			stepNanos:  info.stepNanos,
 		}
 	}
 	b.nreq.Add(int64(len(batch)))
@@ -300,13 +387,13 @@ func (b *Batcher) exec(batch []*request, in *tensor.Matrix) {
 
 // safeRun converts inference panics into per-request errors so one bad
 // batch cannot take the worker pool down.
-func (b *Batcher) safeRun(x *tensor.Matrix) (y *tensor.Matrix, err error) {
+func (b *Batcher) safeRun(x *tensor.Matrix, info *execInfo) (y *tensor.Matrix, err error) {
 	defer func() {
 		if r := recover(); r != nil {
 			err = fmt.Errorf("serve: inference panic: %v", r)
 		}
 	}()
-	y = b.run(x)
+	y = b.run(x, info)
 	if y.Rows != x.Rows {
 		return nil, fmt.Errorf("serve: inference returned %d rows for a %d-row batch", y.Rows, x.Rows)
 	}

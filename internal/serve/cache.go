@@ -56,10 +56,11 @@ type ProgramCost struct {
 
 // CacheStats exposes the hit/miss counters of the program cache.
 type CacheStats struct {
-	Hits    int64   `json:"hits"`
-	Misses  int64   `json:"misses"`
-	Entries int     `json:"entries"`
-	HitRate float64 `json:"hit_rate"`
+	Hits      int64   `json:"hits"`
+	Misses    int64   `json:"misses"`
+	Evictions int64   `json:"evictions"`
+	Entries   int     `json:"entries"`
+	HitRate   float64 `json:"hit_rate"`
 }
 
 type programKey struct {
@@ -95,6 +96,7 @@ type Program struct {
 	costErr  error
 	cfg      ipu.Config
 	build    workloadBuilder
+	mets     *cacheMetrics // inherited from the cache; nil when uninstrumented
 
 	// net is the host network plans compile from; set the first time the
 	// program is requested with a network attached (cost-only callers pass
@@ -133,6 +135,9 @@ func (p *Program) Cost() (*ProgramCost, error) {
 		if p.costErr != nil {
 			p.costDone.Store(true)
 			return
+		}
+		if p.mets != nil {
+			p.mets.compile.Observe(p.cost.CompileSeconds)
 		}
 		pl, err := p.fusionCost(p.cost)
 		if err != nil {
@@ -275,8 +280,13 @@ type ProgramCache struct {
 	mu      sync.Mutex
 	entries map[programKey]*Program
 
-	hits   atomic.Int64
-	misses atomic.Int64
+	hits      atomic.Int64
+	misses    atomic.Int64
+	evictions atomic.Int64
+
+	// mets is the cache's instrument set, installed once (before any
+	// Program exists) by the owning registry; nil when uninstrumented.
+	mets *cacheMetrics
 }
 
 // NewProgramCache creates a cache compiling against the given device
@@ -329,7 +339,7 @@ func (c *ProgramCache) lookup(name string, version, batch, shards int, net *nn.S
 	c.mu.Lock()
 	p, ok := c.entries[key]
 	if !ok {
-		p = &Program{batch: batch, shards: shards, topo: c.topo, budget: c.budget, cfg: c.cfg, build: build}
+		p = &Program{batch: batch, shards: shards, topo: c.topo, budget: c.budget, cfg: c.cfg, build: build, mets: c.mets}
 		c.entries[key] = p
 	}
 	if count {
@@ -360,6 +370,7 @@ func (c *ProgramCache) Evict(name string, version int) {
 	for k := range c.entries {
 		if k.model == name && k.version == version {
 			delete(c.entries, k)
+			c.evictions.Add(1)
 		}
 	}
 	c.mu.Unlock()
@@ -390,9 +401,10 @@ func (c *ProgramCache) Stats() CacheStats {
 	entries := len(c.entries)
 	c.mu.Unlock()
 	s := CacheStats{
-		Hits:    c.hits.Load(),
-		Misses:  c.misses.Load(),
-		Entries: entries,
+		Hits:      c.hits.Load(),
+		Misses:    c.misses.Load(),
+		Evictions: c.evictions.Load(),
+		Entries:   entries,
 	}
 	if total := s.Hits + s.Misses; total > 0 {
 		s.HitRate = float64(s.Hits) / float64(total)

@@ -5,6 +5,7 @@ import (
 
 	"repro/internal/baselines"
 	"repro/internal/butterfly"
+	"repro/internal/factorize"
 	"repro/internal/ipu"
 	"repro/internal/nn"
 )
@@ -40,7 +41,22 @@ func (r *Registry) RegisterCompressed(newName, srcName string, opts nn.CompressO
 		// label and spec-derived workload pricing.
 		label = src.methodLabel
 	}
-	return r.install(spec, net, label, wb), reports, nil
+	return r.install(spec, net, label, wb, maxFactorizationError(reports)), reports, nil
+}
+
+// maxFactorizationError reduces the per-layer compression reports to the
+// worst relative error among the layers that were actually factorized —
+// the accuracy price of serving this model, exported as the model's
+// factorization-error gauge and in /stats. Layers kept dense are exact
+// and don't count.
+func maxFactorizationError(reports []nn.LayerReport) float64 {
+	var maxErr float64
+	for _, rep := range reports {
+		if rep.Kind != factorize.KindDense && rep.RelError > maxErr {
+			maxErr = rep.RelError
+		}
+	}
+	return maxErr
 }
 
 // compressedWorkload inspects the compressed network's N×N first layer —

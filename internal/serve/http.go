@@ -4,28 +4,60 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"io"
+	"log"
 	"net/http"
 	"time"
+
+	"repro/internal/obs"
 )
 
 // Server exposes a Registry over an HTTP JSON API:
 //
-//	POST /predict  {"model": "butterfly", "features": [ ... N floats ]}
-//	GET  /models   → registered models
-//	GET  /stats    → per-model serving stats + program-cache counters
+//	POST /predict       {"model": "butterfly", "features": [ ... N floats ]}
+//	GET  /models        → registered models
+//	GET  /stats         → per-model serving stats + program-cache counters
+//	GET  /metrics       → Prometheus text exposition of the obs registry
+//	GET  /debug/traces  → the last-N sampled request traces
+//	GET  /healthz       → liveness probe ("ok")
 type Server struct {
 	reg     *Registry
 	mux     *http.ServeMux
 	started time.Time
+
+	obs        *obs.Registry
+	tracer     *obs.Tracer
+	encodeErrs *obs.Counter
 }
 
 // NewServer wraps a registry in the HTTP API.
 func NewServer(reg *Registry) *Server {
-	s := &Server{reg: reg, mux: http.NewServeMux(), started: time.Now()}
-	s.mux.HandleFunc("/predict", s.handlePredict)
-	s.mux.HandleFunc("/models", s.handleModels)
-	s.mux.HandleFunc("/stats", s.handleStats)
+	s := &Server{
+		reg:     reg,
+		mux:     http.NewServeMux(),
+		started: time.Now(),
+		obs:     reg.Obs(),
+		tracer:  reg.Tracer(),
+	}
+	s.encodeErrs = s.obs.Counter(metEncodeErrs)
+	s.obs.GaugeFunc(metUptime, func() float64 { return time.Since(s.started).Seconds() })
+	s.handle("/predict", s.handlePredict)
+	s.handle("/models", s.handleModels)
+	s.handle("/stats", s.handleStats)
+	s.handle("/metrics", s.handleMetrics)
+	s.handle("/debug/traces", s.handleTraces)
+	s.handle("/healthz", s.handleHealthz)
 	return s
+}
+
+// handle mounts a handler with a per-path request counter (created once
+// here, incremented per request).
+func (s *Server) handle(path string, h http.HandlerFunc) {
+	c := s.obs.Counter(metHTTPRequests, obs.L{Key: "path", Value: path})
+	s.mux.HandleFunc(path, func(w http.ResponseWriter, r *http.Request) {
+		c.Inc()
+		h(w, r)
+	})
 }
 
 // ServeHTTP implements http.Handler.
@@ -41,48 +73,79 @@ type errorBody struct {
 	Error string `json:"error"`
 }
 
-func writeJSON(w http.ResponseWriter, code int, v any) {
+// writeJSON encodes v as the response body. Encoding failures cannot be
+// reported to the client (the status line is already written), so they
+// are counted and logged instead of silently dropped.
+func (s *Server) writeJSON(w http.ResponseWriter, code int, v any) {
 	w.Header().Set("Content-Type", "application/json")
 	w.WriteHeader(code)
 	enc := json.NewEncoder(w)
 	enc.SetEscapeHTML(false)
-	_ = enc.Encode(v)
+	if err := enc.Encode(v); err != nil {
+		s.encodeErrs.Inc()
+		log.Printf("serve: encoding %T response: %v", v, err)
+	}
 }
 
 func (s *Server) handlePredict(w http.ResponseWriter, r *http.Request) {
 	if r.Method != http.MethodPost {
-		writeJSON(w, http.StatusMethodNotAllowed, errorBody{"POST required"})
+		s.writeJSON(w, http.StatusMethodNotAllowed, errorBody{"POST required"})
 		return
 	}
+	t0 := time.Now()
 	var req PredictRequest
 	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
-		writeJSON(w, http.StatusBadRequest, errorBody{fmt.Sprintf("bad request body: %v", err)})
+		s.writeJSON(w, http.StatusBadRequest, errorBody{fmt.Sprintf("bad request body: %v", err)})
 		return
 	}
+	// Sampled requests get a trace covering the whole HTTP round trip;
+	// Predict adds the queue/execute/step spans via the context. The HTTP
+	// layer owns the trace, so it finishes it. The context carries the
+	// sampling decision even when negative: otherwise Predict's
+	// self-sampling fallback advances the shared counter a second time
+	// per request, and with an even sampling period the HTTP layer's
+	// draws only ever land on odd counts — no trace would ever carry the
+	// http_decode/http_write spans.
+	ctx := r.Context()
+	tr := s.tracer.Sample(req.Model)
+	if tr != nil {
+		tr.Start = t0 // backdate so the decode is inside the trace window
+		tr.AddSpanAt("http_decode", t0, time.Since(t0))
+	}
+	ctx = obs.WithTrace(ctx, tr)
 	m, ok := s.reg.Get(req.Model)
 	if !ok {
-		writeJSON(w, http.StatusNotFound, errorBody{fmt.Sprintf("unknown model %q", req.Model)})
+		if tr != nil {
+			tr.Error = "unknown model"
+			s.tracer.Finish(tr)
+		}
+		s.writeJSON(w, http.StatusNotFound, errorBody{fmt.Sprintf("unknown model %q", req.Model)})
 		return
 	}
-	pred, err := m.Predict(r.Context(), req.Features)
+	pred, err := m.Predict(ctx, req.Features)
+	wstart := time.Now()
 	switch {
 	case err == nil:
-		writeJSON(w, http.StatusOK, pred)
+		s.writeJSON(w, http.StatusOK, pred)
 	case errors.Is(err, ErrStopped):
-		writeJSON(w, http.StatusServiceUnavailable, errorBody{err.Error()})
+		s.writeJSON(w, http.StatusServiceUnavailable, errorBody{err.Error()})
 	case errors.Is(err, ErrBadInput):
-		writeJSON(w, http.StatusBadRequest, errorBody{err.Error()})
+		s.writeJSON(w, http.StatusBadRequest, errorBody{err.Error()})
 	default:
-		writeJSON(w, http.StatusInternalServerError, errorBody{err.Error()})
+		s.writeJSON(w, http.StatusInternalServerError, errorBody{err.Error()})
+	}
+	if tr != nil {
+		tr.AddSpanAt("http_write", wstart, time.Since(wstart))
+		s.tracer.Finish(tr)
 	}
 }
 
 func (s *Server) handleModels(w http.ResponseWriter, r *http.Request) {
 	if r.Method != http.MethodGet {
-		writeJSON(w, http.StatusMethodNotAllowed, errorBody{"GET required"})
+		s.writeJSON(w, http.StatusMethodNotAllowed, errorBody{"GET required"})
 		return
 	}
-	writeJSON(w, http.StatusOK, s.reg.List())
+	s.writeJSON(w, http.StatusOK, s.reg.List())
 }
 
 // StatsResponse is the /stats response body.
@@ -94,12 +157,52 @@ type StatsResponse struct {
 
 func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 	if r.Method != http.MethodGet {
-		writeJSON(w, http.StatusMethodNotAllowed, errorBody{"GET required"})
+		s.writeJSON(w, http.StatusMethodNotAllowed, errorBody{"GET required"})
 		return
 	}
-	writeJSON(w, http.StatusOK, StatsResponse{
+	s.writeJSON(w, http.StatusOK, StatsResponse{
 		UptimeSeconds: time.Since(s.started).Seconds(),
 		Cache:         s.reg.CacheStats(),
 		Models:        s.reg.Stats(),
 	})
+}
+
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		s.writeJSON(w, http.StatusMethodNotAllowed, errorBody{"GET required"})
+		return
+	}
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	if err := s.obs.WritePrometheus(w); err != nil {
+		log.Printf("serve: writing /metrics: %v", err)
+	}
+}
+
+// TracesResponse is the /debug/traces response body.
+type TracesResponse struct {
+	// SampleEvery is the sampling period (one trace per N requests);
+	// 0 means tracing is disabled.
+	SampleEvery int               `json:"sample_every"`
+	Traces      []obs.TraceRecord `json:"traces"`
+}
+
+func (s *Server) handleTraces(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		s.writeJSON(w, http.StatusMethodNotAllowed, errorBody{"GET required"})
+		return
+	}
+	resp := TracesResponse{Traces: s.tracer.Snapshot()}
+	if s.tracer != nil {
+		resp.SampleEvery = s.tracer.SampleEvery()
+	}
+	if resp.Traces == nil {
+		resp.Traces = []obs.TraceRecord{}
+	}
+	s.writeJSON(w, http.StatusOK, resp)
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	w.WriteHeader(http.StatusOK)
+	io.WriteString(w, "ok\n")
 }

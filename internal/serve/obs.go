@@ -1,0 +1,234 @@
+package serve
+
+import (
+	"strconv"
+
+	"repro/internal/obs"
+	"repro/internal/shard"
+)
+
+// Metric family names exported by the serving stack. Everything carries
+// the ipuserve_ prefix; per-model series add a model label, per-step and
+// per-IPU series add step/ipu labels on top.
+const (
+	metRequests      = "ipuserve_requests_total"
+	metErrors        = "ipuserve_errors_total"
+	metLatency       = "ipuserve_request_seconds"
+	metBatchSize     = "ipuserve_batch_size"
+	metQueueDepth    = "ipuserve_batcher_queue_depth"
+	metFlush         = "ipuserve_batcher_flush_total"
+	metCacheHits     = "ipuserve_cache_hits_total"
+	metCacheMisses   = "ipuserve_cache_misses_total"
+	metCacheEvict    = "ipuserve_cache_evictions_total"
+	metCacheEntries  = "ipuserve_cache_entries"
+	metCacheCompile  = "ipuserve_cache_compile_seconds"
+	metPlanStep      = "ipuserve_plan_step_seconds"
+	metShardCompute  = "ipuserve_shard_compute_seconds"
+	metShardExchange = "ipuserve_shard_exchange_seconds"
+	metFactorErr     = "ipuserve_model_factorization_error"
+	metModelledReq   = "ipuserve_modelled_per_request_seconds"
+	metModels        = "ipuserve_models"
+	metUptime        = "ipuserve_uptime_seconds"
+	metHTTPRequests  = "ipuserve_http_requests_total"
+	metEncodeErrs    = "ipuserve_http_json_encode_errors_total"
+)
+
+// registerHelp attaches the HELP strings once per registry so every
+// scrape documents the families.
+func registerHelp(reg *obs.Registry) {
+	reg.Help(metRequests, "Requests served successfully, per model.")
+	reg.Help(metErrors, "Requests that failed (bad input, stopped model, inference error), per model.")
+	reg.Help(metLatency, "Host-side request latency from enqueue to response, per model.")
+	reg.Help(metBatchSize, "Requests coalesced per micro-batch flush, per model.")
+	reg.Help(metQueueDepth, "Assembled batches waiting for a worker, per model.")
+	reg.Help(metFlush, "Micro-batch flushes by reason (full = MaxBatch reached, timeout = MaxDelay expired).")
+	reg.Help(metCacheHits, "Program-cache lookups that rode an already-compiled program.")
+	reg.Help(metCacheMisses, "Program-cache lookups that paid or waited on a compile.")
+	reg.Help(metCacheEvict, "Cached programs dropped by model replacement or removal.")
+	reg.Help(metCacheEntries, "Compiled programs currently cached.")
+	reg.Help(metCacheCompile, "Wall time of modelled-IPU program compiles (cache misses).")
+	reg.Help(metPlanStep, "Measured wall time of one compiled-plan step, per model and step.")
+	reg.Help(metShardCompute, "Measured per-IPU kernel time of one sharded batch, per model and modelled IPU.")
+	reg.Help(metShardExchange, "Sharded-batch wall time not covered by the slowest shard's compute - the measured sync/exchange proxy to compare against the modelled IPU-Link exchange.")
+	reg.Help(metFactorErr, "Max per-layer relative Frobenius error of the factorization the model serves (0 = exact weights).")
+	reg.Help(metModelledReq, "Modelled per-request seconds of the most recent batch bucket (compare against "+metLatency+").")
+	reg.Help(metModels, "Models currently registered.")
+	reg.Help(metUptime, "Seconds since the HTTP server started.")
+	reg.Help(metHTTPRequests, "HTTP requests by path.")
+	reg.Help(metEncodeErrs, "JSON responses that failed to encode (response abandoned mid-write).")
+}
+
+// modelMetrics is the per-model instrument set, created once at install so
+// the request hot path records by pointer without name lookups.
+type modelMetrics struct {
+	errors        *obs.Counter
+	latency       *obs.Histogram
+	modelled      *obs.Gauge
+	factorization *obs.Gauge
+
+	// Sharded-execution instruments; nil/empty for single-IPU models.
+	shardCompute  []*obs.Histogram // indexed by modelled IPU
+	shardExchange *obs.Histogram
+}
+
+func newModelMetrics(reg *obs.Registry, name string, shards int) *modelMetrics {
+	lm := obs.L{Key: "model", Value: name}
+	mm := &modelMetrics{
+		errors:        reg.Counter(metErrors, lm),
+		latency:       reg.Histogram(metLatency, obs.LatencyBuckets(), lm),
+		modelled:      reg.Gauge(metModelledReq, lm),
+		factorization: reg.Gauge(metFactorErr, lm),
+	}
+	if shards > 1 {
+		mm.shardCompute = make([]*obs.Histogram, shards)
+		for i := range mm.shardCompute {
+			mm.shardCompute[i] = reg.Histogram(metShardCompute, obs.LatencyBuckets(),
+				lm, obs.L{Key: "ipu", Value: strconv.Itoa(i)})
+		}
+		mm.shardExchange = reg.Histogram(metShardExchange, obs.LatencyBuckets(), lm)
+	}
+	return mm
+}
+
+// newBatcherMetrics wires the flush counters and batch-size histogram of
+// one model's batcher. Built before the batcher so its goroutines see a
+// fixed pointer.
+func newBatcherMetrics(reg *obs.Registry, name string) *batcherMetrics {
+	lm := obs.L{Key: "model", Value: name}
+	return &batcherMetrics{
+		flushFull:    reg.Counter(metFlush, lm, obs.L{Key: "reason", Value: "full"}),
+		flushTimeout: reg.Counter(metFlush, lm, obs.L{Key: "reason", Value: "timeout"}),
+		batchSize:    reg.Histogram(metBatchSize, obs.SizeBuckets(12), lm),
+	}
+}
+
+// stepObs is the per-plan-step instrument set, built lazily on the first
+// executed batch (step names come from the compiled plan) and shared by
+// every batch after: one latency histogram per step plus the precomputed
+// "step:<name>" span labels, so per-step recording allocates nothing.
+// Step names are stable per model - fusion and sharding are decided at
+// install time and do not depend on the batch bucket.
+type stepObs struct {
+	spanNames []string
+	hists     []*obs.Histogram
+}
+
+// steppedExecutor is the introspection surface both executor kinds
+// (nn.Plan, shard.ShardedPlan) share: lowered step names and the measured
+// wall time of each step of the most recent Execute.
+type steppedExecutor interface {
+	Executor
+	Steps() []string
+	LastStepNanos() []int64
+}
+
+// stepInstruments returns the model's per-step instruments, building them
+// from the executor's step list on first use. Duplicate step names (two
+// identical layers) share one histogram series.
+func (m *Model) stepInstruments(se steppedExecutor) *stepObs {
+	if so := m.stepObs.Load(); so != nil {
+		return so
+	}
+	names := se.Steps()
+	so := &stepObs{
+		spanNames: make([]string, len(names)),
+		hists:     make([]*obs.Histogram, len(names)),
+	}
+	for i, nm := range names {
+		so.spanNames[i] = "step:" + nm
+		so.hists[i] = m.obsReg.Histogram(metPlanStep, obs.LatencyBuckets(),
+			obs.L{Key: "model", Value: m.spec.Name}, obs.L{Key: "step", Value: nm})
+	}
+	if !m.stepObs.CompareAndSwap(nil, so) {
+		return m.stepObs.Load()
+	}
+	return so
+}
+
+// observeExec harvests the executor's measured timings after one batch:
+// per-step wall time into the execution report (for the request traces)
+// and the step/shard histograms. Runs on the batcher worker, once per
+// batch, allocation-free after the first batch builds the instruments.
+func (m *Model) observeExec(ex Executor, info *execInfo) {
+	se, ok := ex.(steppedExecutor)
+	if !ok {
+		return
+	}
+	nanos := se.LastStepNanos()
+	n := len(nanos)
+	if n > maxTraceSteps {
+		n = maxTraceSteps
+	}
+	info.nsteps = n
+	copy(info.stepNanos[:n], nanos[:n])
+	if m.obsReg == nil {
+		return
+	}
+	so := m.stepInstruments(se)
+	for i := 0; i < n && i < len(so.hists); i++ {
+		so.hists[i].Observe(float64(nanos[i]) / 1e9)
+	}
+	sp, ok := ex.(*shard.ShardedPlan)
+	if !ok || m.mets == nil || len(m.mets.shardCompute) == 0 {
+		return
+	}
+	comp := sp.LastComputeNanos()
+	var slowest int64
+	for i, c := range comp {
+		if i < len(m.mets.shardCompute) {
+			m.mets.shardCompute[i].Observe(float64(c) / 1e9)
+		}
+		if c > slowest {
+			slowest = c
+		}
+	}
+	// Wall time beyond the slowest shard's kernels is the host-side
+	// sync/exchange proxy - the measured counterpart of the modelled
+	// IPU-Link ExchangeSeconds in ProgramCost.
+	if gap := sp.LastWallNanos() - slowest; gap > 0 && m.mets.shardExchange != nil {
+		m.mets.shardExchange.Observe(float64(gap) / 1e9)
+	}
+}
+
+// traceSpans replays the batch timing block of one response into a
+// sampled trace: queue wait, the batched execute, and one span per
+// compiled-plan step (offsets chained inside the execute window).
+func (m *Model) traceSpans(tr *obs.Trace, resp *response) {
+	tr.Batch = resp.batch
+	execOff := resp.execStart.Sub(tr.Start).Nanoseconds()
+	tr.AddSpan("queue_wait", execOff-resp.queueNanos, resp.queueNanos)
+	tr.AddSpan("execute", execOff, resp.execNanos)
+	so := m.stepObs.Load()
+	off := execOff
+	for i := 0; i < resp.nsteps; i++ {
+		name := "step"
+		if so != nil && i < len(so.spanNames) {
+			name = so.spanNames[i]
+		}
+		tr.AddSpan(name, off, resp.stepNanos[i])
+		off += resp.stepNanos[i]
+	}
+}
+
+// cacheMetrics is the program cache's instrument set; the compile-latency
+// histogram is observed by Program.Cost after each compile.
+type cacheMetrics struct {
+	compile *obs.Histogram
+}
+
+// instrument exposes the cache's counters on the registry. The hit/miss/
+// eviction totals read the cache's existing atomics at scrape time, so
+// the lookup path pays no double bookkeeping. Must be called before the
+// first Program is created so every entry carries the compile histogram.
+func (c *ProgramCache) instrument(reg *obs.Registry) {
+	reg.CounterFunc(metCacheHits, c.hits.Load)
+	reg.CounterFunc(metCacheMisses, c.misses.Load)
+	reg.CounterFunc(metCacheEvict, c.evictions.Load)
+	reg.GaugeFunc(metCacheEntries, func() float64 {
+		c.mu.Lock()
+		n := len(c.entries)
+		c.mu.Unlock()
+		return float64(n)
+	})
+	c.mets = &cacheMetrics{compile: reg.Histogram(metCacheCompile, obs.LatencyBuckets())}
+}

@@ -9,6 +9,7 @@ import (
 
 	"repro/internal/ipu"
 	"repro/internal/nn"
+	"repro/internal/obs"
 	"repro/internal/shard"
 )
 
@@ -37,7 +38,19 @@ type Options struct {
 	// Shards fixes the shard count for every registered model instead of
 	// auto-picking the smallest count that fits PerIPUMemBytes (0 = auto).
 	Shards int
+
+	// TraceSampleEvery samples one request in every N for the
+	// /debug/traces ring (0 = default 64; negative disables tracing).
+	TraceSampleEvery int
+	// TraceKeep is how many finished traces the ring retains (0 = 64).
+	TraceKeep int
 }
+
+// Default trace sampling: one request in 64, last 64 traces retained.
+const (
+	defaultTraceSampleEvery = 64
+	defaultTraceKeep        = 64
+)
 
 // Registry builds, versions and owns servable models. All methods are safe
 // for concurrent use; the Predictors it hands out are safe to share across
@@ -46,6 +59,12 @@ type Registry struct {
 	opts  Options
 	topo  shard.Topology
 	cache *ProgramCache
+
+	// obs is the metric registry every instrument of this serving stack
+	// registers into (scraped by the HTTP server's /metrics); tracer
+	// samples per-request traces for /debug/traces.
+	obs    *obs.Registry
+	tracer *obs.Tracer
 
 	mu       sync.RWMutex
 	models   map[string]*Model
@@ -64,14 +83,42 @@ func NewRegistry(opts Options) *Registry {
 		opts.Link = ipu.IPULink()
 	}
 	topo := shard.Topology{NumIPUs: opts.NumIPUs, IPU: opts.IPU, Link: opts.Link}
-	return &Registry{
+	r := &Registry{
 		opts:     opts,
 		topo:     topo,
+		obs:      obs.NewRegistry(),
 		cache:    NewShardedProgramCache(opts.IPU, topo, opts.PerIPUMemBytes),
 		models:   map[string]*Model{},
 		versions: map[string]int{},
 	}
+	registerHelp(r.obs)
+	r.cache.instrument(r.obs)
+	r.obs.GaugeFunc(metModels, func() float64 {
+		r.mu.RLock()
+		n := len(r.models)
+		r.mu.RUnlock()
+		return float64(n)
+	})
+	if opts.TraceSampleEvery >= 0 {
+		every, keep := opts.TraceSampleEvery, opts.TraceKeep
+		if every == 0 {
+			every = defaultTraceSampleEvery
+		}
+		if keep == 0 {
+			keep = defaultTraceKeep
+		}
+		r.tracer = obs.NewTracer(every, keep)
+	}
+	return r
 }
+
+// Obs returns the registry's metric registry — the one /metrics scrapes
+// and external callers may add their own instruments to.
+func (r *Registry) Obs() *obs.Registry { return r.obs }
+
+// Tracer returns the registry's request tracer (nil when tracing is
+// disabled via a negative TraceSampleEvery).
+func (r *Registry) Tracer() *obs.Tracer { return r.tracer }
 
 // Register builds the spec's network and installs it under spec.Name. A
 // name already in use is replaced: the new model gets the next version
@@ -85,13 +132,15 @@ func (r *Registry) Register(spec ModelSpec) (*Model, error) {
 	if err != nil {
 		return nil, err
 	}
-	return r.install(spec, net, spec.Method.String(), nil), nil
+	return r.install(spec, net, spec.Method.String(), nil, 0), nil
 }
 
 // install wires a built network into a servable Model and swaps it into
 // the registry under spec.Name. A nil workload builder means the cost
-// model derives the workload from the spec's method.
-func (r *Registry) install(spec ModelSpec, net *nn.Sequential, label string, wb workloadBuilder) *Model {
+// model derives the workload from the spec's method; factorErr is the max
+// per-layer relative factorization error of the installed weights (0 for
+// exactly-built models).
+func (r *Registry) install(spec ModelSpec, net *nn.Sequential, label string, wb workloadBuilder, factorErr float64) *Model {
 	if wb == nil {
 		wb = func(cfg ipu.Config, batch int) (*ipu.Workload, error) {
 			return buildWorkload(cfg, spec, batch)
@@ -105,10 +154,23 @@ func (r *Registry) install(spec ModelSpec, net *nn.Sequential, label string, wb 
 		workload:    wb,
 		cache:       r.cache,
 		topo:        r.topo,
+		factorErr:   factorErr,
+		obsReg:      r.obs,
+		tracer:      r.tracer,
 		lat:         newLatencyRing(latencyWindow),
 	}
 	m.shards = r.pickShards(net)
-	m.batcher = NewBatcher(spec.N, r.opts.Batcher, m.runBatch)
+	m.mets = newModelMetrics(r.obs, spec.Name, m.shards)
+	m.mets.factorization.Set(factorErr)
+	// The batcher's instruments must exist before its goroutines start:
+	// the collector reads the metrics pointer without synchronization.
+	m.batcher = newBatcher(spec.N, r.opts.Batcher, newBatcherMetrics(r.obs, spec.Name), m.runBatch)
+	// Scrape-time readers over the model's existing serving atomics —
+	// re-registering on replace swaps the closures to the new instance
+	// (counter-reset semantics, which Prometheus handles).
+	lm := obs.L{Key: "model", Value: spec.Name}
+	r.obs.CounterFunc(metRequests, m.served.Load, lm)
+	r.obs.GaugeFunc(metQueueDepth, func() float64 { return float64(len(m.batcher.batches)) }, lm)
 
 	r.mu.Lock()
 	r.versions[spec.Name]++
@@ -196,6 +258,9 @@ func (r *Registry) Remove(name string) bool {
 	if ok {
 		m.stop()
 		r.cache.Evict(m.spec.Name, m.version)
+		// Retire every series carrying the model label (including the
+		// Func closures over the removed model's state).
+		r.obs.DropLabeled("model", name)
 	}
 	return ok
 }
@@ -227,5 +292,6 @@ func (r *Registry) Close() {
 	for _, m := range models {
 		m.stop()
 		r.cache.Evict(m.spec.Name, m.version)
+		r.obs.DropLabeled("model", m.spec.Name)
 	}
 }

@@ -31,6 +31,7 @@ import (
 
 	"repro/internal/fft"
 	"repro/internal/nn"
+	"repro/internal/obs"
 	"repro/internal/pixelfly"
 	"repro/internal/shard"
 	"repro/internal/stats"
@@ -165,6 +166,21 @@ type Model struct {
 	topo    shard.Topology
 	shards  int
 
+	// factorErr is the max per-layer relative factorization error of the
+	// weights the model serves (0 for exactly-built models) - the accuracy
+	// side of the paper's memory/accuracy trade, surfaced in /stats and as
+	// a gauge.
+	factorErr float64
+
+	// Observability wiring, installed by the registry: the metric registry
+	// (for the lazily built per-step instruments), the per-model
+	// instruments, the request tracer, and the per-step instrument set.
+	// All nil/zero for models built outside a registry.
+	obsReg  *obs.Registry
+	tracer  *obs.Tracer
+	mets    *modelMetrics
+	stepObs atomic.Pointer[stepObs]
+
 	// retired is set when the model is replaced or removed; it stops
 	// late ModelledCost calls from resurrecting evicted cache entries.
 	retired atomic.Bool
@@ -196,32 +212,80 @@ func (m *Model) Shards() int { return m.shards }
 
 // Predict implements Predictor: the request is coalesced with concurrent
 // ones into a micro-batch, executed on the shared read-only weights, and
-// annotated with the modelled IPU cost of its batch.
+// annotated with the modelled IPU cost of its batch. Sampled requests
+// (via the registry's tracer, or a trace already attached to ctx by the
+// HTTP layer) additionally record queue-wait, execute and per-step spans.
 func (m *Model) Predict(ctx context.Context, features []float32) (Prediction, error) {
 	if len(features) != m.spec.N {
+		if m.mets != nil {
+			m.mets.errors.Inc()
+		}
 		return Prediction{}, fmt.Errorf("%w: model %q expects %d features, got %d",
 			ErrBadInput, m.spec.Name, m.spec.N, len(features))
 	}
+	// The HTTP layer owns (and finishes) traces it attached to the
+	// context; direct callers get one sampled here and finished here.
+	// When an upstream layer already made the sampling decision —
+	// sampled or not — respect it rather than drawing from the shared
+	// counter a second time for the same request.
+	tr := obs.TraceFrom(ctx)
+	owned := false
+	if tr == nil && m.tracer != nil && !obs.TraceDecided(ctx) {
+		if tr = m.tracer.Sample(m.spec.Name); tr != nil {
+			owned = true
+		}
+	}
 	start := time.Now()
-	scores, batch, err := m.batcher.Do(ctx, features)
+	resp, err := m.batcher.do(ctx, features)
+	if err == nil {
+		err = resp.err
+	}
 	if err != nil {
+		if m.mets != nil {
+			m.mets.errors.Inc()
+		}
+		if tr != nil {
+			tr.Error = err.Error()
+			if owned {
+				m.tracer.Finish(tr)
+			}
+		}
 		return Prediction{}, err
 	}
 	elapsed := time.Since(start).Seconds()
 	m.served.Add(1)
 	m.lat.add(elapsed)
+	if m.mets != nil {
+		m.mets.latency.Observe(elapsed)
+	}
+	if tr != nil {
+		m.traceSpans(tr, &resp)
+	}
 
 	p := Prediction{
 		Model:          m.spec.Name,
 		Method:         m.methodLabel,
 		Version:        m.version,
-		Scores:         scores,
-		ArgMax:         stats.ArgMax(scores),
-		BatchSize:      batch,
+		Scores:         resp.scores,
+		ArgMax:         stats.ArgMax(resp.scores),
+		BatchSize:      resp.batch,
 		LatencySeconds: elapsed,
 	}
-	if cost, cerr := m.ModelledCost(batch); cerr == nil {
+	if tr != nil {
+		costStart := time.Now()
+		cost, cerr := m.ModelledCost(resp.batch)
+		tr.AddSpanAt("cost_lookup", costStart, time.Since(costStart))
+		if cerr == nil {
+			p.IPU = cost
+		}
+		if owned {
+			m.tracer.Finish(tr)
+		}
+	} else if cost, cerr := m.ModelledCost(resp.batch); cerr == nil {
 		p.IPU = cost
+	}
+	if p.IPU != nil && m.mets != nil {
+		m.mets.modelled.Set(p.IPU.PerRequestSeconds)
 	}
 	return p, nil
 }
@@ -248,8 +312,11 @@ func (m *Model) ModelledCost(batch int) (*ProgramCost, error) {
 // runBatch is the micro-batcher's inference function: it executes the
 // batch on a pooled compiled plan (allocation-free at steady state except
 // the result copy handed to responses) and falls back to the generic
-// read-only forward pass if the plan path is unavailable.
-func (m *Model) runBatch(x *tensor.Matrix) *tensor.Matrix {
+// read-only forward pass if the plan path is unavailable. The executor's
+// measured per-step timings are harvested into info (and the per-step
+// histograms) before the plan returns to the pool; the fallback path
+// leaves info empty.
+func (m *Model) runBatch(x *tensor.Matrix, info *execInfo) *tensor.Matrix {
 	prog, err := m.cache.programQuiet(m.spec.Name, m.version, nextPow2(x.Rows), m.shards, m.net, m.workload)
 	if err == nil {
 		if pl, perr := prog.GetPlan(); perr == nil {
@@ -260,6 +327,7 @@ func (m *Model) runBatch(x *tensor.Matrix) *tensor.Matrix {
 				// recycled by the next worker that draws it from the pool.
 				out := tensor.New(y.Rows, y.Cols)
 				copy(out.Data, y.Data)
+				m.observeExec(pl, info)
 				prog.PutPlan(pl)
 				return out
 			}
@@ -272,10 +340,11 @@ func (m *Model) runBatch(x *tensor.Matrix) *tensor.Matrix {
 // Stats returns the model's serving counters.
 func (m *Model) Stats() ModelStats {
 	return ModelStats{
-		Info:    m.Info(),
-		Served:  m.served.Load(),
-		Batcher: m.batcher.Stats(),
-		Latency: stats.Summarize(m.lat.snapshot()),
+		Info:               m.Info(),
+		Served:             m.served.Load(),
+		Batcher:            m.batcher.Stats(),
+		Latency:            stats.Summarize(m.lat.snapshot()),
+		FactorizationError: m.factorErr,
 	}
 }
 
@@ -285,6 +354,10 @@ type ModelStats struct {
 	Served  int64         `json:"served"`
 	Batcher BatcherStats  `json:"batcher"`
 	Latency stats.Summary `json:"latency_s"`
+
+	// FactorizationError is the max per-layer relative Frobenius error of
+	// the served weights (non-zero only for compressed models).
+	FactorizationError float64 `json:"factorization_error,omitempty"`
 }
 
 // stop retires the model and shuts its batcher down; in-flight Predicts

@@ -33,6 +33,7 @@ package shard
 import (
 	"fmt"
 	"runtime"
+	"time"
 
 	"repro/internal/ipu"
 	"repro/internal/nn"
@@ -118,6 +119,17 @@ type engine struct {
 	actA, actB tensor.Matrix
 	ws         []*tensor.Workspace
 
+	// Measured phase timings of the most recent Execute: per micro-step
+	// wall clock (orchestrator-written), per-shard accumulated kernel
+	// time (each shard writes only its own slot; the barrier orders the
+	// writes before the orchestrator reads), and the whole batch's wall
+	// clock. The serving layer lines these up against the analytic Cost
+	// model — measured compute vs modelled compute, and wall minus the
+	// slowest shard's compute as the sync/exchange proxy.
+	stepNanos    []int64
+	computeNanos []int64
+	wallNanos    int64
+
 	// Orchestration state: the orchestrator publishes curDst/curX/stepIdx,
 	// wakes the workers through their start channels (the channel send is
 	// the happens-before edge), runs shard 0 inline, and collects one done
@@ -197,6 +209,8 @@ func CompileWith(pl *nn.Plan, topo Topology, shards int, strategy Strategy) (*Sh
 	}
 	e.bufA = make([]float32, e.maxBatch*maxW)
 	e.bufB = make([]float32, e.maxBatch*maxW)
+	e.stepNanos = make([]int64, len(steps))
+	e.computeNanos = make([]int64, shards)
 	e.ws = make([]*tensor.Workspace, shards)
 	for k := range e.ws {
 		e.ws[k] = tensor.NewWorkspace()
@@ -269,6 +283,10 @@ func (p *ShardedPlan) Execute(x *tensor.Matrix) (*tensor.Matrix, error) {
 	if x.Rows < 1 || x.Rows > e.maxBatch {
 		return nil, fmt.Errorf("%w: got %d rows, plan accepts 1..%d", nn.ErrPlanBatch, x.Rows, e.maxBatch)
 	}
+	for k := range e.computeNanos {
+		e.computeNanos[k] = 0
+	}
+	execStart := time.Now()
 	cur := x
 	useA := true
 	for i := range e.steps {
@@ -280,6 +298,7 @@ func (p *ShardedPlan) Execute(x *tensor.Matrix) (*tensor.Matrix, error) {
 		act.Rows, act.Cols = x.Rows, st.cols
 		act.Data = buf[:x.Rows*st.cols]
 		e.curDst, e.curX, e.stepIdx = act, cur, i
+		t0 := time.Now()
 		for _, c := range e.start {
 			c <- struct{}{}
 		}
@@ -287,11 +306,29 @@ func (p *ShardedPlan) Execute(x *tensor.Matrix) (*tensor.Matrix, error) {
 		for range e.start {
 			<-e.done
 		}
+		e.stepNanos[i] = time.Since(t0).Nanoseconds()
 		cur = act
 		useA = !useA
 	}
+	e.wallNanos = time.Since(execStart).Nanoseconds()
 	return cur, nil
 }
+
+// LastStepNanos returns the wall-clock duration, in nanoseconds, of each
+// barrier-delimited micro-step of the most recent Execute (index-aligned
+// with Steps). Plan-owned, overwritten by the next Execute.
+func (p *ShardedPlan) LastStepNanos() []int64 { return p.e.stepNanos }
+
+// LastComputeNanos returns each modelled IPU's accumulated kernel time
+// over the most recent Execute — the measured per-shard compute phase.
+// Plan-owned, overwritten by the next Execute.
+func (p *ShardedPlan) LastComputeNanos() []int64 { return p.e.computeNanos }
+
+// LastWallNanos returns the wall-clock duration of the most recent
+// Execute. Wall minus the slowest shard's compute is the host-side
+// proxy for the sync + exchange overhead the Cost model prices
+// analytically.
+func (p *ShardedPlan) LastWallNanos() int64 { return p.e.wallNanos }
 
 // Close stops the worker goroutines. A closed plan must not be executed
 // again; plans that are simply dropped are cleaned up by a finalizer, so
@@ -313,7 +350,9 @@ func (e *engine) runShard(k int, st *step) {
 	if f := st.run[k]; f != nil {
 		w := e.ws[k]
 		w.Reset()
+		t0 := time.Now()
 		f(e.curDst, e.curX, w)
+		e.computeNanos[k] += time.Since(t0).Nanoseconds()
 	}
 }
 
