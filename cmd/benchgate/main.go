@@ -3,10 +3,11 @@
 //
 // Snapshot mode diffs a freshly generated BENCH_serve.json (ipuserve
 // -loadgen -benchout) against the committed record and fails when
-// throughput drops, or allocations per request grow, by more than the
-// tolerance:
+// throughput drops, allocations per request grow, a per-kernel GFLOP/s
+// rate falls (or a kernel vanishes from the table), or a plan step's
+// cost-model drift ratio moves further than -drift-tol in log space:
 //
-//	benchgate -old BENCH_serve.json -new /tmp/fresh.json -tol 0.2
+//	benchgate -old BENCH_serve.json -new /tmp/fresh.json -tol 0.2 -drift-tol 1.0
 //
 // History mode reads the append-only BENCH_history.jsonl (one record per
 // loadgen run, ipuserve -loadgen -history) and runs step detection over
@@ -29,6 +30,8 @@ import (
 	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
+	"math"
 	"os"
 	"sort"
 )
@@ -54,9 +57,33 @@ type fusionRecord struct {
 	TrafficBytesUnfused int    `json:"traffic_bytes_unfused"`
 }
 
+// kernelRecord mirrors one row of the per-kernel accounting table:
+// achieved GFLOP/s per kernel family over the loadgen run. Gated like
+// throughput — a kernel present in the committed record must stay present
+// and within tolerance of its recorded rate.
+type kernelRecord struct {
+	Kernel       string  `json:"kernel"`
+	Calls        int64   `json:"calls"`
+	GFlopsPerSec float64 `json:"gflops_per_sec"`
+}
+
+// driftRecord mirrors one cost-model drift row: measured host seconds per
+// row over modelled IPU seconds per row for one plan step. The absolute
+// ratio mixes host and modelled-device scales, so the gate compares its
+// movement between the committed and fresh records in log space rather
+// than gating the level.
+type driftRecord struct {
+	Model  string  `json:"model"`
+	Shards int     `json:"shards"`
+	Step   string  `json:"step"`
+	Ratio  float64 `json:"ratio"`
+}
+
 type benchFile struct {
 	Models       []record       `json:"models"`
 	FusionProbes []fusionRecord `json:"fusion_probes"`
+	Kernels      []kernelRecord `json:"kernels"`
+	Drift        []driftRecord  `json:"drift"`
 }
 
 // historySchema is the JSONL history record version this gate reads;
@@ -154,17 +181,19 @@ func mean(xs []float64) float64 {
 }
 
 // runHistory validates the JSONL history and (unless lintOnly) gates the
-// per-model throughput trajectories on step detection. Returns whether
-// the gate failed.
-func runHistory(path string, window int, stepTol float64, lintOnly bool) bool {
+// per-model throughput trajectories on step detection. Series too short
+// for the configured window are reported explicitly — "insufficient runs"
+// rather than a silent pass — so a truncated history is visible in the CI
+// log. Returns whether the gate failed.
+func runHistory(w io.Writer, path string, window int, stepTol float64, lintOnly bool) bool {
 	runs, err := loadHistory(path)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "benchgate:", err)
 		return true
 	}
-	fmt.Printf("history: %d run(s) in %s\n", len(runs), path)
+	fmt.Fprintf(w, "history: %d run(s) in %s\n", len(runs), path)
 	if lintOnly {
-		fmt.Println("history well-formed (lint only, trajectory not gated)")
+		fmt.Fprintln(w, "history well-formed (lint only, trajectory not gated)")
 		return false
 	}
 	series := historySeries(runs)
@@ -178,7 +207,7 @@ func runHistory(path string, window int, stepTol float64, lintOnly bool) bool {
 		s := series[k]
 		drop, at := worstStep(s, window)
 		if at == -1 {
-			fmt.Printf("ok   %-22s %d run(s), too short for step detection\n", k, len(s))
+			fmt.Fprintf(w, "skip %-22s insufficient runs (%d < 2), step detection not possible\n", k, len(s))
 			continue
 		}
 		status := "ok  "
@@ -186,33 +215,67 @@ func runHistory(path string, window int, stepTol float64, lintOnly bool) bool {
 			status = "FAIL"
 			failed = true
 		}
-		fmt.Printf("%s %-22s %d runs, latest %8.1f req/s, worst step %+.1f%% at run %d\n",
-			status, k, len(s), s[len(s)-1], -100*drop, at+1)
+		note := ""
+		if len(s) < 2*window {
+			note = fmt.Sprintf("  [insufficient runs for window %d: detecting at window %d]", window, max(len(s)/2, 1))
+		}
+		fmt.Fprintf(w, "%s %-22s %d runs, latest %8.1f req/s, worst step %+.1f%% at run %d%s\n",
+			status, k, len(s), s[len(s)-1], -100*drop, at+1, note)
 	}
 	if failed {
-		fmt.Printf("\nhistory gate FAILED (step tolerance %.0f%%) — the throughput trajectory stepped down\n", stepTol*100)
+		fmt.Fprintf(w, "\nhistory gate FAILED (step tolerance %.0f%%) — the throughput trajectory stepped down\n", stepTol*100)
 	}
 	return failed
 }
 
-func load(path string) (map[string]record, map[string]fusionRecord, error) {
+func load(path string) (*benchFile, error) {
 	data, err := os.ReadFile(path)
 	if err != nil {
-		return nil, nil, err
+		return nil, err
 	}
 	var f benchFile
 	if err := json.Unmarshal(data, &f); err != nil {
-		return nil, nil, fmt.Errorf("%s: %w", path, err)
+		return nil, fmt.Errorf("%s: %w", path, err)
 	}
+	return &f, nil
+}
+
+func (f *benchFile) byModel() map[string]record {
 	out := make(map[string]record, len(f.Models))
 	for _, r := range f.Models {
 		out[key(r)] = r
 	}
-	fus := make(map[string]fusionRecord, len(f.FusionProbes))
+	return out
+}
+
+func (f *benchFile) byFusion() map[string]fusionRecord {
+	out := make(map[string]fusionRecord, len(f.FusionProbes))
 	for _, r := range f.FusionProbes {
-		fus[r.Model] = r
+		out[r.Model] = r
 	}
-	return out, fus, nil
+	return out
+}
+
+func (f *benchFile) byKernel() map[string]kernelRecord {
+	out := make(map[string]kernelRecord, len(f.Kernels))
+	for _, r := range f.Kernels {
+		out[r.Kernel] = r
+	}
+	return out
+}
+
+// driftKey identifies a drift row across records: same model, shard count
+// and plan step.
+func driftKey(d driftRecord) string {
+	return fmt.Sprintf("%s/s%d/%s", d.Model, d.Shards, d.Step)
+}
+
+func (f *benchFile) byDrift() map[string]driftRecord {
+	out := make(map[string]driftRecord, len(f.Drift))
+	for _, r := range f.Drift {
+		out[driftKey(r)] = r
+	}
+	return out
 }
 
 func key(r record) string {
@@ -233,6 +296,10 @@ func main() {
 	window := flag.Int("window", 3, "history: runs averaged on each side of a split point")
 	stepTol := flag.Float64("step-tol", 0.05, "history: relative windowed-mean throughput drop that fails the gate")
 	histLint := flag.Bool("history-lint", false, "history: validate JSONL well-formedness only, don't gate the trajectory")
+	driftTol := flag.Float64("drift-tol", 1.0,
+		"snapshot: allowed log-space movement of a step's cost-model drift ratio (1.0 = the measured/modelled ratio may move by up to 2x either way between records)")
+	kernelTol := flag.Float64("kernel-tol", 0.2,
+		"snapshot: allowed relative per-kernel GFLOP/s drop (a vanished kernel always fails); widen when comparing records across machines, since raw kernel rates track machine speed directly")
 	flag.Parse()
 	if *newPath == "" && *history == "" {
 		fmt.Fprintln(os.Stderr, "benchgate: -new and/or -history is required")
@@ -240,10 +307,10 @@ func main() {
 	}
 	failed := false
 	if *history != "" {
-		failed = runHistory(*history, *window, *stepTol, *histLint) || failed
+		failed = runHistory(os.Stdout, *history, *window, *stepTol, *histLint) || failed
 	}
 	if *newPath != "" {
-		failed = runSnapshot(*oldPath, *newPath, *tol, *allocSlack) || failed
+		failed = runSnapshot(*oldPath, *newPath, *tol, *allocSlack, *kernelTol, *driftTol) || failed
 	}
 	if failed {
 		os.Exit(1)
@@ -252,17 +319,19 @@ func main() {
 
 // runSnapshot diffs the fresh perf record against the committed one and
 // reports whether the gate failed.
-func runSnapshot(oldPath, newPath string, tol, allocSlack float64) bool {
-	oldRecs, oldFus, err := load(oldPath)
+func runSnapshot(oldPath, newPath string, tol, allocSlack, kernelTol, driftTol float64) bool {
+	oldFile, err := load(oldPath)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "benchgate:", err)
 		return true
 	}
-	newRecs, newFus, err := load(newPath)
+	newFile, err := load(newPath)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "benchgate:", err)
 		return true
 	}
+	oldRecs, newRecs := oldFile.byModel(), newFile.byModel()
+	oldFus, newFus := oldFile.byFusion(), newFile.byFusion()
 
 	failed := false
 	for k, o := range oldRecs {
@@ -318,12 +387,84 @@ func runSnapshot(oldPath, newPath string, tol, allocSlack float64) bool {
 			fmt.Printf("new  %-22s fusion probe (no committed baseline, not gated)\n", m)
 		}
 	}
+	failed = gateKernels(oldFile.byKernel(), newFile.byKernel(), kernelTol) || failed
+	failed = gateDrift(oldFile.byDrift(), newFile.byDrift(), driftTol) || failed
 	if failed {
 		fmt.Printf("\nperf gate FAILED (tolerance %.0f%%) — if intentional, regenerate BENCH_serve.json\n", tol*100)
 		return true
 	}
 	fmt.Printf("\nperf gate passed (tolerance %.0f%%)\n", tol*100)
 	return false
+}
+
+// gateKernels diffs the per-kernel GFLOP/s tables: a kernel in the
+// committed record must still appear in the fresh one (a vanished kernel
+// means its accounting hook was lost, or a whole code path stopped
+// executing) and its rate must not fall by more than tol.
+func gateKernels(oldK, newK map[string]kernelRecord, tol float64) bool {
+	failed := false
+	keys := make([]string, 0, len(oldK))
+	for k := range oldK {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		o := oldK[k]
+		n, ok := newK[k]
+		if !ok {
+			fmt.Printf("FAIL kernel %-15s missing from the fresh record (accounting hook lost?)\n", k)
+			failed = true
+			continue
+		}
+		drop := rel(o.GFlopsPerSec, n.GFlopsPerSec)
+		status := "ok  "
+		if drop > tol {
+			status = "FAIL"
+			failed = true
+		}
+		fmt.Printf("%s kernel %-15s %8.2f -> %8.2f GFLOP/s (%+.1f%%)\n",
+			status, k, o.GFlopsPerSec, n.GFlopsPerSec, -100*drop)
+	}
+	for k := range newK {
+		if _, ok := oldK[k]; !ok {
+			fmt.Printf("new  kernel %-15s (no committed baseline, not gated)\n", k)
+		}
+	}
+	return failed
+}
+
+// gateDrift compares each step's cost-model drift ratio between records.
+// The ratio's level is meaningless across machines (host wall-clock over
+// modelled IPU time), but on the same runner its movement is the signal:
+// a step whose ratio wanders further from where it was means either the
+// implementation or the cost model changed speed without the other. The
+// comparison is symmetric in log space — moving from 10x to 25x is as bad
+// as from 10x to 4x.
+func gateDrift(oldD, newD map[string]driftRecord, driftTol float64) bool {
+	failed := false
+	keys := make([]string, 0, len(oldD))
+	for k := range oldD {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		o := oldD[k]
+		n, ok := newD[k]
+		if !ok || o.Ratio <= 0 || n.Ratio <= 0 {
+			// Plan steps legitimately appear and vanish as compilation
+			// evolves; only matched, populated rows are comparable.
+			continue
+		}
+		move := math.Abs(math.Log(n.Ratio / o.Ratio))
+		status := "ok  "
+		if move > driftTol {
+			status = "FAIL"
+			failed = true
+		}
+		fmt.Printf("%s drift  %-38s ratio %9.2f -> %9.2f (%.2f in log space)\n",
+			status, k, o.Ratio, n.Ratio, move)
+	}
+	return failed
 }
 
 // rel returns how far below base the candidate fell as a fraction of

@@ -3,6 +3,7 @@ package main
 import (
 	"encoding/json"
 	"fmt"
+	"io"
 	"math"
 	"os"
 	"path/filepath"
@@ -72,10 +73,10 @@ func TestHistoryFlagsGradualRegressionSnapshotMisses(t *testing.T) {
 	// End-to-end through the file loader and gate driver.
 	path := filepath.Join(t.TempDir(), "hist.jsonl")
 	writeHistory(t, path, series)
-	if !runHistory(path, 3, 0.05, false) {
+	if !runHistory(io.Discard, path, 3, 0.05, false) {
 		t.Fatal("runHistory should fail on the injected gradual regression")
 	}
-	if runHistory(path, 3, 0.05, true) {
+	if runHistory(io.Discard, path, 3, 0.05, true) {
 		t.Fatal("lint-only mode must not gate the trajectory")
 	}
 }
@@ -89,8 +90,47 @@ func TestHistoryStableTrajectoryPasses(t *testing.T) {
 	}
 	path := filepath.Join(t.TempDir(), "hist.jsonl")
 	writeHistory(t, path, series)
-	if runHistory(path, 3, 0.05, false) {
+	if runHistory(io.Discard, path, 3, 0.05, false) {
 		t.Fatal("runHistory should pass a stable trajectory")
+	}
+}
+
+func TestHistoryReportsInsufficientRuns(t *testing.T) {
+	dir := t.TempDir()
+
+	// A single run cannot support step detection at all: the gate passes
+	// but must say so explicitly instead of silently printing "ok".
+	one := filepath.Join(dir, "one.jsonl")
+	writeHistory(t, one, []float64{2000})
+	var buf strings.Builder
+	if runHistory(&buf, one, 3, 0.05, false) {
+		t.Fatal("single-run history should not fail the gate")
+	}
+	if out := buf.String(); !strings.Contains(out, "insufficient runs (1 < 2)") {
+		t.Fatalf("single-run history should report insufficient runs, got:\n%s", out)
+	}
+
+	// Fewer runs than 2*window: detection still happens at a shrunken
+	// window, and the output flags the reduced confidence.
+	short := filepath.Join(dir, "short.jsonl")
+	writeHistory(t, short, []float64{2000, 2000, 1000})
+	buf.Reset()
+	if !runHistory(&buf, short, 3, 0.05, false) {
+		t.Fatal("a 50% cliff must still fail even below 2*window runs")
+	}
+	if out := buf.String(); !strings.Contains(out, "insufficient runs for window 3") {
+		t.Fatalf("short history should note the reduced window, got:\n%s", out)
+	}
+
+	// At 2*window runs and beyond, the note disappears.
+	full := filepath.Join(dir, "full.jsonl")
+	writeHistory(t, full, []float64{2000, 2000, 2000, 2000, 2000, 2000})
+	buf.Reset()
+	if runHistory(&buf, full, 3, 0.05, false) {
+		t.Fatal("flat full-window history should pass")
+	}
+	if out := buf.String(); strings.Contains(out, "insufficient") {
+		t.Fatalf("full-window history should not claim insufficient runs, got:\n%s", out)
 	}
 }
 
@@ -138,6 +178,126 @@ func TestLoadHistoryRejectsMalformed(t *testing.T) {
 	}
 	if _, err := loadHistory(noModels); err == nil {
 		t.Fatal("record with no models should fail")
+	}
+}
+
+func TestGateKernels(t *testing.T) {
+	old := map[string]kernelRecord{
+		"matmul":    {Kernel: "matmul", Calls: 100, GFlopsPerSec: 10},
+		"butterfly": {Kernel: "butterfly", Calls: 100, GFlopsPerSec: 5},
+	}
+
+	// Within tolerance: a 10% dip on one kernel passes at tol 0.2.
+	fresh := map[string]kernelRecord{
+		"matmul":    {Kernel: "matmul", Calls: 90, GFlopsPerSec: 9},
+		"butterfly": {Kernel: "butterfly", Calls: 110, GFlopsPerSec: 5.5},
+	}
+	if gateKernels(old, fresh, 0.2) {
+		t.Fatal("10% per-kernel dip should pass at 20% tolerance")
+	}
+
+	// Beyond tolerance: a 30% GFLOP/s drop fails.
+	slow := map[string]kernelRecord{
+		"matmul":    {Kernel: "matmul", Calls: 100, GFlopsPerSec: 7},
+		"butterfly": {Kernel: "butterfly", Calls: 100, GFlopsPerSec: 5},
+	}
+	if !gateKernels(old, slow, 0.2) {
+		t.Fatal("30% per-kernel GFLOP/s drop should fail at 20% tolerance")
+	}
+
+	// A kernel vanishing from the fresh record means its accounting hook
+	// (or the code path itself) was lost — always a failure.
+	missing := map[string]kernelRecord{
+		"matmul": {Kernel: "matmul", Calls: 100, GFlopsPerSec: 10},
+	}
+	if !gateKernels(old, missing, 0.2) {
+		t.Fatal("kernel missing from the fresh record should fail")
+	}
+
+	// A brand-new kernel has no baseline and is reported, not gated.
+	grown := map[string]kernelRecord{
+		"matmul":    {Kernel: "matmul", Calls: 100, GFlopsPerSec: 10},
+		"butterfly": {Kernel: "butterfly", Calls: 100, GFlopsPerSec: 5},
+		"fwht":      {Kernel: "fwht", Calls: 10, GFlopsPerSec: 1},
+	}
+	if gateKernels(old, grown, 0.2) {
+		t.Fatal("new kernel without a baseline must not fail the gate")
+	}
+}
+
+func TestGateDrift(t *testing.T) {
+	mk := func(ratio float64) map[string]driftRecord {
+		d := driftRecord{Model: "bf", Shards: 2, Step: "butterfly(256)+relu@ipu0", Ratio: ratio}
+		return map[string]driftRecord{driftKey(d): d}
+	}
+
+	// The ratio's absolute level never matters — a steady 40x passes.
+	if gateDrift(mk(40), mk(40), 1.0) {
+		t.Fatal("unchanged drift ratio should pass regardless of level")
+	}
+	// Movement within e^1 ≈ 2.72x either way passes at drift-tol 1.0.
+	if gateDrift(mk(10), mk(20), 1.0) {
+		t.Fatal("2x drift movement should pass at log tolerance 1.0")
+	}
+	// Movement beyond the tolerance fails, in either direction.
+	if !gateDrift(mk(10), mk(40), 1.0) {
+		t.Fatal("4x upward drift movement should fail at log tolerance 1.0")
+	}
+	if !gateDrift(mk(40), mk(10), 1.0) {
+		t.Fatal("4x downward drift movement should fail at log tolerance 1.0")
+	}
+	// Steps that appear or vanish (plan recompiled differently) and rows
+	// without data are skipped, not failed.
+	other := driftRecord{Model: "bf", Shards: 2, Step: "renamed@ipu0", Ratio: 40}
+	if gateDrift(mk(40), map[string]driftRecord{driftKey(other): other}, 1.0) {
+		t.Fatal("renamed step should be skipped, not failed")
+	}
+	if gateDrift(mk(0), mk(40), 1.0) {
+		t.Fatal("zero-ratio baseline row should be skipped")
+	}
+}
+
+func TestSnapshotGateEndToEnd(t *testing.T) {
+	// Full-file snapshot: the kernel table rides in BENCH_serve.json next
+	// to the model records, and runSnapshot gates both.
+	dir := t.TempDir()
+	write := func(name string, f benchFile) string {
+		t.Helper()
+		data, err := json.Marshal(f)
+		if err != nil {
+			t.Fatal(err)
+		}
+		path := filepath.Join(dir, name)
+		if err := os.WriteFile(path, data, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return path
+	}
+	oldFile := benchFile{
+		Models:  []record{{Model: "bf", Shards: 2, ThroughputRPS: 1000, AllocsPerOp: 2}},
+		Kernels: []kernelRecord{{Kernel: "butterfly", Calls: 100, GFlopsPerSec: 5}},
+		Drift:   []driftRecord{{Model: "bf", Shards: 2, Step: "s0", Ratio: 10}},
+	}
+	oldPath := write("old.json", oldFile)
+
+	good := oldFile
+	goodPath := write("good.json", good)
+	if runSnapshot(oldPath, goodPath, 0.2, 50, 0.2, 1.0) {
+		t.Fatal("identical records should pass the snapshot gate")
+	}
+
+	badKernel := oldFile
+	badKernel.Kernels = []kernelRecord{{Kernel: "butterfly", Calls: 100, GFlopsPerSec: 3}}
+	badPath := write("badkernel.json", badKernel)
+	if !runSnapshot(oldPath, badPath, 0.2, 50, 0.2, 1.0) {
+		t.Fatal("40% kernel GFLOP/s drop should fail the snapshot gate")
+	}
+
+	badDrift := oldFile
+	badDrift.Drift = []driftRecord{{Model: "bf", Shards: 2, Step: "s0", Ratio: 100}}
+	badDriftPath := write("baddrift.json", badDrift)
+	if !runSnapshot(oldPath, badDriftPath, 0.2, 50, 0.2, 1.0) {
+		t.Fatal("10x drift-ratio movement should fail the snapshot gate")
 	}
 }
 

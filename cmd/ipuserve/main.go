@@ -30,6 +30,7 @@ import (
 	"math/rand"
 	"net"
 	"net/http"
+	netpprof "net/http/pprof"
 	"os"
 	"runtime"
 	"strings"
@@ -96,8 +97,22 @@ func main() {
 		ipus     = flag.Int("ipus", 1, "modelled IPUs available per model (IPU-Link pod size)")
 		shards   = flag.Int("shards", 0, "shard count per model: 0 auto-picks the smallest that fits -ipu-mem")
 		ipuMemMB = flag.Int("ipu-mem", 0, "per-IPU memory budget in MB for the auto shard pick (0 = full chip SRAM)")
+		report   = flag.Bool("report", false, "render a markdown trajectory report from the -history JSONL and exit (default history: BENCH_history.jsonl)")
+		pprofOn  = flag.Bool("pprof", false, "mount net/http/pprof on the serving mux and pin per-model pprof labels around plan execution")
 	)
 	flag.Parse()
+
+	if *report {
+		path := *history
+		if path == "" {
+			path = "BENCH_history.jsonl"
+		}
+		if err := runReport(os.Stdout, path); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		return
+	}
 
 	ms, names, err := parseMethods(*methods)
 	if err != nil {
@@ -126,6 +141,7 @@ func main() {
 		NumIPUs:        *ipus,
 		PerIPUMemBytes: *ipuMemMB << 20,
 		Shards:         *shards,
+		PprofLabels:    *pprofOn,
 	}
 	reg := serve.NewRegistry(opts)
 	defer reg.Close()
@@ -174,12 +190,26 @@ func main() {
 		return
 	}
 
-	fmt.Printf("serving on %s (POST /predict, GET /models, GET /stats, GET /metrics, GET /debug/traces, GET /healthz)\n", *addr)
+	fmt.Printf("serving on %s (POST /predict, GET /models, GET /stats, GET /metrics, GET /debug/traces, GET /debug/costmodel, GET /healthz)\n", *addr)
+	handler := http.Handler(serve.NewServer(reg))
+	if *pprofOn {
+		// The serving mux stays pprof-free by default; behind the flag the
+		// standard profiling endpoints mount in front of it.
+		mux := http.NewServeMux()
+		mux.Handle("/", handler)
+		mux.HandleFunc("/debug/pprof/", netpprof.Index)
+		mux.HandleFunc("/debug/pprof/cmdline", netpprof.Cmdline)
+		mux.HandleFunc("/debug/pprof/profile", netpprof.Profile)
+		mux.HandleFunc("/debug/pprof/symbol", netpprof.Symbol)
+		mux.HandleFunc("/debug/pprof/trace", netpprof.Trace)
+		handler = mux
+		fmt.Println("pprof enabled on /debug/pprof/ with per-model execution labels")
+	}
 	// Bounded server timeouts so a stalled or malicious client can't pin
 	// a connection (and its goroutine) forever.
 	srv := &http.Server{
 		Addr:              *addr,
-		Handler:           serve.NewServer(reg),
+		Handler:           handler,
 		ReadHeaderTimeout: 5 * time.Second,
 		ReadTimeout:       15 * time.Second,
 		WriteTimeout:      30 * time.Second,
@@ -238,13 +268,40 @@ type fusionProbe struct {
 	ArenaBytesUnfused   int     `json:"arena_bytes_unfused"`
 }
 
+// kernelRecord is one row of the per-kernel accounting table: cumulative
+// work and achieved rates for one kernel family across every plan executed
+// during the load. cmd/benchgate gates GFlopsPerSec per kernel.
+type kernelRecord struct {
+	Kernel       string  `json:"kernel"`
+	Calls        int64   `json:"calls"`
+	Flops        int64   `json:"flops"`
+	ArenaBytes   int64   `json:"arena_bytes"`
+	GFlopsPerSec float64 `json:"gflops_per_sec"`
+	BytesPerSec  float64 `json:"bytes_per_sec"`
+}
+
+// driftRecord is one plan step's modelled-vs-measured cost: the modelled
+// IPU seconds per row next to the measured host wall-clock per row. The
+// absolute ratio reflects host-vs-modelled-IPU scale; benchgate watches
+// its movement between runs, not its level.
+type driftRecord struct {
+	Model           string  `json:"model"`
+	Shards          int     `json:"shards"`
+	Step            string  `json:"step"`
+	ModelledSeconds float64 `json:"modelled_s_per_row"`
+	MeasuredSeconds float64 `json:"measured_s_per_row"`
+	Ratio           float64 `json:"ratio"`
+}
+
 type benchFile struct {
-	GeneratedAt     string        `json:"generated_at"`
-	DurationSeconds float64       `json:"duration_s_per_model"`
-	N               int           `json:"n"`
-	Models          []benchRecord `json:"models"`
-	AllocProbes     []allocProbe  `json:"alloc_probes"`
-	FusionProbes    []fusionProbe `json:"fusion_probes"`
+	GeneratedAt     string         `json:"generated_at"`
+	DurationSeconds float64        `json:"duration_s_per_model"`
+	N               int            `json:"n"`
+	Models          []benchRecord  `json:"models"`
+	AllocProbes     []allocProbe   `json:"alloc_probes"`
+	FusionProbes    []fusionProbe  `json:"fusion_probes"`
+	Kernels         []kernelRecord `json:"kernels"`
+	Drift           []driftRecord  `json:"drift"`
 }
 
 // historySchema versions the JSONL history lines; cmd/benchgate rejects
@@ -256,12 +313,13 @@ const historySchema = 1
 // with the schema version and the commit under test. benchgate's
 // trajectory gate reads a subset of these fields.
 type historyRecord struct {
-	Schema          int           `json:"schema"`
-	GeneratedAt     string        `json:"generated_at"`
-	Commit          string        `json:"commit,omitempty"`
-	N               int           `json:"n"`
-	DurationSeconds float64       `json:"duration_s_per_model"`
-	Models          []benchRecord `json:"models"`
+	Schema          int            `json:"schema"`
+	GeneratedAt     string         `json:"generated_at"`
+	Commit          string         `json:"commit,omitempty"`
+	N               int            `json:"n"`
+	DurationSeconds float64        `json:"duration_s_per_model"`
+	Models          []benchRecord  `json:"models"`
+	Kernels         []kernelRecord `json:"kernels,omitempty"`
 }
 
 func runLoadgen(reg, base *serve.Registry, specs []serve.ModelSpec, bcfg serve.BatcherConfig, rps int, duration time.Duration, benchout, history, metricsout string) {
@@ -366,6 +424,26 @@ func runLoadgen(reg, base *serve.Registry, specs []serve.ModelSpec, bcfg serve.B
 			fp.TrafficReduction)
 	}
 
+	kernels := kernelTable(reg)
+	if len(kernels) > 0 {
+		fmt.Printf("\nper-kernel accounting (cumulative over the load, main registry):\n")
+		fmt.Printf("%-10s %10s %14s %10s %10s\n", "kernel", "calls", "GFLOP", "GFLOP/s", "GB/s")
+		for _, k := range kernels {
+			fmt.Printf("%-10s %10d %14.2f %10.2f %10.2f\n",
+				k.Kernel, k.Calls, float64(k.Flops)/1e9, k.GFlopsPerSec, k.BytesPerSec/1e9)
+		}
+	}
+
+	drift := driftTable(reg)
+	if len(drift) > 0 {
+		fmt.Printf("\ncost-model drift (measured host s/row vs modelled IPU s/row; watch movement, not level):\n")
+		fmt.Printf("%-10s %7s %-22s %14s %14s %8s\n", "model", "shards", "step", "modelled(ns)", "measured(ns)", "ratio")
+		for _, d := range drift {
+			fmt.Printf("%-10s %7d %-22s %14.1f %14.1f %8.2f\n",
+				d.Model, d.Shards, d.Step, d.ModelledSeconds*1e9, d.MeasuredSeconds*1e9, d.Ratio)
+		}
+	}
+
 	if metricsout != "" {
 		if err := scrapeMetrics(reg, metricsout); err != nil {
 			fmt.Fprintln(os.Stderr, err)
@@ -382,6 +460,7 @@ func runLoadgen(reg, base *serve.Registry, specs []serve.ModelSpec, bcfg serve.B
 			N:               n,
 			DurationSeconds: duration.Seconds(),
 			Models:          records,
+			Kernels:         kernels,
 		}); err != nil {
 			fmt.Fprintln(os.Stderr, err)
 			os.Exit(1)
@@ -399,6 +478,8 @@ func runLoadgen(reg, base *serve.Registry, specs []serve.ModelSpec, bcfg serve.B
 		Models:          records,
 		AllocProbes:     probes,
 		FusionProbes:    fprobes,
+		Kernels:         kernels,
+		Drift:           drift,
 	}
 	data, err := json.MarshalIndent(out, "", "  ")
 	if err != nil {
@@ -410,6 +491,47 @@ func runLoadgen(reg, base *serve.Registry, specs []serve.ModelSpec, bcfg serve.B
 		os.Exit(1)
 	}
 	fmt.Printf("perf record written to %s\n", benchout)
+}
+
+// kernelTable snapshots the registry's per-kernel accounting into the
+// perf-record rows, skipping kernels that never ran.
+func kernelTable(reg *serve.Registry) []kernelRecord {
+	var out []kernelRecord
+	for _, s := range reg.KernelStats().Snapshot() {
+		out = append(out, kernelRecord{
+			Kernel:       s.Kernel,
+			Calls:        s.Calls,
+			Flops:        s.Flops,
+			ArenaBytes:   s.Bytes,
+			GFlopsPerSec: s.GFlopsPerSec,
+			BytesPerSec:  s.BytesPerSec,
+		})
+	}
+	return out
+}
+
+// driftTable flattens every model's cost-model report into perf-record
+// rows, dropping steps that never saw traffic (ratio 0).
+func driftTable(reg *serve.Registry) []driftRecord {
+	var out []driftRecord
+	for _, m := range reg.Models() {
+		name := m.Info().Name
+		shards := m.Shards()
+		for _, d := range m.CostModelReport() {
+			if d.Ratio <= 0 {
+				continue
+			}
+			out = append(out, driftRecord{
+				Model:           name,
+				Shards:          shards,
+				Step:            d.Step,
+				ModelledSeconds: d.ModelledSeconds,
+				MeasuredSeconds: d.MeasuredSeconds,
+				Ratio:           d.Ratio,
+			})
+		}
+	}
+	return out
 }
 
 // appendHistory writes one compact JSON line to the append-only perf

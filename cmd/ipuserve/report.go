@@ -1,0 +1,171 @@
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"sort"
+)
+
+// runReport renders the append-only perf history as a markdown trajectory
+// report: per model × shard-count, the throughput / p95 / allocs-per-op
+// series across runs as sparklines with min/max/latest, plus the latest
+// per-kernel GFLOP/s table when the history carries one. It is read-only —
+// no models are registered and no load is generated.
+func runReport(w io.Writer, path string) error {
+	recs, err := loadHistory(path)
+	if err != nil {
+		return err
+	}
+	if len(recs) == 0 {
+		return fmt.Errorf("report: %s holds no schema-%d runs", path, historySchema)
+	}
+
+	fmt.Fprintf(w, "# Perf trajectory — %s\n\n", path)
+	fmt.Fprintf(w, "%d runs, %s → %s\n\n", len(recs),
+		recs[0].GeneratedAt, recs[len(recs)-1].GeneratedAt)
+
+	// Pivot run-major history into series-major trajectories, keyed by
+	// model/sN in first-seen order.
+	type series struct {
+		key        string
+		throughput []float64
+		p95        []float64
+		allocs     []float64
+	}
+	var order []string
+	byKey := map[string]*series{}
+	for _, rec := range recs {
+		for _, m := range rec.Models {
+			key := fmt.Sprintf("%s/s%d", m.Model, m.Shards)
+			s, ok := byKey[key]
+			if !ok {
+				s = &series{key: key}
+				byKey[key] = s
+				order = append(order, key)
+			}
+			s.throughput = append(s.throughput, m.ThroughputRPS)
+			s.p95 = append(s.p95, m.P95Millis)
+			s.allocs = append(s.allocs, m.AllocsPerOp)
+		}
+	}
+
+	fmt.Fprintf(w, "## Serving trajectories\n\n")
+	fmt.Fprintf(w, "| series | metric | trajectory | min | max | latest |\n")
+	fmt.Fprintf(w, "|---|---|---|---:|---:|---:|\n")
+	for _, key := range order {
+		s := byKey[key]
+		row := func(metric string, vals []float64) {
+			lo, hi := minMax(vals)
+			fmt.Fprintf(w, "| %s | %s | `%s` | %.2f | %.2f | %.2f |\n",
+				key, metric, spark(vals), lo, hi, vals[len(vals)-1])
+		}
+		row("throughput (req/s)", s.throughput)
+		row("p95 (ms)", s.p95)
+		row("allocs/op", s.allocs)
+	}
+
+	// Kernel GFLOP/s trajectories from runs that recorded the table.
+	kOrder, kSeries := kernelSeries(recs)
+	if len(kOrder) > 0 {
+		fmt.Fprintf(w, "\n## Kernel GFLOP/s\n\n")
+		fmt.Fprintf(w, "| kernel | trajectory | min | max | latest |\n")
+		fmt.Fprintf(w, "|---|---|---:|---:|---:|\n")
+		for _, k := range kOrder {
+			vals := kSeries[k]
+			lo, hi := minMax(vals)
+			fmt.Fprintf(w, "| %s | `%s` | %.2f | %.2f | %.2f |\n",
+				k, spark(vals), lo, hi, vals[len(vals)-1])
+		}
+	}
+	return nil
+}
+
+// loadHistory reads the JSONL perf history, keeping only lines of the
+// current schema. Unparseable lines are an error — a corrupt history
+// should fail loudly rather than silently thin the trajectory.
+func loadHistory(path string) ([]historyRecord, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	var recs []historyRecord
+	sc := bufio.NewScanner(f)
+	sc.Buffer(make([]byte, 0, 1<<20), 1<<20)
+	lineno := 0
+	for sc.Scan() {
+		lineno++
+		line := sc.Bytes()
+		if len(line) == 0 {
+			continue
+		}
+		var rec historyRecord
+		if err := json.Unmarshal(line, &rec); err != nil {
+			return nil, fmt.Errorf("report: %s:%d: %v", path, lineno, err)
+		}
+		if rec.Schema != historySchema {
+			continue
+		}
+		recs = append(recs, rec)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("report: reading %s: %v", path, err)
+	}
+	return recs, nil
+}
+
+// kernelSeries pivots the per-run kernel tables into per-kernel GFLOP/s
+// trajectories, kernels sorted by name for a stable report.
+func kernelSeries(recs []historyRecord) ([]string, map[string][]float64) {
+	series := map[string][]float64{}
+	for _, rec := range recs {
+		for _, k := range rec.Kernels {
+			series[k.Kernel] = append(series[k.Kernel], k.GFlopsPerSec)
+		}
+	}
+	order := make([]string, 0, len(series))
+	for k := range series {
+		order = append(order, k)
+	}
+	sort.Strings(order)
+	return order, series
+}
+
+// spark renders a value series as a fixed-height sparkline, scaled to the
+// series' own min/max (a flat series renders mid-height).
+func spark(vals []float64) string {
+	glyphs := []rune("▁▂▃▄▅▆▇█")
+	lo, hi := minMax(vals)
+	out := make([]rune, len(vals))
+	for i, v := range vals {
+		if hi == lo {
+			out[i] = glyphs[len(glyphs)/2]
+			continue
+		}
+		idx := int((v - lo) / (hi - lo) * float64(len(glyphs)-1))
+		if idx < 0 {
+			idx = 0
+		}
+		if idx >= len(glyphs) {
+			idx = len(glyphs) - 1
+		}
+		out[i] = glyphs[idx]
+	}
+	return string(out)
+}
+
+func minMax(vals []float64) (lo, hi float64) {
+	lo, hi = vals[0], vals[0]
+	for _, v := range vals[1:] {
+		if v < lo {
+			lo = v
+		}
+		if v > hi {
+			hi = v
+		}
+	}
+	return lo, hi
+}

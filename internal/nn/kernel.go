@@ -1,0 +1,58 @@
+package nn
+
+import (
+	"repro/internal/baselines"
+	"repro/internal/butterfly"
+	"repro/internal/obs"
+	"repro/internal/pixelfly"
+)
+
+// kernelOfLayer classifies the layer by the Into-kernel family its lowered
+// step actually executes — the attribution key of the per-kernel
+// performance accounting. Dense runs the dense matmul kernels;
+// FactorizedDense runs the two low-rank projection matmuls; a
+// StructuredLinear is classified by its transform (butterfly factor
+// sweeps, FWHT, FFT circular convolution, block-sparse-row, or the
+// low-rank baseline). Everything else — standalone activations and the
+// generic Infer-and-copy fallback — lands in KernelOther.
+func kernelOfLayer(l Layer) obs.Kernel {
+	switch t := l.(type) {
+	case *Dense:
+		return obs.KernelMatMul
+	case *FactorizedDense:
+		return obs.KernelLowRank
+	case *StructuredLinear:
+		switch t.T.(type) {
+		case *butterfly.Butterfly:
+			return obs.KernelButterfly
+		case *baselines.Fastfood:
+			return obs.KernelFWHT
+		case *baselines.Circulant:
+			return obs.KernelFFT
+		case *pixelfly.Pixelfly:
+			return obs.KernelBSR
+		case *baselines.LowRank:
+			return obs.KernelLowRank
+		default:
+			return obs.KernelOther
+		}
+	default:
+		return obs.KernelOther
+	}
+}
+
+// flopser is the per-sample work surface compute-bearing layers expose;
+// activations and the generic fallback don't implement it.
+type flopser interface {
+	Flops(batch int) float64
+}
+
+// layerFlopsPerRow returns the layer's per-sample flop count (all the
+// repo's Flops formulas are batch-linear, so batch=1 is the per-row
+// figure), or 0 for layers without a flop model.
+func layerFlopsPerRow(l Layer) int64 {
+	if f, ok := l.(flopser); ok {
+		return int64(f.Flops(1))
+	}
+	return 0
+}

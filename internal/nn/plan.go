@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"time"
 
+	"repro/internal/obs"
 	"repro/internal/tensor"
 )
 
@@ -87,6 +88,13 @@ type Plan struct {
 	// every Execute, so recording it allocates nothing.
 	stepNanos []int64
 
+	// kstats, when set, receives one per-kernel accounting record per
+	// executed step (flops, arena bytes, measured nanoseconds). Nil by
+	// default; the serving layer installs the registry-wide sink. Kept a
+	// plain pointer so the hot path pays a nil check plus striped atomic
+	// adds and nothing else.
+	kstats *obs.KernelStats
+
 	ws         *tensor.Workspace
 	bufA, bufB []float32
 	actA, actB tensor.Matrix
@@ -107,6 +115,15 @@ type planStep struct {
 	// the modelled-traffic accounting.
 	sweeps int
 	run    func(dst, x *tensor.Matrix, ws *tensor.Workspace)
+
+	// kernel is the Into-kernel family the step executes and flopsPerRow /
+	// bytesPerRow its per-sample work and arena traffic — the static half
+	// of the per-kernel accounting record Execute emits (the dynamic half
+	// is the batch size and measured nanoseconds). bytesPerRow is filled
+	// in after fusion from the step's traffic silhouette.
+	kernel      obs.Kernel
+	flopsPerRow int64
+	bytesPerRow int64
 }
 
 // stepShape is the traffic-relevant silhouette of one step: input width
@@ -157,6 +174,8 @@ func (s *Sequential) CompilePlanOpts(maxBatch int, opts PlanOptions) (*Plan, err
 			return nil, fmt.Errorf("nn: plan layer %d (%s): %w", i, l.Name(), err)
 		}
 		st.layer = l
+		st.kernel = kernelOfLayer(l)
+		st.flopsPerRow = layerFlopsPerRow(l)
 		p.steps = append(p.steps, st)
 		width = outW
 	}
@@ -164,6 +183,12 @@ func (s *Sequential) CompilePlanOpts(maxBatch int, opts PlanOptions) (*Plan, err
 	p.preFusion = stepShapes(p.in, p.steps)
 	if !opts.NoFuse {
 		p.steps = fusePlanSteps(p.steps)
+	}
+	// The per-row arena traffic of each surviving step comes from the
+	// post-fusion silhouette — the same model trafficBytes prices, divided
+	// down to one row.
+	for i, sh := range stepShapes(p.in, p.steps) {
+		p.steps[i].bytesPerRow = int64(4 * (sh.in + sh.out + 2*sh.sweeps*sh.out))
 	}
 
 	// The ping-pong arenas alternate ownership of the step outputs, so
@@ -267,6 +292,11 @@ func fusePair(lin, actStep *planStep) (planStep, bool) {
 		act:    actStep.layer,
 		sweeps: sweeps,
 		run:    run,
+		// The fused step keeps the linear step's kernel family and adds
+		// the folded activation's element ops, matching the modelled-cost
+		// accounting in the shard layer's describePlan.
+		kernel:      lin.kernel,
+		flopsPerRow: lin.flopsPerRow + int64(lin.cols),
 	}, true
 }
 
@@ -442,11 +472,36 @@ func (p *Plan) Execute(x *tensor.Matrix) (*tensor.Matrix, error) {
 		t0 := time.Now()
 		st.run(act, cur, p.ws)
 		p.stepNanos[i] = time.Since(t0).Nanoseconds()
+		if p.kstats != nil {
+			rows := int64(x.Rows)
+			p.kstats.Record(st.kernel, rows*st.flopsPerRow, rows*st.bytesPerRow, p.stepNanos[i])
+		}
 		cur = act
 		useA = !useA
 	}
 	return cur, nil
 }
+
+// SetKernelStats installs (or, with nil, removes) the per-kernel
+// accounting sink Execute reports each step's flops, arena bytes and
+// measured time into. The sink is shared and internally synchronized; the
+// plan itself stays single-goroutine. Recording is a few striped atomic
+// adds, so enabling accounting does not change the plan's steady-state
+// allocation profile.
+func (p *Plan) SetKernelStats(ks *obs.KernelStats) { p.kstats = ks }
+
+// StepKernel returns the Into-kernel family step i executes — the
+// attribution key of the per-kernel accounting (fused steps report their
+// linear source's family).
+func (p *Plan) StepKernel(i int) obs.Kernel { return p.steps[i].kernel }
+
+// StepFlopsPerRow returns the modelled per-sample flop count of step i
+// (fused steps include the folded activation's element ops).
+func (p *Plan) StepFlopsPerRow(i int) int64 { return p.steps[i].flopsPerRow }
+
+// StepArenaBytesPerRow returns the modelled per-sample activation-arena
+// traffic of step i, from the same silhouette trafficBytes prices.
+func (p *Plan) StepArenaBytesPerRow(i int) int64 { return p.steps[i].bytesPerRow }
 
 // LastStepNanos returns the wall-clock duration, in nanoseconds, of each
 // step of the most recent Execute (index-aligned with Step/Steps). The

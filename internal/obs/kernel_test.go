@@ -1,0 +1,126 @@
+package obs
+
+import (
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestKernelStatsRecordAndSnapshot(t *testing.T) {
+	s := NewKernelStats()
+	if got := s.Snapshot(); len(got) != 0 {
+		t.Fatalf("empty sink snapshot = %v, want empty", got)
+	}
+
+	// 2000 flops over 1000ns is 2 GFLOP/s exactly (flops/ns); 500 bytes
+	// over 1000ns is 5e8 bytes/s.
+	s.Record(KernelButterfly, 2000, 500, 1000)
+	s.Record(KernelButterfly, 2000, 500, 1000)
+	s.Record(KernelMatMul, 100, 10, 50)
+
+	snaps := s.Snapshot()
+	if len(snaps) != 2 {
+		t.Fatalf("snapshot families = %d, want 2 (%v)", len(snaps), snaps)
+	}
+	// Enum order: matmul before butterfly.
+	if snaps[0].Kernel != "matmul" || snaps[1].Kernel != "butterfly" {
+		t.Fatalf("snapshot order = %s, %s; want matmul, butterfly", snaps[0].Kernel, snaps[1].Kernel)
+	}
+	bf := snaps[1]
+	if bf.Calls != 2 || bf.Flops != 4000 || bf.Bytes != 1000 || bf.Nanos != 2000 {
+		t.Fatalf("butterfly totals = %+v", bf)
+	}
+	if bf.GFlopsPerSec != 2.0 {
+		t.Fatalf("butterfly GFLOP/s = %v, want 2.0", bf.GFlopsPerSec)
+	}
+	if bf.BytesPerSec != 5e8 {
+		t.Fatalf("butterfly bytes/s = %v, want 5e8", bf.BytesPerSec)
+	}
+}
+
+func TestKernelStatsNilAndOutOfRange(t *testing.T) {
+	var s *KernelStats
+	s.Record(KernelMatMul, 1, 1, 1) // must not panic
+	if s.Snapshot() != nil {
+		t.Fatal("nil sink snapshot should be nil")
+	}
+
+	real := NewKernelStats()
+	real.Record(Kernel(250), 7, 7, 7) // clamped to KernelOther
+	snaps := real.Snapshot()
+	if len(snaps) != 1 || snaps[0].Kernel != "other" || snaps[0].Flops != 7 {
+		t.Fatalf("out-of-range record should land on 'other', got %v", snaps)
+	}
+	if Kernel(250).String() != "other" {
+		t.Fatalf("out-of-range String = %q", Kernel(250).String())
+	}
+}
+
+func TestKernelStatsConcurrent(t *testing.T) {
+	// Striped-counter sink under concurrent writers and snapshot readers;
+	// run with -race this doubles as the data-race check. Totals must be
+	// exact — atomics lose nothing.
+	s := NewKernelStats()
+	const workers, per = 8, 1000
+	stop := make(chan struct{})
+	var scraper sync.WaitGroup
+	scraper.Add(1)
+	go func() { // concurrent scraper
+		defer scraper.Done()
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+				s.Snapshot()
+			}
+		}
+	}()
+	var writers sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		writers.Add(1)
+		go func(w int) {
+			defer writers.Done()
+			k := Kernel(w % int(numKernels))
+			for i := 0; i < per; i++ {
+				s.Record(k, 10, 4, 2)
+			}
+		}(w)
+	}
+	writers.Wait()
+	close(stop)
+	scraper.Wait()
+
+	var flops, calls int64
+	for _, snap := range s.Snapshot() {
+		flops += snap.Flops
+		calls += snap.Calls
+	}
+	if calls != workers*per || flops != workers*per*10 {
+		t.Fatalf("concurrent totals: calls=%d flops=%d, want %d and %d",
+			calls, flops, workers*per, workers*per*10)
+	}
+}
+
+func TestKernelStatsExport(t *testing.T) {
+	s := NewKernelStats()
+	reg := NewRegistry()
+	s.Export(reg, "kernel_gflops", "kernel_bytes_per_sec")
+	s.Record(KernelFWHT, 3000, 900, 1000)
+
+	var b strings.Builder
+	if err := reg.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	if !strings.Contains(out, `kernel_gflops{kernel="fwht"} 3`) {
+		t.Fatalf("exposition missing fwht gflops gauge:\n%s", out)
+	}
+	if !strings.Contains(out, `kernel_bytes_per_sec{kernel="fwht"} 9e+08`) {
+		t.Fatalf("exposition missing fwht bytes gauge:\n%s", out)
+	}
+	// Families that never ran read 0, not absent — the label set is fixed.
+	if !strings.Contains(out, `kernel_gflops{kernel="fft"} 0`) {
+		t.Fatalf("exposition missing idle fft gauge:\n%s", out)
+	}
+}

@@ -7,6 +7,7 @@ import (
 	"io"
 	"log"
 	"net/http"
+	"sort"
 	"time"
 
 	"repro/internal/obs"
@@ -14,12 +15,14 @@ import (
 
 // Server exposes a Registry over an HTTP JSON API:
 //
-//	POST /predict       {"model": "butterfly", "features": [ ... N floats ]}
-//	GET  /models        → registered models
-//	GET  /stats         → per-model serving stats + program-cache counters
-//	GET  /metrics       → Prometheus text exposition of the obs registry
-//	GET  /debug/traces  → the last-N sampled request traces
-//	GET  /healthz       → liveness probe ("ok")
+//	POST /predict          {"model": "butterfly", "features": [ ... N floats ]}
+//	GET  /models           → registered models
+//	GET  /stats            → per-model serving stats + program-cache counters
+//	GET  /metrics          → Prometheus text exposition of the obs registry
+//	GET  /debug/traces     → the last-N sampled request traces
+//	GET  /debug/costmodel  → modelled vs measured per-step cost, worst drift first
+//	GET  /healthz          → readiness probe: "ok" when any model is servable
+//	                         (?verbose=1 for per-model JSON), 503 + JSON otherwise
 type Server struct {
 	reg     *Registry
 	mux     *http.ServeMux
@@ -46,6 +49,7 @@ func NewServer(reg *Registry) *Server {
 	s.handle("/stats", s.handleStats)
 	s.handle("/metrics", s.handleMetrics)
 	s.handle("/debug/traces", s.handleTraces)
+	s.handle("/debug/costmodel", s.handleCostModel)
 	s.handle("/healthz", s.handleHealthz)
 	return s
 }
@@ -182,7 +186,11 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 type TracesResponse struct {
 	// SampleEvery is the sampling period (one trace per N requests);
 	// 0 means tracing is disabled.
-	SampleEvery int               `json:"sample_every"`
+	SampleEvery int `json:"sample_every"`
+	// SampledRate is the fraction of requests traced (1/SampleEvery;
+	// 0 when tracing is disabled) — the scale factor for extrapolating
+	// trace-derived counts back to the full request stream.
+	SampledRate float64           `json:"sampled_rate"`
 	Traces      []obs.TraceRecord `json:"traces"`
 }
 
@@ -194,6 +202,9 @@ func (s *Server) handleTraces(w http.ResponseWriter, r *http.Request) {
 	resp := TracesResponse{Traces: s.tracer.Snapshot()}
 	if s.tracer != nil {
 		resp.SampleEvery = s.tracer.SampleEvery()
+		if resp.SampleEvery > 0 {
+			resp.SampledRate = 1 / float64(resp.SampleEvery)
+		}
 	}
 	if resp.Traces == nil {
 		resp.Traces = []obs.TraceRecord{}
@@ -201,8 +212,81 @@ func (s *Server) handleTraces(w http.ResponseWriter, r *http.Request) {
 	s.writeJSON(w, http.StatusOK, resp)
 }
 
+// ModelCostDrift is one model's block of the /debug/costmodel response.
+type ModelCostDrift struct {
+	Model  string `json:"model"`
+	Shards int    `json:"shards"`
+	// Steps lists modelled vs measured per-step cost, worst drift first;
+	// empty until the model has executed its first batch.
+	Steps []StepCostDrift `json:"steps"`
+}
+
+// CostModelResponse is the /debug/costmodel response body: per model, the
+// modelled IPU cost of every plan step next to its measured per-row
+// wall-clock. Models are ordered by their worst step's drift, worst first.
+type CostModelResponse struct {
+	Models []ModelCostDrift `json:"models"`
+}
+
+func (s *Server) handleCostModel(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		s.writeJSON(w, http.StatusMethodNotAllowed, errorBody{"GET required"})
+		return
+	}
+	resp := CostModelResponse{Models: []ModelCostDrift{}}
+	for _, m := range s.reg.Models() {
+		steps := m.CostModelReport()
+		if steps == nil {
+			steps = []StepCostDrift{}
+		}
+		resp.Models = append(resp.Models, ModelCostDrift{
+			Model:  m.Info().Name,
+			Shards: m.Shards(),
+			Steps:  steps,
+		})
+	}
+	worst := func(md ModelCostDrift) float64 {
+		if len(md.Steps) == 0 {
+			return -1
+		}
+		return driftDist(md.Steps[0].Ratio) // steps are already worst-first
+	}
+	sort.SliceStable(resp.Models, func(i, j int) bool { return worst(resp.Models[i]) > worst(resp.Models[j]) })
+	s.writeJSON(w, http.StatusOK, resp)
+}
+
+// HealthResponse is the JSON /healthz body (verbose or unhealthy paths).
+type HealthResponse struct {
+	Status string        `json:"status"` // "ok" or "unavailable"
+	Models []ModelHealth `json:"models"`
+}
+
+// handleHealthz reports per-model readiness: 200 when at least one model
+// is servable (bare "ok" unless ?verbose=1 asks for the JSON detail — the
+// fast path probes stay on), 503 with the per-model JSON when none is.
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
-	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
-	w.WriteHeader(http.StatusOK)
-	io.WriteString(w, "ok\n")
+	health := s.reg.Health()
+	servable := false
+	for _, h := range health {
+		if h.Ready {
+			servable = true
+			break
+		}
+	}
+	if servable && r.URL.Query().Get("verbose") == "" {
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		w.WriteHeader(http.StatusOK)
+		io.WriteString(w, "ok\n")
+		return
+	}
+	resp := HealthResponse{Status: "ok", Models: health}
+	if resp.Models == nil {
+		resp.Models = []ModelHealth{}
+	}
+	code := http.StatusOK
+	if !servable {
+		resp.Status = "unavailable"
+		code = http.StatusServiceUnavailable
+	}
+	s.writeJSON(w, code, resp)
 }

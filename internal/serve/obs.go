@@ -1,8 +1,13 @@
 package serve
 
 import (
+	"math"
+	"sort"
 	"strconv"
+	"strings"
+	"sync/atomic"
 
+	"repro/internal/nn"
 	"repro/internal/obs"
 	"repro/internal/shard"
 )
@@ -31,6 +36,9 @@ const (
 	metUptime        = "ipuserve_uptime_seconds"
 	metHTTPRequests  = "ipuserve_http_requests_total"
 	metEncodeErrs    = "ipuserve_http_json_encode_errors_total"
+	metKernelGflops  = "ipuserve_kernel_gflops"
+	metKernelBytes   = "ipuserve_kernel_bytes_per_sec"
+	metDrift         = "ipuserve_cost_model_drift_ratio"
 )
 
 // registerHelp attaches the HELP strings once per registry so every
@@ -56,6 +64,9 @@ func registerHelp(reg *obs.Registry) {
 	reg.Help(metUptime, "Seconds since the HTTP server started.")
 	reg.Help(metHTTPRequests, "HTTP requests by path.")
 	reg.Help(metEncodeErrs, "JSON responses that failed to encode (response abandoned mid-write).")
+	reg.Help(metKernelGflops, "Measured GFLOP/s per Into-kernel family, cumulative over all executed plan steps.")
+	reg.Help(metKernelBytes, "Measured activation-arena bytes/s per Into-kernel family, cumulative over all executed plan steps.")
+	reg.Help(metDrift, "Measured per-row step seconds divided by the modelled IPU cost, per model and step (host/device scale; watch for change, not absolute level).")
 }
 
 // modelMetrics is the per-model instrument set, created once at install so
@@ -111,6 +122,55 @@ func newBatcherMetrics(reg *obs.Registry, name string) *batcherMetrics {
 type stepObs struct {
 	spanNames []string
 	hists     []*obs.Histogram
+
+	// Cost-model drift accounting: modelled[i] is the modelled per-row
+	// seconds of step i under the registry's topology (0 when the step has
+	// no cost model), measured[i] the running measured nanos and rows. The
+	// drift ratio — measured per-row seconds over modelled — is derived at
+	// scrape/report time, so the batch hot path only pays two atomic adds
+	// per step. The ratio's absolute level reflects host-Go-loops vs
+	// modelled-IPU scale and is expected far from 1; what the detector
+	// watches is the ratio *changing* between runs.
+	modelled []float64
+	measured []driftAcc
+}
+
+// driftAcc accumulates one step's measured execution: total nanoseconds
+// and total rows, from which the per-row measured cost is derived.
+type driftAcc struct {
+	nanos atomic.Int64
+	rows  atomic.Int64
+}
+
+// modelledPerRow prices each step of the executor at one row under the
+// topology: the unsharded plan through the cost model's per-class compute
+// rates, the sharded plan through its own modelled micro-step seconds
+// (compute split + exchange) scaled down from MaxBatch.
+func modelledPerRow(se steppedExecutor, topo shard.Topology) []float64 {
+	switch ex := se.(type) {
+	case *nn.Plan:
+		return shard.PlanStepSeconds(ex, 1, topo)
+	case *shard.ShardedPlan:
+		ms := ex.ModelledStepSeconds()
+		out := make([]float64, len(ms))
+		inv := 1 / float64(ex.MaxBatch())
+		for i, v := range ms {
+			out[i] = v * inv
+		}
+		return out
+	default:
+		return nil
+	}
+}
+
+// driftRatio is the scrape-time drift gauge value: measured per-row
+// seconds over modelled, 0 until the step has executed at least once.
+func driftRatio(acc *driftAcc, modelled float64) float64 {
+	rows := acc.rows.Load()
+	if rows == 0 || modelled <= 0 {
+		return 0
+	}
+	return float64(acc.nanos.Load()) / float64(rows) / 1e9 / modelled
 }
 
 // steppedExecutor is the introspection surface both executor kinds
@@ -133,6 +193,11 @@ func (m *Model) stepInstruments(se steppedExecutor) *stepObs {
 	so := &stepObs{
 		spanNames: make([]string, len(names)),
 		hists:     make([]*obs.Histogram, len(names)),
+		modelled:  modelledPerRow(se, m.topo),
+		measured:  make([]driftAcc, len(names)),
+	}
+	if len(so.modelled) != len(names) {
+		so.modelled = make([]float64, len(names))
 	}
 	for i, nm := range names {
 		so.spanNames[i] = "step:" + nm
@@ -142,14 +207,27 @@ func (m *Model) stepInstruments(se steppedExecutor) *stepObs {
 	if !m.stepObs.CompareAndSwap(nil, so) {
 		return m.stepObs.Load()
 	}
+	// Export the drift gauge for every step the cost model prices. The
+	// gauges close over the winning stepObs' accumulators, so registration
+	// happens only on the CAS winner.
+	for i, nm := range names {
+		if so.modelled[i] <= 0 {
+			continue
+		}
+		acc, mod := &so.measured[i], so.modelled[i]
+		m.obsReg.GaugeFunc(metDrift, func() float64 { return driftRatio(acc, mod) },
+			obs.L{Key: "model", Value: m.spec.Name}, obs.L{Key: "step", Value: nm})
+	}
 	return so
 }
 
 // observeExec harvests the executor's measured timings after one batch:
-// per-step wall time into the execution report (for the request traces)
-// and the step/shard histograms. Runs on the batcher worker, once per
-// batch, allocation-free after the first batch builds the instruments.
-func (m *Model) observeExec(ex Executor, info *execInfo) {
+// per-step wall time into the execution report (for the request traces),
+// the step/shard histograms, and the cost-model drift accumulators (rows
+// is the executed batch size the per-row measured cost divides by). Runs
+// on the batcher worker, once per batch, allocation-free after the first
+// batch builds the instruments.
+func (m *Model) observeExec(ex Executor, info *execInfo, rows int) {
 	se, ok := ex.(steppedExecutor)
 	if !ok {
 		return
@@ -167,6 +245,10 @@ func (m *Model) observeExec(ex Executor, info *execInfo) {
 	so := m.stepInstruments(se)
 	for i := 0; i < n && i < len(so.hists); i++ {
 		so.hists[i].Observe(float64(nanos[i]) / 1e9)
+	}
+	for i := 0; i < len(nanos) && i < len(so.measured); i++ {
+		so.measured[i].nanos.Add(nanos[i])
+		so.measured[i].rows.Add(int64(rows))
 	}
 	sp, ok := ex.(*shard.ShardedPlan)
 	if !ok || m.mets == nil || len(m.mets.shardCompute) == 0 {
@@ -188,6 +270,57 @@ func (m *Model) observeExec(ex Executor, info *execInfo) {
 	if gap := sp.LastWallNanos() - slowest; gap > 0 && m.mets.shardExchange != nil {
 		m.mets.shardExchange.Observe(float64(gap) / 1e9)
 	}
+}
+
+// StepCostDrift is one row of the cost-model drift report: one plan
+// step's modelled per-row cost next to its measured per-row wall-clock
+// and their ratio.
+type StepCostDrift struct {
+	Step            string  `json:"step"`
+	ModelledSeconds float64 `json:"modelled_s_per_row"`
+	MeasuredSeconds float64 `json:"measured_s_per_row"`
+	// Ratio is measured/modelled (0 until the step has executed). The
+	// absolute level mixes host and modelled-device scales; drift
+	// detection compares it across runs.
+	Ratio float64 `json:"ratio"`
+	Rows  int64   `json:"rows"`
+}
+
+// driftDist orders drift rows worst-first: distance from parity in log
+// space (a step 10× over and one 10× under are equally far off). Rows
+// without data sort last.
+func driftDist(ratio float64) float64 {
+	if ratio <= 0 {
+		return -1
+	}
+	return math.Abs(math.Log(ratio))
+}
+
+// CostModelReport returns the model's per-step modelled-vs-measured cost
+// comparison, worst offenders (largest |log ratio|) first. Nil until the
+// first batch has executed (step instruments are built lazily).
+func (m *Model) CostModelReport() []StepCostDrift {
+	so := m.stepObs.Load()
+	if so == nil {
+		return nil
+	}
+	out := make([]StepCostDrift, 0, len(so.measured))
+	for i := range so.measured {
+		d := StepCostDrift{
+			Step:            strings.TrimPrefix(so.spanNames[i], "step:"),
+			ModelledSeconds: so.modelled[i],
+			Rows:            so.measured[i].rows.Load(),
+		}
+		if d.Rows > 0 {
+			d.MeasuredSeconds = float64(so.measured[i].nanos.Load()) / float64(d.Rows) / 1e9
+		}
+		if d.ModelledSeconds > 0 && d.MeasuredSeconds > 0 {
+			d.Ratio = d.MeasuredSeconds / d.ModelledSeconds
+		}
+		out = append(out, d)
+	}
+	sort.SliceStable(out, func(i, j int) bool { return driftDist(out[i].Ratio) > driftDist(out[j].Ratio) })
+	return out
 }
 
 // traceSpans replays the batch timing block of one response into a

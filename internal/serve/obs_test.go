@@ -247,18 +247,53 @@ func TestHTTPTraceSamplingParity(t *testing.T) {
 }
 
 func TestHealthz(t *testing.T) {
+	get := func(t *testing.T, url string) (int, string) {
+		t.Helper()
+		resp, err := http.Get(url)
+		if err != nil {
+			t.Fatal(err)
+		}
+		body, _ := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		return resp.StatusCode, string(body)
+	}
+
+	// An empty registry has nothing servable: 503 with the JSON detail.
 	reg := NewRegistry(Options{})
 	defer reg.Close()
 	srv := httptest.NewServer(NewServer(reg))
 	defer srv.Close()
-	resp, err := http.Get(srv.URL + "/healthz")
-	if err != nil {
+	code, body := get(t, srv.URL+"/healthz")
+	if code != http.StatusServiceUnavailable {
+		t.Fatalf("healthz on empty registry: status %d body %q, want 503", code, body)
+	}
+	var hr HealthResponse
+	if err := json.Unmarshal([]byte(body), &hr); err != nil {
+		t.Fatalf("healthz 503 body not JSON: %v (%q)", err, body)
+	}
+	if hr.Status != "unavailable" || len(hr.Models) != 0 {
+		t.Fatalf("healthz 503 body = %+v, want status=unavailable, no models", hr)
+	}
+
+	// With a servable model the probe fast path stays bare "ok"...
+	if _, err := reg.Register(ModelSpec{Name: "bf", Method: nn.Butterfly, N: 64, Classes: 4, Seed: 1}); err != nil {
 		t.Fatal(err)
 	}
-	body, _ := io.ReadAll(resp.Body)
-	resp.Body.Close()
-	if resp.StatusCode != http.StatusOK || strings.TrimSpace(string(body)) != "ok" {
-		t.Fatalf("healthz: status %d body %q", resp.StatusCode, body)
+	code, body = get(t, srv.URL+"/healthz")
+	if code != http.StatusOK || strings.TrimSpace(body) != "ok" {
+		t.Fatalf("healthz: status %d body %q, want 200 ok", code, body)
+	}
+
+	// ...and ?verbose=1 reports per-model readiness as JSON.
+	code, body = get(t, srv.URL+"/healthz?verbose=1")
+	if code != http.StatusOK {
+		t.Fatalf("healthz?verbose=1: status %d body %q", code, body)
+	}
+	if err := json.Unmarshal([]byte(body), &hr); err != nil {
+		t.Fatalf("healthz verbose body not JSON: %v (%q)", err, body)
+	}
+	if hr.Status != "ok" || len(hr.Models) != 1 || !hr.Models[0].Ready || hr.Models[0].Model != "bf" {
+		t.Fatalf("healthz verbose body = %+v, want ready model bf", hr)
 	}
 }
 

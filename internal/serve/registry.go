@@ -4,6 +4,7 @@ import (
 	"context"
 	"fmt"
 	"math/rand"
+	"runtime/pprof"
 	"sort"
 	"sync"
 
@@ -44,6 +45,12 @@ type Options struct {
 	TraceSampleEvery int
 	// TraceKeep is how many finished traces the ring retains (0 = 64).
 	TraceKeep int
+
+	// PprofLabels pins a per-model pprof label ("model") on the batcher
+	// worker goroutine around plan execution, so CPU profiles attribute
+	// kernel time to the model that ran it. Off by default — label
+	// swapping is cheap but not free.
+	PprofLabels bool
 }
 
 // Default trace sampling: one request in 64, last 64 traces retained.
@@ -65,6 +72,10 @@ type Registry struct {
 	// samples per-request traces for /debug/traces.
 	obs    *obs.Registry
 	tracer *obs.Tracer
+	// kstats is the registry-wide per-kernel accounting sink every model's
+	// plans record into; exported on /metrics as kernel_gflops /
+	// kernel_bytes_per_sec.
+	kstats *obs.KernelStats
 
 	mu       sync.RWMutex
 	models   map[string]*Model
@@ -92,6 +103,8 @@ func NewRegistry(opts Options) *Registry {
 		versions: map[string]int{},
 	}
 	registerHelp(r.obs)
+	r.kstats = obs.NewKernelStats()
+	r.kstats.Export(r.obs, metKernelGflops, metKernelBytes)
 	r.cache.instrument(r.obs)
 	r.obs.GaugeFunc(metModels, func() float64 {
 		r.mu.RLock()
@@ -119,6 +132,10 @@ func (r *Registry) Obs() *obs.Registry { return r.obs }
 // Tracer returns the registry's request tracer (nil when tracing is
 // disabled via a negative TraceSampleEvery).
 func (r *Registry) Tracer() *obs.Tracer { return r.tracer }
+
+// KernelStats returns the registry-wide per-kernel accounting sink — the
+// source of the loadgen's per-kernel GFLOP/s table.
+func (r *Registry) KernelStats() *obs.KernelStats { return r.kstats }
 
 // Register builds the spec's network and installs it under spec.Name. A
 // name already in use is replaced: the new model gets the next version
@@ -157,7 +174,12 @@ func (r *Registry) install(spec ModelSpec, net *nn.Sequential, label string, wb 
 		factorErr:   factorErr,
 		obsReg:      r.obs,
 		tracer:      r.tracer,
+		kstats:      r.kstats,
 		lat:         newLatencyRing(latencyWindow),
+	}
+	if r.opts.PprofLabels {
+		m.pprofBase = context.Background()
+		m.pprofCtx = pprof.WithLabels(m.pprofBase, pprof.Labels("model", spec.Name))
 	}
 	m.shards = r.pickShards(net)
 	m.mets = newModelMetrics(r.obs, spec.Name, m.shards)
@@ -233,6 +255,46 @@ func (r *Registry) Predict(ctx context.Context, name string, features []float32)
 		return Prediction{}, fmt.Errorf("serve: unknown model %q", name)
 	}
 	return m.Predict(ctx, features)
+}
+
+// Models returns the registered models sorted by name — the iteration
+// surface report endpoints (e.g. /debug/costmodel) walk.
+func (r *Registry) Models() []*Model {
+	r.mu.RLock()
+	out := make([]*Model, 0, len(r.models))
+	for _, m := range r.models {
+		out = append(out, m)
+	}
+	r.mu.RUnlock()
+	sort.Slice(out, func(i, j int) bool { return out[i].spec.Name < out[j].spec.Name })
+	return out
+}
+
+// ModelHealth is one model's row of the /healthz readiness report.
+type ModelHealth struct {
+	Model   string `json:"model"`
+	Version int    `json:"version"`
+	Shards  int    `json:"shards"`
+	Ready   bool   `json:"ready"`
+	Error   string `json:"error,omitempty"`
+}
+
+// Health probes every registered model's readiness (plan compiled through
+// the shared cache, memoized per model), sorted by name.
+func (r *Registry) Health() []ModelHealth {
+	models := r.Models()
+	out := make([]ModelHealth, 0, len(models))
+	for _, m := range models {
+		ready, errStr := m.Ready()
+		out = append(out, ModelHealth{
+			Model:   m.spec.Name,
+			Version: m.version,
+			Shards:  m.shards,
+			Ready:   ready,
+			Error:   errStr,
+		})
+	}
+	return out
 }
 
 // List returns the registered models sorted by name.

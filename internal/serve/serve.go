@@ -25,6 +25,7 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"runtime/pprof"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -181,6 +182,22 @@ type Model struct {
 	mets    *modelMetrics
 	stepObs atomic.Pointer[stepObs]
 
+	// kstats is the registry-wide per-kernel accounting sink, installed on
+	// every pooled plan before execution (nil outside a registry).
+	kstats *obs.KernelStats
+
+	// pprofCtx is the precomputed pprof-labeled context ("model" label)
+	// runBatch pins on the worker goroutine around plan execution, and
+	// pprofBase the unlabeled context it restores; both nil unless
+	// Options.PprofLabels is set, keeping the default hot path untouched.
+	pprofCtx  context.Context
+	pprofBase context.Context
+
+	// readiness memoizes the /healthz plan-compile probe: nil until the
+	// first probe, then the cached verdict (a model's plan compilability
+	// does not change after install).
+	readiness atomic.Pointer[readyState]
+
 	// retired is set when the model is replaced or removed; it stops
 	// late ModelledCost calls from resurrecting evicted cache entries.
 	retired atomic.Bool
@@ -317,9 +334,21 @@ func (m *Model) ModelledCost(batch int) (*ProgramCost, error) {
 // histograms) before the plan returns to the pool; the fallback path
 // leaves info empty.
 func (m *Model) runBatch(x *tensor.Matrix, info *execInfo) *tensor.Matrix {
+	if m.pprofCtx != nil {
+		// Pin the model name on the worker goroutine for CPU-profile
+		// attribution around Plan.Execute; restored before the response
+		// fan-out so unrelated work is not mislabeled.
+		pprof.SetGoroutineLabels(m.pprofCtx)
+		defer pprof.SetGoroutineLabels(m.pprofBase)
+	}
 	prog, err := m.cache.programQuiet(m.spec.Name, m.version, nextPow2(x.Rows), m.shards, m.net, m.workload)
 	if err == nil {
 		if pl, perr := prog.GetPlan(); perr == nil {
+			if m.kstats != nil {
+				if ks, ok := pl.(kernelSink); ok {
+					ks.SetKernelStats(m.kstats)
+				}
+			}
 			y, xerr := pl.Execute(x)
 			if xerr == nil {
 				// Copy out before returning the plan: responses alias rows
@@ -327,7 +356,7 @@ func (m *Model) runBatch(x *tensor.Matrix, info *execInfo) *tensor.Matrix {
 				// recycled by the next worker that draws it from the pool.
 				out := tensor.New(y.Rows, y.Cols)
 				copy(out.Data, y.Data)
-				m.observeExec(pl, info)
+				m.observeExec(pl, info, x.Rows)
 				prog.PutPlan(pl)
 				return out
 			}
@@ -335,6 +364,43 @@ func (m *Model) runBatch(x *tensor.Matrix, info *execInfo) *tensor.Matrix {
 		}
 	}
 	return m.net.Infer(x)
+}
+
+// kernelSink is the per-kernel accounting hook both executor kinds
+// (nn.Plan, shard.ShardedPlan) expose.
+type kernelSink interface {
+	SetKernelStats(*obs.KernelStats)
+}
+
+// readyState is the memoized verdict of one readiness probe.
+type readyState struct {
+	ready bool
+	err   string
+}
+
+// Ready reports whether the model can serve: registered, not retired, and
+// its compiled plan materializes at the smallest batch bucket. The probe
+// compiles through the shared program cache once and memoizes the verdict,
+// so health checks stay cheap; a compile failure surfaces its error.
+func (m *Model) Ready() (bool, string) {
+	if m.retired.Load() {
+		return false, "model stopped"
+	}
+	if rs := m.readiness.Load(); rs != nil {
+		return rs.ready, rs.err
+	}
+	rs := &readyState{}
+	prog, err := m.cache.programQuiet(m.spec.Name, m.version, 1, m.shards, m.net, m.workload)
+	if err != nil {
+		rs.err = err.Error()
+	} else if pl, perr := prog.GetPlan(); perr != nil {
+		rs.err = perr.Error()
+	} else {
+		prog.PutPlan(pl)
+		rs.ready = true
+	}
+	m.readiness.Store(rs)
+	return rs.ready, rs.err
 }
 
 // Stats returns the model's serving counters.

@@ -209,9 +209,7 @@ func estimateWith(pl *nn.Plan, batch, shards int, topo Topology, strategy Strate
 	// plus one arena's worth of per-step scratch.
 	c.PerIPUActivationBytes = 3 * 4 * batch * maxW
 
-	rate := func(cl ipu.ComputeClass) float64 {
-		return float64(topo.IPU.Tiles) * topo.IPU.ClassRate(cl) * topo.IPU.ClockHz
-	}
+	rate := func(cl ipu.ComputeClass) float64 { return classRate(topo, cl) }
 
 	switch strategy {
 	case TensorParallel:
@@ -264,6 +262,81 @@ func estimateWith(pl *nn.Plan, batch, shards int, topo Topology, strategy Strate
 	c.PerIPUBytes = int(memOverhead * float64(c.PerIPUWeightBytes+c.PerIPUActivationBytes))
 	c.LatencySecondsPerBatch = c.ComputeSecondsPerBatch + c.ExchangeSecondsPerBatch
 	return c, nil
+}
+
+// classRate is the topology's modelled aggregate flop rate for one
+// compute class: tiles × per-tile flops/cycle × clock.
+func classRate(topo Topology, cl ipu.ComputeClass) float64 {
+	return float64(topo.IPU.Tiles) * topo.IPU.ClassRate(cl) * topo.IPU.ClockHz
+}
+
+// PlanStepSeconds returns the modelled single-IPU duration of each step of
+// one batch of the unsharded plan (index-aligned with pl.Steps) — the same
+// per-class compute pricing estimateWith charges, without exchange. This
+// is the analytic baseline the serving layer's cost-model drift detector
+// lines the plan's measured LastStepNanos up against.
+func PlanStepSeconds(pl *nn.Plan, batch int, topo Topology) []float64 {
+	topo = topo.withDefaults()
+	descs, _ := describePlan(pl, batch)
+	out := make([]float64, len(descs))
+	for i, d := range descs {
+		out[i] = d.flops / classRate(topo, d.class)
+	}
+	return out
+}
+
+// modelledMicroSeconds prices each lowered micro-step: the source plan
+// step's modelled compute under the strategy (split across shards for
+// tensor parallel, whole for pipeline) spread evenly over its micro-steps,
+// plus the step's exchange time (all-gather / butterfly pairwise rounds /
+// pipeline boundary hop) charged to the step's last micro-step — the
+// barrier where the host actually waits for it.
+func modelledMicroSeconds(pl *nn.Plan, steps []step, batch, shards int, topo Topology, strategy Strategy) []float64 {
+	topo = topo.withDefaults()
+	descs, _ := describePlan(pl, batch)
+	n := len(descs)
+	compute := make([]float64, n)
+	exchange := make([]float64, n)
+	switch strategy {
+	case TensorParallel:
+		if shards > 1 {
+			for i, d := range descs {
+				split := (d.flops-d.replFlops)/float64(shards) + d.replFlops
+				compute[i] = split / classRate(topo, d.class)
+				slice := 4 * batch * d.outW / shards
+				exchange[i] = topo.Link.AllGatherSeconds(shards, slice)
+				if d.globalFn != nil {
+					exchange[i] += float64(d.globalFn(shards)) * topo.Link.PairwiseExchangeSeconds(slice)
+				}
+			}
+			break
+		}
+		fallthrough
+	case Pipeline:
+		owners := pipelineOwners(pl, shards)
+		for i, d := range descs {
+			compute[i] = d.flops / classRate(topo, d.class)
+			if i+1 < len(owners) && owners[i+1] != owners[i] {
+				exchange[i] = topo.Link.PointToPointSeconds(4 * batch * d.outW)
+			}
+		}
+	}
+	counts := make([]int, n)
+	last := make([]int, n)
+	for mi := range steps {
+		s := steps[mi].src
+		counts[s]++
+		last[s] = mi
+	}
+	out := make([]float64, len(steps))
+	for mi := range steps {
+		s := steps[mi].src
+		out[mi] = compute[s] / float64(counts[s])
+		if mi == last[s] {
+			out[mi] += exchange[s]
+		}
+	}
+	return out
 }
 
 // SpecLayer describes one layer of an unbuilt model for spec-level

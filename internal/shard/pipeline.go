@@ -25,6 +25,7 @@ func lowerPipeline(pl *nn.Plan, shards int) ([]step, error) {
 		st := step{
 			name: fmt.Sprintf("%s@ipu%d", names[i], owners[i]),
 			cols: pl.StepCols(i),
+			src:  i,
 			run:  make([]func(dst, x *tensor.Matrix, ws *tensor.Workspace), shards),
 		}
 		st.run[owners[i]] = pl.StepRunner(i)

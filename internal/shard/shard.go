@@ -37,6 +37,7 @@ import (
 
 	"repro/internal/ipu"
 	"repro/internal/nn"
+	"repro/internal/obs"
 	"repro/internal/tensor"
 )
 
@@ -102,7 +103,11 @@ func (t Topology) withDefaults() Topology {
 type step struct {
 	name string
 	cols int
-	run  []func(dst, x *tensor.Matrix, ws *tensor.Workspace)
+	// src is the index of the plan step this micro-step was lowered from —
+	// the join key back to the unsharded plan's per-step kernel family,
+	// flop model and modelled cost (several micro-steps may share one src).
+	src int
+	run []func(dst, x *tensor.Matrix, ws *tensor.Workspace)
 }
 
 // engine holds everything the worker goroutines touch. It is split from
@@ -129,6 +134,19 @@ type engine struct {
 	stepNanos    []int64
 	computeNanos []int64
 	wallNanos    int64
+
+	// Per-kernel accounting: kern/flopsPerRow/bytesPerRow carry each
+	// micro-step's kernel family and per-sample work (the plan step's
+	// figures divided over its micro-steps), recorded into kstats when a
+	// sink is installed. modelSec is the modelled per-micro-step seconds
+	// of one MaxBatch execution (compute under the chosen strategy, with
+	// the source step's exchange charged to its last micro-step) — the
+	// analytic counterpart the drift detector lines stepNanos up against.
+	kstats      *obs.KernelStats
+	kern        []obs.Kernel
+	flopsPerRow []int64
+	bytesPerRow []int64
+	modelSec    []float64
 
 	// Orchestration state: the orchestrator publishes curDst/curX/stepIdx,
 	// wakes the workers through their start channels (the channel send is
@@ -211,6 +229,27 @@ func CompileWith(pl *nn.Plan, topo Topology, shards int, strategy Strategy) (*Sh
 	e.bufB = make([]float32, e.maxBatch*maxW)
 	e.stepNanos = make([]int64, len(steps))
 	e.computeNanos = make([]int64, shards)
+
+	// Annotate each micro-step with its share of the source plan step's
+	// kernel accounting figures and modelled cost: a source step lowered
+	// into M micro-steps (a butterfly's per-stage sweeps) spreads its
+	// per-row flops/bytes and modelled compute evenly over the M, so the
+	// totals match the plan's own accounting exactly.
+	counts := make([]int, pl.NumSteps())
+	for i := range steps {
+		counts[steps[i].src]++
+	}
+	e.kern = make([]obs.Kernel, len(steps))
+	e.flopsPerRow = make([]int64, len(steps))
+	e.bytesPerRow = make([]int64, len(steps))
+	for i := range steps {
+		src := steps[i].src
+		n := int64(counts[src])
+		e.kern[i] = pl.StepKernel(src)
+		e.flopsPerRow[i] = pl.StepFlopsPerRow(src) / n
+		e.bytesPerRow[i] = pl.StepArenaBytesPerRow(src) / n
+	}
+	e.modelSec = modelledMicroSeconds(pl, steps, pl.MaxBatch(), shards, topo, strategy)
 	e.ws = make([]*tensor.Workspace, shards)
 	for k := range e.ws {
 		e.ws[k] = tensor.NewWorkspace()
@@ -307,12 +346,32 @@ func (p *ShardedPlan) Execute(x *tensor.Matrix) (*tensor.Matrix, error) {
 			<-e.done
 		}
 		e.stepNanos[i] = time.Since(t0).Nanoseconds()
+		if e.kstats != nil {
+			rows := int64(x.Rows)
+			e.kstats.Record(e.kern[i], rows*e.flopsPerRow[i], rows*e.bytesPerRow[i], e.stepNanos[i])
+		}
 		cur = act
 		useA = !useA
 	}
 	e.wallNanos = time.Since(execStart).Nanoseconds()
 	return cur, nil
 }
+
+// SetKernelStats installs (or, with nil, removes) the per-kernel
+// accounting sink Execute reports each micro-step's flops, arena bytes
+// and measured time into — the sharded counterpart of
+// nn.Plan.SetKernelStats. The sink is internally synchronized; only the
+// orchestrator goroutine records.
+func (p *ShardedPlan) SetKernelStats(ks *obs.KernelStats) { p.e.kstats = ks }
+
+// ModelledStepSeconds returns the modelled duration of each micro-step of
+// one MaxBatch execution under the plan's topology and strategy
+// (index-aligned with Steps/LastStepNanos): the source plan step's
+// modelled compute spread over its micro-steps, with the step's exchange
+// time charged to the last of them. The slice is plan-owned — copy to
+// modify. Dividing by MaxBatch gives the per-row modelled cost the drift
+// detector compares measured wall-clock against.
+func (p *ShardedPlan) ModelledStepSeconds() []float64 { return p.e.modelSec }
 
 // LastStepNanos returns the wall-clock duration, in nanoseconds, of each
 // barrier-delimited micro-step of the most recent Execute (index-aligned

@@ -31,7 +31,11 @@ func lowerTensorParallel(pl *nn.Plan, shards int) ([]step, error) {
 		if err := canSplit(l, outW, shards); err != nil {
 			return nil, fmt.Errorf("shard: step %d (%s): %w", i, info.Name, err)
 		}
-		steps = append(steps, splitStep(l, info.Activation(), inW, outW, shards)...)
+		ss := splitStep(l, info.Activation(), inW, outW, shards)
+		for j := range ss {
+			ss[j].src = i
+		}
+		steps = append(steps, ss...)
 		inW = outW
 	}
 	return steps, nil
