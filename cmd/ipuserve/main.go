@@ -33,6 +33,7 @@ import (
 	netpprof "net/http/pprof"
 	"os"
 	"runtime"
+	"sort"
 	"strings"
 	"time"
 
@@ -272,7 +273,11 @@ type fusionProbe struct {
 // work and achieved rates for one kernel family across every plan executed
 // during the load. cmd/benchgate gates GFlopsPerSec per kernel.
 type kernelRecord struct {
-	Kernel       string  `json:"kernel"`
+	Kernel string `json:"kernel"`
+	// Variant is the micro-kernel shape the family's steps dispatched to
+	// at compile time, gathered across the registry's models (distinct
+	// variants joined with ","; empty when no model reported one).
+	Variant      string  `json:"variant,omitempty"`
 	Calls        int64   `json:"calls"`
 	Flops        int64   `json:"flops"`
 	ArenaBytes   int64   `json:"arena_bytes"`
@@ -288,6 +293,7 @@ type driftRecord struct {
 	Model           string  `json:"model"`
 	Shards          int     `json:"shards"`
 	Step            string  `json:"step"`
+	Variant         string  `json:"variant,omitempty"`
 	ModelledSeconds float64 `json:"modelled_s_per_row"`
 	MeasuredSeconds float64 `json:"measured_s_per_row"`
 	Ratio           float64 `json:"ratio"`
@@ -427,20 +433,20 @@ func runLoadgen(reg, base *serve.Registry, specs []serve.ModelSpec, bcfg serve.B
 	kernels := kernelTable(reg)
 	if len(kernels) > 0 {
 		fmt.Printf("\nper-kernel accounting (cumulative over the load, main registry):\n")
-		fmt.Printf("%-10s %10s %14s %10s %10s\n", "kernel", "calls", "GFLOP", "GFLOP/s", "GB/s")
+		fmt.Printf("%-10s %-12s %10s %14s %10s %10s\n", "kernel", "variant", "calls", "GFLOP", "GFLOP/s", "GB/s")
 		for _, k := range kernels {
-			fmt.Printf("%-10s %10d %14.2f %10.2f %10.2f\n",
-				k.Kernel, k.Calls, float64(k.Flops)/1e9, k.GFlopsPerSec, k.BytesPerSec/1e9)
+			fmt.Printf("%-10s %-12s %10d %14.2f %10.2f %10.2f\n",
+				k.Kernel, k.Variant, k.Calls, float64(k.Flops)/1e9, k.GFlopsPerSec, k.BytesPerSec/1e9)
 		}
 	}
 
 	drift := driftTable(reg)
 	if len(drift) > 0 {
 		fmt.Printf("\ncost-model drift (measured host s/row vs modelled IPU s/row; watch movement, not level):\n")
-		fmt.Printf("%-10s %7s %-22s %14s %14s %8s\n", "model", "shards", "step", "modelled(ns)", "measured(ns)", "ratio")
+		fmt.Printf("%-10s %7s %-22s %-12s %14s %14s %8s\n", "model", "shards", "step", "variant", "modelled(ns)", "measured(ns)", "ratio")
 		for _, d := range drift {
-			fmt.Printf("%-10s %7d %-22s %14.1f %14.1f %8.2f\n",
-				d.Model, d.Shards, d.Step, d.ModelledSeconds*1e9, d.MeasuredSeconds*1e9, d.Ratio)
+			fmt.Printf("%-10s %7d %-22s %-12s %14.1f %14.1f %8.2f\n",
+				d.Model, d.Shards, d.Step, d.Variant, d.ModelledSeconds*1e9, d.MeasuredSeconds*1e9, d.Ratio)
 		}
 	}
 
@@ -494,12 +500,28 @@ func runLoadgen(reg, base *serve.Registry, specs []serve.ModelSpec, bcfg serve.B
 }
 
 // kernelTable snapshots the registry's per-kernel accounting into the
-// perf-record rows, skipping kernels that never ran.
+// perf-record rows, skipping kernels that never ran, and annotates each
+// family with the micro-kernel variant its models dispatched to.
 func kernelTable(reg *serve.Registry) []kernelRecord {
+	variants := map[string]map[string]bool{}
+	for _, m := range reg.Models() {
+		for fam, v := range m.KernelVariants() {
+			if variants[fam] == nil {
+				variants[fam] = map[string]bool{}
+			}
+			variants[fam][v] = true
+		}
+	}
 	var out []kernelRecord
 	for _, s := range reg.KernelStats().Snapshot() {
+		var vs []string
+		for v := range variants[s.Kernel] {
+			vs = append(vs, v)
+		}
+		sort.Strings(vs)
 		out = append(out, kernelRecord{
 			Kernel:       s.Kernel,
+			Variant:      strings.Join(vs, ","),
 			Calls:        s.Calls,
 			Flops:        s.Flops,
 			ArenaBytes:   s.Bytes,
@@ -525,6 +547,7 @@ func driftTable(reg *serve.Registry) []driftRecord {
 				Model:           name,
 				Shards:          shards,
 				Step:            d.Step,
+				Variant:         d.Variant,
 				ModelledSeconds: d.ModelledSeconds,
 				MeasuredSeconds: d.MeasuredSeconds,
 				Ratio:           d.Ratio,

@@ -1,0 +1,64 @@
+package baselines
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"repro/internal/tensor"
+)
+
+// TestFastfoodApplyIntoMicroMatchesReference checks the radix-8 FWHT
+// apply path against the reference chain, bit-for-bit, across sizes
+// spanning the n<8 fallback and the chunked regime.
+func TestFastfoodApplyIntoMicroMatchesReference(t *testing.T) {
+	rng := rand.New(rand.NewSource(51))
+	for _, n := range []int{4, 8, 64, 1024} {
+		f := NewFastfood(n, rand.New(rand.NewSource(52)))
+		ws := tensor.NewWorkspace()
+		for _, rows := range []int{1, 4} {
+			x := tensor.New(rows, n)
+			for i := range x.Data {
+				x.Data[i] = rng.Float32()*2 - 1
+			}
+			bias := make([]float32, n)
+			for i := range bias {
+				bias[i] = rng.Float32()*2 - 1
+			}
+			want := tensor.New(rows, n)
+			got := tensor.New(rows, n)
+
+			ws.Reset()
+			f.ApplyInto(want, x, ws)
+			ws.Reset()
+			f.ApplyIntoMicro(got, x, ws)
+			assertFastfoodSame(t, fmt.Sprintf("n=%d rows=%d ApplyIntoMicro", n, rows), want, got)
+
+			for _, act := range []tensor.Activation{tensor.ActNone, tensor.ActReLU} {
+				ws.Reset()
+				f.ApplyIntoEpilogue(want, x, ws, bias, act)
+				ws.Reset()
+				f.ApplyIntoEpilogueMicro(got, x, ws, bias, act)
+				assertFastfoodSame(t, fmt.Sprintf("n=%d rows=%d epilogue/%v", n, rows, act), want, got)
+			}
+		}
+	}
+}
+
+func TestFastfoodMicroVariant(t *testing.T) {
+	if got := NewFastfood(1024, rand.New(rand.NewSource(53))).MicroVariant(); got != "radix8" {
+		t.Errorf("n=1024: MicroVariant() = %q, want radix8", got)
+	}
+	if got := NewFastfood(4, rand.New(rand.NewSource(54))).MicroVariant(); got != "reference" {
+		t.Errorf("n=4: MicroVariant() = %q, want reference", got)
+	}
+}
+
+func assertFastfoodSame(t *testing.T, op string, want, got *tensor.Matrix) {
+	t.Helper()
+	for i := range want.Data {
+		if want.Data[i] != got.Data[i] {
+			t.Fatalf("%s: data[%d] = %v, want %v", op, i, got.Data[i], want.Data[i])
+		}
+	}
+}

@@ -281,6 +281,13 @@ func (b *Butterfly) ApplyInto(dst, x *tensor.Matrix, ws *tensor.Workspace) {
 // act(ApplyInto(x) + bias). bias may be nil; a factorless butterfly (N=1)
 // degenerates to the permutation plus a post-sweep.
 func (b *Butterfly) ApplyIntoEpilogue(dst, x *tensor.Matrix, ws *tensor.Workspace, bias []float32, act tensor.Activation) {
+	b.applyIntoEpilogue(dst, x, ws, bias, act, false)
+}
+
+// applyIntoEpilogue is the shared ping-pong driver behind the reference
+// and micro-kernel entry points; micro selects the unrolled sweeps
+// (bit-for-bit equal, see micro.go).
+func (b *Butterfly) applyIntoEpilogue(dst, x *tensor.Matrix, ws *tensor.Workspace, bias []float32, act tensor.Activation, micro bool) {
 	if x.Cols != b.N {
 		panic(fmt.Sprintf("butterfly: input width %d != N %d", x.Cols, b.N))
 	}
@@ -304,10 +311,19 @@ func (b *Butterfly) ApplyIntoEpilogue(dst, x *tensor.Matrix, ws *tensor.Workspac
 	}
 	b.applyPermRowsInto(cur, x)
 	for _, f := range b.Factors[:len(b.Factors)-1] {
-		applyFactorRows(f, cur, other)
+		if micro {
+			applyFactorRowsMicro(f, cur, other)
+		} else {
+			applyFactorRows(f, cur, other)
+		}
 		cur, other = other, cur
 	}
-	applyFactorRowsEpilogue(b.Factors[len(b.Factors)-1], cur, other, bias, act)
+	last := b.Factors[len(b.Factors)-1]
+	if micro {
+		applyFactorRowsEpilogueMicro(last, cur, other, bias, act)
+	} else {
+		applyFactorRowsEpilogue(last, cur, other, bias, act)
+	}
 }
 
 func applyFactorRows(f *Factor, in, out *tensor.Matrix) {

@@ -1,0 +1,123 @@
+package butterfly
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"repro/internal/tensor"
+)
+
+// TestMicroSweepsMatchReference checks every specialized stage kernel
+// against the reference pairs sweep, bit-for-bit, across sizes that put
+// each stage through the half ∈ {1,2,4} unrolls and the wide path.
+func TestMicroSweepsMatchReference(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	for _, n := range []int{2, 4, 8, 16, 32, 64, 256} {
+		b := New(n, Dense2x2, rng)
+		for rows := 1; rows <= 3; rows++ {
+			x := tensor.New(rows, n)
+			for i := range x.Data {
+				x.Data[i] = rng.Float32()*2 - 1
+			}
+			for _, f := range b.Factors {
+				want := tensor.New(rows, n)
+				got := tensor.New(rows, n)
+				applyFactorRows(f, x, want)
+				applyFactorRowsMicro(f, x, got)
+				for i := range want.Data {
+					if want.Data[i] != got.Data[i] {
+						t.Fatalf("n=%d stage=%d rows=%d: data[%d] = %v, want %v",
+							n, f.Stage, rows, i, got.Data[i], want.Data[i])
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestApplyIntoMicroMatchesReference checks the full transform — perm,
+// ping-pong, fused epilogue — through the micro sweeps, with and without
+// bias/activation.
+func TestApplyIntoMicroMatchesReference(t *testing.T) {
+	rng := rand.New(rand.NewSource(12))
+	for _, n := range []int{1, 2, 4, 8, 16, 64, 128} {
+		b := New(n, Dense2x2, rng)
+		ws := tensor.NewWorkspace()
+		for rows := 1; rows <= 4; rows += 3 {
+			x := tensor.New(rows, n)
+			for i := range x.Data {
+				x.Data[i] = rng.Float32()*2 - 1
+			}
+			bias := make([]float32, n)
+			for i := range bias {
+				bias[i] = rng.Float32()*2 - 1
+			}
+			want := tensor.New(rows, n)
+			got := tensor.New(rows, n)
+
+			ws.Reset()
+			b.ApplyInto(want, x, ws)
+			ws.Reset()
+			b.ApplyIntoMicro(got, x, ws)
+			assertSame(t, n, rows, "ApplyIntoMicro", want, got)
+
+			for _, act := range []tensor.Activation{tensor.ActNone, tensor.ActReLU} {
+				ws.Reset()
+				b.ApplyIntoEpilogue(want, x, ws, bias, act)
+				ws.Reset()
+				b.ApplyIntoEpilogueMicro(got, x, ws, bias, act)
+				assertSame(t, n, rows, fmt.Sprintf("ApplyIntoEpilogueMicro/%v", act), want, got)
+
+				ws.Reset()
+				b.ApplyIntoEpilogue(want, x, ws, nil, act)
+				ws.Reset()
+				b.ApplyIntoEpilogueMicro(got, x, ws, nil, act)
+				assertSame(t, n, rows, fmt.Sprintf("ApplyIntoEpilogueMicro/nilbias/%v", act), want, got)
+			}
+		}
+	}
+}
+
+func assertSame(t *testing.T, n, rows int, op string, want, got *tensor.Matrix) {
+	t.Helper()
+	for i := range want.Data {
+		if want.Data[i] != got.Data[i] {
+			t.Fatalf("%s n=%d rows=%d: data[%d] = %v, want %v", op, n, rows, i, got.Data[i], want.Data[i])
+		}
+	}
+}
+
+// BenchmarkApplyFactorRows compares the reference pairs sweep against
+// the unrolled micro sweep across the full stage ladder at
+// serving-realistic shapes.
+func BenchmarkApplyFactorRows(b *testing.B) {
+	rng := rand.New(rand.NewSource(13))
+	for _, sh := range [][2]int{{1, 256}, {16, 256}, {1, 1024}, {16, 1024}} {
+		rows, n := sh[0], sh[1]
+		bf := New(n, Dense2x2, rng)
+		x := tensor.New(rows, n)
+		for i := range x.Data {
+			x.Data[i] = rng.Float32()*2 - 1
+		}
+		out := tensor.New(rows, n)
+		// One "op" sweeps every stage once: the whole transform's work.
+		flops := int64(rows) * int64(len(bf.Factors)) * int64(n) * 3
+		b.Run(fmt.Sprintf("ref/b%dxn%d", rows, n), func(b *testing.B) {
+			b.SetBytes(flops)
+			for i := 0; i < b.N; i++ {
+				for _, f := range bf.Factors {
+					applyFactorRows(f, x, out)
+				}
+			}
+		})
+		b.Run(fmt.Sprintf("unrolled/b%dxn%d", rows, n), func(b *testing.B) {
+			b.SetBytes(flops)
+			for i := 0; i < b.N; i++ {
+				for _, f := range bf.Factors {
+					applyFactorRowsMicro(f, x, out)
+				}
+			}
+		})
+	}
+}

@@ -4,7 +4,11 @@
 // pass a second application of the same kernel.
 package hadamard
 
-import "fmt"
+import (
+	"fmt"
+
+	"repro/internal/tensor/microkernel"
+)
 
 // Transform applies the (unnormalized) Walsh–Hadamard transform to x in
 // place. len(x) must be a power of two. The unnormalized transform obeys
@@ -22,6 +26,19 @@ func Transform(x []float32) {
 			}
 		}
 	}
+}
+
+// TransformFast is Transform through the register-tiled micro-kernel:
+// the h=1/2/4 passes fuse into one radix-8 sweep and later passes run
+// unrolled with an L1-blocked pass order. Every butterfly performs the
+// same a+b / a-b on the same operands as Transform's triple loop, so the
+// result is bit-identical.
+func TransformFast(x []float32) {
+	n := len(x)
+	if n == 0 || n&(n-1) != 0 {
+		panic(fmt.Sprintf("hadamard: length %d is not a power of two", n))
+	}
+	microkernel.FWHT(x)
 }
 
 // TransformScaled applies the orthonormal transform H/sqrt(N), which is an

@@ -1,0 +1,67 @@
+package hadamard
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+)
+
+// TestTransformFastMatchesTransform demands bit equality between the
+// radix-8/blocked FWHT and the reference triple loop across every
+// power-of-two size through the chunked regime.
+func TestTransformFastMatchesTransform(t *testing.T) {
+	rng := rand.New(rand.NewSource(21))
+	for n := 1; n <= 1<<14; n <<= 1 {
+		x := make([]float32, n)
+		for i := range x {
+			x[i] = rng.Float32()*2 - 1
+		}
+		want := append([]float32(nil), x...)
+		Transform(want)
+		TransformFast(x)
+		for i := range x {
+			if x[i] != want[i] {
+				t.Fatalf("n=%d: x[%d] = %v, want %v", n, i, x[i], want[i])
+			}
+		}
+	}
+}
+
+func TestTransformFastRejectsNonPowerOfTwo(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for non-power-of-two length")
+		}
+	}()
+	TransformFast(make([]float32, 12))
+}
+
+// BenchmarkFWHT compares the reference transform against the radix-8
+// micro-kernel at serving-realistic widths.
+func BenchmarkFWHT(b *testing.B) {
+	rng := rand.New(rand.NewSource(22))
+	for _, n := range []int{256, 1024, 4096} {
+		x := make([]float32, n)
+		for i := range x {
+			x[i] = rng.Float32()*2 - 1
+		}
+		// n·log2(n) butterflies, 2 flops each.
+		logn := 0
+		for 1<<logn < n {
+			logn++
+		}
+		flops := int64(2 * n * logn)
+		b.Run(fmt.Sprintf("ref/n%d", n), func(b *testing.B) {
+			b.SetBytes(flops)
+			for i := 0; i < b.N; i++ {
+				Transform(x)
+			}
+		})
+		b.Run(fmt.Sprintf("radix8/n%d", n), func(b *testing.B) {
+			b.SetBytes(flops)
+			for i := 0; i < b.N; i++ {
+				TransformFast(x)
+			}
+		})
+	}
+}

@@ -54,6 +54,10 @@ func equivTrial(t *testing.T, rng *rand.Rand, net *nn.Sequential, n, maxBatch in
 	if err != nil {
 		t.Fatalf("CompilePlanOpts(NoFuse): %v", err)
 	}
+	reference, err := net.CompilePlanOpts(maxBatch, nn.PlanOptions{NoMicroKernel: true})
+	if err != nil {
+		t.Fatalf("CompilePlanOpts(NoMicroKernel): %v", err)
+	}
 	fs, us := fused.Stats(), unfused.Stats()
 	if us.FusedSteps != 0 {
 		t.Fatalf("unfused plan reports %d fused steps", us.FusedSteps)
@@ -78,7 +82,7 @@ func equivTrial(t *testing.T, rng *rand.Rand, net *nn.Sequential, n, maxBatch in
 		x.FillRandom(rng, 1)
 		inputs[i] = x
 		refs[i] = net.Infer(x)
-		for tag, pl := range map[string]*nn.Plan{"unfused": unfused, "fused": fused} {
+		for tag, pl := range map[string]*nn.Plan{"unfused": unfused, "fused": fused, "reference": reference} {
 			got, err := pl.Execute(x)
 			if err != nil {
 				t.Fatalf("%s Execute(batch=%d): %v", tag, batch, err)

@@ -1,0 +1,139 @@
+// Micro-kernel dispatcher tests: CompilePlan selects the register-tiled
+// fast paths once at plan-build time, stamps each kernel step with its
+// variant name, and PlanOptions{NoMicroKernel} compiles the reference
+// path. The race test pins the dispatcher's promise that plans compiled
+// from one model can execute concurrently (CI runs it under -race).
+package nn_test
+
+import (
+	"math/rand"
+	"sync"
+	"testing"
+
+	"repro/internal/nn"
+	"repro/internal/tensor"
+)
+
+// expectedVariants maps each operator family to the micro-kernel variant
+// its kernel steps must carry in a default (micro-enabled) plan.
+var expectedVariants = map[nn.Method][]string{
+	nn.Baseline:  {"tiled4x8"},
+	nn.Butterfly: {"unrolled"},
+	nn.Fastfood:  {"radix8"},
+	nn.Circulant: {"reference"}, // no micro path: stays on the reference kernel
+	nn.LowRank:   {"tiled4x8"},
+	nn.Pixelfly:  {"blockunroll", "blocktiled"},
+}
+
+func contains(xs []string, s string) bool {
+	for _, x := range xs {
+		if x == s {
+			return true
+		}
+	}
+	return false
+}
+
+// TestPlanVariantStamping checks that default plans stamp kernel steps
+// with the family's micro-kernel variant and that NoMicroKernel plans
+// stamp every kernel step "reference".
+func TestPlanVariantStamping(t *testing.T) {
+	for _, method := range nn.AllMethods {
+		method := method
+		t.Run(method.String(), func(t *testing.T) {
+			net := nn.BuildSHL(method, 64, 10, rand.New(rand.NewSource(41)))
+			pl, err := net.CompilePlan(8)
+			if err != nil {
+				t.Fatalf("CompilePlan: %v", err)
+			}
+			if !pl.MicroKernel() {
+				t.Fatal("default plan reports MicroKernel()=false")
+			}
+			want := expectedVariants[method]
+			found := false
+			for i, v := range pl.StepVariants() {
+				if v != pl.Step(i).Variant {
+					t.Fatalf("step %d: StepVariants %q != StepInfo.Variant %q", i, v, pl.Step(i).Variant)
+				}
+				if v == "" {
+					continue // non-kernel step (standalone activation etc.)
+				}
+				// The Dense classifier head is present in every model, so
+				// "tiled4x8" is always legitimate alongside the family's own
+				// variant; "reference" covers families with no micro path.
+				if !contains(want, v) && v != "reference" && v != "tiled4x8" {
+					t.Fatalf("step %d: unexpected variant %q (want one of %v)", i, v, want)
+				}
+				if contains(want, v) {
+					found = true
+				}
+			}
+			if !found {
+				t.Fatalf("no kernel step carries any of %v; variants: %v", want, pl.StepVariants())
+			}
+
+			ref, err := net.CompilePlanOpts(8, nn.PlanOptions{NoMicroKernel: true})
+			if err != nil {
+				t.Fatalf("CompilePlanOpts(NoMicroKernel): %v", err)
+			}
+			if ref.MicroKernel() {
+				t.Fatal("NoMicroKernel plan reports MicroKernel()=true")
+			}
+			for i, v := range ref.StepVariants() {
+				if v != "" && v != "reference" {
+					t.Fatalf("reference plan step %d carries micro variant %q", i, v)
+				}
+			}
+		})
+	}
+}
+
+// TestMicroKernelDispatcherRace executes several plans compiled from one
+// model concurrently, each goroutine with its own input, and pins every
+// result to Infer. The shape-keyed dispatch and packed weight panels are
+// selected at compile time and must be read-only at execution time; CI's
+// -race run enforces that here.
+func TestMicroKernelDispatcherRace(t *testing.T) {
+	const (
+		n        = 64
+		maxBatch = 8
+		plans    = 4
+		iters    = 16
+	)
+	for _, method := range []nn.Method{nn.Baseline, nn.Butterfly, nn.Fastfood, nn.Pixelfly} {
+		method := method
+		t.Run(method.String(), func(t *testing.T) {
+			t.Parallel()
+			net := nn.BuildSHL(method, n, 10, rand.New(rand.NewSource(97)))
+			var wg sync.WaitGroup
+			for g := 0; g < plans; g++ {
+				pl, err := net.CompilePlan(maxBatch)
+				if err != nil {
+					t.Fatalf("CompilePlan: %v", err)
+				}
+				rng := rand.New(rand.NewSource(int64(1000 + g)))
+				x := tensor.New(1+rng.Intn(maxBatch), n)
+				x.FillRandom(rng, 1)
+				want := net.Infer(x)
+				wg.Add(1)
+				go func(pl *nn.Plan, x, want *tensor.Matrix) {
+					defer wg.Done()
+					for it := 0; it < iters; it++ {
+						got, err := pl.Execute(x)
+						if err != nil {
+							t.Errorf("Execute: %v", err)
+							return
+						}
+						for i := range want.Data {
+							if want.Data[i] != got.Data[i] {
+								t.Errorf("element %d differs: %g vs %g", i, want.Data[i], got.Data[i])
+								return
+							}
+						}
+					}
+				}(pl, x, want)
+			}
+			wg.Wait()
+		})
+	}
+}

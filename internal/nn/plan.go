@@ -59,6 +59,20 @@ type EpilogueApplier interface {
 	ApplyIntoEpilogue(dst, x *tensor.Matrix, ws *tensor.Workspace, bias []float32, act tensor.Activation)
 }
 
+// MicroKernelApplier is implemented by transforms that carry a
+// register-tiled micro-kernel apply path: the same float32 operation per
+// output element as ApplyInto/ApplyIntoEpilogue — bit-for-bit equal
+// results — restructured for bounds-check elimination and unrolling.
+// The plan compiler dispatches to it once at CompilePlan time, so the
+// executing step pays no per-row branching. MicroVariant names the
+// selected kernel shape for observability (step metadata, /debug
+// surfaces, the loadgen kernel table).
+type MicroKernelApplier interface {
+	ApplyIntoMicro(dst, x *tensor.Matrix, ws *tensor.Workspace)
+	ApplyIntoEpilogueMicro(dst, x *tensor.Matrix, ws *tensor.Workspace, bias []float32, act tensor.Activation)
+	MicroVariant() string
+}
+
 // Plan is a compiled inference program: the result of walking a Sequential
 // once, lowering every layer to a destination-passing step with pre-sized
 // buffers, and fusing adjacent multiply + bias + activation steps into
@@ -75,6 +89,7 @@ type EpilogueApplier interface {
 type Plan struct {
 	maxBatch int
 	in, out  int
+	micro    bool
 	steps    []planStep
 
 	// preFusion is the step silhouette before the fusion pass ran (equal
@@ -116,6 +131,17 @@ type planStep struct {
 	sweeps int
 	run    func(dst, x *tensor.Matrix, ws *tensor.Workspace)
 
+	// variant names the micro-kernel shape the step dispatched to at
+	// compile time ("tiled4x8", "unrolled", "radix8", "blockunroll", …),
+	// "reference" for kernel steps on the reference path, and "" for
+	// steps with no kernel family (activations, generic fallbacks).
+	variant string
+	// packedW / packedA hold panel-packed copies of the step's weight
+	// matrices when it dispatched to the tiled matmul kernels (packedA is
+	// the first factor of a FactorizedDense). Plan-owned, built once at
+	// compile time.
+	packedW, packedA *tensor.PackedB
+
 	// kernel is the Into-kernel family the step executes and flopsPerRow /
 	// bytesPerRow its per-sample work and arena traffic — the static half
 	// of the per-kernel accounting record Execute emits (the dynamic half
@@ -137,6 +163,12 @@ type PlanOptions struct {
 	// form is the reference the equivalence tests pin fusion against and
 	// a debugging aid when a fused kernel is suspect.
 	NoFuse bool
+
+	// NoMicroKernel disables the compile-time micro-kernel dispatch,
+	// lowering every step to the reference kernels. Micro and reference
+	// plans are bit-for-bit equivalent; the reference form is the oracle
+	// the equivalence tests pin the micro kernels against.
+	NoMicroKernel bool
 }
 
 // CompilePlan walks the network once, emits the execution plan for batches
@@ -166,10 +198,10 @@ func (s *Sequential) CompilePlanOpts(maxBatch int, opts PlanOptions) (*Plan, err
 	if err != nil {
 		return nil, err
 	}
-	p := &Plan{maxBatch: maxBatch, in: in, ws: tensor.NewWorkspace()}
+	p := &Plan{maxBatch: maxBatch, in: in, micro: !opts.NoMicroKernel, ws: tensor.NewWorkspace()}
 	width := in
 	for i, l := range s.Layers {
-		st, outW, err := lowerLayer(l, width)
+		st, outW, err := lowerLayer(l, width, p.micro)
 		if err != nil {
 			return nil, fmt.Errorf("nn: plan layer %d (%s): %w", i, l.Name(), err)
 		}
@@ -257,17 +289,35 @@ func fusePair(lin, actStep *planStep) (planStep, bool) {
 	sweeps := 0
 	switch t := lin.layer.(type) {
 	case *Dense:
+		if pw := lin.packedW; pw != nil {
+			run = func(dst, x *tensor.Matrix, ws *tensor.Workspace) {
+				tensor.MatMulPackedBiasActParallelInto(dst, x, pw, t.Bias, act)
+			}
+			break
+		}
 		run = func(dst, x *tensor.Matrix, ws *tensor.Workspace) {
 			tensor.MatMulBiasActParallelInto(dst, x, t.W, t.Bias, act)
 		}
 	case *FactorizedDense:
+		if pa, pb := lin.packedA, lin.packedW; pa != nil {
+			run = func(dst, x *tensor.Matrix, ws *tensor.Workspace) {
+				xa := ws.Take(x.Rows, t.Rank)
+				tensor.MatMulPackedParallelInto(xa, x, pa)
+				tensor.MatMulPackedBiasActParallelInto(dst, xa, pb, t.Bias, act)
+			}
+			break
+		}
 		run = func(dst, x *tensor.Matrix, ws *tensor.Workspace) {
 			xa := ws.Take(x.Rows, t.Rank)
 			tensor.MatMulParallelInto(xa, x, t.A)
 			tensor.MatMulBiasActParallelInto(dst, xa, t.B, t.Bias, act)
 		}
 	case *StructuredLinear:
-		if ea, ok := t.T.(EpilogueApplier); ok {
+		if mka, ok := t.T.(MicroKernelApplier); ok && lin.variant != "reference" {
+			run = func(dst, x *tensor.Matrix, ws *tensor.Workspace) {
+				mka.ApplyIntoEpilogueMicro(dst, x, ws, t.Bias, act)
+			}
+		} else if ea, ok := t.T.(EpilogueApplier); ok {
 			run = func(dst, x *tensor.Matrix, ws *tensor.Workspace) {
 				ea.ApplyIntoEpilogue(dst, x, ws, t.Bias, act)
 			}
@@ -285,13 +335,16 @@ func fusePair(lin, actStep *planStep) (planStep, bool) {
 		return planStep{}, false
 	}
 	return planStep{
-		name:   lin.name + "+" + actStep.name,
-		cols:   lin.cols,
-		kind:   StepFused,
-		layer:  lin.layer,
-		act:    actStep.layer,
-		sweeps: sweeps,
-		run:    run,
+		name:    lin.name + "+" + actStep.name,
+		cols:    lin.cols,
+		kind:    StepFused,
+		layer:   lin.layer,
+		act:     actStep.layer,
+		sweeps:  sweeps,
+		run:     run,
+		variant: lin.variant,
+		packedW: lin.packedW,
+		packedA: lin.packedA,
 		// The fused step keeps the linear step's kernel family and adds
 		// the folded activation's element ops, matching the modelled-cost
 		// accounting in the shard layer's describePlan.
@@ -403,6 +456,10 @@ type StepInfo struct {
 	Layer Layer
 	// Act is the activation layer folded into a fused step; nil otherwise.
 	Act Layer
+	// Variant names the micro-kernel shape the step dispatched to at
+	// compile time ("reference" on the reference path, "" for steps with
+	// no kernel family).
+	Variant string
 }
 
 // Fused reports whether the step carries a folded activation.
@@ -421,7 +478,27 @@ func (si StepInfo) Activation() tensor.Activation {
 // Step returns the introspection record of step i.
 func (p *Plan) Step(i int) StepInfo {
 	st := &p.steps[i]
-	return StepInfo{Index: i, Name: st.name, Cols: st.cols, Kind: st.kind, Layer: st.layer, Act: st.act}
+	return StepInfo{Index: i, Name: st.name, Cols: st.cols, Kind: st.kind, Layer: st.layer, Act: st.act, Variant: st.variant}
+}
+
+// MicroKernel reports whether the plan compiled with the micro-kernel
+// dispatch (the default; PlanOptions.NoMicroKernel compiles the
+// reference path).
+func (p *Plan) MicroKernel() bool { return p.micro }
+
+// StepVariant returns the micro-kernel variant name of step i —
+// "reference" for kernel steps on the reference path, "" for steps with
+// no kernel family.
+func (p *Plan) StepVariant(i int) string { return p.steps[i].variant }
+
+// StepVariants returns the variant name of every step, in execution
+// order.
+func (p *Plan) StepVariants() []string {
+	out := make([]string, len(p.steps))
+	for i := range p.steps {
+		out[i] = p.steps[i].variant
+	}
+	return out
 }
 
 // StepLayer returns the source layer step i was lowered from — the hook
@@ -525,14 +602,28 @@ func inputWidth(l Layer) (int, error) {
 }
 
 // lowerLayer emits the plan step for one layer given its input width,
-// returning the step and the layer's output width.
-func lowerLayer(l Layer, width int) (planStep, int, error) {
+// returning the step and the layer's output width. With micro set, layers
+// whose kernels have a register-tiled variant dispatch to it here — once,
+// at compile time — and the step records the selected variant name; the
+// dense layers additionally pack their weight panels so the tiled matmul
+// streams B in panel order.
+func lowerLayer(l Layer, width int, micro bool) (planStep, int, error) {
 	switch t := l.(type) {
 	case *Dense:
 		if t.In != width {
 			return planStep{}, 0, fmt.Errorf("input width %d != %d", width, t.In)
 		}
+		if micro {
+			pw := tensor.Pack(t.W)
+			return planStep{name: t.Name(), cols: t.Out, kind: StepLinear, sweeps: 1,
+				variant: "tiled4x8", packedW: pw,
+				run: func(dst, x *tensor.Matrix, ws *tensor.Workspace) {
+					tensor.MatMulPackedParallelInto(dst, x, pw)
+					tensor.AddRowVector(dst, t.Bias)
+				}}, t.Out, nil
+		}
 		return planStep{name: t.Name(), cols: t.Out, kind: StepLinear, sweeps: 1,
+			variant: "reference",
 			run: func(dst, x *tensor.Matrix, ws *tensor.Workspace) {
 				tensor.MatMulParallelInto(dst, x, t.W)
 				tensor.AddRowVector(dst, t.Bias)
@@ -541,7 +632,16 @@ func lowerLayer(l Layer, width int) (planStep, int, error) {
 		if t.N != width {
 			return planStep{}, 0, fmt.Errorf("input width %d != %d", width, t.N)
 		}
+		if mka, ok := t.T.(MicroKernelApplier); ok && micro {
+			return planStep{name: t.Name(), cols: t.N, kind: StepLinear, sweeps: 1,
+				variant: mka.MicroVariant(),
+				run: func(dst, x *tensor.Matrix, ws *tensor.Workspace) {
+					mka.ApplyIntoMicro(dst, x, ws)
+					tensor.AddRowVector(dst, t.Bias)
+				}}, t.N, nil
+		}
 		return planStep{name: t.Name(), cols: t.N, kind: StepLinear, sweeps: 1,
+			variant: "reference",
 			run: func(dst, x *tensor.Matrix, ws *tensor.Workspace) {
 				t.T.ApplyInto(dst, x, ws)
 				tensor.AddRowVector(dst, t.Bias)
@@ -561,7 +661,19 @@ func lowerLayer(l Layer, width int) (planStep, int, error) {
 		if t.In != width {
 			return planStep{}, 0, fmt.Errorf("input width %d != %d", width, t.In)
 		}
+		if micro {
+			pa, pb := tensor.Pack(t.A), tensor.Pack(t.B)
+			return planStep{name: t.Name(), cols: t.Out, kind: StepLinear, sweeps: 1,
+				variant: "tiled4x8", packedW: pb, packedA: pa,
+				run: func(dst, x *tensor.Matrix, ws *tensor.Workspace) {
+					xa := ws.Take(x.Rows, t.Rank)
+					tensor.MatMulPackedParallelInto(xa, x, pa)
+					tensor.MatMulPackedParallelInto(dst, xa, pb)
+					tensor.AddRowVector(dst, t.Bias)
+				}}, t.Out, nil
+		}
 		return planStep{name: t.Name(), cols: t.Out, kind: StepLinear, sweeps: 1,
+			variant: "reference",
 			run: func(dst, x *tensor.Matrix, ws *tensor.Workspace) {
 				xa := ws.Take(x.Rows, t.Rank)
 				tensor.MatMulParallelInto(xa, x, t.A)

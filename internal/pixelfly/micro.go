@@ -1,0 +1,63 @@
+package pixelfly
+
+import (
+	"fmt"
+
+	"repro/internal/tensor"
+)
+
+// Micro-kernel apply path: the block-sparse product runs through the
+// BSR block-specialized kernels (full unroll at block size 4/8, column
+// tiling otherwise); the staging transposes and the low-rank dense
+// term keep their reference kernels, which are already
+// transpose-bound rather than flop-bound at serving shapes. Every
+// float32 operation matches the reference chain, so the result is
+// bit-for-bit equal to ApplyIntoEpilogue.
+
+// ApplyIntoMicro is ApplyInto through the block-specialized BSR
+// kernels.
+func (p *Pixelfly) ApplyIntoMicro(dst, x *tensor.Matrix, ws *tensor.Workspace) {
+	p.ApplyIntoEpilogueMicro(dst, x, ws, nil, tensor.ActNone)
+}
+
+// ApplyIntoEpilogueMicro is ApplyIntoEpilogue through the
+// block-specialized BSR kernels.
+func (p *Pixelfly) ApplyIntoEpilogueMicro(dst, x *tensor.Matrix, ws *tensor.Workspace, bias []float32, act tensor.Activation) {
+	n := p.Cfg.N
+	if x.Cols != n {
+		panic(fmt.Sprintf("pixelfly: input width %d != N %d", x.Cols, n))
+	}
+	if dst.Rows != x.Rows || dst.Cols != n {
+		panic(fmt.Sprintf("pixelfly: ApplyIntoEpilogueMicro dst %dx%d, want %dx%d", dst.Rows, dst.Cols, x.Rows, n))
+	}
+	if bias != nil && len(bias) != n {
+		panic(fmt.Sprintf("pixelfly: ApplyIntoEpilogueMicro bias length %d != N %d", len(bias), n))
+	}
+	xt := ws.Take(n, x.Rows)
+	tensor.TransposeInto(xt, x)
+	yt := ws.Take(n, x.Rows)
+	r := p.Cfg.LowRank
+	if r == 0 {
+		p.W.MulDenseBiasActIntoMicro(yt, xt, bias, act)
+		tensor.TransposeInto(dst, yt)
+		return
+	}
+	p.W.MulDenseIntoMicro(yt, xt)
+	tensor.TransposeInto(dst, yt)
+	xv := ws.Take(x.Rows, r)
+	tensor.MatMulInto(xv, x, p.V)
+	lr := ws.Take(x.Rows, n)
+	tensor.MatMulInto(lr, xv, p.ut)
+	tensor.AddInPlaceBiasAct(dst, lr, bias, act)
+}
+
+// MicroVariant names the kernel variant the plan dispatcher stamps into
+// step metadata when this transform compiles through the micro path.
+func (p *Pixelfly) MicroVariant() string {
+	switch p.Cfg.BlockSize {
+	case 4, 8:
+		return "blockunroll"
+	default:
+		return "blocktiled"
+	}
+}

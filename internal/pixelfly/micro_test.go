@@ -1,0 +1,79 @@
+package pixelfly
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"repro/internal/tensor"
+)
+
+// TestApplyIntoMicroMatchesReference checks the micro apply path —
+// block-specialized BSR kernels plus unchanged staging — against the
+// reference path, bit-for-bit, across block sizes hitting the bs=4/8
+// unrolls and the tiled fallback, with and without the low-rank term.
+func TestApplyIntoMicroMatchesReference(t *testing.T) {
+	rng := rand.New(rand.NewSource(41))
+	for _, cfg := range []Config{
+		{N: 64, BlockSize: 4, ButterflySize: 8, LowRank: 0},
+		{N: 64, BlockSize: 8, ButterflySize: 8, LowRank: 4},
+		{N: 64, BlockSize: 16, ButterflySize: 4, LowRank: 0},
+		{N: 128, BlockSize: 4, ButterflySize: 16, LowRank: 8},
+	} {
+		p, err := New(cfg, rand.New(rand.NewSource(42)))
+		if err != nil {
+			t.Fatalf("New(%+v): %v", cfg, err)
+		}
+		ws := tensor.NewWorkspace()
+		for _, rows := range []int{1, 5} {
+			x := tensor.New(rows, cfg.N)
+			for i := range x.Data {
+				x.Data[i] = rng.Float32()*2 - 1
+			}
+			bias := make([]float32, cfg.N)
+			for i := range bias {
+				bias[i] = rng.Float32()*2 - 1
+			}
+			want := tensor.New(rows, cfg.N)
+			got := tensor.New(rows, cfg.N)
+
+			ws.Reset()
+			p.ApplyInto(want, x, ws)
+			ws.Reset()
+			p.ApplyIntoMicro(got, x, ws)
+			assertSameMat(t, fmt.Sprintf("%+v rows=%d ApplyIntoMicro", cfg, rows), want, got)
+
+			for _, act := range []tensor.Activation{tensor.ActNone, tensor.ActReLU} {
+				ws.Reset()
+				p.ApplyIntoEpilogue(want, x, ws, bias, act)
+				ws.Reset()
+				p.ApplyIntoEpilogueMicro(got, x, ws, bias, act)
+				assertSameMat(t, fmt.Sprintf("%+v rows=%d epilogue/%v", cfg, rows, act), want, got)
+			}
+		}
+	}
+}
+
+func TestMicroVariantByBlockSize(t *testing.T) {
+	for _, tc := range []struct {
+		bs   int
+		want string
+	}{{4, "blockunroll"}, {8, "blockunroll"}, {16, "blocktiled"}} {
+		p, err := New(Config{N: 64, BlockSize: tc.bs, ButterflySize: 4}, rand.New(rand.NewSource(43)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got := p.MicroVariant(); got != tc.want {
+			t.Errorf("bs=%d: MicroVariant() = %q, want %q", tc.bs, got, tc.want)
+		}
+	}
+}
+
+func assertSameMat(t *testing.T, op string, want, got *tensor.Matrix) {
+	t.Helper()
+	for i := range want.Data {
+		if want.Data[i] != got.Data[i] {
+			t.Fatalf("%s: data[%d] = %v, want %v", op, i, got.Data[i], want.Data[i])
+		}
+	}
+}

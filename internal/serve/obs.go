@@ -38,6 +38,7 @@ const (
 	metEncodeErrs    = "ipuserve_http_json_encode_errors_total"
 	metKernelGflops  = "ipuserve_kernel_gflops"
 	metKernelBytes   = "ipuserve_kernel_bytes_per_sec"
+	metKernelVariant = "ipuserve_kernel_variant"
 	metDrift         = "ipuserve_cost_model_drift_ratio"
 )
 
@@ -66,6 +67,7 @@ func registerHelp(reg *obs.Registry) {
 	reg.Help(metEncodeErrs, "JSON responses that failed to encode (response abandoned mid-write).")
 	reg.Help(metKernelGflops, "Measured GFLOP/s per Into-kernel family, cumulative over all executed plan steps.")
 	reg.Help(metKernelBytes, "Measured activation-arena bytes/s per Into-kernel family, cumulative over all executed plan steps.")
+	reg.Help(metKernelVariant, "Active micro-kernel variant per model and Into-kernel family (value is always 1; the variant label carries the information).")
 	reg.Help(metDrift, "Measured per-row step seconds divided by the modelled IPU cost, per model and step (host/device scale; watch for change, not absolute level).")
 }
 
@@ -122,6 +124,14 @@ func newBatcherMetrics(reg *obs.Registry, name string) *batcherMetrics {
 type stepObs struct {
 	spanNames []string
 	hists     []*obs.Histogram
+
+	// variants[i] names the micro-kernel variant step i dispatched to at
+	// compile time ("" for executors that predate the dispatcher or for
+	// steps with no kernel family); kernels[i] is the step's Into-kernel
+	// family name. Together they feed the kernel-variant gauge, the drift
+	// report and the loadgen kernel table.
+	variants []string
+	kernels  []string
 
 	// Cost-model drift accounting: modelled[i] is the modelled per-row
 	// seconds of step i under the registry's topology (0 when the step has
@@ -182,6 +192,16 @@ type steppedExecutor interface {
 	LastStepNanos() []int64
 }
 
+// variantReporter is the kernel-dispatch introspection surface both
+// executor kinds also share: which micro-kernel variant each step
+// compiled to and which Into-kernel family it belongs to. Kept a
+// separate interface so stepInstruments degrades gracefully for
+// executors without it.
+type variantReporter interface {
+	StepVariant(i int) string
+	StepKernel(i int) obs.Kernel
+}
+
 // stepInstruments returns the model's per-step instruments, building them
 // from the executor's step list on first use. Duplicate step names (two
 // identical layers) share one histogram series.
@@ -193,8 +213,16 @@ func (m *Model) stepInstruments(se steppedExecutor) *stepObs {
 	so := &stepObs{
 		spanNames: make([]string, len(names)),
 		hists:     make([]*obs.Histogram, len(names)),
+		variants:  make([]string, len(names)),
+		kernels:   make([]string, len(names)),
 		modelled:  modelledPerRow(se, m.topo),
 		measured:  make([]driftAcc, len(names)),
+	}
+	if vr, ok := se.(variantReporter); ok {
+		for i := range names {
+			so.variants[i] = vr.StepVariant(i)
+			so.kernels[i] = vr.StepKernel(i).String()
+		}
 	}
 	if len(so.modelled) != len(names) {
 		so.modelled = make([]float64, len(names))
@@ -218,7 +246,38 @@ func (m *Model) stepInstruments(se steppedExecutor) *stepObs {
 		m.obsReg.GaugeFunc(metDrift, func() float64 { return driftRatio(acc, mod) },
 			obs.L{Key: "model", Value: m.spec.Name}, obs.L{Key: "step", Value: nm})
 	}
+	// Export the active variant per kernel family as a {model, kernel,
+	// variant} gauge pinned to 1 — duplicate (family, variant) pairs share
+	// one series via the registry's label dedup.
+	for i := range names {
+		if so.variants[i] == "" {
+			continue
+		}
+		m.obsReg.Gauge(metKernelVariant,
+			obs.L{Key: "model", Value: m.spec.Name},
+			obs.L{Key: "kernel", Value: so.kernels[i]},
+			obs.L{Key: "variant", Value: so.variants[i]}).Set(1)
+	}
 	return so
+}
+
+// KernelVariants returns the micro-kernel variant each Into-kernel
+// family of the model's compiled steps dispatched to, keyed by family
+// name. Nil until the first batch has executed (step instruments are
+// built lazily); empty for executors without variant introspection.
+func (m *Model) KernelVariants() map[string]string {
+	so := m.stepObs.Load()
+	if so == nil {
+		return nil
+	}
+	out := map[string]string{}
+	for i, v := range so.variants {
+		if v == "" {
+			continue
+		}
+		out[so.kernels[i]] = v
+	}
+	return out
 }
 
 // observeExec harvests the executor's measured timings after one batch:
@@ -276,7 +335,10 @@ func (m *Model) observeExec(ex Executor, info *execInfo, rows int) {
 // step's modelled per-row cost next to its measured per-row wall-clock
 // and their ratio.
 type StepCostDrift struct {
-	Step            string  `json:"step"`
+	Step string `json:"step"`
+	// Variant is the micro-kernel shape the step dispatched to at compile
+	// time ("" for steps with no kernel family).
+	Variant         string  `json:"variant,omitempty"`
 	ModelledSeconds float64 `json:"modelled_s_per_row"`
 	MeasuredSeconds float64 `json:"measured_s_per_row"`
 	// Ratio is measured/modelled (0 until the step has executed). The
@@ -308,6 +370,7 @@ func (m *Model) CostModelReport() []StepCostDrift {
 	for i := range so.measured {
 		d := StepCostDrift{
 			Step:            strings.TrimPrefix(so.spanNames[i], "step:"),
+			Variant:         so.variants[i],
 			ModelledSeconds: so.modelled[i],
 			Rows:            so.measured[i].rows.Load(),
 		}

@@ -23,10 +23,11 @@ func lowerPipeline(pl *nn.Plan, shards int) ([]step, error) {
 	names := pl.Steps()
 	for i := range steps {
 		st := step{
-			name: fmt.Sprintf("%s@ipu%d", names[i], owners[i]),
-			cols: pl.StepCols(i),
-			src:  i,
-			run:  make([]func(dst, x *tensor.Matrix, ws *tensor.Workspace), shards),
+			name:    fmt.Sprintf("%s@ipu%d", names[i], owners[i]),
+			cols:    pl.StepCols(i),
+			src:     i,
+			variant: pl.StepVariant(i),
+			run:     make([]func(dst, x *tensor.Matrix, ws *tensor.Workspace), shards),
 		}
 		st.run[owners[i]] = pl.StepRunner(i)
 		steps[i] = st

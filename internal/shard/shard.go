@@ -107,7 +107,13 @@ type step struct {
 	// the join key back to the unsharded plan's per-step kernel family,
 	// flop model and modelled cost (several micro-steps may share one src).
 	src int
-	run []func(dst, x *tensor.Matrix, ws *tensor.Workspace)
+	// variant names the micro-kernel shape the micro-step's kernels
+	// dispatched to at lowering time — pipeline micro-steps inherit the
+	// plan step's variant, tensor-parallel column windows record their
+	// own ("tiled4x8" for packed dense windows, "reference" for windowed
+	// sweeps that keep the reference kernels, "" for non-kernel steps).
+	variant string
+	run     []func(dst, x *tensor.Matrix, ws *tensor.Workspace)
 }
 
 // engine holds everything the worker goroutines touch. It is split from
@@ -144,6 +150,7 @@ type engine struct {
 	// analytic counterpart the drift detector lines stepNanos up against.
 	kstats      *obs.KernelStats
 	kern        []obs.Kernel
+	variants    []string
 	flopsPerRow []int64
 	bytesPerRow []int64
 	modelSec    []float64
@@ -240,12 +247,14 @@ func CompileWith(pl *nn.Plan, topo Topology, shards int, strategy Strategy) (*Sh
 		counts[steps[i].src]++
 	}
 	e.kern = make([]obs.Kernel, len(steps))
+	e.variants = make([]string, len(steps))
 	e.flopsPerRow = make([]int64, len(steps))
 	e.bytesPerRow = make([]int64, len(steps))
 	for i := range steps {
 		src := steps[i].src
 		n := int64(counts[src])
 		e.kern[i] = pl.StepKernel(src)
+		e.variants[i] = steps[i].variant
 		e.flopsPerRow[i] = pl.StepFlopsPerRow(src) / n
 		e.bytesPerRow[i] = pl.StepArenaBytesPerRow(src) / n
 	}
@@ -302,6 +311,22 @@ func (p *ShardedPlan) Steps() []string {
 		names[i] = p.e.steps[i].name
 	}
 	return names
+}
+
+// StepKernel returns the Into-kernel family micro-step i executes — the
+// attribution key of the per-kernel accounting, inherited from the
+// source plan step.
+func (p *ShardedPlan) StepKernel(i int) obs.Kernel { return p.e.kern[i] }
+
+// StepVariant returns the micro-kernel variant name of micro-step i.
+func (p *ShardedPlan) StepVariant(i int) string { return p.e.variants[i] }
+
+// StepVariants returns the variant name of every micro-step, in
+// execution order (index-aligned with Steps).
+func (p *ShardedPlan) StepVariants() []string {
+	out := make([]string, len(p.e.variants))
+	copy(out, p.e.variants)
+	return out
 }
 
 // Execute runs the sharded program over x (rows in [1, MaxBatch], cols ==

@@ -31,7 +31,7 @@ func lowerTensorParallel(pl *nn.Plan, shards int) ([]step, error) {
 		if err := canSplit(l, outW, shards); err != nil {
 			return nil, fmt.Errorf("shard: step %d (%s): %w", i, info.Name, err)
 		}
-		ss := splitStep(l, info.Activation(), inW, outW, shards)
+		ss := splitStep(l, info.Activation(), inW, outW, shards, pl.MicroKernel())
 		for j := range ss {
 			ss[j].src = i
 		}
@@ -94,15 +94,18 @@ func canSplit(l nn.Layer, outW, shards int) error {
 
 // splitStep lowers one layer to its tensor-parallel micro-steps, folding
 // the step's fused activation (ActNone for unfused steps) into each
-// shard's final column-window kernel. canSplit must have accepted the
-// layer first.
-func splitStep(l nn.Layer, act tensor.Activation, inW, outW, shards int) []step {
+// shard's final column-window kernel. With micro set, the dense-family
+// splits pack their per-shard weight slices and run the tiled matmul
+// window kernels; the windowed butterfly and pixelfly sweeps keep their
+// reference kernels (their windows cut across the micro-kernels' block
+// structure). canSplit must have accepted the layer first.
+func splitStep(l nn.Layer, act tensor.Activation, inW, outW, shards int, micro bool) []step {
 	pts := splitPoints(outW, shards)
 	switch t := l.(type) {
 	case *nn.Dense:
-		return []step{denseSplit(t.Name(), t.W, t.Bias, outW, pts, act)}
+		return []step{denseSplit(t.Name(), t.W, t.Bias, outW, pts, act, micro)}
 	case *nn.FactorizedDense:
-		return []step{factorizedSplit(t, pts, act)}
+		return []step{factorizedSplit(t, pts, act, micro)}
 	case *nn.ReLU:
 		return []step{reluSplit(outW, pts)}
 	case *nn.StructuredLinear:
@@ -110,7 +113,7 @@ func splitStep(l nn.Layer, act tensor.Activation, inW, outW, shards int) []step 
 		case *butterfly.Butterfly:
 			return butterflySplit(t.Name(), tr, t.Bias, pts, act)
 		case *baselines.LowRank:
-			return []step{lowRankSplit(t.Name(), tr, t.Bias, pts, act)}
+			return []step{lowRankSplit(t.Name(), tr, t.Bias, pts, act, micro)}
 		case *pixelfly.Pixelfly:
 			return []step{pixelflySplit(t.Name(), tr, t.Bias, pts, act)}
 		}
@@ -154,9 +157,9 @@ func fusedTag(act tensor.Activation) string {
 // split of a linear layer, each IPU holding 1/S of the N² matrix — in one
 // fused pass (act is ActNone for unfused steps; the kernel's arithmetic
 // chain per element is identical either way).
-func denseSplit(name string, w *tensor.Matrix, bias []float32, outW int, pts []int, act tensor.Activation) step {
+func denseSplit(name string, w *tensor.Matrix, bias []float32, outW int, pts []int, act tensor.Activation, micro bool) step {
 	shards := len(pts) - 1
-	st := step{name: name + fusedTag(act) + "/tp", cols: outW, run: make([]func(dst, x *tensor.Matrix, ws *tensor.Workspace), shards)}
+	st := step{name: name + fusedTag(act) + "/tp", cols: outW, variant: splitVariant(micro), run: make([]func(dst, x *tensor.Matrix, ws *tensor.Workspace), shards)}
 	for k := 0; k < shards; k++ {
 		lo, hi := pts[k], pts[k+1]
 		if lo == hi {
@@ -164,6 +167,13 @@ func denseSplit(name string, w *tensor.Matrix, bias []float32, outW int, pts []i
 		}
 		wk := sliceCols(w, lo, hi)
 		bk := append([]float32(nil), bias[lo:hi]...)
+		if micro {
+			pwk := tensor.Pack(wk)
+			st.run[k] = func(dst, x *tensor.Matrix, ws *tensor.Workspace) {
+				tensor.MatMulPackedColsBiasActInto(dst, lo, x, pwk, bk, act)
+			}
+			continue
+		}
 		st.run[k] = func(dst, x *tensor.Matrix, ws *tensor.Workspace) {
 			tensor.MatMulColsBiasActInto(dst, lo, x, wk, bk, act)
 		}
@@ -171,12 +181,24 @@ func denseSplit(name string, w *tensor.Matrix, bias []float32, outW int, pts []i
 	return st
 }
 
+// splitVariant names the dense-family window kernels' dispatch.
+func splitVariant(micro bool) string {
+	if micro {
+		return "tiled4x8"
+	}
+	return "reference"
+}
+
 // factorizedSplit: the rank-r bottleneck x·A is replicated on every shard
 // (it is tiny — r ≪ out), the wide B factor is column-sliced with the
 // epilogue fused into the window write.
-func factorizedSplit(t *nn.FactorizedDense, pts []int, act tensor.Activation) step {
+func factorizedSplit(t *nn.FactorizedDense, pts []int, act tensor.Activation, micro bool) step {
 	shards := len(pts) - 1
-	st := step{name: t.Name() + fusedTag(act) + "/tp", cols: t.Out, run: make([]func(dst, x *tensor.Matrix, ws *tensor.Workspace), shards)}
+	st := step{name: t.Name() + fusedTag(act) + "/tp", cols: t.Out, variant: splitVariant(micro), run: make([]func(dst, x *tensor.Matrix, ws *tensor.Workspace), shards)}
+	var pa *tensor.PackedB
+	if micro {
+		pa = tensor.Pack(t.A)
+	}
 	for k := 0; k < shards; k++ {
 		lo, hi := pts[k], pts[k+1]
 		if lo == hi {
@@ -184,6 +206,15 @@ func factorizedSplit(t *nn.FactorizedDense, pts []int, act tensor.Activation) st
 		}
 		bk := sliceCols(t.B, lo, hi)
 		biask := append([]float32(nil), t.Bias[lo:hi]...)
+		if micro {
+			pbk := tensor.Pack(bk)
+			st.run[k] = func(dst, x *tensor.Matrix, ws *tensor.Workspace) {
+				xa := ws.Take(x.Rows, t.Rank)
+				tensor.MatMulPackedInto(xa, x, pa)
+				tensor.MatMulPackedColsBiasActInto(dst, lo, xa, pbk, biask, act)
+			}
+			continue
+		}
 		st.run[k] = func(dst, x *tensor.Matrix, ws *tensor.Workspace) {
 			xa := ws.Take(x.Rows, t.Rank)
 			tensor.MatMulInto(xa, x, t.A)
@@ -222,9 +253,13 @@ func reluSplit(width int, pts []int) step {
 // lowRankSplit: xv = x·V is replicated (rank columns only); the n-wide
 // back-projection through Uᵀ is column-sliced per shard with the epilogue
 // fused into the window write.
-func lowRankSplit(name string, t *baselines.LowRank, bias []float32, pts []int, act tensor.Activation) step {
+func lowRankSplit(name string, t *baselines.LowRank, bias []float32, pts []int, act tensor.Activation, micro bool) step {
 	shards := len(pts) - 1
-	st := step{name: name + fusedTag(act) + "/tp", cols: t.N, run: make([]func(dst, x *tensor.Matrix, ws *tensor.Workspace), shards)}
+	st := step{name: name + fusedTag(act) + "/tp", cols: t.N, variant: splitVariant(micro), run: make([]func(dst, x *tensor.Matrix, ws *tensor.Workspace), shards)}
+	var pv *tensor.PackedB
+	if micro {
+		pv = tensor.Pack(t.V)
+	}
 	for k := 0; k < shards; k++ {
 		lo, hi := pts[k], pts[k+1]
 		if lo == hi {
@@ -232,6 +267,15 @@ func lowRankSplit(name string, t *baselines.LowRank, bias []float32, pts []int, 
 		}
 		utk := sliceRowsT(t.U, lo, hi)
 		bk := append([]float32(nil), bias[lo:hi]...)
+		if micro {
+			putk := tensor.Pack(utk)
+			st.run[k] = func(dst, x *tensor.Matrix, ws *tensor.Workspace) {
+				xv := ws.Take(x.Rows, t.Rank)
+				tensor.MatMulPackedInto(xv, x, pv)
+				tensor.MatMulPackedColsBiasActInto(dst, lo, xv, putk, bk, act)
+			}
+			continue
+		}
 		st.run[k] = func(dst, x *tensor.Matrix, ws *tensor.Workspace) {
 			xv := ws.Take(x.Rows, t.Rank)
 			tensor.MatMulInto(xv, x, t.V)
@@ -250,7 +294,7 @@ func lowRankSplit(name string, t *baselines.LowRank, bias []float32, pts []int, 
 func pixelflySplit(name string, t *pixelfly.Pixelfly, bias []float32, pts []int, act tensor.Activation) step {
 	shards := len(pts) - 1
 	n, bs := t.Cfg.N, t.Cfg.BlockSize
-	st := step{name: name + fusedTag(act) + "/tp", cols: n, run: make([]func(dst, x *tensor.Matrix, ws *tensor.Workspace), shards)}
+	st := step{name: name + fusedTag(act) + "/tp", cols: n, variant: "reference", run: make([]func(dst, x *tensor.Matrix, ws *tensor.Workspace), shards)}
 	for k := 0; k < shards; k++ {
 		lo, hi := pts[k], pts[k+1]
 		if lo == hi {
@@ -294,7 +338,7 @@ func pixelflySplit(name string, t *pixelfly.Pixelfly, bias []float32, pts []int,
 func butterflySplit(name string, b *butterfly.Butterfly, bias []float32, pts []int, act tensor.Activation) []step {
 	shards := len(pts) - 1
 	mk := func(tag string) step {
-		return step{name: name + tag, cols: b.N, run: make([]func(dst, x *tensor.Matrix, ws *tensor.Workspace), shards)}
+		return step{name: name + tag, cols: b.N, variant: "reference", run: make([]func(dst, x *tensor.Matrix, ws *tensor.Workspace), shards)}
 	}
 	perm := mk("/tp:perm")
 	for k := 0; k < shards; k++ {

@@ -1,0 +1,297 @@
+// Package microkernel holds the register-tiled pure-Go inner kernels
+// behind the tensor/butterfly/hadamard/sparse fast paths. Everything here
+// works on raw float32 slices (no Matrix types, no imports) so every
+// operator family can share the same kernels without import cycles.
+//
+// The contract that makes these kernels safe to swap in at plan-compile
+// time is bit-for-bit equivalence with the reference loops: every output
+// element is produced by the same float32 operation chain, in the same
+// order, as the naive code. Tiling only reorders *which elements* are
+// computed when — never the reduction order *within* an element — so
+// results are IEEE-754 identical (modulo the sign of exact zeros, which
+// float comparison treats as equal).
+//
+// The matmul kernel deliberately drops the reference path's `av == 0`
+// skip branch: on dense weights the branch is nearly always not taken
+// and costs more than it saves; zeros there are incidental, not
+// structural. The BSR kernels in internal/sparse keep zero-skipping at
+// block granularity, where zeros are structural (absent blocks).
+package microkernel
+
+// Tile shape: output is processed in blocks of MR rows, each row
+// accumulated NR columns at a time against a packed B panel. NR=8 keeps
+// the eight accumulators plus the streaming panel values within the
+// scalar register budget; MR=4 re-uses each L1-resident panel across
+// four A rows before moving on.
+const (
+	MR = 4
+	NR = 8
+)
+
+// PackedLen returns the slice length PackB needs for an n×k matrix:
+// ceil(k/NR) panels of n×NR values (the ragged tail panel is
+// zero-padded).
+func PackedLen(n, k int) int {
+	return (k + NR - 1) / NR * n * NR
+}
+
+// PackB packs the row-major n×k matrix b into NR-wide column panels:
+// panel jp holds columns [jp*NR, jp*NR+NR), stored panel-major as
+// dst[jp*n*NR + p*NR + l] = b[p*k + jp*NR + l]. Ragged tail lanes are
+// zero-filled; the kernel computes them but never stores them.
+func PackB(dst, b []float32, n, k int) {
+	np := (k + NR - 1) / NR
+	for jp := 0; jp < np; jp++ {
+		j0 := jp * NR
+		w := k - j0
+		if w > NR {
+			w = NR
+		}
+		pan := dst[jp*n*NR : (jp+1)*n*NR]
+		for p := 0; p < n; p++ {
+			src := b[p*k+j0 : p*k+j0+w]
+			out := pan[p*NR : p*NR+NR : p*NR+NR]
+			for l := 0; l < w; l++ {
+				out[l] = src[l]
+			}
+			for l := w; l < NR; l++ {
+				out[l] = 0
+			}
+		}
+	}
+}
+
+// MatMul computes rows [r0,r1) of dst = act(a·B + bias), where B is the
+// n×k matrix packed by PackB. Row i of a starts at a[i*aStride] and is n
+// long; row i of the output occupies dst[i*dstStride+dstOff :
+// i*dstStride+dstOff+k] (dstOff supports column-window outputs). bias,
+// when non-nil, is window-relative (length k). relu applies the
+// reference ReLU semantic (!(v > 0) → 0) after the bias add.
+//
+// Per output element the accumulation is Σ_p a[p]*b[p][j] with p
+// ascending from a zero accumulator — exactly the reference
+// matMulRows/matMulBiasActRows chain — so results are bit-identical.
+// The output window is fully overwritten; callers need not zero it.
+func MatMul(dst []float32, dstStride, dstOff int, a []float32, aStride, r0, r1 int, packed []float32, n, k int, bias []float32, relu bool) {
+	np := (k + NR - 1) / NR
+	// Panels outermost: each n×NR panel is streamed from memory once and
+	// stays cache-hot across every row of A, so the weight matrix is read
+	// exactly once per call regardless of batch size (the reference row
+	// kernel re-streams it once per row).
+	for jp := 0; jp < np; jp++ {
+		j0 := jp * NR
+		w := k - j0
+		if w > NR {
+			w = NR
+		}
+		pan := packed[jp*n*NR : (jp+1)*n*NR]
+		row := r0
+		for ; row+2 <= r1; row += 2 {
+			off0 := row * aStride
+			off1 := off0 + aStride
+			mul2x8(dst[row*dstStride+dstOff+j0:], dst[(row+1)*dstStride+dstOff+j0:],
+				a[off0:off0+n:off0+n], a[off1:off1+n:off1+n], pan, n, w)
+		}
+		for ; row < r1; row++ {
+			off := row * aStride
+			mul1x8(dst[row*dstStride+dstOff+j0:], a[off:off+n:off+n], pan, n, w)
+		}
+	}
+	if bias != nil || relu {
+		for row := r0; row < r1; row++ {
+			off := row*dstStride + dstOff
+			epilogueRow(dst[off:off+k], bias, relu)
+		}
+	}
+}
+
+// mul1x8 accumulates one output row segment of w ≤ NR columns:
+// c[l] = Σ_p a[p]*pan[p*NR+l], p ascending, then stores the first w
+// lanes into dst. Eight independent accumulator chains give the
+// instruction-level parallelism; the packed panel makes the inner loop's
+// loads sequential and bounds-check-free.
+func mul1x8(dst, a, pan []float32, n, w int) {
+	var c0, c1, c2, c3, c4, c5, c6, c7 float32
+	// Ranging over a pins the trip count to len(a), and the
+	// constant-length subslice b proves len(b) == NR, so every load in
+	// the loop body is bounds-check-free.
+	for p, av := range a {
+		o := p * NR
+		b := pan[o : o+NR : o+NR]
+		c0 += av * b[0]
+		c1 += av * b[1]
+		c2 += av * b[2]
+		c3 += av * b[3]
+		c4 += av * b[4]
+		c5 += av * b[5]
+		c6 += av * b[6]
+		c7 += av * b[7]
+	}
+	if w == NR {
+		d := dst[:NR:NR]
+		d[0], d[1], d[2], d[3], d[4], d[5], d[6], d[7] = c0, c1, c2, c3, c4, c5, c6, c7
+		return
+	}
+	tmp := [NR]float32{c0, c1, c2, c3, c4, c5, c6, c7}
+	copy(dst[:w], tmp[:w])
+}
+
+// mul2x8 is mul1x8 over two A rows at once: each panel value is loaded
+// once and feeds both rows' accumulators. The per-row accumulation chain
+// is unchanged (p ascending from zero), so results stay bit-identical.
+func mul2x8(dst0, dst1, a0, a1, pan []float32, n, w int) {
+	var c0, c1, c2, c3, c4, c5, c6, c7 float32
+	var d0, d1, d2, d3, d4, d5, d6, d7 float32
+	a1 = a1[:len(a0):len(a0)]
+	for p, u := range a0 {
+		v := a1[p]
+		o := p * NR
+		b := pan[o : o+NR : o+NR]
+		b0, b1 := b[0], b[1]
+		c0 += u * b0
+		d0 += v * b0
+		c1 += u * b1
+		d1 += v * b1
+		b2, b3 := b[2], b[3]
+		c2 += u * b2
+		d2 += v * b2
+		c3 += u * b3
+		d3 += v * b3
+		b4, b5 := b[4], b[5]
+		c4 += u * b4
+		d4 += v * b4
+		c5 += u * b5
+		d5 += v * b5
+		b6, b7 := b[6], b[7]
+		c6 += u * b6
+		d6 += v * b6
+		c7 += u * b7
+		d7 += v * b7
+	}
+	if w == NR {
+		e := dst0[:NR:NR]
+		e[0], e[1], e[2], e[3], e[4], e[5], e[6], e[7] = c0, c1, c2, c3, c4, c5, c6, c7
+		f := dst1[:NR:NR]
+		f[0], f[1], f[2], f[3], f[4], f[5], f[6], f[7] = d0, d1, d2, d3, d4, d5, d6, d7
+		return
+	}
+	tmp0 := [NR]float32{c0, c1, c2, c3, c4, c5, c6, c7}
+	copy(dst0[:w], tmp0[:w])
+	tmp1 := [NR]float32{d0, d1, d2, d3, d4, d5, d6, d7}
+	copy(dst1[:w], tmp1[:w])
+}
+
+// epilogueRow applies bias (window-relative) and the reference ReLU
+// semantic in place, matching tensor's epilogueRow bit-for-bit.
+func epilogueRow(row, bias []float32, relu bool) {
+	if bias != nil {
+		bias = bias[:len(row):len(row)]
+		for j := range row {
+			v := row[j] + bias[j]
+			if relu && !(v > 0) {
+				v = 0
+			}
+			row[j] = v
+		}
+		return
+	}
+	if !relu {
+		return
+	}
+	for j := range row {
+		if !(row[j] > 0) {
+			row[j] = 0
+		}
+	}
+}
+
+// fwhtChunk is the pass-blocking size for large transforms: 2048
+// float32s = 8 KiB, comfortably L1-resident. Passes with pair distance
+// below the chunk size touch only elements within one aligned chunk, so
+// running them chunk-by-chunk performs the identical operations on the
+// identical operands as the global pass order — bit-for-bit equal — while
+// each chunk is streamed through L1 exactly once for all of its passes.
+const fwhtChunk = 2048
+
+// FWHT applies the unnormalized Walsh–Hadamard transform in place.
+// len(x) must be a power of two (the caller validates). The first three
+// passes (h=1,2,4) are fused into a single radix-8 sweep that keeps each
+// 8-element group in registers; later passes run with a 4-way unrolled
+// pair loop, blocked to L1-sized chunks for large n. Every butterfly
+// computes the same a+b / a-b pair on the same operands as the reference
+// triple loop, so the result is bit-identical.
+func FWHT(x []float32) {
+	n := len(x)
+	if n < 8 {
+		// Degenerate sizes: the radix-8 sweep needs n ≥ 8.
+		for h := 1; h < n; h <<= 1 {
+			for i := 0; i < n; i += h << 1 {
+				for j := i; j < i+h; j++ {
+					a, b := x[j], x[j+h]
+					x[j], x[j+h] = a+b, a-b
+				}
+			}
+		}
+		return
+	}
+	for i := 0; i+8 <= n; i += 8 {
+		c := x[i : i+8 : i+8]
+		x0, x1, x2, x3, x4, x5, x6, x7 := c[0], c[1], c[2], c[3], c[4], c[5], c[6], c[7]
+		// h=1 pass
+		a0, a1 := x0+x1, x0-x1
+		a2, a3 := x2+x3, x2-x3
+		a4, a5 := x4+x5, x4-x5
+		a6, a7 := x6+x7, x6-x7
+		// h=2 pass
+		b0, b2 := a0+a2, a0-a2
+		b1, b3 := a1+a3, a1-a3
+		b4, b6 := a4+a6, a4-a6
+		b5, b7 := a5+a7, a5-a7
+		// h=4 pass
+		c[0], c[4] = b0+b4, b0-b4
+		c[1], c[5] = b1+b5, b1-b5
+		c[2], c[6] = b2+b6, b2-b6
+		c[3], c[7] = b3+b7, b3-b7
+	}
+	if n <= fwhtChunk {
+		fwhtPasses(x, 8)
+		return
+	}
+	// Chunk-local passes (h < fwhtChunk), then the remaining global
+	// passes. Chunks are power-of-two aligned, so every pass with pair
+	// distance < fwhtChunk stays inside one chunk.
+	for i := 0; i < n; i += fwhtChunk {
+		fwhtPasses(x[i:i+fwhtChunk], 8)
+	}
+	for h := fwhtChunk; h < n; h <<= 1 {
+		fwhtPass(x, h)
+	}
+}
+
+// fwhtPasses runs the passes h = h0, 2·h0, … over the whole of x.
+func fwhtPasses(x []float32, h0 int) {
+	for h := h0; h < len(x); h <<= 1 {
+		fwhtPass(x, h)
+	}
+}
+
+// fwhtPass runs one pass of pair distance h ≥ 4, with the pair loop
+// unrolled 4×. Slicing top/bot to exactly h elements hoists the bounds
+// checks out of the inner loop.
+func fwhtPass(x []float32, h int) {
+	n := len(x)
+	for i := 0; i < n; i += h << 1 {
+		top := x[i : i+h : i+h]
+		bot := x[i+h : i+h+h : i+h+h]
+		for j := 0; j < h; j += 4 {
+			t0, b0 := top[j], bot[j]
+			top[j], bot[j] = t0+b0, t0-b0
+			t1, b1 := top[j+1], bot[j+1]
+			top[j+1], bot[j+1] = t1+b1, t1-b1
+			t2, b2 := top[j+2], bot[j+2]
+			top[j+2], bot[j+2] = t2+b2, t2-b2
+			t3, b3 := top[j+3], bot[j+3]
+			top[j+3], bot[j+3] = t3+b3, t3-b3
+		}
+	}
+}

@@ -1,0 +1,171 @@
+package microkernel
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// refMatMul is the reference accumulation: per element, Σ_p a[p]*b[p][j]
+// with p ascending from zero, then bias and the reference ReLU semantic.
+// It deliberately has no zero-skip so it states the pure chain the tiled
+// kernel must reproduce; zero-skipping only perturbs the sign of exact
+// zeros, which float comparison treats as equal.
+func refMatMul(a, b []float32, m, n, k int, bias []float32, relu bool) []float32 {
+	out := make([]float32, m*k)
+	for i := 0; i < m; i++ {
+		for p := 0; p < n; p++ {
+			av := a[i*n+p]
+			for j := 0; j < k; j++ {
+				out[i*k+j] += av * b[p*k+j]
+			}
+		}
+		for j := 0; j < k; j++ {
+			v := out[i*k+j]
+			if bias != nil {
+				v += bias[j]
+			}
+			if relu && !(v > 0) {
+				v = 0
+			}
+			out[i*k+j] = v
+		}
+	}
+	return out
+}
+
+func randSlice(rng *rand.Rand, n int) []float32 {
+	s := make([]float32, n)
+	for i := range s {
+		s[i] = rng.Float32()*2 - 1
+	}
+	return s
+}
+
+// TestMatMulMatchesReference sweeps random shapes — including ragged
+// edges in every dimension — and demands float equality (which is bit
+// equality up to the sign of exact zeros) against the reference chain.
+func TestMatMulMatchesReference(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	shapes := [][3]int{
+		{1, 1, 1}, {1, 8, 8}, {1, 16, 10}, {2, 3, 5}, {3, 7, 9},
+		{4, 8, 8}, {5, 13, 17}, {7, 64, 10}, {8, 64, 64}, {16, 33, 24},
+		{64, 256, 256}, {1, 1024, 10},
+	}
+	for _, sh := range shapes {
+		m, n, k := sh[0], sh[1], sh[2]
+		a := randSlice(rng, m*n)
+		b := randSlice(rng, n*k)
+		packed := make([]float32, PackedLen(n, k))
+		PackB(packed, b, n, k)
+		for _, relu := range []bool{false, true} {
+			for _, withBias := range []bool{false, true} {
+				var bias []float32
+				if withBias {
+					bias = randSlice(rng, k)
+				}
+				want := refMatMul(a, b, m, n, k, bias, relu)
+				got := make([]float32, m*k)
+				MatMul(got, k, 0, a, n, 0, m, packed, n, k, bias, relu)
+				for i := range want {
+					if got[i] != want[i] {
+						t.Fatalf("m=%d n=%d k=%d bias=%v relu=%v: out[%d] = %v, want %v",
+							m, n, k, withBias, relu, i, got[i], want[i])
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestMatMulColumnWindow checks the dstOff/dstStride form: a window of a
+// wider output must receive the same values, and bytes outside the
+// window must be untouched.
+func TestMatMulColumnWindow(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	m, n, k, full, off := 5, 13, 10, 32, 7
+	a := randSlice(rng, m*n)
+	b := randSlice(rng, n*k)
+	bias := randSlice(rng, k)
+	packed := make([]float32, PackedLen(n, k))
+	PackB(packed, b, n, k)
+	want := refMatMul(a, b, m, n, k, bias, true)
+
+	dst := make([]float32, m*full)
+	for i := range dst {
+		dst[i] = 99
+	}
+	MatMul(dst, full, off, a, n, 0, m, packed, n, k, bias, true)
+	for i := 0; i < m; i++ {
+		for j := 0; j < full; j++ {
+			got := dst[i*full+j]
+			if j >= off && j < off+k {
+				if got != want[i*k+(j-off)] {
+					t.Fatalf("window [%d,%d] = %v, want %v", i, j, got, want[i*k+(j-off)])
+				}
+			} else if got != 99 {
+				t.Fatalf("outside window [%d,%d] clobbered: %v", i, j, got)
+			}
+		}
+	}
+}
+
+// TestMatMulRowRange checks partial row ranges (the parallel partition
+// unit) leave other rows untouched.
+func TestMatMulRowRange(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	m, n, k := 9, 12, 11
+	a := randSlice(rng, m*n)
+	b := randSlice(rng, n*k)
+	packed := make([]float32, PackedLen(n, k))
+	PackB(packed, b, n, k)
+	want := refMatMul(a, b, m, n, k, nil, false)
+
+	dst := make([]float32, m*k)
+	for i := range dst {
+		dst[i] = -5
+	}
+	r0, r1 := 3, 7
+	MatMul(dst, k, 0, a, n, r0, r1, packed, n, k, nil, false)
+	for i := 0; i < m; i++ {
+		for j := 0; j < k; j++ {
+			got := dst[i*k+j]
+			if i >= r0 && i < r1 {
+				if got != want[i*k+j] {
+					t.Fatalf("row %d col %d = %v, want %v", i, j, got, want[i*k+j])
+				}
+			} else if got != -5 {
+				t.Fatalf("row %d outside [%d,%d) clobbered", i, r0, r1)
+			}
+		}
+	}
+}
+
+// refFWHT is the reference triple loop from internal/hadamard.
+func refFWHT(x []float32) {
+	n := len(x)
+	for h := 1; h < n; h <<= 1 {
+		for i := 0; i < n; i += h << 1 {
+			for j := i; j < i+h; j++ {
+				a, b := x[j], x[j+h]
+				x[j], x[j+h] = a+b, a-b
+			}
+		}
+	}
+}
+
+// TestFWHTMatchesReference covers the degenerate (n<8), radix-8-only,
+// unrolled-pass, and chunk-blocked regimes, demanding bit equality.
+func TestFWHTMatchesReference(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	for n := 1; n <= 1<<14; n <<= 1 {
+		x := randSlice(rng, n)
+		want := append([]float32(nil), x...)
+		refFWHT(want)
+		FWHT(x)
+		for i := range x {
+			if x[i] != want[i] {
+				t.Fatalf("n=%d: x[%d] = %v, want %v", n, i, x[i], want[i])
+			}
+		}
+	}
+}
