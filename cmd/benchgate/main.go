@@ -20,6 +20,19 @@
 //	benchgate -history BENCH_history.jsonl -window 3 -step-tol 0.05
 //	benchgate -history BENCH_history.jsonl -history-lint   # well-formedness only
 //
+// Snapshot mode also gates the BSP phase-utilization blocks when both
+// records carry them: a model's pipeline bubble fraction or exchange
+// share may not grow by more than -phase-tol (absolute share points)
+// over the committed record. Records predating the phase flight
+// recorder simply contribute no phase rows.
+//
+// Timeline mode lints a Chrome trace-event dump written by
+// ipuserve -loadgen -timeline-out: the file must parse, contain only
+// complete/metadata events, and every (process, track) must be
+// monotonic and non-overlapping:
+//
+//	benchgate -timeline /tmp/timeline.json
+//
 // Snapshot records are matched on (model, shards); models present only
 // in the fresh file are reported but not gated, models missing from it
 // fail.
@@ -34,6 +47,8 @@ import (
 	"math"
 	"os"
 	"sort"
+
+	"repro/internal/obs/timeline"
 )
 
 // record mirrors the per-model block of BENCH_serve.json (only the gated
@@ -79,11 +94,27 @@ type driftRecord struct {
 	Ratio  float64 `json:"ratio"`
 }
 
+// phaseRecord mirrors one model's BSP phase-utilization block from the
+// flight recorder: shares of sampled per-IPU wall spent in each phase.
+// Shares are dimensionless and machine-independent, so unlike raw
+// throughput they are gated on absolute movement.
+type phaseRecord struct {
+	Model          string  `json:"model"`
+	Shards         int     `json:"shards"`
+	Strategy       string  `json:"strategy,omitempty"`
+	SampledBatches int64   `json:"sampled_batches"`
+	ComputeShare   float64 `json:"compute_share"`
+	ExchangeShare  float64 `json:"exchange_share"`
+	BarrierShare   float64 `json:"barrier_share"`
+	BubbleFraction float64 `json:"bubble_fraction"`
+}
+
 type benchFile struct {
 	Models       []record       `json:"models"`
 	FusionProbes []fusionRecord `json:"fusion_probes"`
 	Kernels      []kernelRecord `json:"kernels"`
 	Drift        []driftRecord  `json:"drift"`
+	Phases       []phaseRecord  `json:"phases,omitempty"`
 }
 
 // historySchema is the JSONL history record version this gate reads;
@@ -94,12 +125,13 @@ const historySchema = 1
 // Only the identifying and gated fields are decoded; ipuserve writes a
 // superset.
 type historyRecord struct {
-	Schema          int      `json:"schema"`
-	GeneratedAt     string   `json:"generated_at"`
-	Commit          string   `json:"commit,omitempty"`
-	N               int      `json:"n"`
-	DurationSeconds float64  `json:"duration_s_per_model"`
-	Models          []record `json:"models"`
+	Schema          int           `json:"schema"`
+	GeneratedAt     string        `json:"generated_at"`
+	Commit          string        `json:"commit,omitempty"`
+	N               int           `json:"n"`
+	DurationSeconds float64       `json:"duration_s_per_model"`
+	Models          []record      `json:"models"`
+	Phases          []phaseRecord `json:"phases,omitempty"`
 }
 
 // loadHistory parses the append-only JSONL history, rejecting malformed
@@ -278,6 +310,24 @@ func (f *benchFile) byDrift() map[string]driftRecord {
 	return out
 }
 
+// phaseKey identifies a phase row across records: same model and shard
+// count.
+func phaseKey(p phaseRecord) string {
+	shards := p.Shards
+	if shards < 1 {
+		shards = 1
+	}
+	return fmt.Sprintf("%s/s%d", p.Model, shards)
+}
+
+func (f *benchFile) byPhase() map[string]phaseRecord {
+	out := make(map[string]phaseRecord, len(f.Phases))
+	for _, r := range f.Phases {
+		out[phaseKey(r)] = r
+	}
+	return out
+}
+
 func key(r record) string {
 	shards := r.Shards
 	if shards < 1 {
@@ -300,9 +350,12 @@ func main() {
 		"snapshot: allowed log-space movement of a step's cost-model drift ratio (1.0 = the measured/modelled ratio may move by up to 2x either way between records)")
 	kernelTol := flag.Float64("kernel-tol", 0.2,
 		"snapshot: allowed relative per-kernel GFLOP/s drop (a vanished kernel always fails); widen when comparing records across machines, since raw kernel rates track machine speed directly")
+	phaseTol := flag.Float64("phase-tol", 0.05,
+		"snapshot: allowed absolute growth of a model's bubble fraction or exchange share over the committed phases block (0.05 = five share points); phases are machine-independent ratios, so the gate is absolute rather than relative")
+	tracePath := flag.String("timeline", "", "Chrome trace-event JSON dump to lint (enables timeline mode)")
 	flag.Parse()
-	if *newPath == "" && *history == "" {
-		fmt.Fprintln(os.Stderr, "benchgate: -new and/or -history is required")
+	if *newPath == "" && *history == "" && *tracePath == "" {
+		fmt.Fprintln(os.Stderr, "benchgate: -new, -history and/or -timeline is required")
 		os.Exit(2)
 	}
 	failed := false
@@ -310,16 +363,40 @@ func main() {
 		failed = runHistory(os.Stdout, *history, *window, *stepTol, *histLint) || failed
 	}
 	if *newPath != "" {
-		failed = runSnapshot(*oldPath, *newPath, *tol, *allocSlack, *kernelTol, *driftTol) || failed
+		failed = runSnapshot(*oldPath, *newPath, *tol, *allocSlack, *kernelTol, *driftTol, *phaseTol) || failed
+	}
+	if *tracePath != "" {
+		failed = runTimeline(os.Stdout, *tracePath) || failed
 	}
 	if failed {
 		os.Exit(1)
 	}
 }
 
+// runTimeline lints a Chrome trace-event dump: it must parse as
+// trace-event JSON, hold only complete ("X") and metadata ("M") events,
+// and every (process, track) pair's complete events must be monotonic
+// and non-overlapping — overlap on a track means the recorder attributed
+// two phases to the same IPU at once, which Perfetto would render as
+// nested spans and which is physically meaningless for BSP.
+func runTimeline(w io.Writer, path string) bool {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchgate:", err)
+		return true
+	}
+	n, err := timeline.LintChrome(data)
+	if err != nil {
+		fmt.Fprintf(w, "FAIL timeline %s: %v\n", path, err)
+		return true
+	}
+	fmt.Fprintf(w, "ok   timeline %s: %d complete event(s), tracks monotonic and non-overlapping\n", path, n)
+	return false
+}
+
 // runSnapshot diffs the fresh perf record against the committed one and
 // reports whether the gate failed.
-func runSnapshot(oldPath, newPath string, tol, allocSlack, kernelTol, driftTol float64) bool {
+func runSnapshot(oldPath, newPath string, tol, allocSlack, kernelTol, driftTol, phaseTol float64) bool {
 	oldFile, err := load(oldPath)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "benchgate:", err)
@@ -389,6 +466,7 @@ func runSnapshot(oldPath, newPath string, tol, allocSlack, kernelTol, driftTol f
 	}
 	failed = gateKernels(oldFile.byKernel(), newFile.byKernel(), kernelTol) || failed
 	failed = gateDrift(oldFile.byDrift(), newFile.byDrift(), driftTol) || failed
+	failed = gatePhases(oldFile.byPhase(), newFile.byPhase(), phaseTol) || failed
 	if failed {
 		fmt.Printf("\nperf gate FAILED (tolerance %.0f%%) — if intentional, regenerate BENCH_serve.json\n", tol*100)
 		return true
@@ -463,6 +541,47 @@ func gateDrift(oldD, newD map[string]driftRecord, driftTol float64) bool {
 		}
 		fmt.Printf("%s drift  %-38s ratio %9.2f -> %9.2f (%.2f in log space)\n",
 			status, k, o.Ratio, n.Ratio, move)
+	}
+	return failed
+}
+
+// gatePhases compares each model's BSP phase block between records:
+// bubble fraction and exchange share may not grow by more than phaseTol
+// in absolute share points. Only growth is gated — a shrinking bubble or
+// cheaper exchange is the goal, not a regression — and only matched rows
+// are compared, so records predating the flight recorder (no phases
+// block) gate nothing.
+func gatePhases(oldP, newP map[string]phaseRecord, phaseTol float64) bool {
+	failed := false
+	keys := make([]string, 0, len(oldP))
+	for k := range oldP {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		o := oldP[k]
+		n, ok := newP[k]
+		if !ok {
+			fmt.Printf("FAIL %-22s phases block missing from the fresh record\n", k)
+			failed = true
+			continue
+		}
+		check := func(name string, oldV, newV float64) {
+			status := "ok  "
+			if newV > oldV+phaseTol {
+				status = "FAIL"
+				failed = true
+			}
+			fmt.Printf("%s %-22s %-15s %8.3f -> %8.3f (%+.3f)\n",
+				status, k, name, oldV, newV, newV-oldV)
+		}
+		check("bubble fraction", o.BubbleFraction, n.BubbleFraction)
+		check("exchange share", o.ExchangeShare, n.ExchangeShare)
+	}
+	for k := range newP {
+		if _, ok := oldP[k]; !ok {
+			fmt.Printf("new  %-22s phases block (no committed baseline, not gated)\n", k)
+		}
 	}
 	return failed
 }

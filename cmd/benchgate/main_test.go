@@ -282,22 +282,50 @@ func TestSnapshotGateEndToEnd(t *testing.T) {
 
 	good := oldFile
 	goodPath := write("good.json", good)
-	if runSnapshot(oldPath, goodPath, 0.2, 50, 0.2, 1.0) {
+	if runSnapshot(oldPath, goodPath, 0.2, 50, 0.2, 1.0, 0.05) {
 		t.Fatal("identical records should pass the snapshot gate")
 	}
 
 	badKernel := oldFile
 	badKernel.Kernels = []kernelRecord{{Kernel: "butterfly", Calls: 100, GFlopsPerSec: 3}}
 	badPath := write("badkernel.json", badKernel)
-	if !runSnapshot(oldPath, badPath, 0.2, 50, 0.2, 1.0) {
+	if !runSnapshot(oldPath, badPath, 0.2, 50, 0.2, 1.0, 0.05) {
 		t.Fatal("40% kernel GFLOP/s drop should fail the snapshot gate")
 	}
 
 	badDrift := oldFile
 	badDrift.Drift = []driftRecord{{Model: "bf", Shards: 2, Step: "s0", Ratio: 100}}
 	badDriftPath := write("baddrift.json", badDrift)
-	if !runSnapshot(oldPath, badDriftPath, 0.2, 50, 0.2, 1.0) {
+	if !runSnapshot(oldPath, badDriftPath, 0.2, 50, 0.2, 1.0, 0.05) {
 		t.Fatal("10x drift-ratio movement should fail the snapshot gate")
+	}
+}
+
+func TestGatePhases(t *testing.T) {
+	mk := func(bubble, exch float64) map[string]phaseRecord {
+		p := phaseRecord{Model: "bf", Shards: 2, BubbleFraction: bubble, ExchangeShare: exch}
+		return map[string]phaseRecord{phaseKey(p): p}
+	}
+	if gatePhases(mk(0.20, 0.10), mk(0.22, 0.11), 0.05) {
+		t.Fatal("movement within the absolute tolerance should pass")
+	}
+	if !gatePhases(mk(0.20, 0.10), mk(0.30, 0.10), 0.05) {
+		t.Fatal("bubble fraction growing by 10 share points should fail at tol 0.05")
+	}
+	if !gatePhases(mk(0.20, 0.10), mk(0.20, 0.20), 0.05) {
+		t.Fatal("exchange share growing by 10 share points should fail at tol 0.05")
+	}
+	// Shrinking is the goal, never a regression.
+	if gatePhases(mk(0.20, 0.10), mk(0.01, 0.01), 0.05) {
+		t.Fatal("shrinking bubble and exchange should pass")
+	}
+	// A model whose committed record has a phases block must keep one.
+	if !gatePhases(mk(0.20, 0.10), map[string]phaseRecord{}, 0.05) {
+		t.Fatal("a vanished phases block should fail")
+	}
+	// No committed phases block (pre-recorder record) gates nothing.
+	if gatePhases(map[string]phaseRecord{}, mk(0.99, 0.99), 0.05) {
+		t.Fatal("a record without a committed phases baseline should not be gated")
 	}
 }
 

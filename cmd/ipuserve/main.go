@@ -39,6 +39,7 @@ import (
 
 	"repro/internal/ipu"
 	"repro/internal/nn"
+	"repro/internal/obs/timeline"
 	"repro/internal/serve"
 	"repro/internal/stats"
 	"repro/internal/tensor"
@@ -95,6 +96,7 @@ func main() {
 		benchout = flag.String("benchout", "BENCH_serve.json", "loadgen: machine-readable perf record path (empty disables)")
 		history  = flag.String("history", "", "loadgen: append this run as one line of the JSONL perf history (empty disables)")
 		metout   = flag.String("metricsout", "", "loadgen: after the load, scrape /metrics over a real loopback listener and write the exposition here (empty disables)")
+		tlout    = flag.String("timeline-out", "", "loadgen: write one representative Chrome trace-event JSON timeline per model×shards here, loadable in Perfetto (empty disables)")
 		ipus     = flag.Int("ipus", 1, "modelled IPUs available per model (IPU-Link pod size)")
 		shards   = flag.Int("shards", 0, "shard count per model: 0 auto-picks the smallest that fits -ipu-mem")
 		ipuMemMB = flag.Int("ipu-mem", 0, "per-IPU memory budget in MB for the auto shard pick (0 = full chip SRAM)")
@@ -187,7 +189,7 @@ func main() {
 				}
 			}
 		}
-		runLoadgen(reg, base, specs, bcfg, *rps, *duration, *benchout, *history, *metout)
+		runLoadgen(reg, base, specs, bcfg, *rps, *duration, *benchout, *history, *metout, *tlout)
 		return
 	}
 
@@ -299,6 +301,22 @@ type driftRecord struct {
 	Ratio           float64 `json:"ratio"`
 }
 
+// phaseRecord is one model's BSP phase-utilization block, aggregated
+// from the flight recorder's sampled batches over the load: each phase's
+// share of summed per-IPU executor time. cmd/benchgate gates
+// BubbleFraction and ExchangeShare growth (-phase-tol) so the future
+// exchange-overlap work has a ratchet to push against.
+type phaseRecord struct {
+	Model          string  `json:"model"`
+	Shards         int     `json:"shards"`
+	Strategy       string  `json:"strategy,omitempty"`
+	SampledBatches int64   `json:"sampled_batches"`
+	ComputeShare   float64 `json:"compute_share"`
+	ExchangeShare  float64 `json:"exchange_share"`
+	BarrierShare   float64 `json:"barrier_share"`
+	BubbleFraction float64 `json:"bubble_fraction"`
+}
+
 type benchFile struct {
 	GeneratedAt     string         `json:"generated_at"`
 	DurationSeconds float64        `json:"duration_s_per_model"`
@@ -308,6 +326,7 @@ type benchFile struct {
 	FusionProbes    []fusionProbe  `json:"fusion_probes"`
 	Kernels         []kernelRecord `json:"kernels"`
 	Drift           []driftRecord  `json:"drift"`
+	Phases          []phaseRecord  `json:"phases,omitempty"`
 }
 
 // historySchema versions the JSONL history lines; cmd/benchgate rejects
@@ -326,9 +345,17 @@ type historyRecord struct {
 	DurationSeconds float64        `json:"duration_s_per_model"`
 	Models          []benchRecord  `json:"models"`
 	Kernels         []kernelRecord `json:"kernels,omitempty"`
+	Phases          []phaseRecord  `json:"phases,omitempty"`
 }
 
-func runLoadgen(reg, base *serve.Registry, specs []serve.ModelSpec, bcfg serve.BatcherConfig, rps int, duration time.Duration, benchout, history, metricsout string) {
+// pass is one loadgen sweep over a registry's models; skip drops models
+// whose rows would duplicate another pass's key-for-key.
+type pass struct {
+	r    *serve.Registry
+	skip func(name string) bool
+}
+
+func runLoadgen(reg, base *serve.Registry, specs []serve.ModelSpec, bcfg serve.BatcherConfig, rps int, duration time.Duration, benchout, history, metricsout, timelineOut string) {
 	fmt.Printf("\nload: %d req/s per model for %v each\n\n", rps, duration)
 	fmt.Printf("%-10s %7s %8s %6s %10s %9s %9s %9s %9s %7s %10s %9s\n",
 		"model", "shards", "done", "err", "thr(req/s)", "p50(ms)", "p95(ms)", "p99(ms)", "avg.batch", "hit%", "allocs/op", "ipu(µs/req)")
@@ -341,10 +368,6 @@ func runLoadgen(reg, base *serve.Registry, specs []serve.ModelSpec, bcfg serve.B
 	// the perf record then reads unsharded vs sharded per model. Models the
 	// main registry left on one shard are skipped in the baseline pass —
 	// their rows (and benchgate keys) would duplicate exactly.
-	type pass struct {
-		r    *serve.Registry
-		skip func(name string) bool
-	}
 	passes := []pass{{r: reg}}
 	if base != nil {
 		sharded := func(name string) bool {
@@ -450,6 +473,52 @@ func runLoadgen(reg, base *serve.Registry, specs []serve.ModelSpec, bcfg serve.B
 		}
 	}
 
+	// Phase utilization, from the same sharded-then-unsharded passes the
+	// perf records use: per model, what share of summed per-IPU executor
+	// time the flight recorder attributes to each BSP phase.
+	var phases []phaseRecord
+	fmt.Printf("\nphase utilization (flight-recorder sampled batches; per-IPU shares of executor time):\n")
+	fmt.Printf("%-10s %7s %-16s %5s %9s %10s %9s %9s %8s\n",
+		"model", "shards", "strategy", "ipu", "comp%", "exch%", "barr%", "bubble%", "batches")
+	for _, ps := range passes {
+		for _, sp := range specs {
+			if ps.skip != nil && ps.skip(sp.Name) {
+				continue
+			}
+			m, ok := ps.r.Get(sp.Name)
+			if !ok {
+				continue
+			}
+			sum, ok := m.TimelineSummary()
+			if !ok {
+				continue
+			}
+			phases = append(phases, phaseRecord{
+				Model:          sum.Model,
+				Shards:         sum.Shards,
+				Strategy:       sum.Strategy,
+				SampledBatches: sum.Batches,
+				ComputeShare:   sum.ComputeShare,
+				ExchangeShare:  sum.ExchangeShare,
+				BarrierShare:   sum.BarrierShare,
+				BubbleFraction: sum.BubbleFraction,
+			})
+			for _, row := range sum.PerIPU {
+				fmt.Printf("%-10s %7d %-16s %5d %8.1f%% %9.1f%% %8.1f%% %8.1f%% %8d\n",
+					sum.Model, sum.Shards, sum.Strategy, row.IPU,
+					row.ComputePct, row.ExchangePct, row.BarrierPct, row.BubblePct, sum.Batches)
+			}
+		}
+	}
+
+	if timelineOut != "" {
+		if err := writeTimeline(timelineOut, passes, specs); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		fmt.Printf("chrome trace timeline written to %s\n", timelineOut)
+	}
+
 	if metricsout != "" {
 		if err := scrapeMetrics(reg, metricsout); err != nil {
 			fmt.Fprintln(os.Stderr, err)
@@ -467,6 +536,7 @@ func runLoadgen(reg, base *serve.Registry, specs []serve.ModelSpec, bcfg serve.B
 			DurationSeconds: duration.Seconds(),
 			Models:          records,
 			Kernels:         kernels,
+			Phases:          phases,
 		}); err != nil {
 			fmt.Fprintln(os.Stderr, err)
 			os.Exit(1)
@@ -486,6 +556,7 @@ func runLoadgen(reg, base *serve.Registry, specs []serve.ModelSpec, bcfg serve.B
 		FusionProbes:    fprobes,
 		Kernels:         kernels,
 		Drift:           drift,
+		Phases:          phases,
 	}
 	data, err := json.MarshalIndent(out, "", "  ")
 	if err != nil {
@@ -497,6 +568,38 @@ func runLoadgen(reg, base *serve.Registry, specs []serve.ModelSpec, bcfg serve.B
 		os.Exit(1)
 	}
 	fmt.Printf("perf record written to %s\n", benchout)
+}
+
+// writeTimeline dumps one representative Chrome trace-event timeline per
+// model×shards across the loadgen passes: one trace process per model of
+// each pass (unsharded and sharded rows are distinguished by the process
+// label's strategy/shard suffix), each carrying its most recent sampled
+// batch. The file loads directly in Perfetto or chrome://tracing.
+func writeTimeline(path string, passes []pass, specs []serve.ModelSpec) error {
+	var procs []timeline.ChromeProcess
+	for _, ps := range passes {
+		for _, sp := range specs {
+			if ps.skip != nil && ps.skip(sp.Name) {
+				continue
+			}
+			m, ok := ps.r.Get(sp.Name)
+			if !ok {
+				continue
+			}
+			proc, ok := m.TimelineProcess()
+			if !ok {
+				continue
+			}
+			// One representative batch — the most recent — per model×shards.
+			proc.Batches = proc.Batches[len(proc.Batches)-1:]
+			procs = append(procs, proc)
+		}
+	}
+	var buf strings.Builder
+	if err := timeline.WriteChrome(&buf, procs); err != nil {
+		return fmt.Errorf("timeline: %w", err)
+	}
+	return os.WriteFile(path, []byte(buf.String()), 0o644)
 }
 
 // kernelTable snapshots the registry's per-kernel accounting into the

@@ -80,7 +80,63 @@ func runReport(w io.Writer, path string) error {
 				k, spark(vals), lo, hi, vals[len(vals)-1])
 		}
 	}
+
+	// BSP phase-share trajectories from runs whose lines carry the phases
+	// block (added later than the serving metrics — older histories render
+	// an explicit note rather than an empty or broken section).
+	pOrder, pSeries := phaseSeries(recs)
+	fmt.Fprintf(w, "\n## Phase shares\n\n")
+	if len(pOrder) == 0 {
+		fmt.Fprintf(w, "no phase data (history predates the phase flight recorder)\n")
+	} else {
+		fmt.Fprintf(w, "| series | metric | trajectory | min | max | latest |\n")
+		fmt.Fprintf(w, "|---|---|---:|---:|---:|---:|\n")
+		for _, key := range pOrder {
+			ps := pSeries[key]
+			row := func(metric string, vals []float64) {
+				if len(vals) == 0 {
+					return
+				}
+				lo, hi := minMax(vals)
+				fmt.Fprintf(w, "| %s | %s | `%s` | %.3f | %.3f | %.3f |\n",
+					key, metric, spark(vals), lo, hi, vals[len(vals)-1])
+			}
+			row("compute share", ps.compute)
+			row("exchange share", ps.exchange)
+			row("bubble fraction", ps.bubble)
+		}
+	}
 	return nil
+}
+
+// phaseSeriesData holds one model/sN key's phase-share trajectories.
+type phaseSeriesData struct {
+	compute  []float64
+	exchange []float64
+	bubble   []float64
+}
+
+// phaseSeries pivots the per-run phases blocks into per-series share
+// trajectories, keyed by model/sN in first-seen order. Runs without a
+// phases block (pre-recorder history) simply contribute no points.
+func phaseSeries(recs []historyRecord) ([]string, map[string]*phaseSeriesData) {
+	series := map[string]*phaseSeriesData{}
+	var order []string
+	for _, rec := range recs {
+		for _, p := range rec.Phases {
+			key := fmt.Sprintf("%s/s%d", p.Model, p.Shards)
+			s, ok := series[key]
+			if !ok {
+				s = &phaseSeriesData{}
+				series[key] = s
+				order = append(order, key)
+			}
+			s.compute = append(s.compute, p.ComputeShare)
+			s.exchange = append(s.exchange, p.ExchangeShare)
+			s.bubble = append(s.bubble, p.BubbleFraction)
+		}
+	}
+	return order, series
 }
 
 // loadHistory reads the JSONL perf history, keeping only lines of the

@@ -6,6 +6,7 @@ import (
 	"time"
 
 	"repro/internal/obs"
+	"repro/internal/obs/timeline"
 	"repro/internal/tensor"
 )
 
@@ -109,6 +110,12 @@ type Plan struct {
 	// plain pointer so the hot path pays a nil check plus striped atomic
 	// adds and nothing else.
 	kstats *obs.KernelStats
+
+	// rec, when set, receives a BSP phase timeline of sampled batches:
+	// a single-IPU plan is one track of back-to-back compute spans (the
+	// step clocks Execute measures anyway, re-emitted as events). Nil by
+	// default — then nothing is recorded.
+	rec *timeline.Recorder
 
 	ws         *tensor.Workspace
 	bufA, bufB []float32
@@ -535,6 +542,11 @@ func (p *Plan) Execute(x *tensor.Matrix) (*tensor.Matrix, error) {
 	if x.Rows < 1 || x.Rows > p.maxBatch {
 		return nil, fmt.Errorf("%w: got %d rows, plan accepts 1..%d", ErrPlanBatch, x.Rows, p.maxBatch)
 	}
+	tb := p.rec.Sample()
+	if tb != nil {
+		tb.Begin(len(p.steps), 1, x.Rows)
+	}
+	var off int64
 	cur := x
 	useA := true
 	for i := range p.steps {
@@ -553,8 +565,18 @@ func (p *Plan) Execute(x *tensor.Matrix) (*tensor.Matrix, error) {
 			rows := int64(x.Rows)
 			p.kstats.Record(st.kernel, rows*st.flopsPerRow, rows*st.bytesPerRow, p.stepNanos[i])
 		}
+		if tb != nil {
+			// The single-IPU timeline is the measured step clocks laid
+			// back-to-back: one compute span per step, no gaps (there is
+			// no exchange or barrier on one chip).
+			tb.Record(i, 0, timeline.LaneWork, timeline.Compute, off, p.stepNanos[i])
+			off += p.stepNanos[i]
+		}
 		cur = act
 		useA = !useA
+	}
+	if tb != nil {
+		p.rec.Finish(tb, off)
 	}
 	return cur, nil
 }
@@ -566,6 +588,13 @@ func (p *Plan) Execute(x *tensor.Matrix) (*tensor.Matrix, error) {
 // adds, so enabling accounting does not change the plan's steady-state
 // allocation profile.
 func (p *Plan) SetKernelStats(ks *obs.KernelStats) { p.kstats = ks }
+
+// SetTimeline installs (or, with nil, removes) the BSP phase flight
+// recorder Execute samples batches into. A single-IPU plan records one
+// compute span per step on track 0; recording a sampled batch reuses
+// pooled buffers, and with no recorder installed nothing is emitted, so
+// neither case changes the plan's steady-state allocation profile.
+func (p *Plan) SetTimeline(rec *timeline.Recorder) { p.rec = rec }
 
 // StepKernel returns the Into-kernel family step i executes — the
 // attribution key of the per-kernel accounting (fused steps report their

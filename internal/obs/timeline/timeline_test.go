@@ -1,0 +1,281 @@
+package timeline
+
+import (
+	"bytes"
+	"strings"
+	"sync"
+	"testing"
+)
+
+// finishBatch records a tiny two-step, two-IPU pipeline-shaped batch
+// (IPU 1 bubbles in step 0, IPU 0 in step 1) and finishes it.
+func finishBatch(r *Recorder) bool {
+	b := r.Sample()
+	if b == nil {
+		return false
+	}
+	b.Begin(2, 2, 4)
+	b.Record(0, 0, LaneWork, Compute, 0, 100)
+	b.Record(0, 0, LaneSync, Exchange, 100, 20)
+	b.Record(0, 1, LaneWork, Bubble, 0, 120)
+	b.Record(1, 0, LaneWork, Bubble, 120, 110)
+	b.Record(1, 1, LaneWork, Compute, 120, 100)
+	b.Record(1, 1, LaneSync, BarrierWait, 220, 10)
+	r.Finish(b, 230)
+	return true
+}
+
+func TestNilRecorderIsSafe(t *testing.T) {
+	var r *Recorder
+	if b := r.Sample(); b != nil {
+		t.Fatal("nil recorder sampled a batch")
+	}
+	r.Finish(nil, 0)
+	r.SetMeta(&Meta{})
+	if r.Meta() != nil || r.Snapshot() != nil || r.SampleEvery() != 0 {
+		t.Fatal("nil recorder leaked state")
+	}
+	if r.BubbleFraction() != 0 || r.PhaseSeconds(0, Compute) != 0 {
+		t.Fatal("nil recorder reported nonzero totals")
+	}
+	if tot := r.Totals(); tot.Batches != 0 {
+		t.Fatal("nil recorder reported batches")
+	}
+}
+
+func TestSampling(t *testing.T) {
+	r := NewRecorder(3, 4)
+	var sampled int
+	for i := 0; i < 12; i++ {
+		if finishBatch(r) {
+			sampled++
+		}
+	}
+	if sampled != 4 {
+		t.Fatalf("sampled %d of 12 batches at 1-in-3, want 4", sampled)
+	}
+	if tot := r.Totals(); tot.Batches != 4 || tot.Rows != 16 {
+		t.Fatalf("totals = %d batches / %d rows, want 4 / 16", tot.Batches, tot.Rows)
+	}
+}
+
+func TestRingWraparound(t *testing.T) {
+	r := NewRecorder(1, 3)
+	for i := 0; i < 7; i++ {
+		finishBatch(r)
+	}
+	snap := r.Snapshot()
+	if len(snap) != 3 {
+		t.Fatalf("ring retained %d batches, want 3", len(snap))
+	}
+	// Oldest first, and the evicted early batches are gone.
+	for i, b := range snap {
+		if want := uint64(5 + i); b.ID != want {
+			t.Fatalf("snapshot[%d].ID = %d, want %d", i, b.ID, want)
+		}
+	}
+	// Totals keep accumulating across evictions.
+	if tot := r.Totals(); tot.Batches != 7 {
+		t.Fatalf("totals.Batches = %d, want 7 (evictions must not erase history)", tot.Batches)
+	}
+}
+
+func TestPhaseAccounting(t *testing.T) {
+	r := NewRecorder(1, 2)
+	r.SetMeta(&Meta{
+		Model: "m", Strategy: "pipeline", Shards: 2,
+		Steps:             []string{"dense0", "dense1"},
+		ComputeSecPerRow:  []float64{10e-9, 10e-9},
+		ExchangeSecPerRow: []float64{2e-9, 0},
+	})
+	finishBatch(r)
+
+	if got := r.PhaseSeconds(0, Compute); got != 100e-9 {
+		t.Fatalf("ipu0 compute = %g s, want 100e-9", got)
+	}
+	if got := r.PhaseSeconds(0, Exchange); got != 20e-9 {
+		t.Fatalf("ipu0 exchange = %g s, want 20e-9", got)
+	}
+	if got := r.PhaseSeconds(1, BarrierWait); got != 10e-9 {
+		t.Fatalf("ipu1 barrier = %g s, want 10e-9", got)
+	}
+	tot := r.Totals()
+	if len(tot.PerIPU) != 2 {
+		t.Fatalf("PerIPU tracks = %d, want 2", len(tot.PerIPU))
+	}
+	if got := tot.PerIPU[1].Bubble; got != 120e-9 {
+		t.Fatalf("ipu1 bubble = %g s, want 120e-9", got)
+	}
+	// Modelled: 2 compute events × 10ns/row × 4 rows; 1 exchange event on
+	// step 0 × 2ns/row × 4 rows.
+	if want := 80e-9; tot.ModelledCompute != want {
+		t.Fatalf("modelled compute = %g s, want %g", tot.ModelledCompute, want)
+	}
+	if want := 8e-9; tot.ModelledExchange != want {
+		t.Fatalf("modelled exchange = %g s, want %g", tot.ModelledExchange, want)
+	}
+	// Bubble share: (120+110) of (100+20+120+110+100+10).
+	want := 230.0 / 460.0
+	if got := r.BubbleFraction(); got != want {
+		t.Fatalf("bubble fraction = %g, want %g", got, want)
+	}
+}
+
+func TestSetMetaFirstWins(t *testing.T) {
+	r := NewRecorder(1, 1)
+	first := &Meta{Model: "a"}
+	r.SetMeta(first)
+	r.SetMeta(&Meta{Model: "b"})
+	if r.Meta() != first {
+		t.Fatal("second SetMeta overwrote the first executor's description")
+	}
+}
+
+func TestRecordOutOfRangeDropped(t *testing.T) {
+	r := NewRecorder(1, 1)
+	b := r.Sample()
+	b.Begin(2, 2, 1)
+	b.Record(-1, 0, LaneWork, Compute, 0, 1)
+	b.Record(2, 0, LaneWork, Compute, 0, 1)
+	b.Record(0, 2, LaneWork, Compute, 0, 1)
+	b.Record(0, 0, 2, Compute, 0, 1)
+	r.Finish(b, 1)
+	if snap := r.Snapshot(); len(snap[0].Events) != 0 {
+		t.Fatalf("out-of-range records produced %d events", len(snap[0].Events))
+	}
+}
+
+// TestConcurrentRecordAndScrape exercises the lock-free write path under
+// the race detector: writer goroutines play the executor (each owning
+// disjoint (step, ipu) slots of its own sampled batch) while readers
+// scrape summaries and snapshots.
+func TestConcurrentRecordAndScrape(t *testing.T) {
+	r := NewRecorder(1, 4)
+	stop := make(chan struct{})
+	var readers sync.WaitGroup
+	for i := 0; i < 2; i++ {
+		readers.Add(1)
+		go func() {
+			defer readers.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				r.Totals()
+				r.Snapshot()
+				r.BubbleFraction()
+				r.PhaseSeconds(0, Compute)
+			}
+		}()
+	}
+	var writers sync.WaitGroup
+	for w := 0; w < 4; w++ {
+		writers.Add(1)
+		go func() {
+			defer writers.Done()
+			for i := 0; i < 200; i++ {
+				b := r.Sample()
+				b.Begin(2, 2, 1)
+				// Two "shard goroutines" writing disjoint slots, as the
+				// executor's workers do.
+				var shards sync.WaitGroup
+				for k := 0; k < 2; k++ {
+					shards.Add(1)
+					go func(k int) {
+						defer shards.Done()
+						b.Record(0, k, LaneWork, Compute, 0, 10)
+						b.Record(1, k, LaneWork, Compute, 10, 10)
+					}(k)
+				}
+				shards.Wait()
+				r.Finish(b, 20)
+			}
+		}()
+	}
+	writers.Wait()
+	close(stop)
+	readers.Wait()
+	if tot := r.Totals(); tot.Batches != 800 {
+		t.Fatalf("totals.Batches = %d, want 800", tot.Batches)
+	}
+}
+
+// TestRecordingAllocFree proves the steady-state sampled path — Sample,
+// Begin, Record, Finish — performs zero heap allocations once the pool
+// and ring are warm, mirroring the executor alloc guarantees.
+func TestRecordingAllocFree(t *testing.T) {
+	r := NewRecorder(1, 2)
+	for i := 0; i < 4; i++ {
+		finishBatch(r) // warm the pool and fill the ring
+	}
+	allocs := testing.AllocsPerRun(100, func() {
+		finishBatch(r)
+	})
+	if allocs != 0 {
+		t.Fatalf("sampled recording allocates %.1f times per batch, want 0", allocs)
+	}
+}
+
+func TestChromeExportRoundTrip(t *testing.T) {
+	r := NewRecorder(1, 2)
+	meta := &Meta{
+		Model: "bf", Strategy: "pipeline", Shards: 2,
+		Steps:            []string{"dense0", "dense1"},
+		Kernels:          []string{"dense", "dense"},
+		Variants:         []string{"tiled", "tiled"},
+		ComputeSecPerRow: []float64{10e-9, 10e-9},
+	}
+	r.SetMeta(meta)
+	finishBatch(r)
+	finishBatch(r)
+
+	var buf bytes.Buffer
+	err := WriteChrome(&buf, []ChromeProcess{{Name: "bf", Meta: r.Meta(), Batches: r.Snapshot()}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+
+	n, err := LintChrome(buf.Bytes())
+	if err != nil {
+		t.Fatalf("exported trace fails its own lint: %v", err)
+	}
+	// 6 recorded events per batch × 2 batches.
+	if n != 12 {
+		t.Fatalf("lint counted %d complete events, want 12", n)
+	}
+	for _, want := range []string{
+		`"bf (pipeline, 2 shards)"`, // process label
+		`"ipu0"`, `"ipu1"`,          // one track per modelled IPU
+		`"dense0"`, `"dense1"`, // compute spans named by step
+		`"bubble/fill"`, `"bubble/drain"`, // pipeline fill and drain visible
+		`"kernel":"dense"`, `"variant":"tiled"`, `"modelled_ns":`,
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("chrome export missing %s\n%s", want, out)
+		}
+	}
+}
+
+func TestLintChromeRejectsBadTraces(t *testing.T) {
+	cases := map[string]string{
+		"not json":       `{"traceEvents": [`,
+		"no array":       `{"displayTimeUnit":"ms"}`,
+		"no X events":    `{"traceEvents":[{"name":"process_name","ph":"M","pid":0}]}`,
+		"bad phase":      `{"traceEvents":[{"name":"b","ph":"B","pid":0,"tid":0,"ts":0}]}`,
+		"negative dur":   `{"traceEvents":[{"name":"x","ph":"X","pid":0,"tid":0,"ts":0,"dur":-1}]}`,
+		"track overlaps": `{"traceEvents":[{"name":"a","ph":"X","pid":0,"tid":0,"ts":0,"dur":100},{"name":"b","ph":"X","pid":0,"tid":0,"ts":50,"dur":10}]}`,
+	}
+	for name, data := range cases {
+		if _, err := LintChrome([]byte(data)); err == nil {
+			t.Errorf("%s: lint accepted an invalid trace", name)
+		}
+	}
+	// Overlap on different tracks is fine — that's parallelism.
+	ok := `{"traceEvents":[{"name":"a","ph":"X","pid":0,"tid":0,"ts":0,"dur":100},{"name":"b","ph":"X","pid":0,"tid":1,"ts":50,"dur":10}]}`
+	if _, err := LintChrome([]byte(ok)); err != nil {
+		t.Errorf("lint rejected cross-track overlap: %v", err)
+	}
+}

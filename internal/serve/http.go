@@ -8,9 +8,11 @@ import (
 	"log"
 	"net/http"
 	"sort"
+	"strconv"
 	"time"
 
 	"repro/internal/obs"
+	"repro/internal/obs/timeline"
 )
 
 // Server exposes a Registry over an HTTP JSON API:
@@ -20,6 +22,10 @@ import (
 //	GET  /stats            → per-model serving stats + program-cache counters
 //	GET  /metrics          → Prometheus text exposition of the obs registry
 //	GET  /debug/traces     → the last-N sampled request traces
+//	                         (?model=<name> filters, ?limit=<n> caps)
+//	GET  /debug/timeline   → per-model BSP phase utilization summary
+//	                         (?model=<name> filters; ?format=chrome emits
+//	                         Chrome trace-event JSON for Perfetto)
 //	GET  /debug/costmodel  → modelled vs measured per-step cost, worst drift first
 //	GET  /healthz          → readiness probe: "ok" when any model is servable
 //	                         (?verbose=1 for per-model JSON), 503 + JSON otherwise
@@ -49,6 +55,7 @@ func NewServer(reg *Registry) *Server {
 	s.handle("/stats", s.handleStats)
 	s.handle("/metrics", s.handleMetrics)
 	s.handle("/debug/traces", s.handleTraces)
+	s.handle("/debug/timeline", s.handleTimeline)
 	s.handle("/debug/costmodel", s.handleCostModel)
 	s.handle("/healthz", s.handleHealthz)
 	return s
@@ -206,8 +213,85 @@ func (s *Server) handleTraces(w http.ResponseWriter, r *http.Request) {
 			resp.SampledRate = 1 / float64(resp.SampleEvery)
 		}
 	}
+	// ?model= narrows the ring to one model's traces; ?limit= keeps only
+	// the most recent n of what remains (the snapshot is oldest-first).
+	if model := r.URL.Query().Get("model"); model != "" {
+		kept := resp.Traces[:0]
+		for _, tr := range resp.Traces {
+			if tr.Model == model {
+				kept = append(kept, tr)
+			}
+		}
+		resp.Traces = kept
+	}
+	if limStr := r.URL.Query().Get("limit"); limStr != "" {
+		lim, err := strconv.Atoi(limStr)
+		if err != nil || lim < 0 {
+			s.writeJSON(w, http.StatusBadRequest, errorBody{fmt.Sprintf("bad limit %q", limStr)})
+			return
+		}
+		if lim < len(resp.Traces) {
+			resp.Traces = resp.Traces[len(resp.Traces)-lim:]
+		}
+	}
 	if resp.Traces == nil {
 		resp.Traces = []obs.TraceRecord{}
+	}
+	s.writeJSON(w, http.StatusOK, resp)
+}
+
+// TimelineResponse is the /debug/timeline JSON response body.
+type TimelineResponse struct {
+	// SampleEvery is the batch sampling period (one timeline per N
+	// executed batches); 0 means timelines are disabled.
+	SampleEvery int `json:"sample_every"`
+	// Models carries one phase-utilization summary per model that has
+	// sampled at least one batch.
+	Models []TimelineSummary `json:"models"`
+}
+
+// handleTimeline serves the flight recorder: by default the per-model
+// phase-utilization summaries (measured seconds and shares per modelled
+// IPU and BSP phase, modelled-vs-measured compute/exchange), with
+// ?format=chrome the retained batch timelines as Chrome trace-event
+// JSON (one process per model, one track per modelled IPU) loadable in
+// Perfetto or chrome://tracing. ?model= restricts either view.
+func (s *Server) handleTimeline(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		s.writeJSON(w, http.StatusMethodNotAllowed, errorBody{"GET required"})
+		return
+	}
+	filter := r.URL.Query().Get("model")
+	models := s.reg.Models()
+	if r.URL.Query().Get("format") == "chrome" {
+		procs := []timeline.ChromeProcess{}
+		for _, m := range models {
+			if filter != "" && m.Info().Name != filter {
+				continue
+			}
+			if proc, ok := m.TimelineProcess(); ok {
+				procs = append(procs, proc)
+			}
+		}
+		w.Header().Set("Content-Type", "application/json")
+		w.Header().Set("Content-Disposition", `attachment; filename="timeline.json"`)
+		if err := timeline.WriteChrome(w, procs); err != nil {
+			s.encodeErrs.Inc()
+			log.Printf("serve: writing chrome trace: %v", err)
+		}
+		return
+	}
+	resp := TimelineResponse{Models: []TimelineSummary{}}
+	for _, m := range models {
+		if filter != "" && m.Info().Name != filter {
+			continue
+		}
+		if rec := m.Timeline(); rec != nil && resp.SampleEvery == 0 {
+			resp.SampleEvery = rec.SampleEvery()
+		}
+		if sum, ok := m.TimelineSummary(); ok {
+			resp.Models = append(resp.Models, sum)
+		}
 	}
 	s.writeJSON(w, http.StatusOK, resp)
 }

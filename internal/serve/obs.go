@@ -9,6 +9,7 @@ import (
 
 	"repro/internal/nn"
 	"repro/internal/obs"
+	"repro/internal/obs/timeline"
 	"repro/internal/shard"
 )
 
@@ -16,30 +17,32 @@ import (
 // the ipuserve_ prefix; per-model series add a model label, per-step and
 // per-IPU series add step/ipu labels on top.
 const (
-	metRequests      = "ipuserve_requests_total"
-	metErrors        = "ipuserve_errors_total"
-	metLatency       = "ipuserve_request_seconds"
-	metBatchSize     = "ipuserve_batch_size"
-	metQueueDepth    = "ipuserve_batcher_queue_depth"
-	metFlush         = "ipuserve_batcher_flush_total"
-	metCacheHits     = "ipuserve_cache_hits_total"
-	metCacheMisses   = "ipuserve_cache_misses_total"
-	metCacheEvict    = "ipuserve_cache_evictions_total"
-	metCacheEntries  = "ipuserve_cache_entries"
-	metCacheCompile  = "ipuserve_cache_compile_seconds"
-	metPlanStep      = "ipuserve_plan_step_seconds"
-	metShardCompute  = "ipuserve_shard_compute_seconds"
-	metShardExchange = "ipuserve_shard_exchange_seconds"
-	metFactorErr     = "ipuserve_model_factorization_error"
-	metModelledReq   = "ipuserve_modelled_per_request_seconds"
-	metModels        = "ipuserve_models"
-	metUptime        = "ipuserve_uptime_seconds"
-	metHTTPRequests  = "ipuserve_http_requests_total"
-	metEncodeErrs    = "ipuserve_http_json_encode_errors_total"
-	metKernelGflops  = "ipuserve_kernel_gflops"
-	metKernelBytes   = "ipuserve_kernel_bytes_per_sec"
-	metKernelVariant = "ipuserve_kernel_variant"
-	metDrift         = "ipuserve_cost_model_drift_ratio"
+	metRequests       = "ipuserve_requests_total"
+	metErrors         = "ipuserve_errors_total"
+	metLatency        = "ipuserve_request_seconds"
+	metBatchSize      = "ipuserve_batch_size"
+	metQueueDepth     = "ipuserve_batcher_queue_depth"
+	metFlush          = "ipuserve_batcher_flush_total"
+	metCacheHits      = "ipuserve_cache_hits_total"
+	metCacheMisses    = "ipuserve_cache_misses_total"
+	metCacheEvict     = "ipuserve_cache_evictions_total"
+	metCacheEntries   = "ipuserve_cache_entries"
+	metCacheCompile   = "ipuserve_cache_compile_seconds"
+	metPlanStep       = "ipuserve_plan_step_seconds"
+	metShardCompute   = "ipuserve_shard_compute_seconds"
+	metShardExchange  = "ipuserve_shard_exchange_seconds"
+	metFactorErr      = "ipuserve_model_factorization_error"
+	metModelledReq    = "ipuserve_modelled_per_request_seconds"
+	metModels         = "ipuserve_models"
+	metUptime         = "ipuserve_uptime_seconds"
+	metHTTPRequests   = "ipuserve_http_requests_total"
+	metEncodeErrs     = "ipuserve_http_json_encode_errors_total"
+	metKernelGflops   = "ipuserve_kernel_gflops"
+	metKernelBytes    = "ipuserve_kernel_bytes_per_sec"
+	metKernelVariant  = "ipuserve_kernel_variant"
+	metDrift          = "ipuserve_cost_model_drift_ratio"
+	metPhaseSeconds   = "ipuserve_phase_seconds"
+	metBubbleFraction = "ipuserve_pipeline_bubble_fraction"
 )
 
 // registerHelp attaches the HELP strings once per registry so every
@@ -69,6 +72,8 @@ func registerHelp(reg *obs.Registry) {
 	reg.Help(metKernelBytes, "Measured activation-arena bytes/s per Into-kernel family, cumulative over all executed plan steps.")
 	reg.Help(metKernelVariant, "Active micro-kernel variant per model and Into-kernel family (value is always 1; the variant label carries the information).")
 	reg.Help(metDrift, "Measured per-row step seconds divided by the modelled IPU cost, per model and step (host/device scale; watch for change, not absolute level).")
+	reg.Help(metPhaseSeconds, "Accumulated executor time per modelled IPU and BSP phase (compute/exchange/barrier_wait/bubble), extrapolated from the flight recorder's 1-in-N sampled batches by the sampling period.")
+	reg.Help(metBubbleFraction, "Share of sampled per-IPU executor time spent in pipeline fill/drain bubbles (~0 for tensor-parallel and single-IPU models).")
 }
 
 // modelMetrics is the per-model instrument set, created once at install so
@@ -258,7 +263,47 @@ func (m *Model) stepInstruments(se steppedExecutor) *stepObs {
 			obs.L{Key: "kernel", Value: so.kernels[i]},
 			obs.L{Key: "variant", Value: so.variants[i]}).Set(1)
 	}
+	m.installTimelineMeta(se, so)
 	return so
+}
+
+// installTimelineMeta describes the executor to the model's flight
+// recorder: step names, kernel families, variants and the cost model's
+// per-row modelled phase seconds. First executor wins (SetMeta is
+// first-write; step layout is identical across a model's batch
+// buckets), so the recorder's events stay index-only.
+func (m *Model) installTimelineMeta(se steppedExecutor, so *stepObs) {
+	if m.timeline == nil {
+		return
+	}
+	meta := &timeline.Meta{
+		Model:    m.spec.Name,
+		Shards:   1,
+		Steps:    append([]string(nil), se.Steps()...),
+		Kernels:  append([]string(nil), so.kernels...),
+		Variants: append([]string(nil), so.variants...),
+	}
+	switch ex := se.(type) {
+	case *nn.Plan:
+		meta.ComputeSecPerRow = shard.PlanStepSeconds(ex, 1, m.topo)
+	case *shard.ShardedPlan:
+		meta.Strategy = ex.Strategy().String()
+		meta.Shards = ex.Shards()
+		comp, exch := ex.ModelledPhaseSeconds()
+		inv := 1 / float64(ex.MaxBatch())
+		meta.ComputeSecPerRow = scaled(comp, inv)
+		meta.ExchangeSecPerRow = scaled(exch, inv)
+	}
+	m.timeline.SetMeta(meta)
+}
+
+// scaled returns v element-wise multiplied by s, as a fresh slice.
+func scaled(v []float64, s float64) []float64 {
+	out := make([]float64, len(v))
+	for i, x := range v {
+		out[i] = x * s
+	}
+	return out
 }
 
 // KernelVariants returns the micro-kernel variant each Into-kernel

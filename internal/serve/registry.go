@@ -6,11 +6,13 @@ import (
 	"math/rand"
 	"runtime/pprof"
 	"sort"
+	"strconv"
 	"sync"
 
 	"repro/internal/ipu"
 	"repro/internal/nn"
 	"repro/internal/obs"
+	"repro/internal/obs/timeline"
 	"repro/internal/shard"
 )
 
@@ -46,6 +48,14 @@ type Options struct {
 	// TraceKeep is how many finished traces the ring retains (0 = 64).
 	TraceKeep int
 
+	// TimelineSampleEvery samples one executed batch in every N into the
+	// per-model BSP phase flight recorder behind /debug/timeline and the
+	// phase gauges (0 = default 16; negative disables timelines).
+	TimelineSampleEvery int
+	// TimelineKeep is how many sampled batch timelines each model's
+	// recorder retains (0 = 8).
+	TimelineKeep int
+
 	// PprofLabels pins a per-model pprof label ("model") on the batcher
 	// worker goroutine around plan execution, so CPU profiles attribute
 	// kernel time to the model that ran it. Off by default — label
@@ -57,6 +67,13 @@ type Options struct {
 const (
 	defaultTraceSampleEvery = 64
 	defaultTraceKeep        = 64
+)
+
+// Default timeline sampling: one executed batch in 16, last 8 batch
+// timelines retained per model.
+const (
+	defaultTimelineSampleEvery = 16
+	defaultTimelineKeep        = 8
 )
 
 // Registry builds, versions and owns servable models. All methods are safe
@@ -184,6 +201,17 @@ func (r *Registry) install(spec ModelSpec, net *nn.Sequential, label string, wb 
 	m.shards = r.pickShards(net)
 	m.mets = newModelMetrics(r.obs, spec.Name, m.shards)
 	m.mets.factorization.Set(factorErr)
+	if r.opts.TimelineSampleEvery >= 0 {
+		every, keep := r.opts.TimelineSampleEvery, r.opts.TimelineKeep
+		if every == 0 {
+			every = defaultTimelineSampleEvery
+		}
+		if keep == 0 {
+			keep = defaultTimelineKeep
+		}
+		m.timeline = timeline.NewRecorder(every, keep)
+		r.registerPhaseGauges(m)
+	}
 	// The batcher's instruments must exist before its goroutines start:
 	// the collector reads the metrics pointer without synchronization.
 	m.batcher = newBatcher(spec.N, r.opts.Batcher, newBatcherMetrics(r.obs, spec.Name), m.runBatch)
@@ -209,6 +237,30 @@ func (r *Registry) install(spec ModelSpec, net *nn.Sequential, label string, wb 
 		r.cache.Evict(old.spec.Name, old.version)
 	}
 	return m
+}
+
+// registerPhaseGauges exports the model's flight-recorder phase totals:
+// one ipuserve_phase_seconds{model,ipu,phase} gauge per (modelled IPU,
+// BSP phase) and the model's pipeline bubble fraction. Phase seconds are
+// extrapolated from the sampled batches by the sampling period (an
+// unbiased estimate of total executor time per phase, as documented in
+// the HELP text); the bubble fraction is a ratio, so sampling cancels.
+// Removing the model drops the series via DropLabeled("model", ...)
+// like every other per-model instrument.
+func (r *Registry) registerPhaseGauges(m *Model) {
+	rec := m.timeline
+	scale := float64(rec.SampleEvery())
+	lm := obs.L{Key: "model", Value: m.spec.Name}
+	for i := 0; i < m.shards; i++ {
+		li := obs.L{Key: "ipu", Value: strconv.Itoa(i)}
+		for _, ph := range timeline.Phases {
+			ipu, ph := i, ph
+			r.obs.GaugeFunc(metPhaseSeconds, func() float64 {
+				return rec.PhaseSeconds(ipu, ph) * scale
+			}, lm, li, obs.L{Key: "phase", Value: ph.String()})
+		}
+	}
+	r.obs.GaugeFunc(metBubbleFraction, rec.BubbleFraction, lm)
 }
 
 // pickShards decides how many modelled IPUs a model serves on: the fixed

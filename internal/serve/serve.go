@@ -33,6 +33,7 @@ import (
 	"repro/internal/fft"
 	"repro/internal/nn"
 	"repro/internal/obs"
+	"repro/internal/obs/timeline"
 	"repro/internal/pixelfly"
 	"repro/internal/shard"
 	"repro/internal/stats"
@@ -185,6 +186,13 @@ type Model struct {
 	// kstats is the registry-wide per-kernel accounting sink, installed on
 	// every pooled plan before execution (nil outside a registry).
 	kstats *obs.KernelStats
+
+	// timeline is the model's BSP phase flight recorder, installed on
+	// every pooled plan before execution like kstats; it samples one
+	// batch in N into the /debug/timeline ring and the phase gauges.
+	// Nil when disabled (or outside a registry) — then executors emit no
+	// events at all.
+	timeline *timeline.Recorder
 
 	// pprofCtx is the precomputed pprof-labeled context ("model" label)
 	// runBatch pins on the worker goroutine around plan execution, and
@@ -349,6 +357,19 @@ func (m *Model) runBatch(x *tensor.Matrix, info *execInfo) *tensor.Matrix {
 					ks.SetKernelStats(m.kstats)
 				}
 			}
+			if m.timeline != nil {
+				if ts, ok := pl.(timelineSink); ok {
+					ts.SetTimeline(m.timeline)
+				}
+			}
+			if m.pprofCtx != nil {
+				if ps, ok := pl.(pprofSink); ok {
+					// Sharded executors refine the model label with a
+					// per-shard ipu=<k> on their goroutines (idempotent
+					// per context, so repeating it every batch is free).
+					ps.SetPprofLabels(m.pprofCtx)
+				}
+			}
 			y, xerr := pl.Execute(x)
 			if xerr == nil {
 				// Copy out before returning the plan: responses alias rows
@@ -371,6 +392,20 @@ func (m *Model) runBatch(x *tensor.Matrix, info *execInfo) *tensor.Matrix {
 type kernelSink interface {
 	SetKernelStats(*obs.KernelStats)
 }
+
+// timelineSink is the flight-recorder hook both executor kinds expose.
+type timelineSink interface {
+	SetTimeline(*timeline.Recorder)
+}
+
+// pprofSink is the per-shard pprof label hook sharded executors expose.
+type pprofSink interface {
+	SetPprofLabels(context.Context)
+}
+
+// Timeline returns the model's BSP phase flight recorder (nil when
+// timelines are disabled or the model was built outside a registry).
+func (m *Model) Timeline() *timeline.Recorder { return m.timeline }
 
 // readyState is the memoized verdict of one readiness probe.
 type readyState struct {

@@ -285,13 +285,15 @@ func PlanStepSeconds(pl *nn.Plan, batch int, topo Topology) []float64 {
 	return out
 }
 
-// modelledMicroSeconds prices each lowered micro-step: the source plan
-// step's modelled compute under the strategy (split across shards for
-// tensor parallel, whole for pipeline) spread evenly over its micro-steps,
-// plus the step's exchange time (all-gather / butterfly pairwise rounds /
-// pipeline boundary hop) charged to the step's last micro-step — the
-// barrier where the host actually waits for it.
-func modelledMicroSeconds(pl *nn.Plan, steps []step, batch, shards int, topo Topology, strategy Strategy) []float64 {
+// modelledMicroPhases prices each lowered micro-step, split by BSP
+// phase: the source plan step's modelled compute under the strategy
+// (split across shards for tensor parallel, whole for pipeline) spread
+// evenly over its micro-steps, and the step's exchange time (all-gather
+// / butterfly pairwise rounds / pipeline boundary hop) charged to the
+// step's last micro-step — the barrier where the host actually waits
+// for it. The timeline recorder consumes the split; ModelledStepSeconds
+// exposes the sum.
+func modelledMicroPhases(pl *nn.Plan, steps []step, batch, shards int, topo Topology, strategy Strategy) (computeSec, exchangeSec []float64) {
 	topo = topo.withDefaults()
 	descs, _ := describePlan(pl, batch)
 	n := len(descs)
@@ -328,15 +330,16 @@ func modelledMicroSeconds(pl *nn.Plan, steps []step, batch, shards int, topo Top
 		counts[s]++
 		last[s] = mi
 	}
-	out := make([]float64, len(steps))
+	computeSec = make([]float64, len(steps))
+	exchangeSec = make([]float64, len(steps))
 	for mi := range steps {
 		s := steps[mi].src
-		out[mi] = compute[s] / float64(counts[s])
+		computeSec[mi] = compute[s] / float64(counts[s])
 		if mi == last[s] {
-			out[mi] += exchange[s]
+			exchangeSec[mi] = exchange[s]
 		}
 	}
-	return out
+	return computeSec, exchangeSec
 }
 
 // SpecLayer describes one layer of an unbuilt model for spec-level

@@ -31,13 +31,17 @@
 package shard
 
 import (
+	"context"
 	"fmt"
 	"runtime"
+	"runtime/pprof"
+	"strconv"
 	"time"
 
 	"repro/internal/ipu"
 	"repro/internal/nn"
 	"repro/internal/obs"
+	"repro/internal/obs/timeline"
 	"repro/internal/tensor"
 )
 
@@ -155,6 +159,33 @@ type engine struct {
 	bytesPerRow []int64
 	modelSec    []float64
 
+	// Modelled phase split of modelSec (compute + exchange == modelSec
+	// per micro-step): the timeline recorder uses the exchange half to
+	// decide whether a post-kernel gap is priced IPU-Link traffic or pure
+	// barrier skew, and the serving layer exports both as the modelled
+	// counterpart of the measured phase spans.
+	modelCompSec []float64
+	modelExchSec []float64
+
+	// Flight recorder state: rec is installed per batch by the serving
+	// layer (nil in steady state — then no events are emitted at all);
+	// curBatch/execStart are published before the per-step channel sends,
+	// which order them for the workers. Each shard records its compute
+	// span into its own fixed slot; the orchestrator fills in sync gaps
+	// and bubbles after each barrier.
+	rec       *timeline.Recorder
+	curBatch  *timeline.Batch
+	execStart time.Time
+
+	// pprof goroutine labels: pprofBase is the serving layer's labelled
+	// context (model=...); pprofCtxs[k] adds ipu=k. Workers apply their
+	// label lazily on wake (workerCtx[k] is each worker's privately-owned
+	// last-applied marker); the orchestrator wears pprofCtxs[0] for the
+	// span of Execute.
+	pprofBase context.Context
+	pprofCtxs []context.Context
+	workerCtx []context.Context
+
 	// Orchestration state: the orchestrator publishes curDst/curX/stepIdx,
 	// wakes the workers through their start channels (the channel send is
 	// the happens-before edge), runs shard 0 inline, and collects one done
@@ -258,7 +289,12 @@ func CompileWith(pl *nn.Plan, topo Topology, shards int, strategy Strategy) (*Sh
 		e.flopsPerRow[i] = pl.StepFlopsPerRow(src) / n
 		e.bytesPerRow[i] = pl.StepArenaBytesPerRow(src) / n
 	}
-	e.modelSec = modelledMicroSeconds(pl, steps, pl.MaxBatch(), shards, topo, strategy)
+	e.modelCompSec, e.modelExchSec = modelledMicroPhases(pl, steps, pl.MaxBatch(), shards, topo, strategy)
+	e.modelSec = make([]float64, len(steps))
+	for i := range e.modelSec {
+		e.modelSec[i] = e.modelCompSec[i] + e.modelExchSec[i]
+	}
+	e.workerCtx = make([]context.Context, shards)
 	e.ws = make([]*tensor.Workspace, shards)
 	for k := range e.ws {
 		e.ws[k] = tensor.NewWorkspace()
@@ -350,7 +386,21 @@ func (p *ShardedPlan) Execute(x *tensor.Matrix) (*tensor.Matrix, error) {
 	for k := range e.computeNanos {
 		e.computeNanos[k] = 0
 	}
+	// Sampled batches get a pooled event buffer; the common case is nil
+	// and every timeline branch below is a single pointer test. curBatch
+	// and execStart are published to the workers by the first step's
+	// channel sends.
+	tb := e.rec.Sample()
+	if tb != nil {
+		tb.Begin(len(e.steps), e.shards, x.Rows)
+	}
+	e.curBatch = tb
+	if e.pprofCtxs != nil {
+		// Wear ipu=0 for the inline shard's spans; restored below.
+		pprof.SetGoroutineLabels(e.pprofCtxs[0])
+	}
 	execStart := time.Now()
+	e.execStart = execStart
 	cur := x
 	useA := true
 	for i := range e.steps {
@@ -375,11 +425,49 @@ func (p *ShardedPlan) Execute(x *tensor.Matrix) (*tensor.Matrix, error) {
 			rows := int64(x.Rows)
 			e.kstats.Record(e.kern[i], rows*e.flopsPerRow[i], rows*e.bytesPerRow[i], e.stepNanos[i])
 		}
+		if tb != nil {
+			e.recordStepGaps(tb, i, t0.Sub(execStart).Nanoseconds(), e.stepNanos[i])
+		}
 		cur = act
 		useA = !useA
 	}
 	e.wallNanos = time.Since(execStart).Nanoseconds()
+	if e.pprofCtxs != nil {
+		pprof.SetGoroutineLabels(e.pprofBase)
+	}
+	if tb != nil {
+		e.curBatch = nil
+		e.rec.Finish(tb, e.wallNanos)
+	}
 	return cur, nil
+}
+
+// recordStepGaps fills in everything but the compute spans of micro-step
+// i, after its barrier: for idle shards a bubble covering the whole step
+// (pipeline fill/drain — tensor-parallel lowering gives every shard a
+// kernel on every step), and for working shards the gap between their
+// kernel's return and the barrier's close — exchange when the cost model
+// prices IPU-Link traffic into this micro-step, barrier_wait otherwise.
+// The barrier's done-tokens order the workers' compute-span writes
+// before these reads.
+func (e *engine) recordStepGaps(tb *timeline.Batch, i int, stepOff, stepDur int64) {
+	st := &e.steps[i]
+	gapPhase := timeline.BarrierWait
+	if e.modelExchSec[i] > 0 {
+		gapPhase = timeline.Exchange
+	}
+	stepEnd := stepOff + stepDur
+	for k := 0; k < e.shards; k++ {
+		if st.run[k] == nil {
+			tb.Record(i, k, timeline.LaneWork, timeline.Bubble, stepOff, stepDur)
+			continue
+		}
+		work := tb.Work(i, k)
+		gapStart := work.StartNanos + work.DurNanos
+		if gap := stepEnd - gapStart; gap > 0 {
+			tb.Record(i, k, timeline.LaneSync, gapPhase, gapStart, gap)
+		}
+	}
 }
 
 // SetKernelStats installs (or, with nil, removes) the per-kernel
@@ -388,6 +476,40 @@ func (p *ShardedPlan) Execute(x *tensor.Matrix) (*tensor.Matrix, error) {
 // nn.Plan.SetKernelStats. The sink is internally synchronized; only the
 // orchestrator goroutine records.
 func (p *ShardedPlan) SetKernelStats(ks *obs.KernelStats) { p.e.kstats = ks }
+
+// SetTimeline installs (or, with nil, removes) the BSP phase flight
+// recorder Execute samples batches into: per-shard compute spans,
+// post-kernel exchange/barrier gaps, and pipeline fill/drain bubbles.
+// With no recorder installed Execute emits no events at all. Must be
+// called from the executing goroutine (the plan is single-caller, like
+// SetKernelStats).
+func (p *ShardedPlan) SetTimeline(rec *timeline.Recorder) { p.e.rec = rec }
+
+// SetPprofLabels gives the execution goroutines pprof labels derived
+// from base (the serving layer's model-labelled context) with ipu=<k>
+// added per shard: workers pin theirs on next wake, and Execute wears
+// ipu=0 for its inline shard. Idempotent per base context, so the
+// serving layer can call it every batch for free.
+func (p *ShardedPlan) SetPprofLabels(base context.Context) {
+	e := p.e
+	if base == nil || base == e.pprofBase {
+		return
+	}
+	ctxs := make([]context.Context, e.shards)
+	for k := range ctxs {
+		ctxs[k] = pprof.WithLabels(base, pprof.Labels("ipu", strconv.Itoa(k)))
+	}
+	e.pprofBase = base
+	e.pprofCtxs = ctxs
+}
+
+// ModelledPhaseSeconds returns the modelled per-micro-step seconds of
+// one MaxBatch execution split by BSP phase (compute, exchange);
+// element-wise they sum to ModelledStepSeconds. Slices are plan-owned —
+// copy to modify.
+func (p *ShardedPlan) ModelledPhaseSeconds() (compute, exchange []float64) {
+	return p.e.modelCompSec, p.e.modelExchSec
+}
 
 // ModelledStepSeconds returns the modelled duration of each micro-step of
 // one MaxBatch execution under the plan's topology and strategy
@@ -436,7 +558,14 @@ func (e *engine) runShard(k int, st *step) {
 		w.Reset()
 		t0 := time.Now()
 		f(e.curDst, e.curX, w)
-		e.computeNanos[k] += time.Since(t0).Nanoseconds()
+		d := time.Since(t0).Nanoseconds()
+		e.computeNanos[k] += d
+		if tb := e.curBatch; tb != nil {
+			// Each shard owns this (step, ipu) slot — lock-free write,
+			// ordered before the orchestrator's read by the done token.
+			tb.Record(e.stepIdx, k, timeline.LaneWork, timeline.Compute,
+				t0.Sub(e.execStart).Nanoseconds(), d)
+		}
 	}
 }
 
@@ -446,6 +575,13 @@ func (e *engine) workerLoop(k int, start <-chan struct{}) {
 		case <-e.quit:
 			return
 		case <-start:
+			// Apply this worker's ipu=k pprof label lazily: workerCtx[k]
+			// is only ever touched by this goroutine, and pprofCtxs was
+			// published by the start-channel send.
+			if c := e.pprofCtxs; c != nil && e.workerCtx[k] != c[k] {
+				e.workerCtx[k] = c[k]
+				pprof.SetGoroutineLabels(c[k])
+			}
 			e.runShard(k, &e.steps[e.stepIdx])
 			e.done <- struct{}{}
 		}

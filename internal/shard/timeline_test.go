@@ -1,0 +1,183 @@
+package shard
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/nn"
+	"repro/internal/obs/timeline"
+	"repro/internal/tensor"
+)
+
+// executeSampled runs one batch through sp with a sample-every-batch
+// recorder installed and returns the recorded timeline.
+func executeSampled(t *testing.T, sp *ShardedPlan, rec *timeline.Recorder) timeline.BatchRecord {
+	t.Helper()
+	x := tensor.New(testMaxBatch, testN)
+	x.FillRandom(rand.New(rand.NewSource(5)), 1)
+	if _, err := sp.Execute(x); err != nil {
+		t.Fatal(err)
+	}
+	snap := rec.Snapshot()
+	if len(snap) == 0 {
+		t.Fatal("recorder at sampleEvery=1 captured no batch")
+	}
+	return snap[len(snap)-1]
+}
+
+// TestTimelineReconcilesWithMeasuredClocks asserts the flight recorder
+// agrees with the executor's own accounting: per-IPU compute event sums
+// equal LastComputeNanos exactly (both copy the same clock reads), and
+// no event extends past the measured batch wall.
+func TestTimelineReconcilesWithMeasuredClocks(t *testing.T) {
+	_, pl := buildPlan(t, nn.Butterfly, 31)
+	for _, strat := range []Strategy{TensorParallel, Pipeline} {
+		sp, err := CompileWith(pl, DefaultTopology(4), 2, strat)
+		if err != nil {
+			t.Fatalf("CompileWith(%v): %v", strat, err)
+		}
+		rec := timeline.NewRecorder(1, 2)
+		sp.SetTimeline(rec)
+		b := executeSampled(t, sp, rec)
+
+		if b.Tracks != 2 || b.Steps != len(sp.Steps()) {
+			t.Fatalf("%v: batch is %d tracks × %d steps, want 2 × %d",
+				strat, b.Tracks, b.Steps, len(sp.Steps()))
+		}
+		computeByIPU := make([]int64, b.Tracks)
+		for _, ev := range b.Events {
+			if end := ev.StartNanos + ev.DurNanos; end > sp.LastWallNanos() {
+				t.Fatalf("%v: event %+v ends %dns past the %dns batch wall",
+					strat, ev, end-sp.LastWallNanos(), sp.LastWallNanos())
+			}
+			if ev.Phase == timeline.Compute {
+				computeByIPU[ev.IPU] += ev.DurNanos
+			}
+		}
+		for k, want := range sp.LastComputeNanos() {
+			if computeByIPU[k] != want {
+				t.Errorf("%v: ipu%d compute events sum to %dns, LastComputeNanos says %dns",
+					strat, k, computeByIPU[k], want)
+			}
+		}
+		sp.Close()
+	}
+}
+
+// TestTimelineBubblesOnlyUnderPipeline asserts the acceptance contract
+// for the bubble phase: tensor-parallel lowering gives every shard a
+// kernel on every micro-step, so its timeline has no bubbles; pipeline
+// partitioning idles every shard outside its own stage, so fill/drain
+// bubbles must appear and dominate a two-shard timeline's idle time.
+func TestTimelineBubblesOnlyUnderPipeline(t *testing.T) {
+	_, pl := buildPlan(t, nn.Baseline, 13)
+
+	tp, err := CompileWith(pl, DefaultTopology(4), 2, TensorParallel)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tpRec := timeline.NewRecorder(1, 2)
+	tp.SetTimeline(tpRec)
+	b := executeSampled(t, tp, tpRec)
+	for _, ev := range b.Events {
+		if ev.Phase == timeline.Bubble {
+			t.Fatalf("tensor-parallel timeline recorded a bubble: %+v", ev)
+		}
+	}
+	if f := tpRec.BubbleFraction(); f != 0 {
+		t.Fatalf("tensor-parallel bubble fraction = %g, want 0", f)
+	}
+	tp.Close()
+
+	pp, err := CompileWith(pl, DefaultTopology(4), 2, Pipeline)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ppRec := timeline.NewRecorder(1, 2)
+	pp.SetTimeline(ppRec)
+	b = executeSampled(t, pp, ppRec)
+	bubbles := 0
+	for _, ev := range b.Events {
+		if ev.Phase == timeline.Bubble {
+			bubbles++
+		}
+	}
+	// Every step has exactly one owner of two shards, so the other shard
+	// bubbles: one bubble per micro-step.
+	if want := len(pp.Steps()); bubbles != want {
+		t.Fatalf("pipeline timeline recorded %d bubbles, want %d (one per micro-step)", bubbles, want)
+	}
+	if f := ppRec.BubbleFraction(); f <= 0 {
+		t.Fatalf("pipeline bubble fraction = %g, want > 0", f)
+	}
+	pp.Close()
+}
+
+// TestShardedTimelineAllocFree extends the zero-alloc steady-state
+// contract to a worst-case recorder: sampling every batch, with pprof
+// labels pinned, Execute still allocates nothing after warm-up.
+func TestShardedTimelineAllocFree(t *testing.T) {
+	_, pl := buildPlan(t, nn.Butterfly, 17)
+	sp, err := CompileWith(pl, DefaultTopology(4), 2, TensorParallel)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sp.Close()
+	rec := timeline.NewRecorder(1, 2)
+	sp.SetTimeline(rec)
+	sp.SetPprofLabels(t.Context())
+	x := tensor.New(testMaxBatch, testN)
+	x.FillRandom(rand.New(rand.NewSource(18)), 1)
+	// Warm: fill the ring and the batch pool to steady state.
+	for i := 0; i < 4; i++ {
+		if _, err := sp.Execute(x); err != nil {
+			t.Fatal(err)
+		}
+	}
+	avg := testing.AllocsPerRun(20, func() { sp.Execute(x) })
+	if avg != 0 {
+		t.Errorf("Execute with recorder+labels allocates %.1f objects per run, want 0", avg)
+	}
+	if tot := rec.Totals(); tot.Batches < 20 {
+		t.Fatalf("recorder only saw %d batches — sampling did not run", tot.Batches)
+	}
+}
+
+// TestPlanTimeline covers the single-IPU executor: nn.Plan lays its
+// measured step clocks back-to-back on one compute track.
+func TestPlanTimeline(t *testing.T) {
+	_, pl := buildPlan(t, nn.Baseline, 23)
+	rec := timeline.NewRecorder(1, 2)
+	pl.SetTimeline(rec)
+	x := tensor.New(testMaxBatch, testN)
+	x.FillRandom(rand.New(rand.NewSource(24)), 1)
+	if _, err := pl.Execute(x); err != nil {
+		t.Fatal(err)
+	}
+	snap := rec.Snapshot()
+	if len(snap) != 1 {
+		t.Fatalf("got %d batches, want 1", len(snap))
+	}
+	b := snap[0]
+	if b.Tracks != 1 || b.Steps != pl.NumSteps() || len(b.Events) != pl.NumSteps() {
+		t.Fatalf("batch is %d tracks × %d steps with %d events, want 1 × %d with %d",
+			b.Tracks, b.Steps, len(b.Events), pl.NumSteps(), pl.NumSteps())
+	}
+	var off, total int64
+	for i, ev := range b.Events {
+		if ev.Phase != timeline.Compute || ev.IPU != 0 {
+			t.Fatalf("event %d: %+v, want compute on ipu0", i, ev)
+		}
+		if ev.StartNanos != off {
+			t.Fatalf("event %d starts at %dns, want back-to-back at %dns", i, ev.StartNanos, off)
+		}
+		if want := pl.LastStepNanos()[i]; ev.DurNanos != want {
+			t.Fatalf("event %d duration %dns, want LastStepNanos %dns", i, ev.DurNanos, want)
+		}
+		off += ev.DurNanos
+		total += ev.DurNanos
+	}
+	if b.WallNanos != total {
+		t.Fatalf("batch wall %dns, want summed step clocks %dns", b.WallNanos, total)
+	}
+}
