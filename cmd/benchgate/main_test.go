@@ -344,3 +344,33 @@ func TestHistorySeriesPivot(t *testing.T) {
 		t.Fatalf("series b/s2 = %v", got)
 	}
 }
+
+// TestSnapshotGateTruncatedRecord pins the failure mode the atomic
+// temp+rename write in cmd/ipuserve exists to prevent: a perf record cut
+// off mid-JSON (a loadgen run killed during a direct write) must fail the
+// snapshot gate loudly on either side, never parse as an empty record
+// that gates nothing.
+func TestSnapshotGateTruncatedRecord(t *testing.T) {
+	dir := t.TempDir()
+	full, err := json.Marshal(benchFile{
+		Models:  []record{{Model: "bf", Shards: 2, ThroughputRPS: 1000, AllocsPerOp: 2}},
+		Kernels: []kernelRecord{{Kernel: "butterfly", Calls: 100, GFlopsPerSec: 5}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	goodPath := filepath.Join(dir, "good.json")
+	if err := os.WriteFile(goodPath, full, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	truncPath := filepath.Join(dir, "trunc.json")
+	if err := os.WriteFile(truncPath, full[:len(full)/2], 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if !runSnapshot(truncPath, goodPath, 0.2, 50, 0.2, 1.0, 0.05) {
+		t.Fatal("truncated committed record must fail the snapshot gate")
+	}
+	if !runSnapshot(goodPath, truncPath, 0.2, 50, 0.2, 1.0, 0.05) {
+		t.Fatal("truncated fresh record must fail the snapshot gate")
+	}
+}

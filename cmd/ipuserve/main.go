@@ -32,6 +32,7 @@ import (
 	"net/http"
 	netpprof "net/http/pprof"
 	"os"
+	"path/filepath"
 	"runtime"
 	"sort"
 	"strings"
@@ -93,6 +94,8 @@ func main() {
 		loadgen  = flag.Bool("loadgen", false, "run the built-in load generator instead of serving")
 		rps      = flag.Int("rps", 500, "loadgen: offered requests/second per method")
 		duration = flag.Duration("duration", 10*time.Second, "loadgen: time to offer load per method")
+		burst    = flag.Int("burst", 1, "loadgen: requests issued per arrival tick (ticks slow to rps/burst, so the offered rate is unchanged; >1 lets the batcher coalesce multi-row batches)")
+		microB   = flag.Int("microbatch", 0, "pipeline wavefront width: micro-batches per batch (0 = planner-picked, 1 = barrier loop)")
 		benchout = flag.String("benchout", "BENCH_serve.json", "loadgen: machine-readable perf record path (empty disables)")
 		history  = flag.String("history", "", "loadgen: append this run as one line of the JSONL perf history (empty disables)")
 		metout   = flag.String("metricsout", "", "loadgen: after the load, scrape /metrics over a real loopback listener and write the exposition here (empty disables)")
@@ -144,6 +147,7 @@ func main() {
 		NumIPUs:        *ipus,
 		PerIPUMemBytes: *ipuMemMB << 20,
 		Shards:         *shards,
+		MicroBatches:   *microB,
 		PprofLabels:    *pprofOn,
 	}
 	reg := serve.NewRegistry(opts)
@@ -189,7 +193,7 @@ func main() {
 				}
 			}
 		}
-		runLoadgen(reg, base, specs, bcfg, *rps, *duration, *benchout, *history, *metout, *tlout)
+		runLoadgen(reg, base, specs, bcfg, *rps, *burst, *duration, *benchout, *history, *metout, *tlout)
 		return
 	}
 
@@ -307,9 +311,12 @@ type driftRecord struct {
 // BubbleFraction and ExchangeShare growth (-phase-tol) so the future
 // exchange-overlap work has a ratchet to push against.
 type phaseRecord struct {
-	Model          string  `json:"model"`
-	Shards         int     `json:"shards"`
-	Strategy       string  `json:"strategy,omitempty"`
+	Model    string `json:"model"`
+	Shards   int    `json:"shards"`
+	Strategy string `json:"strategy,omitempty"`
+	// MicroBatches is the wavefront width pipeline batches were split
+	// into (0/1 = barrier loop; omitted for tensor-parallel models).
+	MicroBatches   int     `json:"micro_batches,omitempty"`
 	SampledBatches int64   `json:"sampled_batches"`
 	ComputeShare   float64 `json:"compute_share"`
 	ExchangeShare  float64 `json:"exchange_share"`
@@ -355,8 +362,8 @@ type pass struct {
 	skip func(name string) bool
 }
 
-func runLoadgen(reg, base *serve.Registry, specs []serve.ModelSpec, bcfg serve.BatcherConfig, rps int, duration time.Duration, benchout, history, metricsout, timelineOut string) {
-	fmt.Printf("\nload: %d req/s per model for %v each\n\n", rps, duration)
+func runLoadgen(reg, base *serve.Registry, specs []serve.ModelSpec, bcfg serve.BatcherConfig, rps, burst int, duration time.Duration, benchout, history, metricsout, timelineOut string) {
+	fmt.Printf("\nload: %d req/s per model for %v each (bursts of %d)\n\n", rps, duration, burst)
 	fmt.Printf("%-10s %7s %8s %6s %10s %9s %9s %9s %9s %7s %10s %9s\n",
 		"model", "shards", "done", "err", "thr(req/s)", "p50(ms)", "p95(ms)", "p99(ms)", "avg.batch", "hit%", "allocs/op", "ipu(µs/req)")
 	var records []benchRecord
@@ -383,11 +390,15 @@ func runLoadgen(reg, base *serve.Registry, specs []serve.ModelSpec, bcfg serve.B
 				continue
 			}
 			rep, err := serve.RunLoad(context.Background(), r, sp.Name, serve.LoadConfig{
-				RPS: rps, Duration: duration,
+				RPS: rps, Duration: duration, Burst: burst,
 			})
 			if err != nil {
 				fmt.Fprintln(os.Stderr, err)
 				os.Exit(1)
+			}
+			if rep.AllErrors {
+				fmt.Fprintf(os.Stderr, "warning: %s: all %d offered requests failed; zero percentiles below mean no data, not zero latency\n",
+					sp.Name, rep.Offered)
 			}
 			m, _ := r.Get(sp.Name)
 			shards := m.Shards()
@@ -421,6 +432,58 @@ func runLoadgen(reg, base *serve.Registry, specs []serve.ModelSpec, bcfg serve.B
 	cs := reg.CacheStats()
 	fmt.Printf("\nprogram cache: %d entries, %d hits / %d misses (%.1f%% hit rate)\n",
 		cs.Entries, cs.Hits, cs.Misses, cs.HitRate*100)
+
+	// Phase utilization, from the same sharded-then-unsharded passes the
+	// perf records use: per model, what share of summed per-IPU executor
+	// time the flight recorder attributes to each BSP phase. Collected
+	// (and the representative timelines exported) immediately after the
+	// load passes, BEFORE the alloc/fusion probes below: the probes push
+	// hundreds of sequential 1-row predicts through the same recorders,
+	// which would dilute the load's batch mix and skew the bubble
+	// fraction the phases block gates on.
+	var phases []phaseRecord
+	fmt.Printf("\nphase utilization (flight-recorder sampled batches; per-IPU shares of executor time):\n")
+	fmt.Printf("%-10s %7s %-16s %5s %5s %9s %10s %9s %9s %8s\n",
+		"model", "shards", "strategy", "micro", "ipu", "comp%", "exch%", "barr%", "bubble%", "batches")
+	for _, ps := range passes {
+		for _, sp := range specs {
+			if ps.skip != nil && ps.skip(sp.Name) {
+				continue
+			}
+			m, ok := ps.r.Get(sp.Name)
+			if !ok {
+				continue
+			}
+			sum, ok := m.TimelineSummary()
+			if !ok {
+				continue
+			}
+			phases = append(phases, phaseRecord{
+				Model:          sum.Model,
+				Shards:         sum.Shards,
+				Strategy:       sum.Strategy,
+				MicroBatches:   sum.MicroBatches,
+				SampledBatches: sum.Batches,
+				ComputeShare:   sum.ComputeShare,
+				ExchangeShare:  sum.ExchangeShare,
+				BarrierShare:   sum.BarrierShare,
+				BubbleFraction: sum.BubbleFraction,
+			})
+			for _, row := range sum.PerIPU {
+				fmt.Printf("%-10s %7d %-16s %5d %5d %8.1f%% %9.1f%% %8.1f%% %8.1f%% %8d\n",
+					sum.Model, sum.Shards, sum.Strategy, sum.MicroBatches, row.IPU,
+					row.ComputePct, row.ExchangePct, row.BarrierPct, row.BubblePct, sum.Batches)
+			}
+		}
+	}
+
+	if timelineOut != "" {
+		if err := writeTimeline(timelineOut, passes, specs); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		fmt.Printf("chrome trace timeline written to %s\n", timelineOut)
+	}
 
 	fmt.Printf("\nalloc probe (sequential single requests, plan path vs pre-refactor Infer path):\n")
 	fmt.Printf("%-10s %14s %16s %10s\n", "model", "plan(allocs)", "legacy(allocs)", "reduction")
@@ -473,52 +536,6 @@ func runLoadgen(reg, base *serve.Registry, specs []serve.ModelSpec, bcfg serve.B
 		}
 	}
 
-	// Phase utilization, from the same sharded-then-unsharded passes the
-	// perf records use: per model, what share of summed per-IPU executor
-	// time the flight recorder attributes to each BSP phase.
-	var phases []phaseRecord
-	fmt.Printf("\nphase utilization (flight-recorder sampled batches; per-IPU shares of executor time):\n")
-	fmt.Printf("%-10s %7s %-16s %5s %9s %10s %9s %9s %8s\n",
-		"model", "shards", "strategy", "ipu", "comp%", "exch%", "barr%", "bubble%", "batches")
-	for _, ps := range passes {
-		for _, sp := range specs {
-			if ps.skip != nil && ps.skip(sp.Name) {
-				continue
-			}
-			m, ok := ps.r.Get(sp.Name)
-			if !ok {
-				continue
-			}
-			sum, ok := m.TimelineSummary()
-			if !ok {
-				continue
-			}
-			phases = append(phases, phaseRecord{
-				Model:          sum.Model,
-				Shards:         sum.Shards,
-				Strategy:       sum.Strategy,
-				SampledBatches: sum.Batches,
-				ComputeShare:   sum.ComputeShare,
-				ExchangeShare:  sum.ExchangeShare,
-				BarrierShare:   sum.BarrierShare,
-				BubbleFraction: sum.BubbleFraction,
-			})
-			for _, row := range sum.PerIPU {
-				fmt.Printf("%-10s %7d %-16s %5d %8.1f%% %9.1f%% %8.1f%% %8.1f%% %8d\n",
-					sum.Model, sum.Shards, sum.Strategy, row.IPU,
-					row.ComputePct, row.ExchangePct, row.BarrierPct, row.BubblePct, sum.Batches)
-			}
-		}
-	}
-
-	if timelineOut != "" {
-		if err := writeTimeline(timelineOut, passes, specs); err != nil {
-			fmt.Fprintln(os.Stderr, err)
-			os.Exit(1)
-		}
-		fmt.Printf("chrome trace timeline written to %s\n", timelineOut)
-	}
-
 	if metricsout != "" {
 		if err := scrapeMetrics(reg, metricsout); err != nil {
 			fmt.Fprintln(os.Stderr, err)
@@ -563,11 +580,41 @@ func runLoadgen(reg, base *serve.Registry, specs []serve.ModelSpec, bcfg serve.B
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)
 	}
-	if err := os.WriteFile(benchout, append(data, '\n'), 0o644); err != nil {
+	if err := writeFileAtomic(benchout, append(data, '\n')); err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)
 	}
 	fmt.Printf("perf record written to %s\n", benchout)
+}
+
+// writeFileAtomic replaces path's contents via a temp file in the same
+// directory and os.Rename, so a reader (cmd/benchgate, or a run killed
+// mid-write) never sees a truncated perf record. The history JSONL needs
+// no such treatment: its appends are single whole-line O_APPEND writes.
+func writeFileAtomic(path string, data []byte) error {
+	dir := filepath.Dir(path)
+	tmp, err := os.CreateTemp(dir, filepath.Base(path)+".tmp*")
+	if err != nil {
+		return err
+	}
+	if _, err := tmp.Write(data); err != nil {
+		tmp.Close()
+		os.Remove(tmp.Name())
+		return err
+	}
+	if err := tmp.Close(); err != nil {
+		os.Remove(tmp.Name())
+		return err
+	}
+	if err := os.Chmod(tmp.Name(), 0o644); err != nil {
+		os.Remove(tmp.Name())
+		return err
+	}
+	if err := os.Rename(tmp.Name(), path); err != nil {
+		os.Remove(tmp.Name())
+		return err
+	}
+	return nil
 }
 
 // writeTimeline dumps one representative Chrome trace-event timeline per

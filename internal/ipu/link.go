@@ -67,6 +67,19 @@ func (l LinkConfig) PointToPointSeconds(bytes int) float64 {
 	return l.SyncSeconds + l.LatencySeconds + float64(bytes)/l.InjectionBandwidth()
 }
 
+// WireSeconds is the bandwidth term of one message alone: bytes at
+// injection bandwidth, with none of the fixed per-message overhead.
+// Consecutive messages of a pipelined stream — wavefront micro-batches
+// crossing one stage boundary — land one wire-time apart: the fixed
+// sync+latency is paid once by the stream head, and serialization of
+// message j overlaps the flight of message j−1.
+func (l LinkConfig) WireSeconds(bytes int) float64 {
+	if bytes <= 0 {
+		return 0
+	}
+	return float64(bytes) / l.InjectionBandwidth()
+}
+
 // AllGatherSeconds prices a ring all-gather across shards IPUs where every
 // IPU contributes bytesPerShard: S-1 pipelined steps, each moving one
 // shard payload per IPU.

@@ -116,6 +116,26 @@ func equivTrial(t *testing.T, rng *rand.Rand, net *nn.Sequential, n, maxBatch in
 			}
 		}
 	}
+
+	// The multi-micro-batch wavefront schedule must also be bit-for-bit:
+	// micro-batches are contiguous row slices of the same row-wise
+	// kernels, so no float32 expression changes with the width.
+	for _, shards := range []int{2, 4} {
+		for _, micro := range []int{1, 2, 4} {
+			sp, err := shard.CompileMicro(fused, topo, shards, shard.Pipeline, micro)
+			if err != nil {
+				t.Fatalf("CompileMicro(%d, %d): %v", shards, micro, err)
+			}
+			for i, x := range inputs {
+				got, err := sp.Execute(x)
+				if err != nil {
+					t.Fatalf("wavefront %d/%d Execute: %v", shards, micro, err)
+				}
+				assertBitEqual(t, "wavefront", refs[i], got)
+			}
+			sp.Close()
+		}
+	}
 }
 
 // TestEquivalenceFuzzAllMethods is the harness over the six operator

@@ -123,6 +123,10 @@ func bubbleKind(b BatchRecord, ev Event) string {
 }
 
 func batchEvents(pid int, baseUS float64, b BatchRecord, meta *Meta) []chromeEvent {
+	micro := b.Micro
+	if micro < 1 {
+		micro = 1
+	}
 	out := make([]chromeEvent, 0, len(b.Events))
 	for _, ev := range b.Events {
 		step := int(ev.Step)
@@ -135,8 +139,11 @@ func batchEvents(pid int, baseUS float64, b BatchRecord, meta *Meta) []chromeEve
 		args := map[string]any{
 			"step":  meta.StepName(step),
 			"phase": ev.Phase.String(),
-			"rows":  b.Rows,
+			"rows":  microRows(b.Rows, micro, ev.MB),
 			"batch": b.ID,
+		}
+		if micro > 1 {
+			args["mb"] = ev.MB
 		}
 		if k := meta.kernel(step); k != "" {
 			args["kernel"] = k
@@ -144,7 +151,7 @@ func batchEvents(pid int, baseUS float64, b BatchRecord, meta *Meta) []chromeEve
 		if v := meta.variant(step); v != "" {
 			args["variant"] = v
 		}
-		if mod := meta.modelledNanos(ev, b.Rows); mod > 0 {
+		if mod := meta.modelledNanos(ev, b.Rows, micro); mod > 0 {
 			args["modelled_ns"] = int64(mod)
 		}
 		out = append(out, chromeEvent{

@@ -83,6 +83,9 @@ type Event struct {
 	Step  int32 `json:"step"`
 	IPU   int32 `json:"ipu"`
 	Phase Phase `json:"phase"`
+	// MB is the micro-batch index inside a wavefront-scheduled batch;
+	// 0 for the single-micro-batch (barrier loop) executors.
+	MB int32 `json:"mb,omitempty"`
 	// StartNanos is the monotonic offset from the batch's first step;
 	// DurNanos the measured span length.
 	StartNanos int64 `json:"start_ns"`
@@ -108,6 +111,7 @@ type Batch struct {
 	start  time.Time
 	rows   int
 	steps  int
+	micro  int
 	tracks int
 	wall   int64
 	events []Event
@@ -117,8 +121,19 @@ type Batch struct {
 // The first Begin on a pooled batch grows the backing array; after that
 // it is a memclr.
 func (b *Batch) Begin(steps, tracks, rows int) {
-	b.steps, b.tracks, b.rows = steps, tracks, rows
-	need := steps * tracks * lanes
+	b.BeginMicro(steps, 1, tracks, rows)
+}
+
+// BeginMicro sizes the buffer for a wavefront-scheduled batch of micro
+// micro-batches: steps×micro×tracks cells, every slot cleared. The
+// micro dimension folds into the slot layout, so micro=1 is exactly the
+// classic Begin buffer.
+func (b *Batch) BeginMicro(steps, micro, tracks, rows int) {
+	if micro < 1 {
+		micro = 1
+	}
+	b.steps, b.micro, b.tracks, b.rows = steps, micro, tracks, rows
+	need := steps * micro * tracks * lanes
 	if cap(b.events) < need {
 		b.events = make([]Event, need)
 	}
@@ -131,19 +146,26 @@ func (b *Batch) Begin(steps, tracks, rows int) {
 // Rows returns the batch size this timeline was recorded at.
 func (b *Batch) Rows() int { return b.rows }
 
-func (b *Batch) slot(step, ipu, lane int) int {
-	return (step*b.tracks+ipu)*lanes + lane
+func (b *Batch) slot(step, mb, ipu, lane int) int {
+	return ((step*b.micro+mb)*b.tracks+ipu)*lanes + lane
 }
 
 // Record writes one phase span into its fixed slot. Out-of-range
 // coordinates are dropped silently — a recorder installed mid-flight
 // must never be able to corrupt the buffer.
 func (b *Batch) Record(step, ipu, lane int, ph Phase, startNanos, durNanos int64) {
-	if step < 0 || step >= b.steps || ipu < 0 || ipu >= b.tracks || lane < 0 || lane >= lanes {
+	b.RecordMicro(step, 0, ipu, lane, ph, startNanos, durNanos)
+}
+
+// RecordMicro writes one phase span of one micro-batch into its fixed
+// slot. Out-of-range coordinates are dropped silently.
+func (b *Batch) RecordMicro(step, mb, ipu, lane int, ph Phase, startNanos, durNanos int64) {
+	if step < 0 || step >= b.steps || mb < 0 || mb >= b.micro ||
+		ipu < 0 || ipu >= b.tracks || lane < 0 || lane >= lanes {
 		return
 	}
-	b.events[b.slot(step, ipu, lane)] = Event{
-		Step: int32(step), IPU: int32(ipu), Phase: ph,
+	b.events[b.slot(step, mb, ipu, lane)] = Event{
+		Step: int32(step), IPU: int32(ipu), Phase: ph, MB: int32(mb),
 		StartNanos: startNanos, DurNanos: durNanos,
 	}
 }
@@ -155,7 +177,7 @@ func (b *Batch) Work(step, ipu int) Event {
 	if step < 0 || step >= b.steps || ipu < 0 || ipu >= b.tracks {
 		return Event{}
 	}
-	return b.events[b.slot(step, ipu, LaneWork)]
+	return b.events[b.slot(step, 0, ipu, LaneWork)]
 }
 
 // Meta is the static description of the executor whose batches a
@@ -170,6 +192,11 @@ type Meta struct {
 	Steps    []string `json:"steps"`
 	Kernels  []string `json:"kernels,omitempty"`
 	Variants []string `json:"variants,omitempty"`
+
+	// MicroBatches is the wavefront width the executor splits a full
+	// batch into (1 = classic barrier loop). Descriptive only — each
+	// sampled batch carries its own effective micro count.
+	MicroBatches int `json:"micro_batches,omitempty"`
 
 	// Modelled per-row seconds of each micro-step, split by phase: what
 	// the cost model says one row of compute (per shard, under the
@@ -204,23 +231,36 @@ func (m *Meta) variant(i int) string {
 	return ""
 }
 
+// microRows returns the row count of micro-batch mb when rows are split
+// into micro contiguous chunks the way the wavefront executor splits
+// them (chunk k covers rows [k*rows/micro, (k+1)*rows/micro)).
+func microRows(rows, micro int, mb int32) int {
+	if micro <= 1 {
+		return rows
+	}
+	lo := int(mb) * rows / micro
+	hi := (int(mb) + 1) * rows / micro
+	return hi - lo
+}
+
 // modelledNanos prices one event under the meta's cost model: compute
 // events by the step's per-row compute, exchange events by its per-row
-// exchange, scaled to the batch's rows. 0 for bubbles, barrier waits
-// and unpriced steps.
-func (m *Meta) modelledNanos(ev Event, rows int) float64 {
+// exchange, scaled to the event's micro-batch rows. 0 for bubbles,
+// barrier waits and unpriced steps.
+func (m *Meta) modelledNanos(ev Event, rows, micro int) float64 {
 	if m == nil {
 		return 0
 	}
 	i := int(ev.Step)
+	n := microRows(rows, micro, ev.MB)
 	switch ev.Phase {
 	case Compute:
 		if i < len(m.ComputeSecPerRow) {
-			return m.ComputeSecPerRow[i] * float64(rows) * 1e9
+			return m.ComputeSecPerRow[i] * float64(n) * 1e9
 		}
 	case Exchange:
 		if i < len(m.ExchangeSecPerRow) {
-			return m.ExchangeSecPerRow[i] * float64(rows) * 1e9
+			return m.ExchangeSecPerRow[i] * float64(n) * 1e9
 		}
 	}
 	return 0
@@ -235,6 +275,7 @@ type BatchRecord struct {
 	Start     time.Time `json:"start"`
 	Rows      int       `json:"rows"`
 	Steps     int       `json:"steps"`
+	Micro     int       `json:"micro,omitempty"`
 	Tracks    int       `json:"tracks"`
 	WallNanos int64     `json:"wall_ns"`
 	Events    []Event   `json:"events"`
@@ -346,7 +387,7 @@ func (r *Recorder) Finish(b *Batch, wallNanos int64) {
 			continue
 		}
 		r.perIPU[ev.IPU][ev.Phase.index()] += ev.DurNanos
-		r.modelled[ev.Phase.index()] += meta.modelledNanos(ev, b.rows) / 1e9
+		r.modelled[ev.Phase.index()] += meta.modelledNanos(ev, b.rows, b.micro) / 1e9
 	}
 	old := r.ring[r.next]
 	r.ring[r.next] = b
@@ -373,7 +414,7 @@ func (r *Recorder) Snapshot() []BatchRecord {
 		b := r.ring[(r.next-r.n+i+len(r.ring))%len(r.ring)]
 		rec := BatchRecord{
 			ID: b.id, Start: b.start, Rows: b.rows,
-			Steps: b.steps, Tracks: b.tracks, WallNanos: b.wall,
+			Steps: b.steps, Micro: b.micro, Tracks: b.tracks, WallNanos: b.wall,
 			Events: make([]Event, 0, len(b.events)),
 		}
 		for _, ev := range b.events {

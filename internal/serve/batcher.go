@@ -70,6 +70,15 @@ type request struct {
 	features []float32
 	enq      time.Time // when Do handed the request to the collector
 	resp     chan response
+
+	// abandoned arbitrates the race between a caller giving up on an
+	// enqueued request (context cancellation, shutdown) and the worker
+	// delivering its response. Exactly one side wins the false→true CAS:
+	// a winning caller walks away and the worker recycles the request
+	// without sending; a winning worker sends, and the losing caller
+	// drains the buffered response before recycling. Either way the
+	// request returns to the pool with an empty channel.
+	abandoned atomic.Bool
 }
 
 type response struct {
@@ -89,10 +98,10 @@ type response struct {
 }
 
 // reqPool recycles request structs (and their 1-buffered response
-// channels) so the steady-state request path allocates nothing. A request
-// is only returned to the pool on the clean receive path: abandoned
-// requests (context cancellation, shutdown race) may still receive a late
-// worker response, so they are left to the garbage collector.
+// channels) so the steady-state request path allocates nothing. The
+// abandoned CAS guarantees every request reaches the pool with an empty
+// response channel: the side that loses the arbitration is the one that
+// drains (caller) or skips (worker) the response and recycles.
 var reqPool = sync.Pool{New: func() any { return &request{resp: make(chan response, 1)} }}
 
 // Batcher coalesces concurrent single-row requests into batched calls of
@@ -202,25 +211,49 @@ func (b *Batcher) do(ctx context.Context, features []float32) (response, error) 
 		b.release(r)
 		return resp, nil
 	case <-b.stopped:
-		// A worker may have answered concurrently with the shutdown.
-		select {
-		case resp := <-r.resp:
-			b.release(r)
-			return resp, nil
-		default:
+		if r.abandoned.CompareAndSwap(false, true) {
+			// Won the arbitration: no worker will send; whoever holds
+			// the request (worker or collector fail path) recycles it.
 			return response{}, ErrStopped
 		}
+		// A worker claimed delivery concurrently with the shutdown —
+		// its response is (or is about to be) in the buffered channel.
+		resp := <-r.resp
+		b.release(r)
+		return resp, nil
 	case <-ctx.Done():
+		if r.abandoned.CompareAndSwap(false, true) {
+			return response{}, ctx.Err()
+		}
+		// Lost to the worker's send: drain the buffered response so the
+		// pooled request comes back with an empty channel.
+		<-r.resp
+		b.release(r)
 		return response{}, ctx.Err()
 	}
 }
 
 // release recycles a request whose response channel is known to be empty
-// and that no worker will touch again — i.e. it was either never enqueued
-// or its response has been received. Abandoned requests are not released.
+// and that neither side will touch again: it was never enqueued, its
+// response has been received, or the abandonment arbitration settled who
+// recycles. The abandoned flag is reset so the pooled request starts the
+// next cycle unclaimed.
 func (b *Batcher) release(r *request) {
 	r.features = nil
+	r.abandoned.Store(false)
 	reqPool.Put(r)
+}
+
+// deliver sends one response if the caller is still waiting, recycling
+// the request instead when the caller abandoned it (the worker-side half
+// of the abandonment arbitration). Exactly one of the send and the
+// recycle happens per request.
+func (b *Batcher) deliver(r *request, resp response) {
+	if r.abandoned.CompareAndSwap(false, true) {
+		r.resp <- resp
+		return
+	}
+	b.release(r)
 }
 
 // Stop shuts the batcher down and waits for the workers to drain. Pending
@@ -280,7 +313,7 @@ func (b *Batcher) collect() {
 				if !timer.Stop() {
 					<-timer.C
 				}
-				fail(bb.reqs, ErrStopped)
+				b.fail(bb.reqs, ErrStopped)
 				return
 			case r := <-b.reqs:
 				bb.reqs = append(bb.reqs, r)
@@ -303,7 +336,7 @@ func (b *Batcher) collect() {
 		select {
 		case b.batches <- bb:
 		case <-b.stopped:
-			fail(bb.reqs, ErrStopped)
+			b.fail(bb.reqs, ErrStopped)
 			return
 		}
 	}
@@ -355,7 +388,7 @@ func (b *Batcher) exec(batch []*request, in *tensor.Matrix, info *execInfo) {
 	y, err := b.safeRun(in, info)
 	execNanos := time.Since(execStart).Nanoseconds()
 	if err != nil {
-		fail(batch, err)
+		b.fail(batch, err)
 		return
 	}
 	cols := y.Cols
@@ -365,7 +398,7 @@ func (b *Batcher) exec(batch []*request, in *tensor.Matrix, info *execInfo) {
 		// owns exactly one row. The three-index slice caps capacity at the
 		// row boundary so a caller appending to its scores reallocates
 		// instead of writing into the next request's row.
-		r.resp <- response{
+		b.deliver(r, response{
 			scores:     y.Data[i*cols : (i+1)*cols : (i+1)*cols],
 			batch:      n,
 			execStart:  execStart,
@@ -373,7 +406,7 @@ func (b *Batcher) exec(batch []*request, in *tensor.Matrix, info *execInfo) {
 			execNanos:  execNanos,
 			nsteps:     info.nsteps,
 			stepNanos:  info.stepNanos,
-		}
+		})
 	}
 	b.nreq.Add(int64(len(batch)))
 	b.nbatch.Add(1)
@@ -400,8 +433,10 @@ func (b *Batcher) safeRun(x *tensor.Matrix, info *execInfo) (y *tensor.Matrix, e
 	return y, nil
 }
 
-func fail(batch []*request, err error) {
+// fail answers every request of a doomed batch with the error, skipping
+// (and recycling) requests whose callers already abandoned them.
+func (b *Batcher) fail(batch []*request, err error) {
 	for _, r := range batch {
-		r.resp <- response{err: err}
+		b.deliver(r, response{err: err})
 	}
 }

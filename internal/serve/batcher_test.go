@@ -141,3 +141,50 @@ func TestBatcherRecoversInferencePanic(t *testing.T) {
 		t.Fatal("expected an error on the second request too")
 	}
 }
+
+// TestBatcherCancelMidBatchUnderLoad races context cancellation against
+// in-flight batch execution: half the callers cancel while their batch is
+// running, half wait it out. The abandonment arbitration must keep every
+// surviving response correct (no stale or cross-wired rows from recycled
+// requests) and settle every request without deadlock — the regression
+// for the leak where a cancelled caller left its pooled request to a
+// worker that then blocked or delivered into the void. Run with -race.
+func TestBatcherCancelMidBatchUnderLoad(t *testing.T) {
+	d := &doubler{delay: 2 * time.Millisecond}
+	b := NewBatcher(4, BatcherConfig{MaxBatch: 8, MaxDelay: time.Millisecond, Workers: 2}, d.run)
+	defer b.Stop()
+
+	const rounds = 40
+	const callers = 16
+	for round := 0; round < rounds; round++ {
+		var wg sync.WaitGroup
+		for i := 0; i < callers; i++ {
+			wg.Add(1)
+			go func(i int) {
+				defer wg.Done()
+				f := []float32{float32(round*callers + i), 1, 2, 3}
+				if i%2 == 0 {
+					// Cancel while the batch is (likely) executing.
+					ctx, cancel := context.WithTimeout(context.Background(), time.Millisecond)
+					defer cancel()
+					// A nil error means the worker won the arbitration and
+					// delivered before the deadline fired — also fine.
+					_, _, err := b.Do(ctx, f)
+					if err != nil && err != context.DeadlineExceeded && err != context.Canceled {
+						t.Errorf("cancelled Do: unexpected error %v", err)
+					}
+					return
+				}
+				scores, _, err := b.Do(context.Background(), f)
+				if err != nil {
+					t.Errorf("surviving Do: %v", err)
+					return
+				}
+				if len(scores) != 4 || scores[0] != 2*f[0] {
+					t.Errorf("surviving Do got scores %v for features %v", scores, f)
+				}
+			}(i)
+		}
+		wg.Wait()
+	}
+}

@@ -40,6 +40,12 @@ type ProgramCost struct {
 	PerIPUBytes     int     `json:"per_ipu_bytes,omitempty"`
 	ExchangeBytes   int     `json:"exchange_bytes,omitempty"`
 	ExchangeSeconds float64 `json:"exchange_s,omitempty"`
+	// MicroBatches is the wavefront width the pipeline schedule was priced
+	// at (1 = barrier loop; 0/omitted under tensor parallelism), and
+	// PipelineStages the effective stage count after clamping to the plan's
+	// step count.
+	MicroBatches   int `json:"micro_batches,omitempty"`
+	PipelineStages int `json:"pipeline_stages,omitempty"`
 
 	// Fusion block, present when a host network is attached: the compiled
 	// plan's step-fusion verdict — executed vs lowered step count, steps
@@ -87,6 +93,7 @@ type Executor interface {
 type Program struct {
 	batch  int
 	shards int
+	micro  int // forced wavefront width (0 = let the shard planner pick)
 	topo   shard.Topology
 	budget int
 
@@ -203,7 +210,7 @@ func (p *Program) shardEstimate(pl *nn.Plan) (shard.Cost, error) {
 				return
 			}
 		}
-		if p.sc, p.scErr = shard.EstimateBudget(pl, p.batch, p.shards, p.topo, p.budget); p.scErr != nil {
+		if p.sc, p.scErr = shard.EstimateBudgetMicro(pl, p.batch, p.shards, p.topo, p.budget, p.micro); p.scErr != nil {
 			return
 		}
 		p.scOne, p.scErr = shard.EstimateBudget(pl, p.batch, 1, p.topo, p.budget)
@@ -230,10 +237,20 @@ func (p *Program) shardCost(cost *ProgramCost, pl *nn.Plan) error {
 	cost.PerIPUBytes = sc.PerIPUBytes
 	cost.ExchangeBytes = sc.ExchangeBytesPerBatch
 	cost.ExchangeSeconds = sc.ExchangeSecondsPerBatch
+	cost.MicroBatches = sc.MicroBatches
+	cost.PipelineStages = sc.PipelineStages
 	if one.ComputeSecondsPerBatch > 0 {
 		cost.LatencySeconds *= sc.ComputeSecondsPerBatch / one.ComputeSecondsPerBatch
 	}
 	cost.LatencySeconds += sc.ExchangeSecondsPerBatch
+	if sc.MicroBatches > 1 {
+		// The wavefront overlaps stages and exchange, so the planner's
+		// scheduled latency sits below compute+exchange; apply the same
+		// dimensionless speedup to the device-scale latency.
+		if barrier := sc.ComputeSecondsPerBatch + sc.ExchangeSecondsPerBatch; barrier > 0 {
+			cost.LatencySeconds *= sc.LatencySecondsPerBatch / barrier
+		}
+	}
 	cost.PerRequestSeconds = cost.LatencySeconds / float64(p.batch)
 	return nil
 }
@@ -258,7 +275,7 @@ func (p *Program) GetPlan() (Executor, error) {
 	if err != nil {
 		return nil, err
 	}
-	return shard.CompileWith(pl, p.topo, p.shards, sc.Strategy)
+	return shard.CompileMicro(pl, p.topo, p.shards, sc.Strategy, p.micro)
 }
 
 // PutPlan returns a plan obtained from GetPlan to the pool.
@@ -276,6 +293,7 @@ type ProgramCache struct {
 	cfg    ipu.Config
 	topo   shard.Topology
 	budget int
+	micro  int // forced wavefront width for pipeline programs (0 = auto)
 
 	mu      sync.Mutex
 	entries map[programKey]*Program
@@ -302,6 +320,11 @@ func NewProgramCache(cfg ipu.Config) *ProgramCache {
 func NewShardedProgramCache(cfg ipu.Config, topo shard.Topology, budgetBytes int) *ProgramCache {
 	return &ProgramCache{cfg: cfg, topo: topo, budget: budgetBytes, entries: map[programKey]*Program{}}
 }
+
+// SetMicroBatches forces the wavefront width of every pipeline-partitioned
+// program the cache compiles (0 restores the planner's auto pick). Must be
+// called before the first Program is created.
+func (c *ProgramCache) SetMicroBatches(m int) { c.micro = m }
 
 // workloadBuilder produces the IPU workload whose compiled program prices
 // a model at one batch size. The registry installs a layout-aware builder
@@ -339,7 +362,7 @@ func (c *ProgramCache) lookup(name string, version, batch, shards int, net *nn.S
 	c.mu.Lock()
 	p, ok := c.entries[key]
 	if !ok {
-		p = &Program{batch: batch, shards: shards, topo: c.topo, budget: c.budget, cfg: c.cfg, build: build, mets: c.mets}
+		p = &Program{batch: batch, shards: shards, micro: c.micro, topo: c.topo, budget: c.budget, cfg: c.cfg, build: build, mets: c.mets}
 		c.entries[key] = p
 	}
 	if count {

@@ -19,6 +19,12 @@ type LoadConfig struct {
 	Duration time.Duration
 	// Seed drives the synthetic feature vectors. Default 1.
 	Seed int64
+	// Burst issues that many requests per tick (at RPS/Burst ticks per
+	// second, so the offered rate is unchanged). Bursty arrivals let the
+	// micro-batcher coalesce multi-row batches even when the per-request
+	// inter-arrival time exceeds its flush delay — the arrival shape that
+	// exercises pipelined multi-batch execution. Default 1 (uniform).
+	Burst int
 }
 
 func (c LoadConfig) withDefaults() LoadConfig {
@@ -30,6 +36,9 @@ func (c LoadConfig) withDefaults() LoadConfig {
 	}
 	if c.Seed == 0 {
 		c.Seed = 1
+	}
+	if c.Burst <= 0 {
+		c.Burst = 1
 	}
 	return c
 }
@@ -44,6 +53,12 @@ type LoadReport struct {
 	Latency  stats.Summary // seconds, over successful requests
 	Batching BatcherStats  // delta over the run
 	Cache    CacheStats    // delta over the run
+
+	// AllErrors marks a run where every offered request failed: the
+	// latency summary and per-op allocation fields are zero because there
+	// is nothing to summarize, not because the run was free. Consumers
+	// must not read the zero percentiles as "infinitely fast".
+	AllErrors bool
 
 	// AllocsPerOp and BytesPerOp are the process-wide heap allocation
 	// deltas of the run divided by completed requests — the serving
@@ -93,7 +108,7 @@ func RunLoad(ctx context.Context, reg *Registry, model string, cfg LoadConfig) (
 		maxBatch  int
 	)
 	var wg sync.WaitGroup
-	interval := time.Second / time.Duration(cfg.RPS)
+	interval := time.Second * time.Duration(cfg.Burst) / time.Duration(cfg.RPS)
 	if interval <= 0 {
 		interval = time.Microsecond
 	}
@@ -112,25 +127,27 @@ loop:
 		case <-deadline.C:
 			break loop
 		case <-ticker.C:
-			features := pool[offered%poolSize]
-			offered++
-			wg.Add(1)
-			go func() {
-				defer wg.Done()
-				t0 := time.Now()
-				pred, err := m.Predict(ctx, features)
-				lat := time.Since(t0).Seconds()
-				mu.Lock()
-				if err != nil {
-					errs++
-				} else {
-					latencies = append(latencies, lat)
-					if pred.BatchSize > maxBatch {
-						maxBatch = pred.BatchSize
+			for b := 0; b < cfg.Burst; b++ {
+				features := pool[offered%poolSize]
+				offered++
+				wg.Add(1)
+				go func() {
+					defer wg.Done()
+					t0 := time.Now()
+					pred, err := m.Predict(ctx, features)
+					lat := time.Since(t0).Seconds()
+					mu.Lock()
+					if err != nil {
+						errs++
+					} else {
+						latencies = append(latencies, lat)
+						if pred.BatchSize > maxBatch {
+							maxBatch = pred.BatchSize
+						}
 					}
-				}
-				mu.Unlock()
-			}()
+					mu.Unlock()
+				}()
+			}
 		}
 	}
 	wg.Wait()
@@ -167,6 +184,13 @@ loop:
 	if rep.Done > 0 {
 		rep.AllocsPerOp = float64(memAfter.Mallocs-memBefore.Mallocs) / float64(rep.Done)
 		rep.BytesPerOp = float64(memAfter.TotalAlloc-memBefore.TotalAlloc) / float64(rep.Done)
+	}
+	// A run where nothing succeeded must degrade to an explicit all-errors
+	// record — zero percentiles with AllErrors set — instead of reporting
+	// an empty latency distribution as a perfect one.
+	if rep.Done == 0 && rep.Offered > 0 {
+		rep.AllErrors = true
+		rep.Latency = stats.Summary{}
 	}
 	return rep, nil
 }

@@ -43,6 +43,72 @@ func TestRunLoadReportsThroughputAndTails(t *testing.T) {
 	}
 }
 
+// TestRunLoadAllErrors pins the zero-success degradation: a run where
+// every request fails (model stopped under the generator) must come back
+// as an explicit all-errors record — AllErrors set, zero latency summary,
+// no panic — rather than an empty distribution read as a perfect one.
+func TestRunLoadAllErrors(t *testing.T) {
+	reg := testRegistry(t)
+	m, err := reg.Register(spec("dead", nn.Butterfly))
+	if err != nil {
+		t.Fatal(err)
+	}
+	m.stop() // every Predict now fails with ErrStopped
+	rep, err := RunLoad(context.Background(), reg, "dead", LoadConfig{
+		RPS:      400,
+		Duration: 100 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Offered == 0 {
+		t.Fatalf("no traffic offered: %+v", rep)
+	}
+	if rep.Done != 0 || rep.Errors != rep.Offered {
+		t.Fatalf("stopped model answered requests: %+v", rep)
+	}
+	if !rep.AllErrors {
+		t.Fatalf("zero-success run not marked AllErrors: %+v", rep)
+	}
+	if l := rep.Latency; l.Count != 0 || l.P50 != 0 || l.P99 != 0 {
+		t.Fatalf("all-errors run reports a latency summary: %+v", l)
+	}
+	if rep.Throughput() != 0 {
+		t.Fatalf("all-errors run reports throughput %v", rep.Throughput())
+	}
+}
+
+// TestRunLoadBurstKeepsOfferedRate checks burst mode trades arrival shape
+// for batch depth without changing the offered rate: B requests per tick
+// at RPS/B ticks per second, all of them served.
+func TestRunLoadBurstKeepsOfferedRate(t *testing.T) {
+	reg := testRegistry(t)
+	if _, err := reg.Register(spec("burst", nn.Butterfly)); err != nil {
+		t.Fatal(err)
+	}
+	rep, err := RunLoad(context.Background(), reg, "burst", LoadConfig{
+		RPS:      400,
+		Duration: 300 * time.Millisecond,
+		Burst:    4,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Offered == 0 || rep.Done == 0 || rep.Errors != 0 {
+		t.Fatalf("burst run failed: %+v", rep)
+	}
+	// Bursts of 4 arrive together, so the batcher must coalesce beyond
+	// one row at least once.
+	if rep.Batching.MaxBatch < 2 {
+		t.Fatalf("burst arrivals never coalesced: %+v", rep.Batching)
+	}
+	// Offered rate stays ~RPS despite 4× fewer ticks: with 300ms at 100
+	// ticks/s × 4 per tick, well over half the nominal total must go out.
+	if nominal := 400 * 300 / 1000; rep.Offered < nominal/2 {
+		t.Fatalf("burst mode throttled the offered rate: %d of ~%d", rep.Offered, nominal)
+	}
+}
+
 func TestRunLoadUnknownModel(t *testing.T) {
 	reg := testRegistry(t)
 	if _, err := RunLoad(context.Background(), reg, "ghost", LoadConfig{}); err == nil {

@@ -289,6 +289,7 @@ func (m *Model) installTimelineMeta(se steppedExecutor, so *stepObs) {
 	case *shard.ShardedPlan:
 		meta.Strategy = ex.Strategy().String()
 		meta.Shards = ex.Shards()
+		meta.MicroBatches = ex.MicroBatches()
 		comp, exch := ex.ModelledPhaseSeconds()
 		inv := 1 / float64(ex.MaxBatch())
 		meta.ComputeSecPerRow = scaled(comp, inv)

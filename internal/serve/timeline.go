@@ -21,12 +21,15 @@ type IPUPhaseShare struct {
 // JSON body of /debug/timeline and the source of the loadgen's phase
 // table and the bench snapshot's phases block.
 type TimelineSummary struct {
-	Model       string `json:"model"`
-	Strategy    string `json:"strategy,omitempty"`
-	Shards      int    `json:"shards"`
-	SampleEvery int    `json:"sample_every"`
-	Batches     int64  `json:"sampled_batches"`
-	Rows        int64  `json:"sampled_rows"`
+	Model    string `json:"model"`
+	Strategy string `json:"strategy,omitempty"`
+	Shards   int    `json:"shards"`
+	// MicroBatches is the wavefront width pipeline batches split into
+	// (0/1 = barrier loop; omitted for tensor-parallel models).
+	MicroBatches int   `json:"micro_batches,omitempty"`
+	SampleEvery  int   `json:"sample_every"`
+	Batches      int64 `json:"sampled_batches"`
+	Rows         int64 `json:"sampled_rows"`
 
 	PerIPU []IPUPhaseShare `json:"per_ipu"`
 
@@ -73,6 +76,7 @@ func (m *Model) TimelineSummary() (TimelineSummary, bool) {
 	}
 	if meta := rec.Meta(); meta != nil {
 		s.Strategy = meta.Strategy
+		s.MicroBatches = meta.MicroBatches
 	}
 	var all, compute, exchange, barrier float64
 	for i, ps := range tot.PerIPU {

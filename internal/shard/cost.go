@@ -37,6 +37,17 @@ type Cost struct {
 	// Modelled compute and end-to-end batch latency.
 	ComputeSecondsPerBatch float64 `json:"compute_s"`
 	LatencySecondsPerBatch float64 `json:"latency_s"`
+
+	// MicroBatches is the wavefront width the latency is priced at: how
+	// many micro-batches a full batch splits into under pipeline
+	// partitioning (1 = the classic one-batch barrier loop; always 1
+	// under tensor parallelism, which has no fill/drain to amortize).
+	MicroBatches int `json:"micro_batches,omitempty"`
+	// PipelineStages is the effective pipeline depth after clamping the
+	// requested shard count to the plan's step count — a stage cannot own
+	// less than one step, so shards beyond NumSteps would idle for the
+	// whole batch. 0 under tensor parallelism.
+	PipelineStages int `json:"pipeline_stages,omitempty"`
 }
 
 // StrategyName is the JSON-friendly strategy label.
@@ -142,6 +153,13 @@ func Splittable(pl *nn.Plan, shards int) error {
 	return nil
 }
 
+// maxAutoMicro caps the planner-chosen wavefront width. The bubble
+// fraction (S−1)/(S−1+M) has diminishing returns in M while the
+// per-message IPU-Link overhead (sync + latency) is paid once per
+// micro-batch per boundary, so small widths capture nearly all of the
+// win: at S=2, M=4 already cuts the bubble from 0.5 to 0.2.
+const maxAutoMicro = 4
+
 // Estimate prices the plan at the given batch and shard count with the
 // per-IPU budget defaulting to the full chip SRAM.
 func Estimate(pl *nn.Plan, batch, shards int, topo Topology) (Cost, error) {
@@ -158,6 +176,15 @@ func Estimate(pl *nn.Plan, batch, shards int, topo Topology) (Cost, error) {
 // tensor-parallel still fits and the planner switches. Unsplittable
 // layers (fastfood, circulant, generic fallbacks) force pipeline.
 func EstimateBudget(pl *nn.Plan, batch, shards int, topo Topology, budgetBytes int) (Cost, error) {
+	return EstimateBudgetMicro(pl, batch, shards, topo, budgetBytes, 0)
+}
+
+// EstimateBudgetMicro is EstimateBudget with the pipeline wavefront
+// width pinned: micro 0 lets the planner pick the width minimizing
+// modelled latency (up to maxAutoMicro), micro 1 prices the classic
+// barrier loop, micro > 1 forces that width. Tensor-parallel pricing
+// ignores micro — it has no pipeline bubble to amortize.
+func EstimateBudgetMicro(pl *nn.Plan, batch, shards int, topo Topology, budgetBytes, micro int) (Cost, error) {
 	topo = topo.withDefaults()
 	if budgetBytes <= 0 {
 		budgetBytes = topo.IPU.TotalMemBytes()
@@ -168,7 +195,7 @@ func EstimateBudget(pl *nn.Plan, batch, shards int, topo Topology, budgetBytes i
 	if shards > topo.NumIPUs {
 		return Cost{}, fmt.Errorf("shard: %d shards exceed topology of %d IPUs", shards, topo.NumIPUs)
 	}
-	pipe, err := estimateWith(pl, batch, shards, topo, Pipeline)
+	pipe, err := estimateMicro(pl, batch, shards, topo, Pipeline, micro)
 	if err != nil {
 		return Cost{}, err
 	}
@@ -198,8 +225,15 @@ func EstimateBudget(pl *nn.Plan, batch, shards int, topo Topology, budgetBytes i
 	}
 }
 
-// estimateWith prices one specific strategy.
+// estimateWith prices one specific strategy at the classic barrier-loop
+// schedule (one micro-batch).
 func estimateWith(pl *nn.Plan, batch, shards int, topo Topology, strategy Strategy) (Cost, error) {
+	return estimateMicro(pl, batch, shards, topo, strategy, 1)
+}
+
+// estimateMicro prices one specific strategy at a pipeline wavefront
+// width (micro 0 = planner-chosen, see EstimateBudgetMicro).
+func estimateMicro(pl *nn.Plan, batch, shards int, topo Topology, strategy Strategy, micro int) (Cost, error) {
 	topo = topo.withDefaults()
 	descs, maxW := describePlan(pl, batch)
 	c := Cost{Shards: shards, Strategy: strategy, Batch: batch}
@@ -238,16 +272,25 @@ func estimateWith(pl *nn.Plan, batch, shards int, topo Topology, strategy Strate
 			}
 		}
 	case Pipeline:
-		owners := pipelineOwners(pl, shards)
-		stageBytes := make([]int, shards)
+		// Effective stages: pipelineOwners never assigns a stage past the
+		// plan's step count, so shards beyond it would own nothing — the
+		// executor clamps to the same count and the pricing must agree.
+		stages := shards
+		if n := pl.NumSteps(); stages > n {
+			stages = n
+		}
+		owners := pipelineOwners(pl, stages)
+		stageBytes := make([]int, stages)
+		stageComp := make([]float64, stages)
+		var boundaryBytes []int
 		for i, d := range descs {
 			stageBytes[owners[i]] += d.weightBytes + d.replBytes
-			c.ComputeSecondsPerBatch += d.flops / rate(d.class)
+			sec := d.flops / rate(d.class)
+			c.ComputeSecondsPerBatch += sec
+			stageComp[owners[i]] += sec
 			if i+1 < len(owners) && owners[i+1] != owners[i] {
 				// Activations cross one IPU-Link at the stage boundary.
-				bytes := 4 * batch * d.outW
-				c.ExchangeBytesPerBatch += bytes
-				c.ExchangeSecondsPerBatch += topo.Link.PointToPointSeconds(bytes)
+				boundaryBytes = append(boundaryBytes, 4*batch*d.outW)
 			}
 		}
 		for _, b := range stageBytes {
@@ -255,13 +298,106 @@ func estimateWith(pl *nn.Plan, batch, shards int, topo Topology, strategy Strate
 				c.PerIPUWeightBytes = b
 			}
 		}
+		c.PipelineStages = stages
+		c.MicroBatches = pickMicro(stageComp, boundaryBytes, batch, topo, micro)
+		c.ExchangeBytesPerBatch, c.ExchangeSecondsPerBatch,
+			c.LatencySecondsPerBatch = pipelineSchedule(stageComp, boundaryBytes, topo, c.MicroBatches)
 	default:
 		return Cost{}, fmt.Errorf("shard: unknown strategy %v", strategy)
 	}
 
 	c.PerIPUBytes = int(memOverhead * float64(c.PerIPUWeightBytes+c.PerIPUActivationBytes))
-	c.LatencySecondsPerBatch = c.ComputeSecondsPerBatch + c.ExchangeSecondsPerBatch
+	if c.LatencySecondsPerBatch == 0 {
+		c.LatencySecondsPerBatch = c.ComputeSecondsPerBatch + c.ExchangeSecondsPerBatch
+	}
 	return c, nil
+}
+
+// pipelineSchedule prices one batch of a pipeline at wavefront width m:
+// the exchange bytes/seconds the IPU-Link fabric moves and the modelled
+// end-to-end latency. At m == 1 this is the classic serial schedule —
+// every stage and every boundary hop in sequence. At m > 1 the batch
+// streams as m micro-batches: the steady-state tick is the slowest
+// stage's per-micro-batch compute or the slowest boundary's
+// per-micro-batch wire time (exchange overlaps the other stages'
+// compute, and only the stream head pays the fixed link overhead);
+// on a balanced pipeline the schedule spans m+S−1 ticks, making
+// fill/drain the (S−1)/(S−1+m) share the ROADMAP's overlap item names.
+func pipelineSchedule(stageComp []float64, boundaryBytes []int, topo Topology, m int) (exBytes int, exSec, latency float64) {
+	for _, b := range boundaryBytes {
+		exBytes += b
+	}
+	if m <= 1 {
+		var comp float64
+		for _, s := range stageComp {
+			comp += s
+		}
+		for _, b := range boundaryBytes {
+			exSec += topo.Link.PointToPointSeconds(b)
+		}
+		return exBytes, exSec, comp + exSec
+	}
+	// Linear-pipeline makespan: the first micro-batch traverses every
+	// stage and boundary hop once (sum of per-micro-batch service times),
+	// and each of the remaining m−1 micro-batches adds one tick of the
+	// bottleneck resource. Exact for unbalanced stages too — the naive
+	// (m+S−1)×tick form overprices skewed pipelines and would make the
+	// planner wrongly prefer the barrier loop.
+	//
+	// Boundary messages stream: the m micro-batch transfers on one
+	// boundary are back-to-back messages on the same link, so the fixed
+	// sync+latency is paid once by the stream head and each subsequent
+	// message lands one wire-time later (LinkConfig.WireSeconds). Charging
+	// the fixed overhead m times would make modelled latency grow
+	// monotonically with m on latency-dominated fabrics and the planner
+	// would never leave the barrier loop.
+	var chain, tick float64
+	for _, s := range stageComp {
+		u := s / float64(m)
+		chain += u
+		if u > tick {
+			tick = u
+		}
+	}
+	for _, b := range boundaryBytes {
+		per := (b + m - 1) / m
+		head := topo.Link.PointToPointSeconds(per)
+		wire := topo.Link.WireSeconds(per)
+		chain += head
+		exSec += head + float64(m-1)*wire
+		if wire > tick {
+			tick = wire
+		}
+	}
+	latency = chain + float64(m-1)*tick
+	return exBytes, exSec, latency
+}
+
+// pickMicro resolves the wavefront width: a forced micro is clamped to
+// the batch (a 3-row batch cannot split 4 ways); micro 0 scans the
+// power-of-two widths up to maxAutoMicro for the lowest modelled
+// latency. Single-stage pipelines have no bubble and always run at 1.
+func pickMicro(stageComp []float64, boundaryBytes []int, batch int, topo Topology, micro int) int {
+	if len(stageComp) <= 1 {
+		return 1
+	}
+	if micro > 0 {
+		if micro > batch {
+			micro = batch
+		}
+		if micro < 1 {
+			micro = 1
+		}
+		return micro
+	}
+	best, bestLat := 1, -1.0
+	for m := 1; m <= maxAutoMicro && m <= batch; m *= 2 {
+		_, _, lat := pipelineSchedule(stageComp, boundaryBytes, topo, m)
+		if bestLat < 0 || lat < bestLat {
+			best, bestLat = m, lat
+		}
+	}
+	return best
 }
 
 // classRate is the topology's modelled aggregate flop rate for one

@@ -197,3 +197,48 @@ func TestEstimateSpecBytes(t *testing.T) {
 		t.Fatal("shard count 0 should clamp to 1")
 	}
 }
+
+// TestMicroPickEngagesWavefront is the regression for the planner never
+// leaving the barrier loop: on a latency-dominated fabric (fixed
+// per-message link cost ≫ SHL compute) a model that charges the fixed
+// overhead once per micro-batch makes modelled latency grow with m, so
+// the auto-pick returns 1 forever. With boundary messages priced as a
+// pipelined stream the wavefront must win at the CI reference shape.
+func TestMicroPickEngagesWavefront(t *testing.T) {
+	topo := DefaultTopology(2)
+	_, pl := buildPlan(t, nn.Butterfly, 3)
+	for _, batch := range []int{4, testMaxBatch} {
+		auto, err := EstimateBudgetMicro(pl, batch, 2, topo, 0, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		barrier, err := EstimateBudgetMicro(pl, batch, 2, topo, 0, 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if auto.Strategy != Pipeline || barrier.Strategy != Pipeline {
+			t.Fatalf("batch %d: strategies %v/%v, want pipeline", batch, auto.Strategy, barrier.Strategy)
+		}
+		if auto.MicroBatches <= 1 {
+			t.Errorf("batch %d: auto pick stayed at the barrier loop (micro=%d)", batch, auto.MicroBatches)
+		}
+		if auto.LatencySecondsPerBatch >= barrier.LatencySecondsPerBatch {
+			t.Errorf("batch %d: wavefront latency %v not below barrier %v",
+				batch, auto.LatencySecondsPerBatch, barrier.LatencySecondsPerBatch)
+		}
+		// Streaming reprices the schedule, not the fabric: total exchange
+		// seconds must not balloon with the wavefront width.
+		if auto.ExchangeSecondsPerBatch > 1.05*barrier.ExchangeSecondsPerBatch {
+			t.Errorf("batch %d: wavefront exchange %v far above barrier %v",
+				batch, auto.ExchangeSecondsPerBatch, barrier.ExchangeSecondsPerBatch)
+		}
+	}
+	// A forced width wider than the batch must clamp to the batch.
+	forced, err := EstimateBudgetMicro(pl, 2, 2, topo, 0, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if forced.MicroBatches != 2 {
+		t.Errorf("forced micro 64 at batch 2: got %d, want clamp to 2", forced.MicroBatches)
+	}
+}

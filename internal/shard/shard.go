@@ -195,6 +195,34 @@ type engine struct {
 	start        []chan struct{}
 	done         chan struct{}
 	quit         chan struct{}
+
+	// Wavefront state (pipeline lowerings compiled at micro > 1 with at
+	// least two stages; nil stageFirst means the barrier loop runs).
+	// A batch splits into waveM = min(micro, rows) contiguous row chunks
+	// streamed through the stages GPipe-style: stage k runs micro-batch j
+	// while stage k+1 runs j−1. Each stage owns a contiguous micro-step
+	// range, private ping-pong scratch for intra-stage activations, and a
+	// double-buffered handoff arena per boundary; ready/free token
+	// channels replace the global barrier with stage-local handoffs.
+	micro      int             // configured wavefront width (1 = barrier loop)
+	waveM      int             // effective width of the current batch
+	wave       bool            // mode flag workers read after their start token
+	rowPts     []int           // micro+1 row boundaries of the current batch
+	stageFirst []int           // per stage: first owned micro-step
+	stageLast  []int           // per stage: last owned micro-step
+	scratch    [][2][]float32  // per stage: intra-stage ping-pong arenas
+	hand       [][2][]float32  // per boundary: double-buffered handoff
+	ready      []chan struct{} // per boundary: micro-batch produced
+	free       []chan struct{} // per boundary: handoff slot free (primed 2)
+	outBuf     []float32       // final stage's full-batch output arena
+	wfOut      tensor.Matrix   // returned header over outBuf
+	wfDst      []tensor.Matrix // per stage: reusable kernel dst header
+	wfSrc      []tensor.Matrix // per stage: reusable kernel src header
+	// Per-stage finish offset of the current batch (nanos from
+	// execStart), written by each stage before its done token when a
+	// timeline batch is being recorded — the orchestrator turns the gap
+	// to the batch's wall into the residual drain bubble.
+	stageEndNanos []int64
 }
 
 // ShardedPlan is a compiled multi-IPU inference program. Like nn.Plan it
@@ -211,18 +239,32 @@ type ShardedPlan struct {
 // letting the cost planner choose the strategy: tensor-parallel when every
 // layer is splittable and its modelled latency (compute/S plus all-gather
 // and butterfly exchange rounds) beats pipeline's, pipeline otherwise.
-// shards must be a power of two within the topology.
+// Pipeline plans also inherit the planner's wavefront width (the
+// micro-batch count minimizing modelled latency). shards must be a power
+// of two within the topology.
 func Compile(pl *nn.Plan, topo Topology, shards int) (*ShardedPlan, error) {
 	cost, err := Estimate(pl, pl.MaxBatch(), shards, topo)
 	if err != nil {
 		return nil, err
 	}
-	return CompileWith(pl, topo, shards, cost.Strategy)
+	return CompileMicro(pl, topo, shards, cost.Strategy, cost.MicroBatches)
 }
 
-// CompileWith is Compile with the partitioning strategy forced — the hook
-// the equivalence tests use to cover both lowerings at every shard count.
+// CompileWith is Compile with the partitioning strategy forced and the
+// classic one-batch barrier loop pinned — the hook the equivalence tests
+// use to cover both lowerings at every shard count.
 func CompileWith(pl *nn.Plan, topo Topology, shards int, strategy Strategy) (*ShardedPlan, error) {
+	return CompileMicro(pl, topo, shards, strategy, 1)
+}
+
+// CompileMicro is CompileWith with the pipeline wavefront width forced:
+// micro 0 lets the cost model pick, 1 pins the barrier loop, and micro
+// > 1 compiles the multi-micro-batch wavefront executor (pipeline
+// strategy with at least two effective stages; tensor-parallel plans
+// ignore micro). Execute stays bit-for-bit identical to nn.Plan.Execute
+// at every width — micro-batches are contiguous row slices and every
+// kernel is row-wise.
+func CompileMicro(pl *nn.Plan, topo Topology, shards int, strategy Strategy, micro int) (*ShardedPlan, error) {
 	topo = topo.withDefaults()
 	if shards < 1 || shards&(shards-1) != 0 {
 		return nil, fmt.Errorf("shard: shard count %d must be a positive power of two", shards)
@@ -230,32 +272,47 @@ func CompileWith(pl *nn.Plan, topo Topology, shards int, strategy Strategy) (*Sh
 	if shards > topo.NumIPUs {
 		return nil, fmt.Errorf("shard: %d shards exceed topology of %d IPUs", shards, topo.NumIPUs)
 	}
+	// Effective engine width: a pipeline stage must own at least one
+	// step, so shard counts past the plan's step count clamp — trailing
+	// IPUs would otherwise idle every step, skewing the per-IPU phase
+	// accounting and the bubble gauge (the cost model clamps identically
+	// and surfaces the depth as Cost.PipelineStages).
+	eff := shards
+	if strategy == Pipeline {
+		if n := pl.NumSteps(); eff > n {
+			eff = n
+		}
+	}
 	var steps []step
 	var err error
 	switch strategy {
 	case TensorParallel:
 		steps, err = lowerTensorParallel(pl, shards)
 	case Pipeline:
-		steps, err = lowerPipeline(pl, shards)
+		steps, err = lowerPipeline(pl, eff)
 	default:
 		return nil, fmt.Errorf("shard: unknown strategy %v", strategy)
 	}
 	if err != nil {
 		return nil, err
 	}
-	cost, err := estimateWith(pl, pl.MaxBatch(), shards, topo, strategy)
+	cost, err := estimateMicro(pl, pl.MaxBatch(), shards, topo, strategy, micro)
 	if err != nil {
 		return nil, err
 	}
 
 	e := &engine{
-		shards:   shards,
+		shards:   eff,
 		maxBatch: pl.MaxBatch(),
 		in:       pl.InputWidth(),
 		out:      pl.OutputWidth(),
 		steps:    steps,
-		done:     make(chan struct{}, shards),
+		micro:    1,
+		done:     make(chan struct{}, eff),
 		quit:     make(chan struct{}),
+	}
+	if strategy == Pipeline && cost.MicroBatches > 1 {
+		e.micro = cost.MicroBatches
 	}
 	maxW := 0
 	for _, st := range steps {
@@ -266,7 +323,7 @@ func CompileWith(pl *nn.Plan, topo Topology, shards int, strategy Strategy) (*Sh
 	e.bufA = make([]float32, e.maxBatch*maxW)
 	e.bufB = make([]float32, e.maxBatch*maxW)
 	e.stepNanos = make([]int64, len(steps))
-	e.computeNanos = make([]int64, shards)
+	e.computeNanos = make([]int64, eff)
 
 	// Annotate each micro-step with its share of the source plan step's
 	// kernel accounting figures and modelled cost: a source step lowered
@@ -289,17 +346,20 @@ func CompileWith(pl *nn.Plan, topo Topology, shards int, strategy Strategy) (*Sh
 		e.flopsPerRow[i] = pl.StepFlopsPerRow(src) / n
 		e.bytesPerRow[i] = pl.StepArenaBytesPerRow(src) / n
 	}
-	e.modelCompSec, e.modelExchSec = modelledMicroPhases(pl, steps, pl.MaxBatch(), shards, topo, strategy)
+	e.modelCompSec, e.modelExchSec = modelledMicroPhases(pl, steps, pl.MaxBatch(), eff, topo, strategy)
 	e.modelSec = make([]float64, len(steps))
 	for i := range e.modelSec {
 		e.modelSec[i] = e.modelCompSec[i] + e.modelExchSec[i]
 	}
-	e.workerCtx = make([]context.Context, shards)
-	e.ws = make([]*tensor.Workspace, shards)
+	if e.micro > 1 && eff > 1 {
+		e.buildWavefront()
+	}
+	e.workerCtx = make([]context.Context, eff)
+	e.ws = make([]*tensor.Workspace, eff)
 	for k := range e.ws {
 		e.ws[k] = tensor.NewWorkspace()
 	}
-	for k := 1; k < shards; k++ {
+	for k := 1; k < eff; k++ {
 		c := make(chan struct{}, 1)
 		e.start = append(e.start, c)
 		go e.workerLoop(k, c)
@@ -322,8 +382,75 @@ func CompileWith(pl *nn.Plan, topo Topology, shards int, strategy Strategy) (*Sh
 	return p, nil
 }
 
-// Shards returns the number of modelled IPUs the plan runs on.
+// buildWavefront sizes the wavefront executor's stage-local state: the
+// owned micro-step range per stage, per-stage scratch and per-boundary
+// handoff arenas (each sized for the largest micro-batch,
+// ceil(maxBatch/micro) rows), the token channels, and the full-batch
+// output arena the final stage writes row slices into. Everything is
+// preallocated here so Execute stays allocation-free.
+func (e *engine) buildWavefront() {
+	S := e.shards
+	e.stageFirst = make([]int, S)
+	e.stageLast = make([]int, S)
+	for s := range e.stageFirst {
+		e.stageFirst[s] = -1
+	}
+	for i := range e.steps {
+		for k, f := range e.steps[i].run {
+			if f == nil {
+				continue
+			}
+			if e.stageFirst[k] < 0 {
+				e.stageFirst[k] = i
+			}
+			e.stageLast[k] = i
+		}
+	}
+	microCap := (e.maxBatch + e.micro - 1) / e.micro
+	e.rowPts = make([]int, e.micro+1)
+	e.scratch = make([][2][]float32, S)
+	e.hand = make([][2][]float32, S-1)
+	e.ready = make([]chan struct{}, S-1)
+	e.free = make([]chan struct{}, S-1)
+	for s := 0; s < S; s++ {
+		w := 0
+		for i := e.stageFirst[s]; i < e.stageLast[s]; i++ {
+			if e.steps[i].cols > w {
+				w = e.steps[i].cols
+			}
+		}
+		if w > 0 {
+			e.scratch[s] = [2][]float32{
+				make([]float32, microCap*w),
+				make([]float32, microCap*w),
+			}
+		}
+		if s < S-1 {
+			bw := e.steps[e.stageLast[s]].cols
+			e.hand[s] = [2][]float32{
+				make([]float32, microCap*bw),
+				make([]float32, microCap*bw),
+			}
+			e.ready[s] = make(chan struct{}, e.micro)
+			e.free[s] = make(chan struct{}, 2)
+			e.free[s] <- struct{}{}
+			e.free[s] <- struct{}{}
+		}
+	}
+	e.outBuf = make([]float32, e.maxBatch*e.out)
+	e.wfDst = make([]tensor.Matrix, S)
+	e.wfSrc = make([]tensor.Matrix, S)
+	e.stageEndNanos = make([]int64, S)
+}
+
+// Shards returns the number of modelled IPUs the plan runs on — for
+// pipeline plans, the effective stage count after clamping to the
+// plan's step count.
 func (p *ShardedPlan) Shards() int { return p.e.shards }
+
+// MicroBatches returns the wavefront width the plan executes full
+// batches at (1 = classic barrier loop).
+func (p *ShardedPlan) MicroBatches() int { return p.e.micro }
 
 // Strategy returns the partitioning the planner (or caller) chose.
 func (p *ShardedPlan) Strategy() Strategy { return p.strategy }
@@ -391,6 +518,9 @@ func (p *ShardedPlan) Execute(x *tensor.Matrix) (*tensor.Matrix, error) {
 	// and execStart are published to the workers by the first step's
 	// channel sends.
 	tb := e.rec.Sample()
+	if e.stageFirst != nil && x.Rows > 1 {
+		return e.executeWave(x, tb)
+	}
 	if tb != nil {
 		tb.Begin(len(e.steps), e.shards, x.Rows)
 	}
@@ -467,6 +597,175 @@ func (e *engine) recordStepGaps(tb *timeline.Batch, i int, stepOff, stepDur int6
 		if gap := stepEnd - gapStart; gap > 0 {
 			tb.Record(i, k, timeline.LaneSync, gapPhase, gapStart, gap)
 		}
+	}
+}
+
+// executeWave runs the multi-micro-batch wavefront schedule: the batch
+// splits into waveM = min(micro, rows) contiguous row chunks, every
+// stage (worker goroutine; stage 0 inline) streams all chunks through
+// its owned step range, and stage-local ready/free tokens replace the
+// global per-step barrier — stage k computes micro-batch j while stage
+// k+1 computes j−1, so fill/drain shrinks from (S−1)/S of a stage's
+// wall to (S−1)/(S−1+waveM).
+func (e *engine) executeWave(x *tensor.Matrix, tb *timeline.Batch) (*tensor.Matrix, error) {
+	waveM := e.micro
+	if waveM > x.Rows {
+		waveM = x.Rows
+	}
+	if tb != nil {
+		tb.BeginMicro(len(e.steps), waveM, e.shards, x.Rows)
+	}
+	e.curBatch = tb
+	for i := range e.stepNanos {
+		e.stepNanos[i] = 0
+	}
+	e.waveM = waveM
+	for j := 0; j <= waveM; j++ {
+		e.rowPts[j] = j * x.Rows / waveM
+	}
+	e.curX = x
+	e.wave = true
+	if e.pprofCtxs != nil {
+		pprof.SetGoroutineLabels(e.pprofCtxs[0])
+	}
+	execStart := time.Now()
+	e.execStart = execStart
+	// One wake per worker per batch (not per step): each stage drains
+	// every micro-batch before sending its done token.
+	for _, c := range e.start {
+		c <- struct{}{}
+	}
+	e.runStage(0)
+	for range e.start {
+		<-e.done
+	}
+	e.wave = false
+	e.wallNanos = time.Since(execStart).Nanoseconds()
+	if e.kstats != nil {
+		rows := int64(x.Rows)
+		for i := range e.steps {
+			e.kstats.Record(e.kern[i], rows*e.flopsPerRow[i], rows*e.bytesPerRow[i], e.stepNanos[i])
+		}
+	}
+	if e.pprofCtxs != nil {
+		pprof.SetGoroutineLabels(e.pprofBase)
+	}
+	if tb != nil {
+		// Residual drain: every stage but the last finished before the
+		// batch's wall and idles through the tail of the wavefront.
+		// Recorded one virtual step past the stage's range so the trace
+		// classifier names it bubble/drain.
+		for k := 0; k < e.shards-1; k++ {
+			if gap := e.wallNanos - e.stageEndNanos[k]; gap > 0 {
+				tb.RecordMicro(e.stageLast[k]+1, waveM-1, k,
+					timeline.LaneWork, timeline.Bubble, e.stageEndNanos[k], gap)
+			}
+		}
+		e.curBatch = nil
+		e.rec.Finish(tb, e.wallNanos)
+	}
+	e.wfOut.Rows, e.wfOut.Cols = x.Rows, e.out
+	e.wfOut.Data = e.outBuf[:x.Rows*e.out]
+	return &e.wfOut, nil
+}
+
+// runStage streams every micro-batch of the current wavefront batch
+// through stage k's owned micro-steps. Called by worker k (stage 0 by
+// the orchestrator inline). All state it touches is stage-owned or
+// ordered by the token channels.
+func (e *engine) runStage(k int) {
+	first, last := e.stageFirst[k], e.stageLast[k]
+	tb := e.curBatch
+	w := e.ws[k]
+	x := e.curX
+	S := e.shards
+	inW := e.in
+	if k > 0 {
+		inW = e.steps[e.stageLast[k-1]].cols
+	}
+	gapPhase := timeline.BarrierWait
+	if k > 0 && e.modelExchSec[first-1] > 0 {
+		gapPhase = timeline.Exchange
+	} else if k == 0 && e.modelExchSec[last] > 0 {
+		gapPhase = timeline.Exchange
+	}
+	for j := 0; j < e.waveM; j++ {
+		lo, hi := e.rowPts[j], e.rowPts[j+1]
+		nr := hi - lo
+		// Acquire the input (upstream ready token) and the output slot
+		// (downstream free token). The combined wait is this stage's
+		// pipeline fill on the first micro-batch, a wavefront stall
+		// after; stage 0 records its (backpressure-only) wait one step
+		// past its range so it lands on an unused slot.
+		var waitStart time.Time
+		if tb != nil {
+			waitStart = time.Now()
+		}
+		if k > 0 {
+			<-e.ready[k-1]
+		}
+		if k < S-1 {
+			<-e.free[k]
+		}
+		if tb != nil {
+			off := waitStart.Sub(e.execStart).Nanoseconds()
+			if dur := time.Since(waitStart).Nanoseconds(); dur > 0 {
+				switch {
+				case k == 0:
+					tb.RecordMicro(last+1, j, k, timeline.LaneSync, gapPhase, off, dur)
+				case j == 0:
+					tb.RecordMicro(first-1, j, k, timeline.LaneWork, timeline.Bubble, off, dur)
+				default:
+					tb.RecordMicro(first-1, j, k, timeline.LaneSync, gapPhase, off, dur)
+				}
+			}
+		}
+		src, dst := &e.wfSrc[k], &e.wfDst[k]
+		if k == 0 {
+			src.Rows, src.Cols = nr, inW
+			src.Data = x.Data[lo*inW : hi*inW]
+		} else {
+			src.Rows, src.Cols = nr, inW
+			src.Data = e.hand[k-1][j&1][:nr*inW]
+		}
+		par := 0
+		for i := first; i <= last; i++ {
+			st := &e.steps[i]
+			var data []float32
+			switch {
+			case i == last && k == S-1:
+				data = e.outBuf[lo*e.out : hi*e.out]
+			case i == last:
+				data = e.hand[k][j&1]
+			default:
+				data = e.scratch[k][par]
+				par ^= 1
+			}
+			dst.Rows, dst.Cols = nr, st.cols
+			dst.Data = data[:nr*st.cols]
+			w.Reset()
+			t0 := time.Now()
+			st.run[k](dst, src, w)
+			d := time.Since(t0).Nanoseconds()
+			e.stepNanos[i] += d
+			e.computeNanos[k] += d
+			if tb != nil {
+				tb.RecordMicro(i, j, k, timeline.LaneWork, timeline.Compute,
+					t0.Sub(e.execStart).Nanoseconds(), d)
+			}
+			if i == first && k > 0 {
+				// The handoff input is consumed; let the upstream stage
+				// overwrite the slot (micro-batch j+2 reuses it).
+				e.free[k-1] <- struct{}{}
+			}
+			src, dst = dst, src
+		}
+		if k < S-1 {
+			e.ready[k] <- struct{}{}
+		}
+	}
+	if tb != nil {
+		e.stageEndNanos[k] = time.Since(e.execStart).Nanoseconds()
 	}
 }
 
@@ -582,7 +881,14 @@ func (e *engine) workerLoop(k int, start <-chan struct{}) {
 				e.workerCtx[k] = c[k]
 				pprof.SetGoroutineLabels(c[k])
 			}
-			e.runShard(k, &e.steps[e.stepIdx])
+			// e.wave was published by the start-channel send: one token
+			// per batch under the wavefront (the worker drains its whole
+			// stage), one per step under the barrier loop.
+			if e.wave {
+				e.runStage(k)
+			} else {
+				e.runShard(k, &e.steps[e.stepIdx])
+			}
 			e.done <- struct{}{}
 		}
 	}

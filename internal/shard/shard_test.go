@@ -183,6 +183,113 @@ func TestShardedZeroAllocSteadyState(t *testing.T) {
 	}
 }
 
+// TestWavefrontMatchesPlan pins the tentpole contract of the
+// multi-micro-batch executor: pipeline plans compiled at wavefront
+// widths 1, 2 and 4 stay bit-for-bit equal to the unsharded plan at
+// every batch size — including batches smaller than the width (the
+// executor clamps to one row per micro-batch) and single rows (which
+// fall back to the barrier loop).
+func TestWavefrontMatchesPlan(t *testing.T) {
+	for _, method := range []nn.Method{nn.Baseline, nn.Butterfly, nn.Fastfood} {
+		method := method
+		t.Run(method.String(), func(t *testing.T) {
+			_, pl := buildPlan(t, method, 7)
+			rng := rand.New(rand.NewSource(133))
+			for _, shards := range []int{2, 4} {
+				for _, micro := range []int{1, 2, 4} {
+					sp, err := CompileMicro(pl, DefaultTopology(shards), shards, Pipeline, micro)
+					if err != nil {
+						t.Fatalf("CompileMicro(%d, %d): %v", shards, micro, err)
+					}
+					for _, batch := range []int{1, 3, 5, testMaxBatch} {
+						x := tensor.New(batch, testN)
+						x.FillRandom(rng, 1)
+						want, err := pl.Execute(x)
+						if err != nil {
+							t.Fatal(err)
+						}
+						got, err := sp.Execute(x)
+						if err != nil {
+							t.Fatalf("shards=%d micro=%d batch=%d: %v", shards, micro, batch, err)
+						}
+						if d := tensor.MaxAbsDiff(want, got); d != 0 {
+							t.Fatalf("shards=%d micro=%d batch=%d: differs from plan by %g (want bit-for-bit)",
+								shards, micro, batch, d)
+						}
+					}
+					sp.Close()
+				}
+			}
+		})
+	}
+}
+
+// TestWavefrontZeroAlloc asserts the wavefront executor keeps the
+// pooled-serving contract: steady-state Execute allocates nothing, with
+// the stage-local token handoffs and micro-batch headers all reused.
+func TestWavefrontZeroAlloc(t *testing.T) {
+	_, pl := buildPlan(t, nn.Butterfly, 17)
+	sp, err := CompileMicro(pl, DefaultTopology(2), 2, Pipeline, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sp.Close()
+	x := tensor.New(testMaxBatch, testN)
+	x.FillRandom(rand.New(rand.NewSource(18)), 1)
+	if _, err := sp.Execute(x); err != nil {
+		t.Fatal(err)
+	}
+	if avg := testing.AllocsPerRun(20, func() { sp.Execute(x) }); avg != 0 {
+		t.Errorf("wavefront Execute allocates %.1f objects per run, want 0", avg)
+	}
+}
+
+// TestPipelineStageClamp covers shards > NumSteps: a 3-step plan on an
+// 8-IPU request must clamp to 3 effective stages — in the engine (no
+// idle tracks skewing the bubble gauge), in the cost model
+// (PipelineStages), and still execute bit-for-bit, barrier loop and
+// wavefront alike.
+func TestPipelineStageClamp(t *testing.T) {
+	net := nn.BuildSHL(nn.Baseline, testN, testClasses, rand.New(rand.NewSource(5)))
+	pl, err := net.CompilePlanOpts(testMaxBatch, nn.PlanOptions{NoFuse: true})
+	if err != nil {
+		t.Fatalf("CompilePlanOpts: %v", err)
+	}
+	if pl.NumSteps() != 3 {
+		t.Fatalf("unfused SHL plan has %d steps, test wants 3", pl.NumSteps())
+	}
+	cost, err := Estimate(pl, testMaxBatch, 8, DefaultTopology(8))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cost.Strategy == Pipeline && cost.PipelineStages != 3 {
+		t.Errorf("cost.PipelineStages = %d, want 3", cost.PipelineStages)
+	}
+	for _, micro := range []int{1, 4} {
+		sp, err := CompileMicro(pl, DefaultTopology(8), 8, Pipeline, micro)
+		if err != nil {
+			t.Fatalf("CompileMicro(8, %d): %v", micro, err)
+		}
+		if sp.Shards() != 3 {
+			t.Errorf("micro=%d: Shards() = %d, want 3 (clamped to step count)", micro, sp.Shards())
+		}
+		if sp.Cost().PipelineStages != 3 {
+			t.Errorf("micro=%d: Cost().PipelineStages = %d, want 3", micro, sp.Cost().PipelineStages)
+		}
+		x := tensor.New(testMaxBatch, testN)
+		x.FillRandom(rand.New(rand.NewSource(6)), 1)
+		want, _ := pl.Execute(x)
+		got, err := sp.Execute(x)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if d := tensor.MaxAbsDiff(want, got); d != 0 {
+			t.Errorf("micro=%d: clamped pipeline differs by %g", micro, d)
+		}
+		sp.Close()
+	}
+}
+
 // TestPipelineOwnersContiguous checks the stage assignment invariants.
 func TestPipelineOwnersContiguous(t *testing.T) {
 	_, pl := buildPlan(t, nn.Baseline, 9)
@@ -198,6 +305,34 @@ func TestPipelineOwnersContiguous(t *testing.T) {
 			}
 			prev = o
 		}
+	}
+}
+
+// BenchmarkPipelinedExecute compares the barrier loop (M=1) against the
+// wavefront schedule (M=4) on the CI reference shape: butterfly, 2
+// shards, pipeline, full batch.
+func BenchmarkPipelinedExecute(b *testing.B) {
+	for _, micro := range []int{1, 4} {
+		b.Run("micro="+string(rune('0'+micro)), func(b *testing.B) {
+			_, pl := buildPlan(b, nn.Butterfly, 40)
+			sp, err := CompileMicro(pl, DefaultTopology(2), 2, Pipeline, micro)
+			if err != nil {
+				b.Fatal(err)
+			}
+			defer sp.Close()
+			x := tensor.New(testMaxBatch, testN)
+			x.FillRandom(rand.New(rand.NewSource(41)), 1)
+			if _, err := sp.Execute(x); err != nil {
+				b.Fatal(err)
+			}
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := sp.Execute(x); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
 	}
 }
 

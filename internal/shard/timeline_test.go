@@ -113,6 +113,62 @@ func TestTimelineBubblesOnlyUnderPipeline(t *testing.T) {
 	pp.Close()
 }
 
+// TestWavefrontTimeline pins the wavefront recorder semantics: a
+// sampled batch carries the micro dimension, every (step, micro-batch)
+// compute span lands on the owning stage's track and sums to
+// LastComputeNanos, and the only bubbles are the per-stage fill (first
+// micro-batch) and residual drain — a wavefront at M=4 must idle far
+// less than the barrier loop's one-whole-step-per-foreign-stage.
+func TestWavefrontTimeline(t *testing.T) {
+	_, pl := buildPlan(t, nn.Butterfly, 31)
+	sp, err := CompileMicro(pl, DefaultTopology(2), 2, Pipeline, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sp.Close()
+	rec := timeline.NewRecorder(1, 2)
+	sp.SetTimeline(rec)
+	b := executeSampled(t, sp, rec)
+
+	if b.Micro != 4 {
+		t.Fatalf("batch recorded micro=%d, want 4", b.Micro)
+	}
+	if b.Tracks != 2 {
+		t.Fatalf("batch recorded %d tracks, want 2", b.Tracks)
+	}
+	computeByIPU := make([]int64, b.Tracks)
+	computeCells := map[[2]int32]bool{}
+	bubbles := 0
+	for _, ev := range b.Events {
+		if end := ev.StartNanos + ev.DurNanos; end > sp.LastWallNanos() {
+			t.Fatalf("event %+v ends past the %dns batch wall", ev, sp.LastWallNanos())
+		}
+		switch ev.Phase {
+		case timeline.Compute:
+			computeByIPU[ev.IPU] += ev.DurNanos
+			computeCells[[2]int32{ev.Step, ev.MB}] = true
+		case timeline.Bubble:
+			bubbles++
+		}
+	}
+	for k, want := range sp.LastComputeNanos() {
+		if computeByIPU[k] != want {
+			t.Errorf("ipu%d compute events sum to %dns, LastComputeNanos says %dns",
+				k, computeByIPU[k], want)
+		}
+	}
+	// Every step must run every micro-batch exactly once.
+	if want := len(sp.Steps()) * 4; len(computeCells) != want {
+		t.Errorf("recorded %d (step, mb) compute cells, want %d", len(computeCells), want)
+	}
+	// At most one fill per waiting stage and one drain per non-final
+	// stage: with 2 stages, ≤ 2 bubbles (vs one per foreign micro-step
+	// under the barrier loop).
+	if bubbles > 2 {
+		t.Errorf("wavefront recorded %d bubble events, want ≤ 2 (fill + drain)", bubbles)
+	}
+}
+
 // TestShardedTimelineAllocFree extends the zero-alloc steady-state
 // contract to a worst-case recorder: sampling every batch, with pprof
 // labels pinned, Execute still allocates nothing after warm-up.
